@@ -1,0 +1,61 @@
+// Command flclient runs a GradSec federated-learning client over TCP:
+// a simulated TrustZone device training LeNet-5-mini on a synthetic local
+// corpus, with the server-distributed protection plan enforced by the
+// GradSec trusted application.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/gradsec/gradsec/internal/core"
+	"github.com/gradsec/gradsec/internal/dataset"
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7443", "server address")
+	name := flag.String("name", "pi-client", "device name")
+	seed := flag.Int64("seed", 1, "local data seed")
+	flag.Parse()
+
+	gen := dataset.NewGenerator(rand.New(rand.NewSource(*seed)), 10, 1, 16, 16, 0.2)
+	data := gen.FixedSet(rand.New(rand.NewSource(*seed+1)), 6)
+	bRng := rand.New(rand.NewSource(*seed + 2))
+
+	dev := tz.NewDevice(*name)
+	net := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU)
+	plan, err := core.NewStaticPlan(0) // replaced by the server's plan each round
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := core.NewSecureTrainer(dev, net, plan, core.TrainerConfig{
+		Iterations: 3, LR: 0.05,
+		Batch: func(int, int) (*tensor.Tensor, *tensor.Tensor) { return data.RandomBatch(bRng, 12) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conn, err := fl.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	client := fl.NewClient(conn, core.NewGradSecClient(*name, trainer))
+	if err := client.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if client.RejectedReason != "" {
+		fmt.Printf("rejected by server: %s\n", client.RejectedReason)
+		return
+	}
+	fmt.Printf("%s: completed %d rounds; final model received (%d tensors); SMCs %d\n",
+		*name, client.Rounds, len(client.Final), dev.SMCCount())
+}

@@ -1,0 +1,39 @@
+// Command gradsec-repro regenerates the paper's evaluation artefacts.
+//
+// Usage:
+//
+//	gradsec-repro            # run everything (tables 1/5/6, figures 5-8)
+//	gradsec-repro -exp fig5a # run one artefact
+//	gradsec-repro -list      # list artefact IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gradsec/gradsec/internal/repro"
+)
+
+func main() {
+	exp := flag.String("exp", "", "single experiment ID (table1,table5,table6,fig5a,fig5b,fig6a,fig6b,fig7,fig8)")
+	list := flag.Bool("list", false, "list experiment IDs")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("table1 table5 table6 fig5a fig5b fig6a fig6b fig7 fig8 ablation-smc ablation-enclave")
+		return
+	}
+	if *exp != "" {
+		t := repro.ByID(*exp)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
+		t.Print(os.Stdout)
+		return
+	}
+	for _, t := range repro.All() {
+		t.Print(os.Stdout)
+	}
+}

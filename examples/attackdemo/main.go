@@ -1,0 +1,39 @@
+// Attack demo: runs the data-reconstruction inference attack (DRIA /
+// deep leakage from gradients) against an unprotected model and against
+// static GradSec protecting the early conv layers, printing the
+// ImageLoss achieved by the attacker in each setting (paper Figure 5).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gradsec/gradsec/internal/attack"
+	"github.com/gradsec/gradsec/internal/dataset"
+	"github.com/gradsec/gradsec/internal/nn"
+)
+
+func main() {
+	net := nn.NewLeNet5Mini(rand.New(rand.NewSource(3)), nn.ActSigmoid)
+	faces := dataset.NewFaceGenerator(rand.New(rand.NewSource(4)), 10, 1, 16, 16, 0.02)
+	x := faces.Sample(rand.New(rand.NewSource(6)), 0, false).Reshape(1, 1, 16, 16)
+	y := dataset.OneHot([]int{0}, 10)
+
+	cfg := attack.DRIAConfig{Iterations: 120, Seed: 8}
+	fmt.Println("DRIA (gradient matching with analytic second-order gradients):")
+	for _, c := range []struct {
+		label string
+		prot  []int
+	}{
+		{"no protection", nil},
+		{"GradSec static L2", []int{1}},
+		{"GradSec static L1+L2", []int{0, 1}},
+	} {
+		res := attack.DRIA(net, x, y, c.prot, cfg)
+		verdict := "RECONSTRUCTED"
+		if res.ImageLoss > 1 {
+			verdict = "attack defeated"
+		}
+		fmt.Printf("  %-22s ImageLoss %.3f  (%s)\n", c.label, res.ImageLoss, verdict)
+	}
+}

@@ -1,0 +1,122 @@
+// Package gradsec is the public facade of the GradSec reproduction: a
+// TEE-shielded federated-learning stack reproducing "Shielding Federated
+// Learning Systems against Inference Attacks with ARM TrustZone"
+// (Middleware 2022).
+//
+// GradSec protects selected layers of a neural network inside a (simulated)
+// ARM TrustZone enclave during FL local training, so a compromised client
+// OS observes only the gradients of unprotected layers. Two modes exist:
+//
+//   - static: a fixed, possibly non-successive, layer set (e.g. the first
+//     conv layer against data-reconstruction attacks plus the dense head
+//     against membership inference);
+//   - dynamic: a moving window of successive layers slides across the
+//     model over FL cycles following a probability distribution VMW,
+//     defeating long-term property-inference attacks with only a couple
+//     of layers resident at a time.
+//
+// Quick start:
+//
+//	rng := rand.New(rand.NewSource(1))
+//	model := gradsec.NewLeNet5(rng, gradsec.ActReLU)
+//	plan, _ := gradsec.NewStaticPlan(1, 4) // L2 + L5, paper naming
+//	dev := gradsec.NewDevice("pi-client-1")
+//	trainer, _ := gradsec.NewSecureTrainer(dev, model, plan, gradsec.TrainerConfig{
+//		Iterations: 10, LR: 0.05, Batch: batchFn,
+//	})
+//	sv, _ := gradsec.EstablishServerView(trainer)
+//	res, _ := trainer.RunCycle(0)
+//	// res.Observable — the attacker's view (nil at protected layers)
+//	// sv.FullUpdate(res) — the trusted server's complete update
+//
+// See examples/ for runnable programs and internal/repro for the code
+// that regenerates every table and figure of the paper.
+package gradsec
+
+import (
+	"math/rand"
+
+	"github.com/gradsec/gradsec/internal/core"
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/simclock"
+	"github.com/gradsec/gradsec/internal/tz"
+)
+
+// Re-exported core types: protection plans and the secure trainer.
+type (
+	// Plan describes which layers are shielded per FL cycle.
+	Plan = core.Plan
+	// Mode selects static/dynamic/DarkneTZ plan semantics.
+	Mode = core.Mode
+	// TrainerConfig parameterises secure local training.
+	TrainerConfig = core.TrainerConfig
+	// CycleResult is one cycle's outcome, including the attacker-visible
+	// gradient view.
+	CycleResult = core.CycleResult
+	// SecureTrainer executes GradSec training on a simulated device.
+	SecureTrainer = core.SecureTrainer
+	// ServerView is the trusted server's end of the trusted I/O path.
+	ServerView = core.ServerView
+	// OverheadSim reproduces the paper's Table 6 cost accounting.
+	OverheadSim = core.OverheadSim
+	// Device is a simulated TrustZone-capable client device.
+	Device = tz.Device
+	// Network is a feed-forward neural network.
+	Network = nn.Network
+	// Activation selects layer nonlinearities.
+	Activation = nn.Activation
+)
+
+// Plan modes.
+const (
+	ModeStatic   = core.ModeStatic
+	ModeDynamic  = core.ModeDynamic
+	ModeDarkneTZ = core.ModeDarkneTZ
+)
+
+// Activations.
+const (
+	ActNone    = nn.ActNone
+	ActReLU    = nn.ActReLU
+	ActSigmoid = nn.ActSigmoid
+	ActTanh    = nn.ActTanh
+)
+
+// NewStaticPlan protects an arbitrary (possibly non-successive) layer set.
+func NewStaticPlan(layers ...int) (*Plan, error) { return core.NewStaticPlan(layers...) }
+
+// NewDynamicPlan builds a moving-window plan with distribution vmw.
+func NewDynamicPlan(sizeMW int, vmw []float64) (*Plan, error) {
+	return core.NewDynamicPlan(sizeMW, vmw)
+}
+
+// NewDarkneTZPlan builds the contiguous-slice baseline plan.
+func NewDarkneTZPlan(first, last int) (*Plan, error) { return core.NewDarkneTZPlan(first, last) }
+
+// NewDevice creates a simulated TrustZone device (4 MiB enclave, Pi-3B+
+// cost model).
+func NewDevice(name string, opts ...tz.DeviceOption) *Device { return tz.NewDevice(name, opts...) }
+
+// NewSecureTrainer installs the GradSec TA on dev and prepares secure
+// training of net under plan.
+func NewSecureTrainer(dev *Device, net *Network, plan *Plan, cfg TrainerConfig) (*SecureTrainer, error) {
+	return core.NewSecureTrainer(dev, net, plan, cfg)
+}
+
+// EstablishServerView connects a trusted-server channel endpoint to the
+// trainer's TA (for standalone, non-networked use).
+func EstablishServerView(t *SecureTrainer) (*ServerView, error) {
+	return core.EstablishServerView(t)
+}
+
+// NewOverheadSim builds the Table-6 cost simulator for net.
+func NewOverheadSim(net *Network) *OverheadSim { return core.NewOverheadSim(net) }
+
+// NewLeNet5 builds the paper's LeNet-5 (Table 4).
+func NewLeNet5(rng *rand.Rand, act Activation) *Network { return nn.NewLeNet5(rng, act) }
+
+// NewAlexNet builds the paper's AlexNet (Table 4).
+func NewAlexNet(rng *rand.Rand) *Network { return nn.NewAlexNet(rng) }
+
+// Pi3BCostModel returns the calibrated Raspberry-Pi-3B+/OP-TEE cost model.
+func Pi3BCostModel() simclock.CostModel { return simclock.Pi3B() }

@@ -1,0 +1,83 @@
+package gradsec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/gradsec/gradsec"
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: build a
+// model, protect a non-successive layer set, train a cycle on a simulated
+// device, and verify the information-flow boundary.
+func TestFacadeQuickstart(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := nn.NewTinyConvNet(rng, 1, 6, 6, 3, gradsec.ActSigmoid)
+
+	plan, err := gradsec.NewStaticPlan(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gradsec.NewDevice("facade-test")
+	bRng := rand.New(rand.NewSource(2))
+	trainer, err := gradsec.NewSecureTrainer(dev, model, plan, gradsec.TrainerConfig{
+		Iterations: 2, LR: 0.05,
+		Batch: func(int, int) (*tensor.Tensor, *tensor.Tensor) {
+			x := tensor.Randn(bRng, 0.5, 4, 1, 6, 6)
+			y := tensor.New(4, 3)
+			for i := 0; i < 4; i++ {
+				y.Set(1, i, bRng.Intn(3))
+			}
+			return x, y
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := gradsec.EstablishServerView(trainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trainer.RunCycle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observable[0] != nil {
+		t.Fatal("protected layer update visible to the normal world")
+	}
+	full, err := sv.FullUpdate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range full {
+		if u == nil {
+			t.Fatalf("server view missing update %d", i)
+		}
+	}
+	if res.PeakTEEBytes <= 0 || res.Cost.Total() <= 0 {
+		t.Fatal("accounting missing")
+	}
+}
+
+// TestFacadeOverheadSim checks the public cost-model path against the
+// paper's headline gains.
+func TestFacadeOverheadSim(t *testing.T) {
+	model := gradsec.NewLeNet5(rand.New(rand.NewSource(1)), gradsec.ActReLU)
+	sim := gradsec.NewOverheadSim(model)
+	gradsecCost := sim.CycleCost([]int{1, 4}).Total()
+	darknetz := sim.CycleCost([]int{1, 2, 3, 4}).Total()
+	if gradsecCost >= darknetz {
+		t.Fatalf("GradSec %v must beat DarkneTZ %v", gradsecCost, darknetz)
+	}
+	if m := gradsec.Pi3BCostModel(); m.SecureFactor <= 1 {
+		t.Fatal("cost model must slow down secure compute")
+	}
+	if _, err := gradsec.NewDarkneTZPlan(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gradsec.NewDynamicPlan(2, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}

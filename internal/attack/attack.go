@@ -1,0 +1,97 @@
+// Package attack implements the three client-side inference attacks the
+// paper evaluates GradSec against:
+//
+//   - DRIA — data-reconstruction inference attack (deep leakage from
+//     gradients, Zhu et al. 2019): gradient matching with L-BFGS/Adam
+//     over the *observable* per-layer gradients;
+//   - MIA — membership inference attack (Nasr et al. 2019): a binary
+//     classifier over per-layer gradient features of individual samples;
+//   - DPIA — data-property inference attack (Melis et al. 2019): a random
+//     forest over aggregated cross-cycle gradient features.
+//
+// TEE protection is modelled exactly as the paper's §8.1 does: "we simply
+// delete from D_grad all the gradients columns relative to a protected
+// layer". Deleted columns become NaN and are mean-imputed before attack-
+// model training — also the paper's strategy.
+package attack
+
+import (
+	"math"
+
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// FeaturesPerLayer is the number of summary statistics extracted per
+// layer gradient: L2 norm, mean |g|, max |g|, std.
+const FeaturesPerLayer = 4
+
+// LayerFeatures summarises one layer's gradient tensors into fixed
+// statistics. Gradient magnitudes are what membership and property
+// signals modulate.
+func LayerFeatures(grads []*tensor.Tensor) [FeaturesPerLayer]float64 {
+	n := 0
+	sumSq, sumAbs, maxAbs := 0.0, 0.0, 0.0
+	for _, g := range grads {
+		for _, v := range g.Data {
+			sumSq += v * v
+			a := math.Abs(v)
+			sumAbs += a
+			if a > maxAbs {
+				maxAbs = a
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return [FeaturesPerLayer]float64{}
+	}
+	mean := sumAbs / float64(n)
+	variance := 0.0
+	for _, g := range grads {
+		for _, v := range g.Data {
+			d := math.Abs(v) - mean
+			variance += d * d
+		}
+	}
+	return [FeaturesPerLayer]float64{
+		math.Sqrt(sumSq),
+		mean,
+		maxAbs,
+		math.Sqrt(variance / float64(n)),
+	}
+}
+
+// GradientRow flattens per-layer gradients into one attack-model feature
+// row, writing NaN into every column of a protected layer (the paper's
+// deletion semantics).
+func GradientRow(grads [][]*tensor.Tensor, protected map[int]bool) []float64 {
+	row := make([]float64, 0, len(grads)*FeaturesPerLayer)
+	for l, layerGrads := range grads {
+		if protected[l] {
+			for k := 0; k < FeaturesPerLayer; k++ {
+				row = append(row, math.NaN())
+			}
+			continue
+		}
+		f := LayerFeatures(layerGrads)
+		row = append(row, f[:]...)
+	}
+	return row
+}
+
+// SampleGradients computes the per-sample gradient of the network's loss
+// — the attacker's raw observation for one data point.
+func SampleGradients(net *nn.Network, x, y *tensor.Tensor) [][]*tensor.Tensor {
+	_, grads := net.Gradients(x, y)
+	return grads
+}
+
+// ProtectedSet converts a layer list to a set.
+func ProtectedSet(layers []int) map[int]bool {
+	out := make(map[int]bool, len(layers))
+	for _, l := range layers {
+		out[l] = true
+	}
+	return out
+}

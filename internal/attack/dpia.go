@@ -1,0 +1,139 @@
+package attack
+
+import (
+	"math/rand"
+
+	"github.com/gradsec/gradsec/internal/dataset"
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/opt"
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// Schedule maps an FL cycle to its protected layer set (nil = none).
+// core.Plan.ProtectedLayers adapts directly.
+type Schedule func(cycle int) []int
+
+// DPIAConfig configures the data-property inference experiment.
+type DPIAConfig struct {
+	// Cycles is the number of FL cycles observed (0 = 120). DPIA is a
+	// long-term attack: it aggregates across many cycles (§8).
+	Cycles int
+	// ItersPerCycle is the local iterations per cycle (0 = 2).
+	ItersPerCycle int
+	// BatchSize per iteration (0 = 8).
+	BatchSize int
+	// LR is the victim's learning rate (0 = 0.05).
+	LR float64
+	// PropFrac is the fraction of property-carrying samples inside a
+	// property cycle (0 = 0.5).
+	PropFrac float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DPIAResult reports the attack quality.
+type DPIAResult struct {
+	// AUC of the random-forest attack model on held-out cycles.
+	AUC float64
+}
+
+// DPIA runs the data-property inference attack of §3.2: across FL
+// cycles, the malicious client diffs consecutive model snapshots to get
+// aggregated gradients, labels each cycle by whether the private
+// property was present in the victim's batches, and trains a random
+// forest to detect the property. TEE-protected layers (which may change
+// per cycle under dynamic GradSec) are deleted from the observation and
+// mean-imputed, per §8.1.
+func DPIA(net *nn.Network, gen *dataset.FaceGenerator, schedule Schedule, cfg DPIAConfig) DPIAResult {
+	if cfg.Cycles == 0 {
+		cfg.Cycles = 120
+	}
+	if cfg.ItersPerCycle == 0 {
+		cfg.ItersPerCycle = 2
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	if cfg.PropFrac == 0 {
+		cfg.PropFrac = 0.5
+	}
+	d := BuildDPIADataset(net, gen, cfg)
+	var protectedFor func(row int) map[int]bool
+	if schedule == nil {
+		protectedFor = func(int) map[int]bool { return nil }
+	} else {
+		protectedFor = func(row int) map[int]bool { return ProtectedSet(schedule(row)) }
+	}
+	auc := d.EvalSchedule(protectedFor, ForestAttack(cfg.Seed+1), cfg.Seed+2)
+	return DPIAResult{AUC: auc}
+}
+
+// BuildDPIADataset runs the victim's FL cycles once and collects the full
+// (unprotected) per-cycle aggregated gradient dataset; protection
+// configurations are then evaluated by column deletion
+// (GradDataset.EvalStatic / EvalSchedule), as the paper's §8.1 does.
+func BuildDPIADataset(net *nn.Network, gen *dataset.FaceGenerator, cfg DPIAConfig) *GradDataset {
+	if cfg.Cycles == 0 {
+		cfg.Cycles = 120
+	}
+	if cfg.ItersPerCycle == 0 {
+		cfg.ItersPerCycle = 2
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	if cfg.PropFrac == 0 {
+		cfg.PropFrac = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	o := opt.NewSGD(cfg.LR, 0)
+	fz := NewFeaturizer(net, 54321)
+	d := &GradDataset{Layers: net.NumLayers(), PerLayer: fz.PerLayer}
+	for c := 0; c < cfg.Cycles; c++ {
+		withProp := rng.Intn(2) == 0
+		before := net.StateDict()
+		for it := 0; it < cfg.ItersPerCycle; it++ {
+			x, y := gen.Batch(rng, cfg.BatchSize, withProp, cfg.PropFrac)
+			net.TrainStep(x, y, o)
+		}
+		// Aggregated gradients: snapshot difference (Flaw 1 at FL-cycle
+		// granularity), per layer.
+		d.Rows = append(d.Rows, fz.Row(snapshotDiff(net, before)))
+		d.Labels = append(d.Labels, withProp)
+	}
+	return d
+}
+
+// snapshotDiff returns per-layer parameter deltas since the snapshot.
+func snapshotDiff(net *nn.Network, before []*tensor.Tensor) [][]*tensor.Tensor {
+	out := make([][]*tensor.Tensor, net.NumLayers())
+	k := 0
+	for i, layer := range net.Layers {
+		for _, p := range layer.Params() {
+			out[i] = append(out[i], tensor.Sub(p, before[k]))
+			k++
+		}
+	}
+	return out
+}
+
+// SelectVMW implements the paper's VMW tuning loop (§8.2): for each
+// candidate distribution, evaluate the attack and keep the candidate with
+// the *lowest* AUC — the defender picks the distribution that hurts the
+// strongest attack most.
+func SelectVMW(candidates [][]float64, eval func(vmw []float64) float64) (best []float64, bestAUC float64) {
+	bestAUC = 2
+	for _, vmw := range candidates {
+		if auc := eval(vmw); auc < bestAUC {
+			bestAUC = auc
+			best = vmw
+		}
+	}
+	return best, bestAUC
+}

@@ -1,0 +1,82 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// NumProbes is the number of random-projection features per layer. The
+// paper's attack models consume raw gradient columns; fixed random
+// projections are a compact proxy that preserves *directional* signal
+// (e.g. the DPIA property pattern), which magnitude summaries alone
+// cannot carry.
+const NumProbes = 6
+
+// Featurizer turns per-layer gradients into attack-model rows: the
+// FeaturesPerLayer magnitude statistics plus NumProbes fixed random
+// projections per layer.
+type Featurizer struct {
+	// probes[l][k] is the k-th ±1 probe over layer l's flattened params.
+	probes [][][]float64
+	// PerLayer is the feature-block width per layer.
+	PerLayer int
+}
+
+// NewFeaturizer builds deterministic probes matching net's layer sizes.
+func NewFeaturizer(net *nn.Network, seed int64) *Featurizer {
+	rng := rand.New(rand.NewSource(seed))
+	f := &Featurizer{PerLayer: FeaturesPerLayer + NumProbes}
+	for _, layer := range net.Layers {
+		n := layer.ParamCount()
+		probes := make([][]float64, NumProbes)
+		for k := range probes {
+			p := make([]float64, n)
+			for i := range p {
+				if rng.Intn(2) == 0 {
+					p[i] = 1
+				} else {
+					p[i] = -1
+				}
+			}
+			probes[k] = p
+		}
+		f.probes = append(f.probes, probes)
+	}
+	return f
+}
+
+// Row flattens per-layer gradients into one feature row (no deletion —
+// protection is applied later by GradDataset column deletion).
+func (f *Featurizer) Row(grads [][]*tensor.Tensor) []float64 {
+	row := make([]float64, 0, len(grads)*f.PerLayer)
+	for l, layerGrads := range grads {
+		stats := LayerFeatures(layerGrads)
+		row = append(row, stats[:]...)
+		flat := flattenGrads(layerGrads)
+		scale := 1 / math.Sqrt(float64(len(flat))+1)
+		for k := 0; k < NumProbes; k++ {
+			dot := 0.0
+			probe := f.probes[l][k]
+			for i, v := range flat {
+				dot += v * probe[i]
+			}
+			row = append(row, dot*scale)
+		}
+	}
+	return row
+}
+
+func flattenGrads(gs []*tensor.Tensor) []float64 {
+	n := 0
+	for _, g := range gs {
+		n += g.Size()
+	}
+	out := make([]float64, 0, n)
+	for _, g := range gs {
+		out = append(out, g.Data...)
+	}
+	return out
+}

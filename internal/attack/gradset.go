@@ -1,0 +1,95 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/gradsec/gradsec/internal/ensemble"
+	"github.com/gradsec/gradsec/internal/metrics"
+)
+
+// GradDataset is the attacker's D_grad: one feature row per observation
+// (per sample for MIA, per cycle for DPIA) with per-layer feature blocks.
+// Protection is evaluated the way the paper does (§8.1): delete the
+// columns of protected layers, mean-impute, train, measure AUC — so one
+// expensive victim run supports every protection configuration.
+type GradDataset struct {
+	Rows   [][]float64
+	Labels []bool
+	// Layers is the number of per-layer feature blocks in each row.
+	Layers int
+	// PerLayer is the width of each layer's feature block
+	// (FeaturesPerLayer when rows come from GradientRow; larger when a
+	// Featurizer adds projections).
+	PerLayer int
+}
+
+// deleteColumns returns a copy of the rows with protected layers' feature
+// blocks replaced by NaN. For dynamic schedules, protection varies per
+// row (row index = FL cycle).
+func (d *GradDataset) deleteColumns(protectedFor func(row int) map[int]bool) [][]float64 {
+	out := make([][]float64, len(d.Rows))
+	for i, row := range d.Rows {
+		cp := append([]float64(nil), row...)
+		prot := protectedFor(i)
+		w := d.PerLayer
+		if w == 0 {
+			w = FeaturesPerLayer
+		}
+		for l := 0; l < d.Layers; l++ {
+			if !prot[l] {
+				continue
+			}
+			for k := 0; k < w; k++ {
+				cp[l*w+k] = math.NaN()
+			}
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// Model abstracts the attack classifier used by EvalProtection.
+type Model interface {
+	PredictProb(sample []float64) float64
+}
+
+// FitFunc trains an attack model on imputed, normalised features.
+type FitFunc func(x [][]float64, y []bool) Model
+
+// LogisticAttack is the MIA attack-model trainer.
+func LogisticAttack(x [][]float64, y []bool) Model {
+	return ensemble.FitLogistic(x, y, ensemble.LogisticConfig{Epochs: 400, LR: 0.3})
+}
+
+// ForestAttack returns a DPIA attack-model trainer (random forest, as in
+// the paper) with the given seed.
+func ForestAttack(seed int64) FitFunc {
+	return func(x [][]float64, y []bool) Model {
+		return ensemble.FitForest(x, y, ensemble.ForestConfig{Trees: 40, Seed: seed})
+	}
+}
+
+// EvalStatic evaluates a fixed protected layer set: delete, split,
+// impute, train, AUC on the held-out half.
+func (d *GradDataset) EvalStatic(protectedLayers []int, fit FitFunc, seed int64) float64 {
+	prot := ProtectedSet(protectedLayers)
+	return d.EvalSchedule(func(int) map[int]bool { return prot }, fit, seed)
+}
+
+// EvalSchedule evaluates a per-row protection schedule (dynamic GradSec:
+// row index = FL cycle).
+func (d *GradDataset) EvalSchedule(protectedFor func(row int) map[int]bool, fit FitFunc, seed int64) float64 {
+	rows := d.deleteColumns(protectedFor)
+	rng := rand.New(rand.NewSource(seed))
+	trainX, trainY, testX, testY := split(rng, rows, d.Labels, 0.6)
+	means := ensemble.MeanImpute(trainX)
+	ensemble.ApplyImpute(testX, means)
+	normalize(trainX, testX)
+	model := fit(trainX, trainY)
+	scores := make([]float64, len(testX))
+	for i, row := range testX {
+		scores[i] = model.PredictProb(row)
+	}
+	return metrics.AUC(testY, scores)
+}

@@ -1,0 +1,186 @@
+package attack
+
+import (
+	"math/rand"
+
+	"github.com/gradsec/gradsec/internal/dataset"
+	"github.com/gradsec/gradsec/internal/metrics"
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/opt"
+)
+
+// MIAConfig configures the membership-inference experiment.
+type MIAConfig struct {
+	// VictimSteps trains the victim model into the overfitting regime
+	// where membership leaks (0 = 500). Membership inference needs
+	// memorisation: small member sets and many steps.
+	VictimSteps int
+	// MembersPerClass sizes the victim training set (0 = 5).
+	MembersPerClass int
+	// VictimLR is the victim training rate (0 = 0.1).
+	VictimLR float64
+	// BatchSize for victim training (0 = 8).
+	BatchSize int
+	// AttackSamples per class (member/non-member) in D_grad (0 = 96).
+	AttackSamples int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// MIAResult reports the attack quality.
+type MIAResult struct {
+	// AUC of the attack model on held-out gradients (the paper's metric).
+	AUC float64
+	// VictimTrainAcc indicates the overfitting level reached.
+	VictimTrainAcc float64
+}
+
+// MIA runs the membership-inference attack of the paper's §3.2: the
+// attacker holds data known to be in the training set (D1 ⊂ D) and data
+// known not to be (D2 ⊄ D), builds a gradient dataset from the victim
+// model, trains a binary attack classifier, and scores membership of
+// unseen points by their gradients. Protected layers' gradient columns
+// are deleted (NaN) and mean-imputed, per §8.1.
+//
+// The victim net is trained inside this function on members drawn from
+// gen; pass protectedLayers to evaluate a GradSec configuration.
+func MIA(net *nn.Network, gen *dataset.Generator, protectedLayers []int, cfg MIAConfig) MIAResult {
+	if cfg.VictimSteps == 0 {
+		cfg.VictimSteps = 500
+	}
+	if cfg.MembersPerClass == 0 {
+		cfg.MembersPerClass = 5
+	}
+	if cfg.VictimLR == 0 {
+		cfg.VictimLR = 0.1
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.AttackSamples == 0 {
+		cfg.AttackSamples = 96
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	protected := ProtectedSet(protectedLayers)
+
+	// Victim training set (the members): deliberately small so the model
+	// memorises individual samples rather than class structure.
+	members := gen.FixedSet(rng, cfg.MembersPerClass)
+	o := opt.NewSGD(cfg.VictimLR, 0.9)
+	for s := 0; s < cfg.VictimSteps; s++ {
+		x, y := members.RandomBatch(rng, cfg.BatchSize)
+		net.TrainStep(x, y, o)
+	}
+	xAll, yAll := members.Batch(seq(members.Len()))
+	trainAcc := net.Accuracy(xAll, yAll)
+
+	// D_grad: per-sample gradients of members and fresh non-members.
+	d := buildMIARows(net, gen, members, cfg.AttackSamples, rng)
+	auc := d.EvalStatic(setToList(protected), LogisticAttack, cfg.Seed+1)
+	return MIAResult{AUC: auc, VictimTrainAcc: trainAcc}
+}
+
+// BuildMIADataset trains the victim into the overfitting regime and
+// builds the full (unprotected) membership gradient dataset once; use
+// GradDataset.EvalStatic to score every protection configuration, as the
+// paper's §8.1 does with column deletion.
+func BuildMIADataset(net *nn.Network, gen *dataset.Generator, cfg MIAConfig) (*GradDataset, float64) {
+	if cfg.VictimSteps == 0 {
+		cfg.VictimSteps = 500
+	}
+	if cfg.MembersPerClass == 0 {
+		cfg.MembersPerClass = 5
+	}
+	if cfg.VictimLR == 0 {
+		cfg.VictimLR = 0.1
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.AttackSamples == 0 {
+		cfg.AttackSamples = 96
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	members := gen.FixedSet(rng, cfg.MembersPerClass)
+	o := opt.NewSGD(cfg.VictimLR, 0.9)
+	for s := 0; s < cfg.VictimSteps; s++ {
+		x, y := members.RandomBatch(rng, cfg.BatchSize)
+		net.TrainStep(x, y, o)
+	}
+	xAll, yAll := members.Batch(seq(members.Len()))
+	return buildMIARows(net, gen, members, cfg.AttackSamples, rng), net.Accuracy(xAll, yAll)
+}
+
+func buildMIARows(net *nn.Network, gen *dataset.Generator, members *dataset.Dataset, n int, rng *rand.Rand) *GradDataset {
+	fz := NewFeaturizer(net, 12345)
+	d := &GradDataset{Layers: net.NumLayers(), PerLayer: fz.PerLayer}
+	for i := 0; i < n; i++ {
+		mi := rng.Intn(members.Len())
+		x, lab := members.Sample(mi)
+		y := dataset.OneHot([]int{lab}, gen.Classes)
+		d.Rows = append(d.Rows, fz.Row(SampleGradients(net, x, y)))
+		d.Labels = append(d.Labels, true)
+		cls := rng.Intn(gen.Classes)
+		nx := gen.Sample(rng, cls).Reshape(1, gen.C, gen.H, gen.W)
+		ny := dataset.OneHot([]int{cls}, gen.Classes)
+		d.Rows = append(d.Rows, fz.Row(SampleGradients(net, nx, ny)))
+		d.Labels = append(d.Labels, false)
+	}
+	return d
+}
+
+func setToList(s map[int]bool) []int {
+	var out []int
+	for l := range s {
+		out = append(out, l)
+	}
+	return out
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func split(rng *rand.Rand, rows [][]float64, labels []bool, frac float64) (trX [][]float64, trY []bool, teX [][]float64, teY []bool) {
+	perm := rng.Perm(len(rows))
+	cut := int(frac * float64(len(rows)))
+	for k, i := range perm {
+		if k < cut {
+			trX = append(trX, rows[i])
+			trY = append(trY, labels[i])
+		} else {
+			teX = append(teX, rows[i])
+			teY = append(teY, labels[i])
+		}
+	}
+	return
+}
+
+// normalize standardises columns using training statistics (logistic
+// regression needs comparable scales across layer features).
+func normalize(train, test [][]float64) {
+	if len(train) == 0 {
+		return
+	}
+	d := len(train[0])
+	for j := 0; j < d; j++ {
+		col := make([]float64, len(train))
+		for i, row := range train {
+			col[i] = row[j]
+		}
+		mean, std := metrics.MeanStd(col)
+		if std == 0 {
+			std = 1
+		}
+		for _, row := range train {
+			row[j] = (row[j] - mean) / std
+		}
+		for _, row := range test {
+			row[j] = (row[j] - mean) / std
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// numGrad computes the central finite-difference gradient of f at x.
+func numGrad(f func(x *tensor.Tensor) float64, x *tensor.Tensor) *tensor.Tensor {
+	const h = 1e-6
+	g := tensor.New(x.Shape...)
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		fp := f(x)
+		x.Data[i] = orig - h
+		fm := f(x)
+		x.Data[i] = orig
+		g.Data[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// gradCheck compares the autodiff gradient of build(x) against finite
+// differences. build must construct a fresh graph from the given tensor.
+func gradCheck(t *testing.T, name string, x *tensor.Tensor, build func(x *Node) *Node) {
+	t.Helper()
+	xv := Var(x)
+	y := build(xv)
+	got := GradValues(y, []*Node{xv})[0]
+	want := numGrad(func(xt *tensor.Tensor) float64 {
+		return Scalar(build(Var(xt)))
+	}, x)
+	if !got.EqualApprox(want, 1e-4) {
+		t.Fatalf("%s: gradcheck failed\n got %v\nwant %v", name, got, want)
+	}
+}
+
+func TestGradCheckPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.Randn(rng, 1, 3, 4)
+	w := tensor.Randn(rng, 1, 4, 2)
+	b := tensor.Randn(rng, 1, 1, 4)
+
+	tests := []struct {
+		name  string
+		in    *tensor.Tensor
+		build func(x *Node) *Node
+	}{
+		{"sumall", x.Clone(), func(n *Node) *Node { return SumAll(n) }},
+		{"scale", x.Clone(), func(n *Node) *Node { return SumAll(Scale(n, 2.5)) }},
+		{"add-self", x.Clone(), func(n *Node) *Node { return SumAll(Add(n, n)) }},
+		{"sub", x.Clone(), func(n *Node) *Node { return SumAll(Sub(Scale(n, 3), n)) }},
+		{"mul-square", x.Clone(), func(n *Node) *Node { return SumAll(Square(n)) }},
+		{"matmul", x.Clone(), func(n *Node) *Node { return SumAll(MatMul(n, Const(w))) }},
+		{"transpose", x.Clone(), func(n *Node) *Node { return SumAll(Square(Transpose(n))) }},
+		{"reshape", x.Clone(), func(n *Node) *Node { return SumAll(Square(Reshape(n, 4, 3))) }},
+		{"exp", tensor.Scale(x.Clone(), 0.3), func(n *Node) *Node { return SumAll(Exp(n)) }},
+		{"log", tensor.Apply(x, func(v float64) float64 { return math.Abs(v) + 1 }), func(n *Node) *Node { return SumAll(Log(n)) }},
+		{"recip", tensor.Apply(x, func(v float64) float64 { return math.Abs(v) + 1 }), func(n *Node) *Node { return SumAll(Reciprocal(n)) }},
+		{"sigmoid", x.Clone(), func(n *Node) *Node { return SumAll(Sigmoid(n)) }},
+		{"tanh", x.Clone(), func(n *Node) *Node { return SumAll(Tanh(n)) }},
+		{"rowsum", x.Clone(), func(n *Node) *Node { return SumAll(Square(RowSum(n))) }},
+		{"colsum", x.Clone(), func(n *Node) *Node { return SumAll(Square(ColSum(n))) }},
+		{"bias", b.Clone(), func(n *Node) *Node { return SumAll(Square(AddRowBias(Const(x), n))) }},
+		{"broadcastcol", tensor.Randn(rng, 1, 3, 1), func(n *Node) *Node { return SumAll(Square(BroadcastCol(n, 5))) }},
+		{"broadcastrow", b.Clone(), func(n *Node) *Node { return SumAll(Square(BroadcastRow(n, 5))) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) { gradCheck(t, tc.name, tc.in, tc.build) })
+	}
+}
+
+func TestGradCheckReLUAwayFromKink(t *testing.T) {
+	// Keep inputs away from 0 so the subgradient convention is exact.
+	x := tensor.FromSlice([]float64{-2, -1, 1, 2, 3, -3}, 2, 3)
+	gradCheck(t, "relu", x, func(n *Node) *Node { return SumAll(Square(ReLU(n))) })
+}
+
+func TestGradCheckConvPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := tensor.NewConvGeom(2, 2, 5, 5, 3, 3, 2, 1)
+	x := tensor.Randn(rng, 1, 2, 2, 5, 5)
+	w := tensor.Randn(rng, 0.5, 2*3*3, 3)
+	gradCheck(t, "im2col-conv", x, func(n *Node) *Node {
+		cols := Im2Col(n, g)
+		return SumAll(Square(MatMul(cols, Const(w))))
+	})
+}
+
+func TestGradCheckConvWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := tensor.NewConvGeom(1, 2, 4, 4, 3, 3, 1, 1)
+	x := tensor.Randn(rng, 1, 1, 2, 4, 4)
+	w := tensor.Randn(rng, 0.5, 2*3*3, 2)
+	gradCheck(t, "conv-weights", w, func(n *Node) *Node {
+		cols := Im2Col(Const(x), g)
+		return SumAll(Square(MatMul(cols, n)))
+	})
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	// Use distinct values so the argmax is stable under perturbation.
+	x := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		8, 7, 6, 5,
+		9, 11, 10, 12,
+		16, 14, 15, 13,
+	}, 1, 1, 4, 4)
+	gradCheck(t, "maxpool", x, func(n *Node) *Node {
+		return SumAll(Square(MaxPool(n, 2, 2)))
+	})
+}
+
+func TestGradCheckSoftmaxCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	logits := tensor.Randn(rng, 1, 4, 5)
+	y := tensor.New(4, 5)
+	for i := 0; i < 4; i++ {
+		y.Set(1, i, rng.Intn(5))
+	}
+	gradCheck(t, "softmax-ce", logits, func(n *Node) *Node {
+		return SoftmaxCrossEntropy(n, y)
+	})
+}
+
+// The analytic softmax-CE gradient is (softmax(z) − y)/m; verify directly.
+func TestSoftmaxCrossEntropyClosedForm(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1, 2, 3, 0.5, -1, 0}, 2, 3)
+	y := tensor.FromSlice([]float64{0, 0, 1, 1, 0, 0}, 2, 3)
+	lv := Var(logits)
+	loss := SoftmaxCrossEntropy(lv, y)
+	g := GradValues(loss, []*Node{lv})[0]
+
+	want := tensor.New(2, 3)
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			sum += math.Exp(logits.At(i, j))
+		}
+		for j := 0; j < 3; j++ {
+			p := math.Exp(logits.At(i, j)) / sum
+			want.Set((p-y.At(i, j))/2, i, j)
+		}
+	}
+	if !g.EqualApprox(want, 1e-10) {
+		t.Fatalf("softmax grad = %v, want %v", g, want)
+	}
+}
+
+// Double backprop: f(x) = Σ (∂/∂w Σ (x·w)²)² must differentiate wrt x.
+// With s = Σ x_i w_i (scalar path), ∂/∂w (s²) = 2s·x, so
+// f = Σ_j (2s·x_j)² = 4s² ‖x‖², and ∂f/∂x is analytic.
+func TestDoubleBackprop(t *testing.T) {
+	x := tensor.FromSlice([]float64{1.5, -2, 0.5}, 1, 3)
+	w := tensor.FromSlice([]float64{0.3, 0.7, -0.2}, 3, 1)
+
+	build := func(xt *tensor.Tensor) float64 {
+		xv, wv := Var(xt), Var(w)
+		s := MatMul(xv, wv) // [1,1]
+		inner := SumAll(Square(s))
+		gw := Grad(inner, []*Node{wv})[0]
+		outer := SumAll(Square(gw))
+		return Scalar(outer)
+	}
+
+	xv, wv := Var(x), Var(w)
+	s := MatMul(xv, wv)
+	inner := SumAll(Square(s))
+	gw := Grad(inner, []*Node{wv})[0]
+	outer := SumAll(Square(gw))
+	got := GradValues(outer, []*Node{xv})[0]
+
+	want := numGrad(build, x)
+	if !got.EqualApprox(want, 1e-4) {
+		t.Fatalf("double backprop grad = %v, want %v", got, want)
+	}
+
+	// Cross-check against the closed form: f = 4s²‖x‖²,
+	// ∂f/∂x_j = 8s·w_j·‖x‖² + 8s²·x_j.
+	sv := tensor.Dot(x, w.Reshape(1, 3))
+	norm2 := tensor.Dot(x, x)
+	closed := tensor.New(1, 3)
+	for j := 0; j < 3; j++ {
+		closed.Data[j] = 8*sv*w.Data[j]*norm2 + 8*sv*sv*x.Data[j]
+	}
+	if !got.EqualApprox(closed, 1e-8) {
+		t.Fatalf("double backprop vs closed form: got %v, want %v", got, closed)
+	}
+}
+
+// Double backprop through a sigmoid network layer (the DRIA code path).
+func TestDoubleBackpropThroughSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := tensor.Randn(rng, 1, 1, 4)
+	w := tensor.Randn(rng, 1, 4, 3)
+	target := tensor.Randn(rng, 0.1, 4, 3)
+
+	f := func(xt *tensor.Tensor) float64 {
+		xv, wv := Var(xt), Var(w)
+		out := Sigmoid(MatMul(xv, wv))
+		loss := SumAll(Square(out))
+		gw := Grad(loss, []*Node{wv})[0]
+		match := SqNormDiff(gw, Const(target))
+		return Scalar(match)
+	}
+
+	xv, wv := Var(x), Var(w)
+	out := Sigmoid(MatMul(xv, wv))
+	loss := SumAll(Square(out))
+	gw := Grad(loss, []*Node{wv})[0]
+	match := SqNormDiff(gw, Const(target))
+	got := GradValues(match, []*Node{xv})[0]
+
+	want := numGrad(f, x)
+	if !got.EqualApprox(want, 1e-3) {
+		t.Fatalf("sigmoid double backprop: got %v, want %v", got, want)
+	}
+}
+
+func TestGradUnreachableIsNil(t *testing.T) {
+	a := Var(tensor.Full(1, 2, 2))
+	b := Var(tensor.Full(2, 2, 2))
+	y := SumAll(Square(a))
+	gs := Grad(y, []*Node{a, b})
+	if gs[0] == nil {
+		t.Fatal("gradient of reachable var must not be nil")
+	}
+	if gs[1] != nil {
+		t.Fatal("gradient of unreachable var must be nil")
+	}
+	// GradValues fills zeros for unreachable nodes.
+	vs := GradValues(y, []*Node{b})
+	if tensor.SumAll(vs[0]) != 0 {
+		t.Fatal("GradValues of unreachable var must be zero")
+	}
+}
+
+func TestConstBlocksGradient(t *testing.T) {
+	a := Var(tensor.Full(3, 2, 2))
+	c := Const(tensor.Full(2, 2, 2))
+	y := SumAll(Mul(a, c))
+	if got := GradValues(y, []*Node{a})[0]; !got.EqualApprox(tensor.Full(2, 2, 2), 1e-12) {
+		t.Fatalf("grad through const mul = %v", got)
+	}
+}
+
+func TestGradAccumulationFanOut(t *testing.T) {
+	// y = sum(x) + sum(x²): gradient = 1 + 2x.
+	x := tensor.FromSlice([]float64{1, 2, 3}, 1, 3)
+	xv := Var(x)
+	y := Add(SumAll(xv), SumAll(Square(xv)))
+	g := GradValues(y, []*Node{xv})[0]
+	want := tensor.FromSlice([]float64{3, 5, 7}, 1, 3)
+	if !g.EqualApprox(want, 1e-12) {
+		t.Fatalf("fan-out grad = %v, want %v", g, want)
+	}
+}
+
+func TestGradRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar Grad")
+		}
+	}()
+	x := Var(tensor.New(2, 2))
+	Grad(Square(x), []*Node{x})
+}
+
+// Property: gradient of SumAll is all-ones for any shape/value.
+func TestSumAllGradProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := tensor.Randn(r, 1, 2, 3)
+		xv := Var(x)
+		g := GradValues(SumAll(xv), []*Node{xv})[0]
+		return g.EqualApprox(tensor.Full(1, 2, 3), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — grad of sum(a·x) is a·ones.
+func TestScaleGradLinearityProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		x := Var(tensor.Full(1, 2, 2))
+		g := GradValues(SumAll(Scale(x, a)), []*Node{x})[0]
+		return g.EqualApprox(tensor.Full(a, 2, 2), math.Abs(a)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+func exp(v float64) float64  { return math.Exp(v) }
+func tanh(v float64) float64 { return math.Tanh(v) }
+
+// Grad computes ∂y/∂w for every node w in wrt, where y must be
+// scalar-shaped ([1,1] or a single element). The returned gradients are
+// graph nodes built from differentiable primitives, so they can be fed
+// back into Grad (double backprop). Entries are nil when y does not depend
+// on the corresponding node or the node is a constant.
+func Grad(y *Node, wrt []*Node) []*Node {
+	if y.Value.Size() != 1 {
+		panic(fmt.Sprintf("autodiff: Grad requires a scalar output, got shape %v", y.Value.Shape))
+	}
+
+	order := topoSort(y)
+	grads := make(map[*Node]*Node, len(order))
+	grads[y] = Const(tensor.Full(1, y.Value.Shape...))
+
+	// Reverse topological order: outputs before inputs.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		g, ok := grads[n]
+		if !ok || n.vjp == nil {
+			continue
+		}
+		inGrads := n.vjp(g)
+		if len(inGrads) != len(n.inputs) {
+			panic(fmt.Sprintf("autodiff: op %q returned %d input gradients for %d inputs", n.op, len(inGrads), len(n.inputs)))
+		}
+		for j, in := range n.inputs {
+			ig := inGrads[j]
+			if ig == nil || !in.needsGrad {
+				continue
+			}
+			if acc, ok := grads[in]; ok {
+				grads[in] = Add(acc, ig)
+			} else {
+				grads[in] = ig
+			}
+		}
+	}
+
+	out := make([]*Node, len(wrt))
+	for i, w := range wrt {
+		out[i] = grads[w] // nil when unreachable
+	}
+	return out
+}
+
+// GradValues is a convenience wrapper returning gradient tensors (zero
+// tensors where the output does not depend on the node).
+func GradValues(y *Node, wrt []*Node) []*tensor.Tensor {
+	gs := Grad(y, wrt)
+	out := make([]*tensor.Tensor, len(gs))
+	for i, g := range gs {
+		if g == nil {
+			out[i] = tensor.New(wrt[i].Value.Shape...)
+		} else {
+			out[i] = g.Value
+		}
+	}
+	return out
+}
+
+// topoSort returns the nodes reachable from y in topological order
+// (inputs before outputs), restricted to the subgraph that needs
+// gradients. Iterative DFS to stay safe on deep graphs.
+func topoSort(y *Node) []*Node {
+	var order []*Node
+	visited := make(map[*Node]bool)
+	type frame struct {
+		n    *Node
+		next int
+	}
+	stack := []frame{{n: y}}
+	visited[y] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.n.inputs) {
+			child := f.n.inputs[f.next]
+			f.next++
+			if !visited[child] && child.needsGrad {
+				visited[child] = true
+				stack = append(stack, frame{n: child})
+			}
+			continue
+		}
+		order = append(order, f.n)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// SoftmaxCrossEntropy computes the mean categorical cross-entropy of
+// logits [m, classes] against one-hot labels y [m, classes], built
+// entirely from differentiable primitives (numerically stabilised with a
+// constant per-row max shift), so that it supports double backprop.
+func SoftmaxCrossEntropy(logits *Node, y *tensor.Tensor) *Node {
+	m, classes := logits.Value.Shape[0], logits.Value.Shape[1]
+	if len(y.Shape) != 2 || y.Shape[0] != m || y.Shape[1] != classes {
+		panic(fmt.Sprintf("autodiff: labels shape %v does not match logits %v", y.Shape, logits.Value.Shape))
+	}
+	shifted := Sub(logits, BroadcastCol(RowMaxConst(logits), classes))
+	e := Exp(shifted)
+	logSumExp := Log(RowSum(e))                            // [m,1]
+	logp := Sub(shifted, BroadcastCol(logSumExp, classes)) // [m,classes]
+	picked := SumAll(Mul(Const(y), logp))                  // Σ log p(correct)
+	return Scale(picked, -1/float64(m))
+}
+
+// MSE computes the mean squared error between a node and a constant
+// target with matching shape.
+func MSE(pred *Node, target *tensor.Tensor) *Node {
+	d := Sub(pred, Const(target))
+	return Scale(SumAll(Square(d)), 1/float64(pred.Value.Size()))
+}
+
+// SqNormDiff returns ‖a − b‖² as a scalar node; b may be constant or
+// differentiable. This is the building block of the DRIA matching loss.
+func SqNormDiff(a, b *Node) *Node {
+	d := Sub(a, b)
+	return SumAll(Square(d))
+}

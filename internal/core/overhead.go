@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/simclock"
+)
+
+// LayerMACs returns the multiply-accumulate count of one forward pass of
+// the layer for a single sample: the cost driver of the overhead model.
+func LayerMACs(l nn.Layer) int64 {
+	switch t := l.(type) {
+	case *nn.Conv2D:
+		oh, ow := t.ConvOutHW()
+		return int64(oh) * int64(ow) * int64(t.Filters) * int64(t.InC) * int64(t.KH) * int64(t.KW)
+	case *nn.Dense:
+		return int64(t.In) * int64(t.Out)
+	default:
+		panic(fmt.Sprintf("core: unknown layer type %T", l))
+	}
+}
+
+// TEEMemoryBytes returns the secure-memory footprint of protecting one
+// layer: weights and their gradients (2·P) plus the per-sample buffers
+// the paper's Figure 3 places in the enclave — the input A_{l−1}, the
+// pre-activation Z_l and the error δ_l (DESIGN.md §4.3; reproduces the
+// paper's per-layer megabytes within ≈10%).
+func TEEMemoryBytes(l nn.Layer, batch, bytesPerCell int) int {
+	return bytesPerCell * (2*l.ParamCount() + batch*(l.InCells()+2*l.OutCells()))
+}
+
+// contiguousRuns splits a sorted protected set into runs of successive
+// layers; each run costs one TA invocation per pass (the SMC-crossing
+// advantage contiguous protection has over scattered sets).
+func contiguousRuns(protected []int) [][]int {
+	var runs [][]int
+	for i := 0; i < len(protected); {
+		j := i + 1
+		for j < len(protected) && protected[j] == protected[j-1]+1 {
+			j++
+		}
+		runs = append(runs, protected[i:j])
+		i = j
+	}
+	return runs
+}
+
+// OverheadSim reproduces the paper's Table 6 accounting analytically from
+// layer metadata — deterministic and machine-independent (DESIGN.md §1).
+type OverheadSim struct {
+	// Net supplies layer geometry (weights are not touched).
+	Net *nn.Network
+	// Cost is the device cost model.
+	Cost simclock.CostModel
+	// Batch is the training batch size (the paper uses 32).
+	Batch int
+	// Iterations is the number of local batch iterations per FL cycle
+	// (10 in the calibration fit).
+	Iterations int
+}
+
+// NewOverheadSim returns a simulator with the paper's defaults: Pi-3B+
+// cost model, batch 32, 10 iterations per cycle.
+func NewOverheadSim(net *nn.Network) *OverheadSim {
+	return &OverheadSim{Net: net, Cost: simclock.Pi3B(), Batch: 32, Iterations: 10}
+}
+
+// CycleCost returns the simulated one-cycle training-time breakdown for
+// the given protected layer set (empty set = baseline).
+func (s *OverheadSim) CycleCost(protected []int) simclock.Breakdown {
+	prot := make(map[int]bool, len(protected))
+	for _, l := range protected {
+		prot[l] = true
+	}
+	var b simclock.Breakdown
+	b.User = s.Cost.CycleUserOverhead
+	b.Kernel = s.Cost.CycleKernelOverhead
+	for i, layer := range s.Net.Layers {
+		macs := LayerMACs(layer) * int64(s.Batch) * int64(s.Iterations)
+		d := s.Cost.LayerCompute(macs, true)
+		if prot[i] {
+			b.Kernel += s.Cost.SecureCompute(d)
+			b.Alloc += s.Cost.AllocTime(layer.ParamCount())
+		} else {
+			b.User += d
+		}
+	}
+	// World switches: each contiguous protected run costs one TA
+	// invocation (2 SMCs) for the forward and one for the backward pass,
+	// per iteration.
+	runs := len(contiguousRuns(protected))
+	b.Kernel += time.Duration(4*runs*s.Iterations) * s.Cost.WorldSwitch
+	return b
+}
+
+// TEEMemory returns the peak secure-memory bytes of the configuration.
+func (s *OverheadSim) TEEMemory(protected []int) int {
+	total := 0
+	for _, l := range protected {
+		total += TEEMemoryBytes(s.Net.Layers[l], s.Batch, s.Cost.BytesPerCell)
+	}
+	return total
+}
+
+// DynamicResult summarises a dynamic plan's simulated overhead the way
+// Table 6 reports it.
+type DynamicResult struct {
+	// PerPosition holds the cycle cost of each window position.
+	PerPosition []simclock.Breakdown
+	// Average is the VMW-weighted average cycle cost.
+	Average simclock.Breakdown
+	// MaxMemory is the worst-case secure-memory footprint across
+	// positions (the paper's reported "TEE Memory Usage").
+	MaxMemory int
+	// AvgMemory is the VMW-weighted expected footprint (the paper's
+	// parenthetical "AVG=…" value).
+	AvgMemory float64
+}
+
+// Dynamic simulates every window position of a dynamic plan and the
+// VMW-weighted averages.
+func (s *OverheadSim) Dynamic(plan *Plan) (DynamicResult, error) {
+	n := s.Net.NumLayers()
+	if err := plan.Validate(n); err != nil {
+		return DynamicResult{}, err
+	}
+	if plan.Mode != ModeDynamic {
+		return DynamicResult{}, fmt.Errorf("core: Dynamic called on %s plan", plan.Mode)
+	}
+	var res DynamicResult
+	for pos, share := range plan.VMW {
+		layers := make([]int, plan.SizeMW)
+		for i := range layers {
+			layers[i] = pos + i
+		}
+		cost := s.CycleCost(layers)
+		mem := s.TEEMemory(layers)
+		res.PerPosition = append(res.PerPosition, cost)
+		res.Average = res.Average.Add(cost.Scale(share))
+		res.AvgMemory += share * float64(mem)
+		if mem > res.MaxMemory {
+			res.MaxMemory = mem
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	ad "github.com/gradsec/gradsec/internal/autodiff"
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+)
+
+// Request/response types crossing the world boundary. Inputs may carry
+// normal-world tensors; responses are screened by the device against the
+// secure registry.
+
+type incomingWeights struct {
+	layer  int
+	params []*tensor.Tensor
+}
+
+type beginCycleReq struct {
+	cycle     int
+	protected []int
+	batch     int
+	incoming  []incomingWeights
+}
+
+type beginCycleResp struct {
+	released []incomingWeights // declassified weights of layers leaving the TEE
+}
+
+type forwardReq struct {
+	first, last int
+	input       *tensor.Tensor
+	labels      *tensor.Tensor // set when the run ends at the final layer
+	batch       int
+}
+
+type forwardResp struct {
+	activation *tensor.Tensor // declassified A_last (nil when loss head ran)
+	loss       float64
+}
+
+type backwardReq struct {
+	first, last int
+	gradOut     *tensor.Tensor // nil when the run owns the loss head
+}
+
+type backwardResp struct {
+	gradIn *tensor.Tensor // nil when the run starts at layer 0
+}
+
+type endCycleReq struct {
+	flat []flatRange
+}
+
+type endCycleResp struct {
+	sealed []byte
+}
+
+// gradsecTA is the trusted application: it owns the authoritative weights
+// of protected layers and performs every computation that touches them.
+type gradsecTA struct {
+	uuid    tz.UUID
+	version string
+	net     *nn.Network // secure clone of the full architecture
+	lr      float64
+
+	protected  map[int]bool
+	batch      int
+	regions    map[int][]*tz.Region
+	channel    *tz.Channel
+	cycleStart map[int][]*tensor.Tensor
+	fwdCache   map[int]*layerFwd
+	lossGrad   *tensor.Tensor // δ at logits when the TA owns the loss head
+}
+
+// UUID implements tz.TrustedApp.
+func (g *gradsecTA) UUID() tz.UUID { return g.uuid }
+
+// Version implements tz.TrustedApp.
+func (g *gradsecTA) Version() string { return g.version }
+
+// OpenSession implements tz.TrustedApp.
+func (g *gradsecTA) OpenSession(env *tz.TAEnv) (any, error) {
+	g.protected = make(map[int]bool)
+	g.regions = make(map[int][]*tz.Region)
+	g.cycleStart = make(map[int][]*tensor.Tensor)
+	g.fwdCache = make(map[int]*layerFwd)
+	return g, nil
+}
+
+// CloseSession implements tz.TrustedApp.
+func (g *gradsecTA) CloseSession(env *tz.TAEnv, state any) {
+	for _, regs := range g.regions {
+		for _, r := range regs {
+			_ = env.Mem.Free(r)
+		}
+	}
+	g.regions = make(map[int][]*tz.Region)
+}
+
+// Invoke implements tz.TrustedApp.
+func (g *gradsecTA) Invoke(env *tz.TAEnv, _ any, cmd uint32, req any) (any, error) {
+	switch cmd {
+	case cmdOpenChannel:
+		return g.openChannel(req)
+	case cmdLoadSealedWeights:
+		return nil, g.loadSealedWeights(req)
+	case cmdBeginCycle:
+		return g.beginCycle(env, req)
+	case cmdForwardRun:
+		return g.forwardRun(env, req)
+	case cmdBackwardRun:
+		return g.backwardRun(env, req)
+	case cmdEndCycle:
+		return g.endCycle(env, req)
+	default:
+		return nil, fmt.Errorf("core: gradsec TA: unknown command %d", cmd)
+	}
+}
+
+func (g *gradsecTA) openChannel(req any) ([]byte, error) {
+	serverPub, ok := req.([]byte)
+	if !ok {
+		return nil, errors.New("core: openChannel expects the server public key")
+	}
+	offer, err := tz.NewChannelOffer()
+	if err != nil {
+		return nil, err
+	}
+	ch, err := offer.Establish(serverPub, false)
+	if err != nil {
+		return nil, err
+	}
+	g.channel = ch
+	return offer.Public, nil
+}
+
+func (g *gradsecTA) loadSealedWeights(req any) error {
+	sealed, ok := req.([]byte)
+	if !ok {
+		return errors.New("core: loadSealedWeights expects a sealed blob")
+	}
+	if g.channel == nil {
+		return errors.New("core: no trusted channel established")
+	}
+	blob, err := g.channel.Open(sealed)
+	if err != nil {
+		return err
+	}
+	idx, ts, err := fl.ParseSealedUpdate(blob)
+	if err != nil {
+		return err
+	}
+	fr := flatRanges(g.net)
+	for j, flatIdx := range idx {
+		layer, pos, err := locateFlat(fr, flatIdx)
+		if err != nil {
+			return err
+		}
+		p := g.net.Layers[layer].Params()[pos]
+		if !p.SameShape(ts[j]) {
+			return fmt.Errorf("core: sealed weight %d shape %v, want %v", flatIdx, ts[j].Shape, p.Shape)
+		}
+		copy(p.Data, ts[j].Data)
+	}
+	return nil
+}
+
+func locateFlat(fr []flatRange, idx int) (layer, pos int, err error) {
+	for l, r := range fr {
+		if idx >= r.start && idx < r.end {
+			return l, idx - r.start, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("core: flat index %d out of range", idx)
+}
+
+func (g *gradsecTA) beginCycle(env *tz.TAEnv, req any) (*beginCycleResp, error) {
+	r, ok := req.(*beginCycleReq)
+	if !ok {
+		return nil, errors.New("core: beginCycle expects *beginCycleReq")
+	}
+	newProt := make(map[int]bool, len(r.protected))
+	for _, l := range r.protected {
+		newProt[l] = true
+	}
+	resp := &beginCycleResp{}
+
+	// Declassify layers leaving the enclave and free their regions.
+	for l := range g.protected {
+		if newProt[l] {
+			continue
+		}
+		var out []*tensor.Tensor
+		for _, p := range g.net.Layers[l].Params() {
+			c := p.Clone() // fresh tensor, never registered secure
+			out = append(out, c)
+		}
+		resp.released = append(resp.released, incomingWeights{layer: l, params: out})
+		for _, reg := range g.regions[l] {
+			if err := env.Mem.Free(reg); err != nil {
+				return nil, err
+			}
+		}
+		delete(g.regions, l)
+		for _, p := range g.net.Layers[l].Params() {
+			env.Mem.UnregisterTensor(p)
+		}
+	}
+
+	// Install weights for newly protected layers.
+	for _, in := range r.incoming {
+		ps := g.net.Layers[in.layer].Params()
+		if len(in.params) != len(ps) {
+			return nil, fmt.Errorf("core: layer %d: %d param tensors, want %d", in.layer, len(in.params), len(ps))
+		}
+		for j, p := range ps {
+			if !p.SameShape(in.params[j]) {
+				return nil, fmt.Errorf("core: layer %d param %d shape mismatch", in.layer, j)
+			}
+			copy(p.Data, in.params[j].Data)
+		}
+	}
+
+	// Allocate enclave regions for newly protected layers and charge the
+	// trusted-I/O-path provisioning time.
+	for _, l := range r.protected {
+		if g.protected[l] {
+			continue
+		}
+		layer := g.net.Layers[l]
+		size := TEEMemoryBytes(layer, r.batch, env.Cost.BytesPerCell)
+		reg, err := env.Mem.Alloc(fmt.Sprintf("gradsec/L%d", l+1), size)
+		if err != nil {
+			return nil, err
+		}
+		g.regions[l] = []*tz.Region{reg}
+		for _, p := range layer.Params() {
+			env.Mem.RegisterTensor(p, fmt.Sprintf("gradsec/L%d/params", l+1))
+		}
+		env.Clock.ChargeAlloc(env.Cost.AllocTime(layer.ParamCount()))
+	}
+
+	g.protected = newProt
+	g.batch = r.batch
+	// Snapshot protected weights for the cycle update.
+	g.cycleStart = make(map[int][]*tensor.Tensor)
+	for l := range newProt {
+		var ws []*tensor.Tensor
+		for _, p := range g.net.Layers[l].Params() {
+			ws = append(ws, p.Clone())
+		}
+		g.cycleStart[l] = ws
+	}
+	return resp, nil
+}
+
+func (g *gradsecTA) forwardRun(env *tz.TAEnv, req any) (*forwardResp, error) {
+	r, ok := req.(*forwardReq)
+	if !ok {
+		return nil, errors.New("core: forwardRun expects *forwardReq")
+	}
+	cur := r.input
+	for l := r.first; l <= r.last; l++ {
+		if !g.protected[l] {
+			return nil, fmt.Errorf("core: forwardRun over unprotected layer %d", l)
+		}
+		layer := g.net.Layers[l]
+		f := buildLayerFwd(layer, cur, r.batch)
+		g.fwdCache[l] = f
+		cur = f.out.Value
+		env.Clock.ChargeKernel(env.Cost.SecureCompute(env.Cost.LayerCompute(LayerMACs(layer)*int64(r.batch), false)))
+	}
+	resp := &forwardResp{}
+	if r.labels != nil {
+		logits := ad.Var(cur)
+		lossNode := ad.SoftmaxCrossEntropy(logits, r.labels)
+		resp.loss = ad.Scalar(lossNode)
+		g.lossGrad = ad.GradValues(lossNode, []*ad.Node{logits})[0]
+	} else {
+		// A_last feeds the next (unprotected) layer: deliberately
+		// declassified as a fresh tensor.
+		resp.activation = cur.Clone()
+	}
+	return resp, nil
+}
+
+func (g *gradsecTA) backwardRun(env *tz.TAEnv, req any) (*backwardResp, error) {
+	r, ok := req.(*backwardReq)
+	if !ok {
+		return nil, errors.New("core: backwardRun expects *backwardReq")
+	}
+	gradOut := r.gradOut
+	if gradOut == nil {
+		if g.lossGrad == nil {
+			return nil, errors.New("core: backwardRun without gradient or loss head")
+		}
+		gradOut = g.lossGrad
+		g.lossGrad = nil
+	}
+	for l := r.last; l >= r.first; l-- {
+		f := g.fwdCache[l]
+		if f == nil {
+			return nil, fmt.Errorf("core: backwardRun before forwardRun for layer %d", l)
+		}
+		layer := g.net.Layers[l]
+		gradIn, paramGrads := backwardLayer(f, gradOut)
+		d := env.Cost.LayerCompute(LayerMACs(layer)*int64(g.batch), false)
+		env.Clock.ChargeKernel(env.Cost.SecureCompute(time.Duration(float64(d) * (env.Cost.BackwardFactor - 1))))
+		for j, p := range layer.Params() {
+			tensor.AxPy(-g.lr, paramGrads[j], p)
+		}
+		gradOut = gradIn
+		delete(g.fwdCache, l)
+	}
+	resp := &backwardResp{}
+	if r.first > 0 {
+		// δ_{first-1} feeds the preceding unprotected layer's backward:
+		// deliberately declassified.
+		resp.gradIn = gradOut.Clone()
+	}
+	return resp, nil
+}
+
+func (g *gradsecTA) endCycle(env *tz.TAEnv, req any) (*endCycleResp, error) {
+	r, ok := req.(*endCycleReq)
+	if !ok {
+		return nil, errors.New("core: endCycle expects *endCycleReq")
+	}
+	if len(g.protected) == 0 {
+		return &endCycleResp{}, nil
+	}
+	if g.channel == nil {
+		return nil, errors.New("core: protected updates require a trusted channel")
+	}
+	var idx []int
+	var ts []*tensor.Tensor
+	for l, start := range g.cycleStart {
+		for j, p := range g.net.Layers[l].Params() {
+			idx = append(idx, r.flat[l].start+j)
+			ts = append(ts, tensor.Sub(p, start[j]))
+		}
+	}
+	sealed := g.channel.Seal(fl.SealedUpdate(idx, ts))
+	return &endCycleResp{sealed: sealed}, nil
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	ad "github.com/gradsec/gradsec/internal/autodiff"
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/simclock"
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+)
+
+// GradSec TA commands.
+const (
+	cmdOpenChannel uint32 = iota + 1
+	cmdLoadSealedWeights
+	cmdBeginCycle
+	cmdForwardRun
+	cmdBackwardRun
+	cmdEndCycle
+)
+
+// TrainerConfig parameterises secure local training.
+type TrainerConfig struct {
+	// Iterations is the number of batch iterations per FL cycle.
+	Iterations int
+	// LR is the local SGD learning rate.
+	LR float64
+	// Batch supplies the training batch for (cycle, iteration).
+	Batch func(cycle, iter int) (x, y *tensor.Tensor)
+}
+
+// CycleResult is what one FL cycle of secure local training exposes.
+type CycleResult struct {
+	// Cycle is the FL cycle index.
+	Cycle int
+	// MeanLoss averages the per-iteration training loss.
+	MeanLoss float64
+	// Protected lists the layers that were shielded this cycle.
+	Protected []int
+	// Observable holds the model update (W_end − W_start) of every
+	// *unprotected* parameter tensor, nil at protected positions — this
+	// is exactly the attacker's view of the gradients.
+	Observable []*tensor.Tensor
+	// SealedUpdate carries the protected updates, sealed for the server
+	// through the trusted I/O path. Opaque to the normal world.
+	SealedUpdate []byte
+	// Cost is the cycle's simulated time breakdown.
+	Cost simclock.Breakdown
+	// PeakTEEBytes is the secure-memory high-water mark of the cycle.
+	PeakTEEBytes int
+}
+
+// SecureTrainer executes GradSec local training on one simulated device:
+// unprotected layers run in the normal world, protected layers inside the
+// gradsec trusted application.
+type SecureTrainer struct {
+	dev  *tz.Device
+	net  *nn.Network // normal-world view; protected layer params are zeroed
+	plan *Plan
+	cfg  TrainerConfig
+
+	ta   *gradsecTA
+	sess *tz.Session
+
+	// startWeights snapshots unprotected weights at cycle start.
+	startWeights map[int][]*tensor.Tensor
+	curProtected map[int]bool
+	// taAuthoritative marks layers whose current weights already live in
+	// the TA (loaded sealed through the trusted I/O path), so beginCycle
+	// must not overwrite them with the zeroed normal-world copies.
+	taAuthoritative map[int]bool
+}
+
+// NewSecureTrainer installs the GradSec TA on the device and provisions
+// it with a private clone of the model. The passed network remains the
+// normal-world view.
+func NewSecureTrainer(dev *tz.Device, net *nn.Network, plan *Plan, cfg TrainerConfig) (*SecureTrainer, error) {
+	if err := plan.Validate(net.NumLayers()); err != nil {
+		return nil, err
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	ta := &gradsecTA{uuid: tz.NameUUID("gradsec"), version: "1.0.0", net: net.Clone(), lr: cfg.LR}
+	if err := dev.Install(ta); err != nil {
+		return nil, err
+	}
+	sess, err := dev.OpenSession(ta.UUID())
+	if err != nil {
+		return nil, err
+	}
+	return &SecureTrainer{
+		dev: dev, net: net, plan: plan, cfg: cfg,
+		ta: ta, sess: sess,
+		startWeights:    make(map[int][]*tensor.Tensor),
+		curProtected:    make(map[int]bool),
+		taAuthoritative: make(map[int]bool),
+	}, nil
+}
+
+// Device returns the underlying simulated device.
+func (t *SecureTrainer) Device() *tz.Device { return t.dev }
+
+// TAUUID returns the GradSec TA identity (for attestation policies).
+func (t *SecureTrainer) TAUUID() tz.UUID { return t.ta.UUID() }
+
+// Network returns the normal-world model view. Protected layers' weights
+// are zeroed there; reading them reveals nothing.
+func (t *SecureTrainer) Network() *nn.Network { return t.net }
+
+// OpenServerChannel establishes the TA side of the trusted I/O path.
+func (t *SecureTrainer) OpenServerChannel(serverPub []byte) ([]byte, error) {
+	resp, err := t.sess.Invoke(cmdOpenChannel, serverPub)
+	if err != nil {
+		return nil, err
+	}
+	pub, ok := resp.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected channel response %T", resp)
+	}
+	return pub, nil
+}
+
+// LoadSealedWeights hands server-sealed protected weights to the TA.
+func (t *SecureTrainer) LoadSealedWeights(sealed []byte) error {
+	_, err := t.sess.Invoke(cmdLoadSealedWeights, sealed)
+	return err
+}
+
+// RunCycle executes one FL cycle: local training over cfg.Iterations
+// batches with the cycle's protected layers confined to the TEE.
+func (t *SecureTrainer) RunCycle(cycle int) (*CycleResult, error) {
+	if t.cfg.Batch == nil {
+		return nil, errors.New("core: TrainerConfig.Batch is required")
+	}
+	protected := t.plan.ProtectedLayers(cycle, t.net.NumLayers())
+	clock := t.dev.Clock()
+	before := clock.Snapshot()
+	t.dev.SecureMemory().ResetPeak()
+	if err := t.beginCycle(cycle, protected); err != nil {
+		return nil, err
+	}
+
+	res := &CycleResult{Cycle: cycle, Protected: protected}
+	clock.ChargeUser(t.dev.Cost().CycleUserOverhead)
+	clock.ChargeKernel(t.dev.Cost().CycleKernelOverhead)
+
+	totalLoss := 0.0
+	for iter := 0; iter < t.cfg.Iterations; iter++ {
+		x, y := t.cfg.Batch(cycle, iter)
+		loss, err := t.trainStep(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("core: cycle %d iter %d: %w", cycle, iter, err)
+		}
+		totalLoss += loss
+	}
+	res.MeanLoss = totalLoss / float64(t.cfg.Iterations)
+
+	if err := t.endCycle(res); err != nil {
+		return nil, err
+	}
+	after := clock.Snapshot()
+	res.Cost = simclock.Breakdown{
+		User:   after.User - before.User,
+		Kernel: after.Kernel - before.Kernel,
+		Alloc:  after.Alloc - before.Alloc,
+	}
+	res.PeakTEEBytes = t.dev.SecureMemory().Peak()
+	return res, nil
+}
+
+// beginCycle reconfigures protection: the TA allocates enclave regions
+// for newly protected layers and declassifies layers leaving the TEE.
+func (t *SecureTrainer) beginCycle(cycle int, protected []int) error {
+	newProt := make(map[int]bool, len(protected))
+	for _, l := range protected {
+		newProt[l] = true
+	}
+	req := &beginCycleReq{cycle: cycle, protected: protected, batch: t.batchSize()}
+	// Hand weights of newly protected layers to the TA (they were public
+	// until now), then zero the normal-world copies. Layers whose weights
+	// already arrived sealed through the trusted I/O path are skipped —
+	// the TA copy is authoritative.
+	for _, l := range protected {
+		if !t.curProtected[l] && !t.taAuthoritative[l] {
+			var ws []*tensor.Tensor
+			for _, p := range t.net.Layers[l].Params() {
+				ws = append(ws, p.Clone())
+			}
+			req.incoming = append(req.incoming, incomingWeights{layer: l, params: ws})
+		}
+	}
+	t.taAuthoritative = make(map[int]bool)
+	resp, err := t.sess.Invoke(cmdBeginCycle, req)
+	if err != nil {
+		return err
+	}
+	out, ok := resp.(*beginCycleResp)
+	if !ok {
+		return fmt.Errorf("core: unexpected beginCycle response %T", resp)
+	}
+	// Install declassified weights of layers that left the enclave.
+	for _, dw := range out.released {
+		for j, p := range t.net.Layers[dw.layer].Params() {
+			copy(p.Data, dw.params[j].Data)
+		}
+	}
+	// Zero normal-world copies of protected layers.
+	for _, l := range protected {
+		for _, p := range t.net.Layers[l].Params() {
+			p.Fill(0)
+		}
+	}
+	t.curProtected = newProt
+	// Snapshot unprotected weights for update computation.
+	t.startWeights = make(map[int][]*tensor.Tensor)
+	for i, layer := range t.net.Layers {
+		if newProt[i] {
+			continue
+		}
+		var ws []*tensor.Tensor
+		for _, p := range layer.Params() {
+			ws = append(ws, p.Clone())
+		}
+		t.startWeights[i] = ws
+	}
+	return nil
+}
+
+func (t *SecureTrainer) batchSize() int {
+	if t.cfg.Batch == nil {
+		return 1
+	}
+	x, _ := t.cfg.Batch(0, 0)
+	return x.Shape[0]
+}
+
+// layerFwd caches one layer's forward micro-graph for the backward pass.
+type layerFwd struct {
+	in     *ad.Node
+	out    *ad.Node
+	params []*ad.Node
+}
+
+// trainStep performs one forward+backward+SGD iteration, crossing into
+// the TA for each contiguous protected run.
+func (t *SecureTrainer) trainStep(x, y *tensor.Tensor) (float64, error) {
+	n := t.net.NumLayers()
+	batch := y.Shape[0]
+	cost := t.dev.Cost()
+	clock := t.dev.Clock()
+
+	fwd := make([]*layerFwd, n)
+	cur := x
+	var loss float64
+	lastProtected := t.curProtected[n-1]
+
+	// Forward pass.
+	for i := 0; i < n; i++ {
+		if !t.curProtected[i] {
+			f := buildLayerFwd(t.net.Layers[i], cur, batch)
+			fwd[i] = f
+			cur = f.out.Value
+			clock.ChargeUser(cost.LayerCompute(LayerMACs(t.net.Layers[i])*int64(batch), false))
+			continue
+		}
+		// Start of a protected run: find its extent.
+		j := i
+		for j+1 < n && t.curProtected[j+1] {
+			j++
+		}
+		req := &forwardReq{first: i, last: j, input: cur.Clone(), batch: batch}
+		if j == n-1 {
+			req.labels = y.Clone() // TA computes the loss head internally
+		}
+		resp, err := t.sess.Invoke(cmdForwardRun, req)
+		if err != nil {
+			return 0, err
+		}
+		out := resp.(*forwardResp)
+		if j == n-1 {
+			loss = out.loss
+		} else {
+			cur = out.activation
+		}
+		i = j
+	}
+
+	// Loss head in the normal world when the last layer is unprotected.
+	var gradOut *tensor.Tensor
+	if !lastProtected {
+		logits := ad.Var(cur)
+		lossNode := ad.SoftmaxCrossEntropy(logits, y)
+		loss = ad.Scalar(lossNode)
+		gradOut = ad.GradValues(lossNode, []*ad.Node{logits})[0]
+	}
+
+	// Backward pass, last layer to first.
+	for i := n - 1; i >= 0; {
+		if !t.curProtected[i] {
+			f := fwd[i]
+			layer := t.net.Layers[i]
+			gradIn, paramGrads := backwardLayer(f, gradOut)
+			d := cost.LayerCompute(LayerMACs(layer)*int64(batch), false)
+			clock.ChargeUser(time.Duration(float64(d) * (cost.BackwardFactor - 1)))
+			// Immediate SGD step (safe: this layer's backward is done and
+			// earlier layers only consume the δ already produced).
+			for j, p := range layer.Params() {
+				tensor.AxPy(-t.cfg.LR, paramGrads[j], p)
+			}
+			gradOut = gradIn
+			i--
+			continue
+		}
+		j := i // end of protected run (we iterate downward)
+		for j-1 >= 0 && t.curProtected[j-1] {
+			j--
+		}
+		req := &backwardReq{first: j, last: i}
+		if i != n-1 {
+			req.gradOut = gradOut.Clone()
+		}
+		resp, err := t.sess.Invoke(cmdBackwardRun, req)
+		if err != nil {
+			return 0, err
+		}
+		out := resp.(*backwardResp)
+		gradOut = out.gradIn // nil when the run starts at layer 0
+		i = j - 1
+	}
+	return loss, nil
+}
+
+// endCycle collects the observable updates and the sealed protected
+// updates.
+func (t *SecureTrainer) endCycle(res *CycleResult) error {
+	flat := flatRanges(t.net)
+	res.Observable = make([]*tensor.Tensor, flat[len(flat)-1].end)
+	for i, layer := range t.net.Layers {
+		if t.curProtected[i] {
+			continue
+		}
+		start := t.startWeights[i]
+		for j, p := range layer.Params() {
+			res.Observable[flat[i].start+j] = tensor.Sub(p, start[j])
+		}
+	}
+	resp, err := t.sess.Invoke(cmdEndCycle, &endCycleReq{flat: flat})
+	if err != nil {
+		return err
+	}
+	out, ok := resp.(*endCycleResp)
+	if !ok {
+		return fmt.Errorf("core: unexpected endCycle response %T", resp)
+	}
+	res.SealedUpdate = out.sealed
+	return nil
+}
+
+// buildLayerFwd constructs a single layer's forward micro-graph.
+func buildLayerFwd(layer nn.Layer, x *tensor.Tensor, batch int) *layerFwd {
+	in := ad.Var(x)
+	ps := layer.Params()
+	vars := make([]*ad.Node, len(ps))
+	for i, p := range ps {
+		vars[i] = ad.Var(p)
+	}
+	out := layer.Build(in, vars, batch)
+	return &layerFwd{in: in, out: out, params: vars}
+}
+
+// backwardLayer computes the layer's parameter gradients and input
+// gradient from the gradient at its output, via the exact VJP
+// s = ⟨out, gradOut⟩ ⇒ ∂s/∂θ = Jᵀ·gradOut.
+func backwardLayer(f *layerFwd, gradOut *tensor.Tensor) (*tensor.Tensor, []*tensor.Tensor) {
+	s := ad.SumAll(ad.Mul(f.out, ad.Const(gradOut.Reshape(f.out.Value.Shape...))))
+	wrt := append(append([]*ad.Node(nil), f.params...), f.in)
+	gs := ad.GradValues(s, wrt)
+	return gs[len(gs)-1], gs[:len(gs)-1]
+}
+
+// flatRange maps a layer to its slice of the flat parameter list.
+type flatRange struct{ start, end int }
+
+func flatRanges(net *nn.Network) []flatRange {
+	out := make([]flatRange, net.NumLayers())
+	k := 0
+	for i, layer := range net.Layers {
+		n := len(layer.Params())
+		out[i] = flatRange{start: k, end: k + n}
+		k += n
+	}
+	return out
+}
+
+// FlatIndicesForLayers expands 0-based layer indices to flat parameter
+// indices (the granularity of the FL protocol's protection sets).
+func FlatIndicesForLayers(net *nn.Network, layers []int) map[int]bool {
+	fr := flatRanges(net)
+	out := make(map[int]bool)
+	for _, l := range layers {
+		for k := fr[l].start; k < fr[l].end; k++ {
+			out[k] = true
+		}
+	}
+	return out
+}

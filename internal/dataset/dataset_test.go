@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+func TestGeneratorShapesAndDeterminism(t *testing.T) {
+	g1 := NewGenerator(rand.New(rand.NewSource(1)), 5, 3, 8, 8, 0.1)
+	g2 := NewGenerator(rand.New(rand.NewSource(1)), 5, 3, 8, 8, 0.1)
+	for k := 0; k < 5; k++ {
+		if !g1.Signature(k).EqualApprox(g2.Signature(k), 0) {
+			t.Fatal("same seed must give identical signatures")
+		}
+	}
+	s := g1.Sample(rand.New(rand.NewSource(2)), 0)
+	if s.Shape[0] != 3 || s.Shape[1] != 8 || s.Shape[2] != 8 {
+		t.Fatalf("sample shape = %v", s.Shape)
+	}
+}
+
+func TestSampleOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range class")
+		}
+	}()
+	g := NewGenerator(rand.New(rand.NewSource(1)), 2, 1, 4, 4, 0.1)
+	g.Sample(rand.New(rand.NewSource(2)), 2)
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(3)), 4, 3, 16, 16, 0.05)
+	rng := rand.New(rand.NewSource(4))
+	// Samples of the same class must be closer to their own signature
+	// than to other signatures (the classification signal).
+	for class := 0; class < 4; class++ {
+		s := g.Sample(rng, class)
+		own := tensor.SqDist(s, g.Signature(class))
+		for other := 0; other < 4; other++ {
+			if other == class {
+				continue
+			}
+			if d := tensor.SqDist(s, g.Signature(other)); d <= own {
+				t.Fatalf("class %d sample closer to signature %d (%v <= %v)", class, other, d, own)
+			}
+		}
+	}
+}
+
+func TestFixedSetAndBatch(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(5)), 3, 1, 4, 4, 0.1)
+	d := g.FixedSet(rand.New(rand.NewSource(6)), 4)
+	if d.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", d.Len())
+	}
+	x, y := d.Batch([]int{0, 4, 8})
+	if x.Shape[0] != 3 || y.Shape[0] != 3 || y.Shape[1] != 3 {
+		t.Fatalf("batch shapes x=%v y=%v", x.Shape, y.Shape)
+	}
+	// Samples 0,4,8 have labels 0,1,2 (4 per class).
+	for i := 0; i < 3; i++ {
+		if y.At(i, i) != 1 {
+			t.Fatalf("one-hot row %d = %v", i, y.Data[i*3:(i+1)*3])
+		}
+	}
+}
+
+func TestSampleCopyIsolation(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(7)), 2, 1, 4, 4, 0.1)
+	d := g.FixedSet(rand.New(rand.NewSource(8)), 2)
+	img, _ := d.Sample(0)
+	img.Data[0] += 100
+	img2, _ := d.Sample(0)
+	if img2.Data[0] == img.Data[0] {
+		t.Fatal("Sample must copy")
+	}
+}
+
+func TestRandomBatchWithReplacement(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(9)), 2, 1, 4, 4, 0.1)
+	d := g.FixedSet(rand.New(rand.NewSource(10)), 1)
+	x, y := d.RandomBatch(rand.New(rand.NewSource(11)), 10) // > Len
+	if x.Shape[0] != 10 || y.Shape[0] != 10 {
+		t.Fatalf("oversized batch shapes x=%v y=%v", x.Shape, y.Shape)
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	y := OneHot([]int{2, 0}, 3)
+	want := tensor.FromSlice([]float64{0, 0, 1, 1, 0, 0}, 2, 3)
+	if !y.EqualApprox(want, 0) {
+		t.Fatalf("OneHot = %v", y.Data)
+	}
+}
+
+func TestFaceGeneratorPropertyShiftsDistribution(t *testing.T) {
+	f := NewFaceGenerator(rand.New(rand.NewSource(12)), 2, 1, 16, 16, 0.05)
+	rng := rand.New(rand.NewSource(13))
+	with := f.Sample(rng, 0, true)
+	without := f.Sample(rng, 0, false)
+	if tensor.SqDist(with, without) < 1 {
+		t.Fatal("property overlay must measurably change the image")
+	}
+}
+
+func TestFaceBatchFractions(t *testing.T) {
+	f := NewFaceGenerator(rand.New(rand.NewSource(14)), 2, 1, 8, 8, 0.01)
+	rng := rand.New(rand.NewSource(15))
+	x, y := f.Batch(rng, 6, true, 0.5)
+	if x.Shape[0] != 6 || y.Shape[0] != 6 || y.Shape[1] != 2 {
+		t.Fatalf("face batch shapes x=%v y=%v", x.Shape, y.Shape)
+	}
+	// Every row must be one-hot.
+	for i := 0; i < 6; i++ {
+		sum := y.At(i, 0) + y.At(i, 1)
+		if sum != 1 {
+			t.Fatalf("row %d not one-hot: %v", i, y.Data[i*2:(i+1)*2])
+		}
+	}
+}
+
+func TestFaceBatchWithPropAlwaysHasAtLeastOne(t *testing.T) {
+	f := NewFaceGenerator(rand.New(rand.NewSource(16)), 2, 1, 8, 8, 0)
+	rng := rand.New(rand.NewSource(17))
+	// propFrac so small it would round to zero — must still include one.
+	x1, _ := f.Batch(rng, 4, true, 0.01)
+	x2, _ := f.Batch(rng, 4, false, 0)
+	if x1.EqualApprox(x2, 1e-9) {
+		t.Fatal("withProp batch should differ from clean batch")
+	}
+}

@@ -1,0 +1,327 @@
+// Package ensemble provides the attack-model classifiers of the paper's
+// evaluation: a CART-style decision tree, a random forest (the paper's
+// DPIA attack model) and L2-regularised logistic regression (used for
+// MIA). All operate on dense float64 feature matrices; missing values
+// are expected to be mean-imputed by the caller, as the paper does for
+// protected gradient columns.
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig bounds decision-tree growth.
+type TreeConfig struct {
+	// MaxDepth limits tree depth (0 = 12).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (0 = 2).
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered per split
+	// (0 = 1.0; random forests use sqrt(d)/d).
+	FeatureFrac float64
+	// Rng drives feature subsampling; nil disables subsampling.
+	Rng *rand.Rand
+}
+
+type treeNode struct {
+	feature  int
+	thresh   float64
+	left     *treeNode
+	right    *treeNode
+	leafProb float64
+	isLeaf   bool
+}
+
+// Tree is a binary classification decision tree.
+type Tree struct {
+	root *treeNode
+}
+
+// FitTree grows a tree on features X (rows = samples) and binary labels.
+func FitTree(x [][]float64, y []bool, cfg TreeConfig) *Tree {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.MinLeaf == 0 {
+		cfg.MinLeaf = 2
+	}
+	if cfg.FeatureFrac == 0 {
+		cfg.FeatureFrac = 1
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{}
+	t.root = grow(x, y, idx, cfg, 0)
+	return t
+}
+
+func grow(x [][]float64, y []bool, idx []int, cfg TreeConfig, depth int) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pos == 0 || pos == len(idx) {
+		return &treeNode{isLeaf: true, leafProb: prob}
+	}
+
+	nFeat := len(x[0])
+	feats := featureSubset(nFeat, cfg)
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	parentImp := gini(prob)
+	for _, f := range feats {
+		thresh, gain := bestSplit(x, y, idx, f, parentImp, cfg.MinLeaf)
+		if gain > bestGain {
+			bestFeat, bestThresh, bestGain = f, thresh, gain
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{isLeaf: true, leafProb: prob}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < cfg.MinLeaf || len(rightIdx) < cfg.MinLeaf {
+		return &treeNode{isLeaf: true, leafProb: prob}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    grow(x, y, leftIdx, cfg, depth+1),
+		right:   grow(x, y, rightIdx, cfg, depth+1),
+	}
+}
+
+func featureSubset(nFeat int, cfg TreeConfig) []int {
+	k := int(math.Ceil(cfg.FeatureFrac * float64(nFeat)))
+	if k >= nFeat || cfg.Rng == nil {
+		out := make([]int, nFeat)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return cfg.Rng.Perm(nFeat)[:k]
+}
+
+func gini(p float64) float64 { return 2 * p * (1 - p) }
+
+// bestSplit finds the threshold maximising Gini gain for one feature.
+func bestSplit(x [][]float64, y []bool, idx []int, f int, parentImp float64, minLeaf int) (float64, float64) {
+	type pv struct {
+		v   float64
+		pos bool
+	}
+	vals := make([]pv, len(idx))
+	total := len(idx)
+	totalPos := 0
+	for k, i := range idx {
+		vals[k] = pv{v: x[i][f], pos: y[i]}
+		if y[i] {
+			totalPos++
+		}
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+
+	bestThresh, bestGain := 0.0, 0.0
+	leftPos := 0
+	for k := 0; k < total-1; k++ {
+		if vals[k].pos {
+			leftPos++
+		}
+		if vals[k].v == vals[k+1].v {
+			continue
+		}
+		nL := k + 1
+		nR := total - nL
+		if nL < minLeaf || nR < minLeaf {
+			continue
+		}
+		pL := float64(leftPos) / float64(nL)
+		pR := float64(totalPos-leftPos) / float64(nR)
+		imp := (float64(nL)*gini(pL) + float64(nR)*gini(pR)) / float64(total)
+		if gain := parentImp - imp; gain > bestGain {
+			bestGain = gain
+			bestThresh = (vals[k].v + vals[k+1].v) / 2
+		}
+	}
+	return bestThresh, bestGain
+}
+
+// PredictProb returns the tree's positive-class probability for a sample.
+func (t *Tree) PredictProb(sample []float64) float64 {
+	n := t.root
+	for !n.isLeaf {
+		if sample[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.leafProb
+}
+
+// ForestConfig configures a random forest.
+type ForestConfig struct {
+	// Trees is the ensemble size (0 = 50).
+	Trees int
+	// Tree bounds each member; FeatureFrac 0 defaults to sqrt(d)/d.
+	Tree TreeConfig
+	// Seed drives bootstrap sampling and feature subsets.
+	Seed int64
+}
+
+// Forest is a bagged ensemble of decision trees — the attack model the
+// paper uses for DPIA.
+type Forest struct {
+	trees []*Tree
+}
+
+// FitForest trains a random forest with bootstrap sampling.
+func FitForest(x [][]float64, y []bool, cfg ForestConfig) *Forest {
+	if cfg.Trees == 0 {
+		cfg.Trees = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Tree.FeatureFrac == 0 {
+		d := float64(len(x[0]))
+		cfg.Tree.FeatureFrac = math.Sqrt(d) / d
+	}
+	f := &Forest{trees: make([]*Tree, cfg.Trees)}
+	for t := range f.trees {
+		bx := make([][]float64, len(x))
+		by := make([]bool, len(y))
+		for i := range bx {
+			j := rng.Intn(len(x))
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tc := cfg.Tree
+		tc.Rng = rand.New(rand.NewSource(rng.Int63()))
+		f.trees[t] = FitTree(bx, by, tc)
+	}
+	return f
+}
+
+// PredictProb averages member probabilities.
+func (f *Forest) PredictProb(sample []float64) float64 {
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.PredictProb(sample)
+	}
+	return s / float64(len(f.trees))
+}
+
+// Logistic is an L2-regularised logistic-regression classifier.
+type Logistic struct {
+	W []float64
+	B float64
+}
+
+// LogisticConfig configures training.
+type LogisticConfig struct {
+	// Epochs of full-batch gradient descent (0 = 200).
+	Epochs int
+	// LR is the learning rate (0 = 0.1).
+	LR float64
+	// L2 is the ridge penalty (0 = 1e-3).
+	L2 float64
+}
+
+// FitLogistic trains on features X and binary labels.
+func FitLogistic(x [][]float64, y []bool, cfg LogisticConfig) *Logistic {
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 200
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.1
+	}
+	if cfg.L2 == 0 {
+		cfg.L2 = 1e-3
+	}
+	d := len(x[0])
+	m := &Logistic{W: make([]float64, d)}
+	n := float64(len(x))
+	for e := 0; e < cfg.Epochs; e++ {
+		gw := make([]float64, d)
+		gb := 0.0
+		for i, row := range x {
+			p := m.PredictProb(row)
+			t := 0.0
+			if y[i] {
+				t = 1
+			}
+			diff := p - t
+			for j, v := range row {
+				gw[j] += diff * v
+			}
+			gb += diff
+		}
+		for j := range m.W {
+			m.W[j] -= cfg.LR * (gw[j]/n + cfg.L2*m.W[j])
+		}
+		m.B -= cfg.LR * gb / n
+	}
+	return m
+}
+
+// PredictProb returns the positive-class probability.
+func (m *Logistic) PredictProb(sample []float64) float64 {
+	z := m.B
+	for j, v := range sample {
+		z += m.W[j] * v
+	}
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// MeanImpute replaces NaN entries column-wise with the column mean over
+// non-missing training values — the paper's strategy for gradient columns
+// deleted by TEE protection. It returns the means used (for applying the
+// same imputation to validation/test sets via ApplyImpute).
+func MeanImpute(x [][]float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	d := len(x[0])
+	means := make([]float64, d)
+	for j := 0; j < d; j++ {
+		sum, cnt := 0.0, 0
+		for _, row := range x {
+			if !math.IsNaN(row[j]) {
+				sum += row[j]
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			means[j] = sum / float64(cnt)
+		}
+	}
+	ApplyImpute(x, means)
+	return means
+}
+
+// ApplyImpute replaces NaNs with the provided column means in place.
+func ApplyImpute(x [][]float64, means []float64) {
+	for _, row := range x {
+		for j, v := range row {
+			if math.IsNaN(v) {
+				row[j] = means[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/metrics"
+)
+
+// xorDataset is non-linearly separable: trees must beat logistic there.
+func xorDataset(rng *rand.Rand, n int) ([][]float64, []bool) {
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range x {
+		a, b := rng.Float64(), rng.Float64()
+		x[i] = []float64{a, b, rng.Float64() * 0.01}
+		y[i] = (a > 0.5) != (b > 0.5)
+	}
+	return x, y
+}
+
+// linearDataset is separable by a hyperplane.
+func linearDataset(rng *rand.Rand, n int) ([][]float64, []bool) {
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range x {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = a+2*b > 0
+	}
+	return x, y
+}
+
+func auc(m interface{ PredictProb([]float64) float64 }, x [][]float64, y []bool) float64 {
+	scores := make([]float64, len(x))
+	for i, row := range x {
+		scores[i] = m.PredictProb(row)
+	}
+	return metrics.AUC(y, scores)
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := xorDataset(rng, 400)
+	tree := FitTree(x, y, TreeConfig{MaxDepth: 8})
+	tx, ty := xorDataset(rng, 200)
+	if got := auc(tree, tx, ty); got < 0.9 {
+		t.Fatalf("tree XOR AUC = %v, want ≥0.9", got)
+	}
+}
+
+func TestTreePureLeafStopsEarly(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []bool{true, true, true, true}
+	tree := FitTree(x, y, TreeConfig{})
+	if !tree.root.isLeaf || tree.root.leafProb != 1 {
+		t.Fatal("pure node must become a leaf with prob 1")
+	}
+}
+
+func TestForestBeatsSingleTreeOnNoisyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Noisy linear task with useless extra features.
+	gen := func(n int) ([][]float64, []bool) {
+		x := make([][]float64, n)
+		y := make([]bool, n)
+		for i := range x {
+			row := make([]float64, 10)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			x[i] = row
+			y[i] = row[0]+row[1]+rng.NormFloat64()*0.8 > 0
+		}
+		return x, y
+	}
+	trainX, trainY := gen(300)
+	testX, testY := gen(300)
+	tree := FitTree(trainX, trainY, TreeConfig{MaxDepth: 10})
+	forest := FitForest(trainX, trainY, ForestConfig{Trees: 40, Seed: 3})
+	if at, af := auc(tree, testX, testY), auc(forest, testX, testY); af <= at-0.02 {
+		t.Fatalf("forest AUC %v should not trail tree AUC %v", af, at)
+	}
+	if got := auc(forest, testX, testY); got < 0.75 {
+		t.Fatalf("forest AUC = %v, want ≥0.75", got)
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := xorDataset(rng, 100)
+	f1 := FitForest(x, y, ForestConfig{Trees: 5, Seed: 7})
+	f2 := FitForest(x, y, ForestConfig{Trees: 5, Seed: 7})
+	probe := []float64{0.3, 0.7, 0}
+	if f1.PredictProb(probe) != f2.PredictProb(probe) {
+		t.Fatal("same seed must give identical forests")
+	}
+}
+
+func TestLogisticLearnsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := linearDataset(rng, 400)
+	m := FitLogistic(x, y, LogisticConfig{Epochs: 300, LR: 0.5})
+	tx, ty := linearDataset(rng, 200)
+	if got := auc(m, tx, ty); got < 0.95 {
+		t.Fatalf("logistic AUC = %v, want ≥0.95", got)
+	}
+}
+
+func TestLogisticProbRange(t *testing.T) {
+	m := &Logistic{W: []float64{100}, B: 0}
+	if p := m.PredictProb([]float64{10}); p <= 0.99 || p > 1 {
+		t.Fatalf("prob = %v", p)
+	}
+	if p := m.PredictProb([]float64{-10}); p >= 0.01 || p < 0 {
+		t.Fatalf("prob = %v", p)
+	}
+}
+
+func TestMeanImpute(t *testing.T) {
+	nan := math.NaN()
+	x := [][]float64{
+		{1, nan},
+		{3, 4},
+		{nan, 8},
+	}
+	means := MeanImpute(x)
+	if means[0] != 2 || means[1] != 6 {
+		t.Fatalf("means = %v", means)
+	}
+	if x[0][1] != 6 || x[2][0] != 2 {
+		t.Fatalf("imputed = %v", x)
+	}
+	// Apply the same means to a test row.
+	test := [][]float64{{nan, 1}}
+	ApplyImpute(test, means)
+	if test[0][0] != 2 {
+		t.Fatalf("ApplyImpute = %v", test)
+	}
+}
+
+func TestMeanImputeAllMissingColumn(t *testing.T) {
+	nan := math.NaN()
+	x := [][]float64{{nan}, {nan}}
+	means := MeanImpute(x)
+	if means[0] != 0 || x[0][0] != 0 {
+		t.Fatal("all-missing column must impute to 0")
+	}
+	if MeanImpute(nil) != nil {
+		t.Fatal("empty imputation must be nil")
+	}
+}
+
+// Deleting the informative feature (NaN + imputation) must hurt the
+// classifier — this is the mechanism behind the paper's protection
+// simulation methodology (§8.1).
+func TestImputationDegradesClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	gen := func(n int, wipe bool) ([][]float64, []bool) {
+		x := make([][]float64, n)
+		y := make([]bool, n)
+		for i := range x {
+			a := rng.NormFloat64()
+			noise := rng.NormFloat64()
+			y[i] = a > 0
+			if wipe {
+				x[i] = []float64{math.NaN(), noise}
+			} else {
+				x[i] = []float64{a, noise}
+			}
+		}
+		return x, y
+	}
+	fullX, fullY := gen(300, false)
+	m1 := FitLogistic(fullX, fullY, LogisticConfig{})
+	aucFull := auc(m1, fullX, fullY)
+
+	wipedX, wipedY := gen(300, true)
+	MeanImpute(wipedX)
+	m2 := FitLogistic(wipedX, wipedY, LogisticConfig{})
+	aucWiped := auc(m2, wipedX, wipedY)
+
+	if aucFull < 0.9 {
+		t.Fatalf("full-feature AUC = %v", aucFull)
+	}
+	if aucWiped > 0.65 {
+		t.Fatalf("wiped-feature AUC = %v, want ≈0.5", aucWiped)
+	}
+}

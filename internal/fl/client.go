@@ -1,0 +1,114 @@
+package fl
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+)
+
+// Trainer is the device-side behaviour the FL client delegates to. The
+// GradSec secure trainer (internal/core) implements it; tests provide
+// plain in-memory trainers.
+type Trainer interface {
+	// DeviceID identifies the device to the server.
+	DeviceID() string
+	// HasTEE reports whether the device offers a TEE.
+	HasTEE() bool
+	// Attest produces a quote over the training TA for the given nonce.
+	// Only called when HasTEE.
+	Attest(nonce []byte) (tz.Quote, error)
+	// OpenChannel establishes the TA side of the trusted I/O path against
+	// the server's public key and returns the TA's public key. Only
+	// called when HasTEE.
+	OpenChannel(serverPub []byte) (clientPub []byte, err error)
+	// TrainRound performs one cycle of secure local training. plain holds
+	// the unprotected global parameters (nil at protected positions);
+	// sealed carries the protected parameters for the TA; plan is the
+	// round's protection plan blob. It returns the unprotected updates
+	// (nil at protected positions) and the sealed protected updates.
+	TrainRound(round int, plain []*tensor.Tensor, sealed []byte, plan []byte) (plainUpd []*tensor.Tensor, sealedUpd []byte, err error)
+}
+
+// Client runs the device side of the FL protocol over one connection.
+type Client struct {
+	conn    Conn
+	trainer Trainer
+
+	// Rounds counts completed training cycles.
+	Rounds int
+	// Final holds the global model delivered with Done, if any.
+	Final []*tensor.Tensor
+	// RejectedReason is set when the server refused this client.
+	RejectedReason string
+}
+
+// NewClient pairs a connection with a trainer.
+func NewClient(conn Conn, trainer Trainer) *Client {
+	return &Client{conn: conn, trainer: trainer}
+}
+
+// Run participates in a full training session: selection, then rounds
+// until the server sends Done (or Reject). It returns nil on a clean
+// finish or rejection; RejectedReason distinguishes the two.
+func (c *Client) Run() error {
+	msg, err := c.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("fl: awaiting challenge: %w", err)
+	}
+	ch, ok := msg.(*Challenge)
+	if !ok {
+		return fmt.Errorf("fl: expected Challenge, got %T", msg)
+	}
+
+	att := &Attest{DeviceID: c.trainer.DeviceID(), HasTEE: c.trainer.HasTEE()}
+	if c.trainer.HasTEE() {
+		quote, err := c.trainer.Attest(ch.Nonce)
+		if err != nil {
+			return fmt.Errorf("fl: attestation: %w", err)
+		}
+		att.Quote = quote
+		pub, err := c.trainer.OpenChannel(ch.ServerPub)
+		if err != nil {
+			return fmt.Errorf("fl: opening trusted channel: %w", err)
+		}
+		att.ClientPub = pub
+	}
+	if err := c.conn.Send(att); err != nil {
+		return fmt.Errorf("fl: sending attestation: %w", err)
+	}
+
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("fl: server closed mid-session: %w", err)
+			}
+			return fmt.Errorf("fl: receiving: %w", err)
+		}
+		switch m := msg.(type) {
+		case *Reject:
+			c.RejectedReason = m.Reason
+			return nil
+		case *Done:
+			c.Final = m.Final
+			return nil
+		case *ModelDown:
+			plainUpd, sealedUpd, err := c.trainer.TrainRound(m.Round, m.Plain, m.Sealed, m.Plan)
+			if err != nil {
+				_ = c.conn.Send(&ErrorMsg{Text: err.Error()})
+				return fmt.Errorf("fl: local training round %d: %w", m.Round, err)
+			}
+			up := &GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd}
+			if err := c.conn.Send(up); err != nil {
+				return fmt.Errorf("fl: sending update: %w", err)
+			}
+			c.Rounds++
+		case *ErrorMsg:
+			return fmt.Errorf("fl: server error: %s", m.Text)
+		default:
+			return fmt.Errorf("fl: unexpected message %T", msg)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package fl implements the federated-learning orchestration of the
+// paper's Figure 2: TEE-aware client selection with remote attestation,
+// model + training-plan distribution (protected weights travel sealed
+// through the trusted I/O path), secure local training on the client, and
+// FedAvg aggregation of the returned updates on the server.
+//
+// The package is substrate-generic: protection scheduling and secure
+// training are injected through the RoundPlanner and Trainer interfaces,
+// implemented by internal/core (GradSec).
+package fl
+
+import (
+	"fmt"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType byte
+
+// Protocol message types.
+const (
+	MsgChallenge MsgType = iota + 1
+	MsgAttest
+	MsgReject
+	MsgModelDown
+	MsgGradUp
+	MsgDone
+	MsgError
+)
+
+// Message is one protocol unit.
+type Message interface {
+	// Kind returns the message discriminator.
+	Kind() MsgType
+	encode(w *wire.Writer)
+	decode(r *wire.Reader)
+}
+
+// Challenge opens selection for a training session: the server sends a
+// fresh attestation nonce and its trusted-channel public key.
+type Challenge struct {
+	Nonce      []byte
+	ServerPub  []byte
+	RequireTEE bool
+}
+
+// Kind implements Message.
+func (*Challenge) Kind() MsgType { return MsgChallenge }
+
+func (m *Challenge) encode(w *wire.Writer) {
+	w.Blob(m.Nonce)
+	w.Blob(m.ServerPub)
+	w.Bool(m.RequireTEE)
+}
+
+func (m *Challenge) decode(r *wire.Reader) {
+	m.Nonce = r.Blob()
+	m.ServerPub = r.Blob()
+	m.RequireTEE = r.Bool()
+}
+
+// Attest is the client's selection response: device capability, an
+// attestation quote over its GradSec TA, and the TA's channel public key.
+type Attest struct {
+	DeviceID  string
+	HasTEE    bool
+	Quote     tz.Quote
+	ClientPub []byte
+}
+
+// Kind implements Message.
+func (*Attest) Kind() MsgType { return MsgAttest }
+
+func (m *Attest) encode(w *wire.Writer) {
+	w.String(m.DeviceID)
+	w.Bool(m.HasTEE)
+	w.String(m.Quote.DeviceID)
+	w.Blob(m.Quote.Measurement[:])
+	w.Blob(m.Quote.Nonce)
+	w.Blob(m.Quote.MAC)
+	w.Blob(m.ClientPub)
+}
+
+func (m *Attest) decode(r *wire.Reader) {
+	m.DeviceID = r.String()
+	m.HasTEE = r.Bool()
+	m.Quote.DeviceID = r.String()
+	copy(m.Quote.Measurement[:], r.Blob())
+	m.Quote.Nonce = r.Blob()
+	m.Quote.MAC = r.Blob()
+	m.ClientPub = r.Blob()
+}
+
+// Reject tells a client it was not selected.
+type Reject struct {
+	Reason string
+}
+
+// Kind implements Message.
+func (*Reject) Kind() MsgType { return MsgReject }
+
+func (m *Reject) encode(w *wire.Writer) { w.String(m.Reason) }
+func (m *Reject) decode(r *wire.Reader) { m.Reason = r.String() }
+
+// ModelDown distributes the round's model: unprotected parameter tensors
+// travel in the clear (nil at protected positions); protected tensors are
+// sealed for the TA through the trusted I/O path. Plan carries the
+// round's protection plan blob.
+type ModelDown struct {
+	Round  int
+	Plain  []*tensor.Tensor
+	Sealed []byte
+	Plan   []byte
+}
+
+// Kind implements Message.
+func (*ModelDown) Kind() MsgType { return MsgModelDown }
+
+func (m *ModelDown) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Round))
+	w.TensorList(m.Plain)
+	w.Blob(m.Sealed)
+	w.Blob(m.Plan)
+}
+
+func (m *ModelDown) decode(r *wire.Reader) {
+	m.Round = int(r.Uvarint())
+	m.Plain = r.TensorList()
+	m.Sealed = r.Blob()
+	m.Plan = r.Blob()
+}
+
+// GradUp returns the client's model update: unprotected update tensors in
+// the clear, protected ones sealed.
+type GradUp struct {
+	Round  int
+	Plain  []*tensor.Tensor
+	Sealed []byte
+}
+
+// Kind implements Message.
+func (*GradUp) Kind() MsgType { return MsgGradUp }
+
+func (m *GradUp) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Round))
+	w.TensorList(m.Plain)
+	w.Blob(m.Sealed)
+}
+
+func (m *GradUp) decode(r *wire.Reader) {
+	m.Round = int(r.Uvarint())
+	m.Plain = r.TensorList()
+	m.Sealed = r.Blob()
+}
+
+// Done ends a session, optionally delivering the final global model.
+type Done struct {
+	Final []*tensor.Tensor
+}
+
+// Kind implements Message.
+func (*Done) Kind() MsgType { return MsgDone }
+
+func (m *Done) encode(w *wire.Writer) { w.TensorList(m.Final) }
+func (m *Done) decode(r *wire.Reader) { m.Final = r.TensorList() }
+
+// ErrorMsg reports a protocol failure to the peer.
+type ErrorMsg struct {
+	Text string
+}
+
+// Kind implements Message.
+func (*ErrorMsg) Kind() MsgType { return MsgError }
+
+func (m *ErrorMsg) encode(w *wire.Writer) { w.String(m.Text) }
+func (m *ErrorMsg) decode(r *wire.Reader) { m.Text = r.String() }
+
+// EncodeMessage serialises a message to a framed-payload byte slice.
+func EncodeMessage(m Message) []byte {
+	w := wire.NewWriter()
+	m.encode(w)
+	return w.Bytes()
+}
+
+// DecodeMessage reconstructs a message from its type and payload.
+func DecodeMessage(mt MsgType, payload []byte) (Message, error) {
+	var m Message
+	switch mt {
+	case MsgChallenge:
+		m = &Challenge{}
+	case MsgAttest:
+		m = &Attest{}
+	case MsgReject:
+		m = &Reject{}
+	case MsgModelDown:
+		m = &ModelDown{}
+	case MsgGradUp:
+		m = &GradUp{}
+	case MsgDone:
+		m = &Done{}
+	case MsgError:
+		m = &ErrorMsg{}
+	default:
+		return nil, fmt.Errorf("fl: unknown message type %d", mt)
+	}
+	r := wire.NewReader(payload)
+	m.decode(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("fl: decoding %T: %w", m, err)
+	}
+	return m, nil
+}
+
+// SealedUpdate encodes indexed tensors for transport inside a trusted
+// channel: count, then (flatIndex, tensor) pairs.
+func SealedUpdate(idx []int, ts []*tensor.Tensor) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(uint64(len(idx)))
+	for i, id := range idx {
+		w.Uvarint(uint64(id))
+		w.Tensor(ts[i])
+	}
+	return w.Bytes()
+}
+
+// ParseSealedUpdate decodes a blob produced by SealedUpdate.
+func ParseSealedUpdate(blob []byte) (idx []int, ts []*tensor.Tensor, err error) {
+	r := wire.NewReader(blob)
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if n < 0 || n > len(blob) {
+		return nil, nil, fmt.Errorf("fl: sealed update claims %d entries", n)
+	}
+	idx = make([]int, 0, n)
+	ts = make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		idx = append(idx, int(r.Uvarint()))
+		ts = append(ts, r.Tensor())
+		if err := r.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return idx, ts, nil
+}

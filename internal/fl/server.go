@@ -1,0 +1,284 @@
+package fl
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+)
+
+// RoundPlanner decides, per FL cycle, which flat parameter tensors are
+// protected inside the client TEE — GradSec's static and dynamic plans
+// implement this (internal/core).
+type RoundPlanner interface {
+	// PlanRound returns the set of protected flat-parameter indices for
+	// the round and an opaque plan blob forwarded to clients.
+	PlanRound(round int) (protected map[int]bool, planBlob []byte)
+}
+
+// NoProtection is the baseline planner: nothing is protected.
+type NoProtection struct{}
+
+// PlanRound implements RoundPlanner.
+func (NoProtection) PlanRound(int) (map[int]bool, []byte) { return nil, nil }
+
+// ServerConfig configures an FL training session.
+type ServerConfig struct {
+	// Rounds is the number of FL cycles to run.
+	Rounds int
+	// RequireTEE, when set, rejects clients that fail attestation —
+	// Fig. 2 step 1 of the paper.
+	RequireTEE bool
+	// Verifier validates attestation quotes; required when RequireTEE.
+	Verifier *tz.Verifier
+	// Planner supplies the per-round protection plan. Defaults to
+	// NoProtection.
+	Planner RoundPlanner
+	// MinClients aborts the session when fewer clients pass selection.
+	MinClients int
+}
+
+// Server drives an FL training session over a fixed set of client
+// connections.
+type Server struct {
+	cfg   ServerConfig
+	state []*tensor.Tensor
+}
+
+// NewServer creates a server owning the given initial global model state
+// (flat parameter tensors; the slice is used in place).
+func NewServer(state []*tensor.Tensor, cfg ServerConfig) *Server {
+	if cfg.Planner == nil {
+		cfg.Planner = NoProtection{}
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.MinClients <= 0 {
+		cfg.MinClients = 1
+	}
+	return &Server{cfg: cfg, state: state}
+}
+
+// State returns the current global model parameters.
+func (s *Server) State() []*tensor.Tensor { return s.state }
+
+// session is the server's per-client state.
+type session struct {
+	conn    Conn
+	device  string
+	hasTEE  bool
+	channel *tz.Channel
+}
+
+// ErrNotEnoughClients is returned when selection leaves fewer clients
+// than MinClients.
+var ErrNotEnoughClients = errors.New("fl: not enough clients passed selection")
+
+// Run executes selection followed by cfg.Rounds FL cycles over the given
+// client connections, then closes them with a Done carrying the final
+// model. It returns the number of selected clients.
+func (s *Server) Run(conns []Conn) (int, error) {
+	sessions, err := s.selectClients(conns)
+	if err != nil {
+		return 0, err
+	}
+	if len(sessions) < s.cfg.MinClients {
+		return len(sessions), fmt.Errorf("%w: %d of %d", ErrNotEnoughClients, len(sessions), s.cfg.MinClients)
+	}
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if err := s.runRound(round, sessions); err != nil {
+			return len(sessions), fmt.Errorf("fl: round %d: %w", round, err)
+		}
+	}
+	done := &Done{Final: s.state}
+	for _, sess := range sessions {
+		if err := sess.conn.Send(done); err != nil {
+			return len(sessions), fmt.Errorf("fl: sending Done to %s: %w", sess.device, err)
+		}
+	}
+	return len(sessions), nil
+}
+
+// selectClients performs Fig. 2 step 1: challenge every connection,
+// verify attestation when TEE is required, and establish the trusted
+// channel with accepted clients.
+func (s *Server) selectClients(conns []Conn) ([]*session, error) {
+	var out []*session
+	for i, conn := range conns {
+		nonce := make([]byte, 16)
+		if _, err := rand.Read(nonce); err != nil {
+			return nil, fmt.Errorf("fl: generating nonce: %w", err)
+		}
+		offer, err := tz.NewChannelOffer()
+		if err != nil {
+			return nil, err
+		}
+		ch := &Challenge{Nonce: nonce, ServerPub: offer.Public, RequireTEE: s.cfg.RequireTEE}
+		if err := conn.Send(ch); err != nil {
+			return nil, fmt.Errorf("fl: challenging client %d: %w", i, err)
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("fl: awaiting attestation from client %d: %w", i, err)
+		}
+		att, ok := msg.(*Attest)
+		if !ok {
+			return nil, fmt.Errorf("fl: client %d sent %T instead of Attest", i, msg)
+		}
+		if s.cfg.RequireTEE {
+			if !att.HasTEE {
+				s.reject(conn, "device has no TEE")
+				continue
+			}
+			if s.cfg.Verifier == nil {
+				return nil, errors.New("fl: RequireTEE set but no Verifier configured")
+			}
+			if err := s.cfg.Verifier.Verify(att.Quote, nonce); err != nil {
+				s.reject(conn, fmt.Sprintf("attestation failed: %v", err))
+				continue
+			}
+		}
+		sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE}
+		if att.HasTEE && len(att.ClientPub) > 0 {
+			channel, err := offer.Establish(att.ClientPub, true)
+			if err != nil {
+				s.reject(conn, fmt.Sprintf("channel establishment failed: %v", err))
+				continue
+			}
+			sess.channel = channel
+		}
+		out = append(out, sess)
+	}
+	return out, nil
+}
+
+func (s *Server) reject(conn Conn, reason string) {
+	// Best effort: a client that has already gone away stays rejected.
+	_ = conn.Send(&Reject{Reason: reason})
+	_ = conn.Close()
+}
+
+// runRound distributes the model (splitting protected weights into the
+// sealed path), gathers client updates concurrently, and applies FedAvg.
+func (s *Server) runRound(round int, sessions []*session) error {
+	protected, planBlob := s.cfg.Planner.PlanRound(round)
+
+	updates := make([][]*tensor.Tensor, len(sessions))
+	errs := make([]error, len(sessions))
+	var wg sync.WaitGroup
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(i int, sess *session) {
+			defer wg.Done()
+			updates[i], errs[i] = s.clientRound(round, sess, protected, planBlob)
+		}(i, sess)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %s: %w", sessions[i].device, err)
+		}
+	}
+
+	avg := FedAvg(updates)
+	ApplyUpdate(s.state, avg, 1.0)
+	return nil
+}
+
+// clientRound handles the ModelDown/GradUp exchange for one client.
+func (s *Server) clientRound(round int, sess *session, protected map[int]bool, planBlob []byte) ([]*tensor.Tensor, error) {
+	down := &ModelDown{Round: round, Plan: planBlob}
+	down.Plain = make([]*tensor.Tensor, len(s.state))
+	var secretIdx []int
+	var secretTs []*tensor.Tensor
+	for i, p := range s.state {
+		if protected[i] && sess.channel != nil {
+			secretIdx = append(secretIdx, i)
+			secretTs = append(secretTs, p)
+		} else {
+			down.Plain[i] = p
+		}
+	}
+	if len(secretIdx) > 0 {
+		down.Sealed = sess.channel.Seal(SealedUpdate(secretIdx, secretTs))
+	}
+	if err := sess.conn.Send(down); err != nil {
+		return nil, fmt.Errorf("sending model: %w", err)
+	}
+
+	msg, err := sess.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("awaiting update: %w", err)
+	}
+	up, ok := msg.(*GradUp)
+	if !ok {
+		if em, isErr := msg.(*ErrorMsg); isErr {
+			return nil, fmt.Errorf("client error: %s", em.Text)
+		}
+		return nil, fmt.Errorf("unexpected %T instead of GradUp", msg)
+	}
+	if up.Round != round {
+		return nil, fmt.Errorf("update for round %d during round %d", up.Round, round)
+	}
+
+	full := make([]*tensor.Tensor, len(s.state))
+	copy(full, up.Plain)
+	if len(up.Sealed) > 0 {
+		if sess.channel == nil {
+			return nil, errors.New("sealed update without an established channel")
+		}
+		blob, err := sess.channel.Open(up.Sealed)
+		if err != nil {
+			return nil, fmt.Errorf("unsealing update: %w", err)
+		}
+		idx, ts, err := ParseSealedUpdate(blob)
+		if err != nil {
+			return nil, fmt.Errorf("parsing sealed update: %w", err)
+		}
+		for j, id := range idx {
+			if id < 0 || id >= len(full) {
+				return nil, fmt.Errorf("sealed update index %d out of range", id)
+			}
+			full[id] = ts[j]
+		}
+	}
+	for i, u := range full {
+		if u == nil {
+			return nil, fmt.Errorf("update missing tensor %d", i)
+		}
+		if !u.SameShape(s.state[i]) {
+			return nil, fmt.Errorf("update tensor %d has shape %v, want %v", i, u.Shape, s.state[i].Shape)
+		}
+	}
+	return full, nil
+}
+
+// FedAvg returns the elementwise mean of the client updates. All updates
+// must be complete and shape-consistent (the server validates before
+// calling).
+func FedAvg(updates [][]*tensor.Tensor) []*tensor.Tensor {
+	if len(updates) == 0 {
+		return nil
+	}
+	out := make([]*tensor.Tensor, len(updates[0]))
+	for i := range out {
+		acc := updates[0][i].Clone()
+		for _, u := range updates[1:] {
+			tensor.AddInPlace(acc, u[i])
+		}
+		out[i] = tensor.Scale(acc, 1/float64(len(updates)))
+	}
+	return out
+}
+
+// ApplyUpdate adds scale×update to state in place. Updates are weight
+// deltas (W_local − W_global), so scale 1 performs standard FedAvg.
+func ApplyUpdate(state, update []*tensor.Tensor, scale float64) {
+	for i, u := range update {
+		tensor.AxPy(scale, u, state[i])
+	}
+}

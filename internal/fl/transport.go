@@ -1,0 +1,169 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// Conn is a bidirectional, message-oriented connection between an FL
+// server and one client.
+type Conn interface {
+	// Send transmits one message.
+	Send(m Message) error
+	// Recv blocks for the next message. It returns io.EOF after the peer
+	// closes.
+	Recv() (Message, error)
+	// Close releases the connection; it is safe to call twice.
+	Close() error
+}
+
+// ErrConnClosed is returned by Send after Close.
+var ErrConnClosed = errors.New("fl: connection closed")
+
+// pipeConn is an in-memory Conn built on channels. Messages still pass
+// through the full wire codec so in-process tests exercise encoding.
+type pipeConn struct {
+	send      chan<- frame
+	recv      <-chan frame
+	closeOnce sync.Once
+	closed    chan struct{}
+	peerDone  <-chan struct{}
+}
+
+type frame struct {
+	mt      MsgType
+	payload []byte
+}
+
+// Pipe returns a connected in-memory transport pair.
+func Pipe() (Conn, Conn) {
+	ab := make(chan frame, 16)
+	ba := make(chan frame, 16)
+	aClosed := make(chan struct{})
+	bClosed := make(chan struct{})
+	a := &pipeConn{send: ab, recv: ba, closed: aClosed, peerDone: bClosed}
+	b := &pipeConn{send: ba, recv: ab, closed: bClosed, peerDone: aClosed}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *pipeConn) Send(m Message) error {
+	// Check for closure first: the select below would otherwise pick the
+	// (buffered) send case at random even when already closed.
+	select {
+	case <-c.closed:
+		return ErrConnClosed
+	case <-c.peerDone:
+		return ErrConnClosed
+	default:
+	}
+	f := frame{mt: m.Kind(), payload: EncodeMessage(m)}
+	select {
+	case <-c.closed:
+		return ErrConnClosed
+	case <-c.peerDone:
+		return ErrConnClosed
+	case c.send <- f:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *pipeConn) Recv() (Message, error) {
+	select {
+	case <-c.closed:
+		return nil, io.EOF
+	case f := <-c.recv:
+		return DecodeMessage(f.mt, f.payload)
+	case <-c.peerDone:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case f := <-c.recv:
+			return DecodeMessage(f.mt, f.payload)
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// tcpConn adapts a net.Conn to the Message framing.
+type tcpConn struct {
+	nc        net.Conn
+	writeMu   sync.Mutex
+	closeOnce sync.Once
+}
+
+// NewNetConn wraps an established net.Conn (TCP or otherwise).
+func NewNetConn(nc net.Conn) Conn { return &tcpConn{nc: nc} }
+
+// Dial connects to an FL server at addr over TCP.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fl: dialing %s: %w", addr, err)
+	}
+	return NewNetConn(nc), nil
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return wire.WriteFrame(c.nc, byte(m.Kind()), EncodeMessage(m))
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() (Message, error) {
+	mt, payload, err := wire.ReadFrame(c.nc)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMessage(MsgType(mt), payload)
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	var err error
+	c.closeOnce.Do(func() { err = c.nc.Close() })
+	return err
+}
+
+// Listener accepts FL client connections over TCP.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a TCP listener on addr ("host:port"; ":0" for ephemeral).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fl: listening on %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next client connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewNetConn(nc), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }

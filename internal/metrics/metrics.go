@@ -1,0 +1,135 @@
+// Package metrics implements the evaluation metrics the paper reports:
+// AUC (the attack-model quality measure for MIA and DPIA, chosen over
+// accuracy per Ling et al. 2003) and ImageLoss (the Euclidean distance
+// between a DRIA reconstruction and the original input).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// AUC computes the area under the ROC curve for binary labels and
+// predicted scores (higher score = more likely positive). It handles
+// tied scores exactly via the rank-sum (Mann–Whitney) formulation.
+// It returns 0.5 when either class is empty.
+func AUC(labels []bool, scores []float64) float64 {
+	if len(labels) != len(scores) {
+		panic("metrics: labels and scores length mismatch")
+	}
+	type pair struct {
+		score float64
+		pos   bool
+	}
+	ps := make([]pair, len(labels))
+	nPos, nNeg := 0, 0
+	for i, l := range labels {
+		ps[i] = pair{score: scores[i], pos: l}
+		if l {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].score < ps[j].score })
+
+	// Rank-sum with average ranks for ties.
+	rankSumPos := 0.0
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].score == ps[i].score {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			if ps[k].pos {
+				rankSumPos += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// ROCPoint is one point of an ROC curve.
+type ROCPoint struct {
+	FPR, TPR float64
+}
+
+// ROC returns the ROC curve points sorted by increasing FPR.
+func ROC(labels []bool, scores []float64) []ROCPoint {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	nPos, nNeg := 0, 0
+	for _, l := range labels {
+		if l {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	out := []ROCPoint{{0, 0}}
+	tp, fp := 0, 0
+	for _, i := range idx {
+		if labels[i] {
+			tp++
+		} else {
+			fp++
+		}
+		out = append(out, ROCPoint{FPR: safeDiv(fp, nNeg), TPR: safeDiv(tp, nPos)})
+	}
+	return out
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ImageLoss is the paper's DRIA success measure: the Euclidean distance
+// between the attacker's reconstruction and the true input.
+func ImageLoss(reconstructed, original *tensor.Tensor) float64 {
+	return math.Sqrt(tensor.SqDist(reconstructed, original))
+}
+
+// Accuracy returns the fraction of correct binary predictions at
+// threshold 0.5.
+func Accuracy(labels []bool, scores []float64) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, l := range labels {
+		if (scores[i] >= 0.5) == l {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

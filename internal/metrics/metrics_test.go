@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+func TestAUCPerfectClassifier(t *testing.T) {
+	labels := []bool{false, false, true, true}
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	if got := AUC(labels, scores); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+}
+
+func TestAUCAntiClassifier(t *testing.T) {
+	labels := []bool{true, true, false, false}
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	if got := AUC(labels, scores); got != 0 {
+		t.Fatalf("AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCAllTiedIsHalf(t *testing.T) {
+	labels := []bool{true, false, true, false}
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	if got := AUC(labels, scores); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerateClasses(t *testing.T) {
+	if got := AUC([]bool{true, true}, []float64{1, 2}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v, want 0.5", got)
+	}
+	if got := AUC(nil, nil); got != 0.5 {
+		t.Fatalf("empty AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// 3 pos, 3 neg with one inversion: hand-computed AUC = 8/9.
+	labels := []bool{false, false, true, false, true, true}
+	scores := []float64{1, 2, 3, 4, 5, 6}
+	if got := AUC(labels, scores); math.Abs(got-8.0/9) > 1e-12 {
+		t.Fatalf("AUC = %v, want %v", got, 8.0/9)
+	}
+}
+
+func TestAUCMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AUC([]bool{true}, []float64{1, 2})
+}
+
+// Property: AUC is invariant under strictly monotone score transforms,
+// and AUC(labels, -scores) = 1 − AUC(labels, scores) (for tie-free data).
+func TestAUCInvarianceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		labels := make([]bool, n)
+		scores := make([]float64, n)
+		perm := rng.Perm(n)
+		for i := range scores {
+			labels[i] = rng.Intn(2) == 0
+			scores[i] = float64(perm[i]) // distinct scores, no ties
+		}
+		base := AUC(labels, scores)
+		mono := make([]float64, n)
+		neg := make([]float64, n)
+		for i, s := range scores {
+			mono[i] = math.Exp(s/5) + 3
+			neg[i] = -s
+		}
+		if math.Abs(AUC(labels, mono)-base) > 1e-9 {
+			return false
+		}
+		return math.Abs(AUC(labels, neg)-(1-base)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	labels := []bool{true, false, true, false}
+	scores := []float64{0.9, 0.8, 0.4, 0.1}
+	roc := ROC(labels, scores)
+	first, last := roc[0], roc[len(roc)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Fatalf("ROC start = %+v", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("ROC end = %+v", last)
+	}
+}
+
+func TestImageLoss(t *testing.T) {
+	a := tensor.FromSlice([]float64{0, 0}, 2)
+	b := tensor.FromSlice([]float64{3, 4}, 2)
+	if got := ImageLoss(a, b); got != 5 {
+		t.Fatalf("ImageLoss = %v, want 5", got)
+	}
+	if got := ImageLoss(a, a); got != 0 {
+		t.Fatalf("self ImageLoss = %v", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	labels := []bool{true, false, true}
+	scores := []float64{0.9, 0.1, 0.2}
+	if got := Accuracy(labels, scores); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Fatalf("MeanStd = %v, %v", mean, std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd must be 0,0")
+	}
+}

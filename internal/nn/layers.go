@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	ad "github.com/gradsec/gradsec/internal/autodiff"
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// Conv2D is a 2-D convolutional layer (with optional fused max-pooling,
+// matching the paper's Table 4 where e.g. AlexNet's "Conv2D +MP2" counts
+// as a single layer L1).
+type Conv2D struct {
+	// Input geometry (per sample).
+	InC, InH, InW int
+	// Filters is the number of output channels.
+	Filters int
+	// KH, KW, Stride, Pad define the convolution window.
+	KH, KW, Stride, Pad int
+	// Pool applies Pool×Pool max-pooling (stride Pool) after the
+	// activation when > 0.
+	Pool int
+	// Act is the nonlinearity applied after the bias.
+	Act Activation
+
+	// W has shape [InC*KH*KW, Filters] so the im2col matmul is direct.
+	W *tensor.Tensor
+	// B has shape [1, Filters].
+	B *tensor.Tensor
+}
+
+// NewConv2D creates a convolutional layer with He-scaled Gaussian weights.
+func NewConv2D(rng *rand.Rand, inC, inH, inW, filters, k, stride, pad, pool int, act Activation) *Conv2D {
+	fanIn := inC * k * k
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		Filters: filters, KH: k, KW: k, Stride: stride, Pad: pad, Pool: pool, Act: act,
+		W: tensor.Randn(rng, std, fanIn, filters),
+		B: tensor.New(1, filters),
+	}
+}
+
+// ConvOutHW returns the spatial output size of the convolution itself
+// (before pooling).
+func (c *Conv2D) ConvOutHW() (int, int) {
+	g := tensor.NewConvGeom(1, c.InC, c.InH, c.InW, c.KH, c.KW, c.Stride, c.Pad)
+	return g.OutH, g.OutW
+}
+
+// OutHW returns the final spatial output size (after pooling, if any).
+func (c *Conv2D) OutHW() (int, int) {
+	oh, ow := c.ConvOutHW()
+	if c.Pool > 0 {
+		oh /= c.Pool
+		ow /= c.Pool
+	}
+	return oh, ow
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	pool := ""
+	if c.Pool > 0 {
+		pool = fmt.Sprintf("+MP%d", c.Pool)
+	}
+	return fmt.Sprintf("Conv2D%s(%d->%d %dx%d/%d/%d)", pool, c.InC, c.Filters, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// ParamCount implements Layer.
+func (c *Conv2D) ParamCount() int { return c.W.Size() + c.B.Size() }
+
+// InCells implements Layer.
+func (c *Conv2D) InCells() int { return c.InC * c.InH * c.InW }
+
+// OutCells implements Layer.
+func (c *Conv2D) OutCells() int {
+	oh, ow := c.OutHW()
+	return c.Filters * oh * ow
+}
+
+// Build implements Layer. Input may arrive in any shape with
+// batch×InCells elements; output has shape [batch, Filters, outH, outW].
+func (c *Conv2D) Build(x *ad.Node, paramVars []*ad.Node, batch int) *ad.Node {
+	w, b := paramVars[0], paramVars[1]
+	x4 := ad.Reshape(x, batch, c.InC, c.InH, c.InW)
+	g := tensor.NewConvGeom(batch, c.InC, c.InH, c.InW, c.KH, c.KW, c.Stride, c.Pad)
+	cols := ad.Im2Col(x4, g)                       // [batch*OH*OW, InC*KH*KW]
+	z := ad.AddRowBias(ad.MatMul(cols, w), b)      // [batch*OH*OW, F]
+	fm := colsToFeatureMap(z, batch, c.Filters, g) // [batch, F, OH, OW]
+	out := applyAct(c.Act, fm)
+	if c.Pool > 0 {
+		out = ad.MaxPool(out, c.Pool, c.Pool)
+	}
+	return out
+}
+
+// colsToFeatureMap permutes [batch*OH*OW, F] (row index = (n,oy,ox)) into
+// [batch, F, OH, OW] via a constant gather.
+func colsToFeatureMap(z *ad.Node, batch, filters int, g tensor.ConvGeom) *ad.Node {
+	oh, ow := g.OutH, g.OutW
+	idx := make([]int, batch*filters*oh*ow)
+	i := 0
+	for n := 0; n < batch; n++ {
+		for f := 0; f < filters; f++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					row := (n*oh+y)*ow + x
+					idx[i] = row*filters + f
+					i++
+				}
+			}
+		}
+	}
+	return ad.Gather(z, idx, batch, filters, oh, ow)
+}
+
+// Dense is a fully connected layer.
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	// W has shape [In, Out]; B has shape [1, Out].
+	W *tensor.Tensor
+	B *tensor.Tensor
+}
+
+// NewDense creates a dense layer with Xavier-scaled Gaussian weights.
+func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
+	std := math.Sqrt(2.0 / float64(in+out))
+	return &Dense{In: in, Out: out, Act: act,
+		W: tensor.Randn(rng, std, in, out),
+		B: tensor.New(1, out),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d->%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// ParamCount implements Layer.
+func (d *Dense) ParamCount() int { return d.W.Size() + d.B.Size() }
+
+// InCells implements Layer.
+func (d *Dense) InCells() int { return d.In }
+
+// OutCells implements Layer.
+func (d *Dense) OutCells() int { return d.Out }
+
+// Build implements Layer. Input of any shape with batch×In elements is
+// flattened; output is [batch, Out].
+func (d *Dense) Build(x *ad.Node, paramVars []*ad.Node, batch int) *ad.Node {
+	w, b := paramVars[0], paramVars[1]
+	x2 := ad.Reshape(x, batch, d.In)
+	return applyAct(d.Act, ad.AddRowBias(ad.MatMul(x2, w), b))
+}
+
+// Interface compliance checks.
+var (
+	_ Layer = (*Conv2D)(nil)
+	_ Layer = (*Dense)(nil)
+)
+
+func cloneLayer(l Layer) Layer {
+	switch t := l.(type) {
+	case *Conv2D:
+		c := *t
+		c.W = t.W.Clone()
+		c.B = t.B.Clone()
+		return &c
+	case *Dense:
+		c := *t
+		c.W = t.W.Clone()
+		c.B = t.B.Clone()
+		return &c
+	default:
+		panic(fmt.Sprintf("nn: cannot clone layer of type %T", l))
+	}
+}

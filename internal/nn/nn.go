@@ -1,0 +1,247 @@
+// Package nn is a from-scratch deep-neural-network framework — the Go
+// counterpart of the Darknet framework that DarkneTZ (and therefore the
+// paper's GradSec prototype) builds on. It provides convolutional,
+// max-pooling and dense layers over the autodiff engine, categorical
+// cross-entropy training, and the exact LeNet-5 and AlexNet architectures
+// of the paper's Table 4.
+//
+// Layer indices are 1-based in the paper ("L1".."Ln"); this package uses
+// 0-based slice indices and the repro harness translates.
+package nn
+
+import (
+	"fmt"
+
+	ad "github.com/gradsec/gradsec/internal/autodiff"
+	"github.com/gradsec/gradsec/internal/opt"
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations. ActSigmoid exists primarily for the DRIA model
+// zoo: the deep-leakage attack needs a twice-differentiable network.
+const (
+	ActNone Activation = iota + 1
+	ActReLU
+	ActSigmoid
+	ActTanh
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	case ActSigmoid:
+		return "sigmoid"
+	case ActTanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func applyAct(a Activation, x *ad.Node) *ad.Node {
+	switch a {
+	case ActNone, 0:
+		return x
+	case ActReLU:
+		return ad.ReLU(x)
+	case ActSigmoid:
+		return ad.Sigmoid(x)
+	case ActTanh:
+		return ad.Tanh(x)
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(a)))
+	}
+}
+
+// Layer is one trainable (or structural) stage of a network.
+type Layer interface {
+	// Name returns a short human-readable description.
+	Name() string
+	// Params returns the layer's parameter tensors (may be empty).
+	// Mutating the returned tensors updates the layer.
+	Params() []*tensor.Tensor
+	// Build appends the layer's computation to the graph. paramVars must
+	// contain one Var node per Params() entry, wrapping those tensors.
+	Build(x *ad.Node, paramVars []*ad.Node, batch int) *ad.Node
+	// InCells returns the number of input activation cells per sample
+	// (|A_{l-1}| in the paper's notation).
+	InCells() int
+	// OutCells returns the number of output activation cells per sample
+	// (|Z_l| = |δ_l|).
+	OutCells() int
+	// ParamCount returns the total number of scalar parameters.
+	ParamCount() int
+}
+
+// Network is an ordered stack of layers ending in classification logits.
+type Network struct {
+	Label  string
+	Layers []Layer
+}
+
+// Forward holds the graph produced by one forward pass.
+type Forward struct {
+	// Output is the logits node [batch, classes].
+	Output *ad.Node
+	// Input is the Var node wrapping the input batch.
+	Input *ad.Node
+	// ParamVars mirrors Network.Layers: one Var per parameter tensor.
+	ParamVars [][]*ad.Node
+	// LayerOutputs[i] is the output node of layer i.
+	LayerOutputs []*ad.Node
+}
+
+// NumLayers returns the number of layers.
+func (n *Network) NumLayers() int { return len(n.Layers) }
+
+// Params returns all parameter tensors grouped by layer.
+func (n *Network) Params() [][]*tensor.Tensor {
+	out := make([][]*tensor.Tensor, len(n.Layers))
+	for i, l := range n.Layers {
+		out[i] = l.Params()
+	}
+	return out
+}
+
+// FlatParams returns all parameter tensors in a single slice ordered by
+// layer then position.
+func (n *Network) FlatParams() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.ParamCount()
+	}
+	return total
+}
+
+// BuildForward constructs the forward graph for input x (any shape whose
+// element count matches batch × input cells). The input node is a Var so
+// that attacks can differentiate with respect to it.
+func (n *Network) BuildForward(x *tensor.Tensor, batch int) *Forward {
+	in := ad.Var(x)
+	f := &Forward{Input: in, ParamVars: make([][]*ad.Node, len(n.Layers)), LayerOutputs: make([]*ad.Node, len(n.Layers))}
+	cur := in
+	for i, l := range n.Layers {
+		ps := l.Params()
+		vars := make([]*ad.Node, len(ps))
+		for j, p := range ps {
+			vars[j] = ad.Var(p)
+		}
+		f.ParamVars[i] = vars
+		cur = l.Build(cur, vars, batch)
+		f.LayerOutputs[i] = cur
+	}
+	f.Output = cur
+	return f
+}
+
+// LossGraph builds forward + categorical cross-entropy loss against
+// one-hot labels y [batch, classes].
+func (n *Network) LossGraph(x, y *tensor.Tensor) (*ad.Node, *Forward) {
+	batch := y.Shape[0]
+	f := n.BuildForward(x, batch)
+	return ad.SoftmaxCrossEntropy(f.Output, y), f
+}
+
+// Gradients runs a full forward/backward pass and returns the loss and
+// per-layer parameter gradients (dW_l in the paper's notation).
+func (n *Network) Gradients(x, y *tensor.Tensor) (float64, [][]*tensor.Tensor) {
+	loss, f := n.LossGraph(x, y)
+	var flat []*ad.Node
+	for _, vars := range f.ParamVars {
+		flat = append(flat, vars...)
+	}
+	gs := ad.GradValues(loss, flat)
+	out := make([][]*tensor.Tensor, len(n.Layers))
+	k := 0
+	for i, vars := range f.ParamVars {
+		out[i] = gs[k : k+len(vars)]
+		k += len(vars)
+	}
+	return ad.Scalar(loss), out
+}
+
+// TrainStep performs one optimizer step on batch (x, y) and returns the
+// pre-step loss.
+func (n *Network) TrainStep(x, y *tensor.Tensor, o opt.Optimizer) float64 {
+	loss, grads := n.Gradients(x, y)
+	var flatP, flatG []*tensor.Tensor
+	for i := range grads {
+		flatP = append(flatP, n.Layers[i].Params()...)
+		flatG = append(flatG, grads[i]...)
+	}
+	o.Step(flatP, flatG)
+	return loss
+}
+
+// Predict returns the logits for x with the given batch size.
+func (n *Network) Predict(x *tensor.Tensor, batch int) *tensor.Tensor {
+	return n.BuildForward(x, batch).Output.Value
+}
+
+// Accuracy returns top-1 accuracy of the network on (x, y).
+func (n *Network) Accuracy(x, y *tensor.Tensor) float64 {
+	batch := y.Shape[0]
+	logits := n.Predict(x, batch)
+	pred := tensor.ArgMaxRows(logits)
+	truth := tensor.ArgMaxRows(y)
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// StateDict returns deep copies of all parameters, ordered like FlatParams.
+func (n *Network) StateDict() []*tensor.Tensor {
+	ps := n.FlatParams()
+	out := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// LoadState copies the given tensors (ordered like FlatParams) into the
+// network's parameters. It returns an error on any shape mismatch.
+func (n *Network) LoadState(state []*tensor.Tensor) error {
+	ps := n.FlatParams()
+	if len(state) != len(ps) {
+		return fmt.Errorf("nn: state has %d tensors, network has %d", len(state), len(ps))
+	}
+	for i, p := range ps {
+		if !p.SameShape(state[i]) {
+			return fmt.Errorf("nn: state tensor %d shape %v does not match parameter shape %v", i, state[i].Shape, p.Shape)
+		}
+	}
+	for i, p := range ps {
+		copy(p.Data, state[i].Data)
+	}
+	return nil
+}
+
+// Clone returns a structurally identical network with deep-copied weights.
+// Layer configuration structs are shared metadata copies.
+func (n *Network) Clone() *Network {
+	c := &Network{Label: n.Label, Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		c.Layers[i] = cloneLayer(l)
+	}
+	return c
+}

@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ad "github.com/gradsec/gradsec/internal/autodiff"
+	"github.com/gradsec/gradsec/internal/opt"
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+func TestConv2DShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(rng, 3, 32, 32, 12, 5, 2, 2, 0, ActReLU)
+	oh, ow := c.OutHW()
+	if oh != 16 || ow != 16 {
+		t.Fatalf("OutHW = %dx%d, want 16x16", oh, ow)
+	}
+	if c.InCells() != 3072 || c.OutCells() != 16*16*12 {
+		t.Fatalf("cells = %d/%d", c.InCells(), c.OutCells())
+	}
+	if c.ParamCount() != 3*5*5*12+12 {
+		t.Fatalf("ParamCount = %d", c.ParamCount())
+	}
+}
+
+func TestConv2DPooledShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(rng, 3, 32, 32, 64, 3, 2, 1, 2, ActReLU)
+	oh, ow := c.OutHW()
+	if oh != 8 || ow != 8 {
+		t.Fatalf("pooled OutHW = %dx%d, want 8x8", oh, ow)
+	}
+}
+
+func TestConv2DForwardMatchesManual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// 1 channel, 3x3 input, single 2x2 identity-corner filter.
+	c := NewConv2D(rng, 1, 3, 3, 1, 2, 1, 0, 0, ActNone)
+	c.W.Fill(0)
+	c.W.Set(1, 0, 0) // top-left kernel weight only
+	c.B.Fill(0.5)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 1, 3, 3)
+	out := buildLayer(c, x, 1)
+	// Each output = x[top-left of window] + 0.5.
+	want := []float64{1.5, 2.5, 4.5, 5.5}
+	for i, v := range want {
+		if math.Abs(out.Value.Data[i]-v) > 1e-12 {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Value.Data[i], v)
+		}
+	}
+	if got := out.Value.Shape; got[0] != 1 || got[1] != 1 || got[2] != 2 || got[3] != 2 {
+		t.Fatalf("out shape = %v", got)
+	}
+}
+
+func buildLayer(l Layer, x *tensor.Tensor, batch int) *ad.Node {
+	ps := l.Params()
+	vars := make([]*ad.Node, len(ps))
+	for i, p := range ps {
+		vars[i] = ad.Var(p)
+	}
+	return l.Build(ad.Var(x), vars, batch)
+}
+
+func TestConv2DFeatureMapLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Two filters: filter 0 outputs 0 everywhere, filter 1 outputs 1s
+	// (via bias). Channel layout must group filter outputs contiguously.
+	c := NewConv2D(rng, 1, 2, 2, 2, 1, 1, 0, 0, ActNone)
+	c.W.Fill(0)
+	c.B.Set(0, 0, 0)
+	c.B.Set(1, 0, 1)
+	x := tensor.Full(3, 1, 1, 2, 2)
+	out := buildLayer(c, x, 1) // [1, 2, 2, 2]
+	for i := 0; i < 4; i++ {
+		if out.Value.Data[i] != 0 {
+			t.Fatalf("filter-0 plane contains %v at %d", out.Value.Data[i], i)
+		}
+		if out.Value.Data[4+i] != 1 {
+			t.Fatalf("filter-1 plane contains %v at %d", out.Value.Data[4+i], 4+i)
+		}
+	}
+}
+
+func TestDenseForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDense(rng, 2, 2, ActNone)
+	copy(d.W.Data, []float64{1, 2, 3, 4})
+	copy(d.B.Data, []float64{10, 20})
+	x := tensor.FromSlice([]float64{1, 1}, 1, 2)
+	out := buildLayer(d, x, 1)
+	want := []float64{1 + 3 + 10, 2 + 4 + 20}
+	for i, v := range want {
+		if out.Value.Data[i] != v {
+			t.Fatalf("dense out[%d] = %v, want %v", i, out.Value.Data[i], v)
+		}
+	}
+}
+
+// Full-network gradient check against central finite differences on every
+// parameter of a tiny conv net.
+func TestNetworkGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewTinyConvNet(rng, 1, 6, 6, 3, ActSigmoid)
+	x := tensor.Randn(rng, 1, 2, 1, 6, 6)
+	y := tensor.New(2, 3)
+	y.Set(1, 0, 1)
+	y.Set(1, 1, 2)
+
+	_, grads := net.Gradients(x, y)
+
+	const h = 1e-6
+	for li, layer := range net.Layers {
+		for pi, p := range layer.Params() {
+			for ei := 0; ei < len(p.Data); ei += 7 { // sample every 7th element
+				orig := p.Data[ei]
+				p.Data[ei] = orig + h
+				lp, _ := net.Gradients(x, y)
+				p.Data[ei] = orig - h
+				lm, _ := net.Gradients(x, y)
+				p.Data[ei] = orig
+				num := (lp - lm) / (2 * h)
+				got := grads[li][pi].Data[ei]
+				if math.Abs(got-num) > 1e-4*(1+math.Abs(num)) {
+					t.Fatalf("layer %d param %d elem %d: grad %v, numeric %v", li, pi, ei, got, num)
+				}
+			}
+		}
+	}
+}
+
+func TestTrainStepReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewTinyMLP(rng, 4, 16, 3, ActReLU)
+	x := tensor.Randn(rng, 1, 12, 4)
+	y := tensor.New(12, 3)
+	for i := 0; i < 12; i++ {
+		y.Set(1, i, i%3)
+	}
+	o := opt.NewSGD(0.5, 0.9)
+	first := net.TrainStep(x, y, o)
+	var last float64
+	for i := 0; i < 60; i++ {
+		last = net.TrainStep(x, y, o)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %v, last %v", first, last)
+	}
+	if acc := net.Accuracy(x, y); acc < 0.9 {
+		t.Fatalf("accuracy after training = %v, want ≥0.9", acc)
+	}
+}
+
+func TestConvNetLearnsSeparableTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewTinyConvNet(rng, 1, 6, 6, 2, ActReLU)
+	// Class 0: bright top-left quadrant; class 1: bright bottom-right.
+	n := 16
+	x := tensor.New(n, 1, 6, 6)
+	y := tensor.New(n, 2)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		y.Set(1, i, cls)
+		for dy := 0; dy < 3; dy++ {
+			for dx := 0; dx < 3; dx++ {
+				if cls == 0 {
+					x.Set(1+0.1*rng.NormFloat64(), i, 0, dy, dx)
+				} else {
+					x.Set(1+0.1*rng.NormFloat64(), i, 0, 3+dy, 3+dx)
+				}
+			}
+		}
+	}
+	o := opt.NewAdam(0.01)
+	for i := 0; i < 80; i++ {
+		net.TrainStep(x, y, o)
+	}
+	if acc := net.Accuracy(x, y); acc < 0.95 {
+		t.Fatalf("conv net failed to learn separable task: acc = %v", acc)
+	}
+}
+
+func TestStateDictLoadStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewTinyMLP(rng, 3, 5, 2, ActReLU)
+	b := NewTinyMLP(rng, 3, 5, 2, ActReLU)
+	state := a.StateDict()
+	if err := b.LoadState(state); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range a.FlatParams() {
+		if !p.EqualApprox(b.FlatParams()[i], 0) {
+			t.Fatalf("param %d mismatch after LoadState", i)
+		}
+	}
+	// LoadState must copy, not alias.
+	state[0].Data[0] += 99
+	if a.FlatParams()[0].Data[0] == state[0].Data[0] {
+		t.Fatal("StateDict must deep-copy")
+	}
+}
+
+func TestLoadStateShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := NewTinyMLP(rng, 3, 5, 2, ActReLU)
+	b := NewTinyMLP(rng, 3, 6, 2, ActReLU)
+	if err := a.LoadState(b.StateDict()); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+	if err := a.LoadState(nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewTinyConvNet(rng, 1, 6, 6, 2, ActReLU)
+	b := a.Clone()
+	b.FlatParams()[0].Data[0] += 42
+	if a.FlatParams()[0].Data[0] == b.FlatParams()[0].Data[0] {
+		t.Fatal("Clone must deep-copy parameters")
+	}
+	if a.NumLayers() != b.NumLayers() {
+		t.Fatal("Clone must preserve structure")
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	for _, a := range []Activation{ActNone, ActReLU, ActSigmoid, ActTanh} {
+		if a.String() == "" {
+			t.Fatalf("empty String for %d", int(a))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// Table 4 of the paper, transcribed: per-layer input/output sizes.
+func TestLeNet5MatchesTable4(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewLeNet5(rng, ActReLU)
+	if net.NumLayers() != 5 {
+		t.Fatalf("LeNet-5 layers = %d, want 5", net.NumLayers())
+	}
+	wantIn := []int{32 * 32 * 3, 16 * 16 * 12, 8 * 8 * 12, 8 * 8 * 12, 768}
+	wantOut := []int{16 * 16 * 12, 8 * 8 * 12, 8 * 8 * 12, 8 * 8 * 12, 100}
+	for i, l := range net.Layers {
+		if l.InCells() != wantIn[i] {
+			t.Errorf("L%d InCells = %d, want %d", i+1, l.InCells(), wantIn[i])
+		}
+		if l.OutCells() != wantOut[i] {
+			t.Errorf("L%d OutCells = %d, want %d", i+1, l.OutCells(), wantOut[i])
+		}
+	}
+	// The paper highlights L5's 76.8K weight parameters.
+	if w := net.Layers[4].(*Dense).W.Size(); w != 76800 {
+		t.Fatalf("L5 weights = %d, want 76800", w)
+	}
+}
+
+func TestAlexNetMatchesTable4(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewAlexNet(rng)
+	if net.NumLayers() != 8 {
+		t.Fatalf("AlexNet layers = %d, want 8", net.NumLayers())
+	}
+	wantOut := []int{
+		8 * 8 * 64,
+		4 * 4 * 192,
+		4 * 4 * 384,
+		4 * 4 * 256,
+		2 * 2 * 256,
+		4096,
+		4096,
+		100,
+	}
+	for i, l := range net.Layers {
+		if l.OutCells() != wantOut[i] {
+			t.Errorf("L%d OutCells = %d, want %d", i+1, l.OutCells(), wantOut[i])
+		}
+	}
+	if in := net.Layers[5].InCells(); in != 1024 {
+		t.Fatalf("L6 input = %d, want 1024", in)
+	}
+}
+
+func TestLeNet5ForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewLeNet5(rng, ActReLU)
+	x := tensor.Randn(rng, 0.5, 2, 3, 32, 32)
+	out := net.Predict(x, 2)
+	if out.Shape[0] != 2 || out.Shape[1] != 100 {
+		t.Fatalf("LeNet-5 output shape = %v, want [2 100]", out.Shape)
+	}
+}
+
+func TestAlexNetSForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewAlexNetS(rng, 16, ActReLU)
+	if net.NumLayers() != 8 {
+		t.Fatalf("AlexNet-S layers = %d, want 8", net.NumLayers())
+	}
+	x := tensor.Randn(rng, 0.5, 1, 3, 32, 32)
+	out := net.Predict(x, 1)
+	if out.Shape[1] != 100 {
+		t.Fatalf("AlexNet-S output shape = %v", out.Shape)
+	}
+}
+
+func TestAlexNetSScaleOneEqualsAlexNetShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	full := NewAlexNet(rng)
+	s1 := NewAlexNetS(rng, 1, ActReLU)
+	for i := range full.Layers {
+		if full.Layers[i].ParamCount() != s1.Layers[i].ParamCount() {
+			t.Fatalf("L%d param count %d != %d", i+1, full.Layers[i].ParamCount(), s1.Layers[i].ParamCount())
+		}
+	}
+}
+
+func TestAlexNetParamCountIsLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewAlexNet(rng)
+	// Sanity: AlexNet per Table 4 has >20M params (dominated by L7's
+	// 4096×4096 and L6's 1024×4096).
+	if pc := net.ParamCount(); pc < 20_000_000 {
+		t.Fatalf("AlexNet ParamCount = %d, want >20M", pc)
+	}
+}
+
+func TestZooDeterministicWithSeed(t *testing.T) {
+	a := NewLeNet5(rand.New(rand.NewSource(42)), ActReLU)
+	b := NewLeNet5(rand.New(rand.NewSource(42)), ActReLU)
+	for i, p := range a.FlatParams() {
+		if !p.EqualApprox(b.FlatParams()[i], 0) {
+			t.Fatal("same seed must produce identical weights")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package opt
+
+import "math"
+
+// Objective evaluates a scalar function and its gradient at x.
+// Implementations must not retain x.
+type Objective func(x []float64) (f float64, grad []float64)
+
+// LBFGSConfig configures the limited-memory BFGS minimiser.
+type LBFGSConfig struct {
+	// History is the number of (s, y) curvature pairs to keep. Zero means 10.
+	History int
+	// MaxIter bounds the number of outer iterations. Zero means 100.
+	MaxIter int
+	// GradTol stops when ‖∇f‖∞ falls below it. Zero means 1e-8.
+	GradTol float64
+	// MaxLineSearch bounds backtracking steps per iteration. Zero means 25.
+	MaxLineSearch int
+}
+
+// LBFGSResult reports the outcome of a minimisation.
+type LBFGSResult struct {
+	X         []float64
+	F         float64
+	Iters     int
+	Converged bool
+}
+
+// LBFGS minimises obj starting from x0 using L-BFGS with an
+// Armijo-backtracking line search. The deep-leakage-from-gradients attack
+// of the paper (Zhu et al., 2019) uses exactly this family of optimizer
+// for its gradient-matching objective.
+func LBFGS(obj Objective, x0 []float64, cfg LBFGSConfig) LBFGSResult {
+	if cfg.History == 0 {
+		cfg.History = 10
+	}
+	if cfg.MaxIter == 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.GradTol == 0 {
+		cfg.GradTol = 1e-8
+	}
+	if cfg.MaxLineSearch == 0 {
+		cfg.MaxLineSearch = 25
+	}
+
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	f, g := obj(x)
+
+	var sHist, yHist [][]float64
+	var rhoHist []float64
+	alpha := make([]float64, cfg.History)
+
+	res := LBFGSResult{X: x, F: f}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		res.Iters = iter + 1
+		if normInf(g) < cfg.GradTol {
+			res.Converged = true
+			break
+		}
+
+		// Two-loop recursion computes d = −H·g.
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = -g[i]
+		}
+		for i := len(sHist) - 1; i >= 0; i-- {
+			alpha[i] = rhoHist[i] * dot(sHist[i], d)
+			axpy(-alpha[i], yHist[i], d)
+		}
+		if m := len(sHist); m > 0 {
+			// Scale by the standard γ = sᵀy/yᵀy initial Hessian estimate.
+			gamma := dot(sHist[m-1], yHist[m-1]) / dot(yHist[m-1], yHist[m-1])
+			if gamma > 0 && !math.IsInf(gamma, 0) && !math.IsNaN(gamma) {
+				for i := range d {
+					d[i] *= gamma
+				}
+			}
+		}
+		for i := 0; i < len(sHist); i++ {
+			beta := rhoHist[i] * dot(yHist[i], d)
+			axpy(alpha[i]-beta, sHist[i], d)
+		}
+
+		// Ensure a descent direction; fall back to steepest descent.
+		dg := dot(d, g)
+		if dg >= 0 {
+			for i := range d {
+				d[i] = -g[i]
+			}
+			dg = -dot(g, g)
+		}
+
+		// Weak-Wolfe line search via bisection (Lewis–Overton): the
+		// curvature condition keeps the (s, y) pairs well conditioned,
+		// which Armijo-only backtracking does not guarantee.
+		const (
+			c1 = 1e-4
+			c2 = 0.9
+		)
+		step, lo, hi := 1.0, 0.0, math.Inf(1)
+		var fNew float64
+		var gNew []float64
+		xNew := make([]float64, n)
+		ok := false
+		var fBest float64
+		var gBest, xBest []float64
+		for ls := 0; ls < cfg.MaxLineSearch; ls++ {
+			for i := range xNew {
+				xNew[i] = x[i] + step*d[i]
+			}
+			fNew, gNew = obj(xNew)
+			switch {
+			case math.IsNaN(fNew) || fNew > f+c1*step*dg: // Armijo fails
+				hi = step
+				step = (lo + hi) / 2
+			case dot(gNew, d) < c2*dg: // curvature fails
+				// Remember the Armijo-feasible point in case we give up.
+				fBest = fNew
+				gBest = append(gBest[:0], gNew...)
+				xBest = append(xBest[:0], xNew...)
+				lo = step
+				if math.IsInf(hi, 1) {
+					step *= 2
+				} else {
+					step = (lo + hi) / 2
+				}
+			default:
+				ok = true
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			if xBest == nil {
+				// Not even Armijo progress was possible; stop.
+				break
+			}
+			xNew, fNew, gNew = xBest, fBest, gBest
+		}
+
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			y[i] = gNew[i] - g[i]
+		}
+		sy := dot(s, y)
+		if sy > 1e-12 {
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+			if len(sHist) > cfg.History {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+		}
+
+		x, f, g = xNew, fNew, gNew
+		res.X, res.F = x, f
+	}
+	return res
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+func normInf(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+// Package opt provides the optimizers used by the GradSec reproduction:
+// SGD with momentum and Adam for model training, and a limited-memory
+// BFGS minimiser (the optimizer the deep-leakage-from-gradients attack
+// uses in the paper) for the DRIA reconstruction.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// Optimizer updates a fixed set of parameter tensors in place from their
+// gradients. Implementations keep per-parameter state keyed by position,
+// so Step must always be called with the same parameter list.
+type Optimizer interface {
+	Step(params, grads []*tensor.Tensor)
+}
+
+// SGD implements stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity []*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum coefficient (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step applies one SGD update: w ← w − lr·(μ·v + g).
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	checkLens(params, grads)
+	if s.Momentum == 0 {
+		for i, p := range params {
+			tensor.AxPy(-s.LR, grads[i], p)
+		}
+		return
+	}
+	if s.velocity == nil {
+		s.velocity = zerosLike(params)
+	}
+	for i, p := range params {
+		v := s.velocity[i]
+		for j := range v.Data {
+			v.Data[j] = s.Momentum*v.Data[j] + grads[i].Data[j]
+			p.Data[j] -= s.LR * v.Data[j]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) with the usual
+// bias-corrected moment estimates.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t    int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for the moment
+// decays (0.9, 0.999) and epsilon (1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(params, grads []*tensor.Tensor) {
+	checkLens(params, grads)
+	if a.m == nil {
+		a.m = zerosLike(params)
+		a.v = zerosLike(params)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v, g := a.m[i], a.v[i], grads[i]
+		for j := range p.Data {
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g.Data[j]
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g.Data[j]*g.Data[j]
+			mh := m.Data[j] / c1
+			vh := v.Data[j] / c2
+			p.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+func checkLens(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("opt: %d params but %d grads", len(params), len(grads)))
+	}
+}
+
+func zerosLike(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = tensor.New(t.Shape...)
+	}
+	return out
+}

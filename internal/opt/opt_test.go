@@ -1,0 +1,147 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// quadratic builds f(x) = Σ a_i (x_i − c_i)² with its gradient.
+func quadratic(a, c []float64) Objective {
+	return func(x []float64) (float64, []float64) {
+		f := 0.0
+		g := make([]float64, len(x))
+		for i := range x {
+			d := x[i] - c[i]
+			f += a[i] * d * d
+			g[i] = 2 * a[i] * d
+		}
+		return f, g
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := tensor.FromSlice([]float64{5, -3}, 2)
+	s := NewSGD(0.1, 0)
+	for i := 0; i < 200; i++ {
+		g := tensor.Scale(p, 2) // grad of ‖p‖²
+		s.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	}
+	if tensor.Norm2(p) > 1e-6 {
+		t.Fatalf("SGD did not converge: %v", p.Data)
+	}
+}
+
+func TestSGDMomentumFasterOnIllConditioned(t *testing.T) {
+	run := func(momentum float64) int {
+		p := tensor.FromSlice([]float64{10, 10}, 2)
+		s := NewSGD(0.02, momentum)
+		for i := 0; i < 3000; i++ {
+			g := tensor.FromSlice([]float64{2 * p.Data[0], 40 * p.Data[1]}, 2)
+			s.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+			if tensor.Norm2(p) < 1e-4 {
+				return i
+			}
+		}
+		return 3000
+	}
+	if plain, mom := run(0), run(0.9); mom >= plain {
+		t.Fatalf("momentum (%d iters) should beat plain SGD (%d iters)", mom, plain)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := tensor.FromSlice([]float64{5, -3, 2}, 3)
+	a := NewAdam(0.1)
+	for i := 0; i < 2000; i++ {
+		g := tensor.Scale(p, 2)
+		a.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	}
+	if tensor.Norm2(p) > 1e-3 {
+		t.Fatalf("Adam did not converge: %v", p.Data)
+	}
+}
+
+func TestStepLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on params/grads length mismatch")
+		}
+	}()
+	NewSGD(0.1, 0).Step([]*tensor.Tensor{tensor.New(1)}, nil)
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	obj := quadratic([]float64{1, 10, 100}, []float64{1, -2, 3})
+	res := LBFGS(obj, []float64{0, 0, 0}, LBFGSConfig{MaxIter: 100, GradTol: 1e-10})
+	want := []float64{1, -2, 3}
+	for i, v := range want {
+		if math.Abs(res.X[i]-v) > 1e-6 {
+			t.Fatalf("LBFGS x[%d] = %v, want %v (converged=%v iters=%d)", i, res.X[i], v, res.Converged, res.Iters)
+		}
+	}
+	if !res.Converged {
+		t.Fatal("LBFGS should report convergence on a quadratic")
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	rosen := func(x []float64) (float64, []float64) {
+		a, b := x[0], x[1]
+		f := (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+		g := []float64{
+			-2*(1-a) - 400*a*(b-a*a),
+			200 * (b - a*a),
+		}
+		return f, g
+	}
+	res := LBFGS(rosen, []float64{-1.2, 1}, LBFGSConfig{MaxIter: 500, GradTol: 1e-8})
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Fatalf("Rosenbrock minimum not found: %v (f=%v, iters=%d)", res.X, res.F, res.Iters)
+	}
+}
+
+func TestLBFGSBeatsGradientDescentOnIllConditioned(t *testing.T) {
+	a := []float64{1, 1000}
+	c := []float64{2, -1}
+	obj := quadratic(a, c)
+
+	res := LBFGS(obj, []float64{0, 0}, LBFGSConfig{MaxIter: 50, GradTol: 1e-10})
+	if !res.Converged {
+		t.Fatalf("LBFGS failed to converge in 50 iters on ill-conditioned quadratic (f=%v)", res.F)
+	}
+}
+
+// Property: LBFGS never increases the objective between start and finish.
+func TestLBFGSMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4
+		a := make([]float64, n)
+		c := make([]float64, n)
+		x0 := make([]float64, n)
+		for i := range a {
+			a[i] = 0.5 + r.Float64()*10
+			c[i] = r.NormFloat64() * 3
+			x0[i] = r.NormFloat64() * 3
+		}
+		obj := quadratic(a, c)
+		f0, _ := obj(x0)
+		res := LBFGS(obj, x0, LBFGSConfig{MaxIter: 30})
+		return res.F <= f0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLBFGSZeroGradientImmediateConvergence(t *testing.T) {
+	obj := quadratic([]float64{1}, []float64{5})
+	res := LBFGS(obj, []float64{5}, LBFGSConfig{})
+	if !res.Converged || res.Iters != 1 {
+		t.Fatalf("expected immediate convergence, got iters=%d converged=%v", res.Iters, res.Converged)
+	}
+}

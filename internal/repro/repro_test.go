@@ -1,0 +1,148 @@
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse a "1.234s" / "1.234MB" / "0.123" cell back to a float.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "MB"), "s")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("unparseable cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTable6TracksPaper(t *testing.T) {
+	tab := Table6()
+	if len(tab.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		paper, measured := cell(t, row[1]), cell(t, row[2])
+		if paper == 0 {
+			continue
+		}
+		if rel := abs(measured-paper) / paper; rel > 0.12 {
+			t.Errorf("%s: measured %.3f vs paper %.3f (rel %.0f%%)", row[0], measured, paper, rel*100)
+		}
+		pm, mm := cell(t, row[3]), cell(t, row[4])
+		if pm > 0 {
+			if rel := abs(mm-pm) / pm; rel > 0.15 {
+				t.Errorf("%s memory: measured %.3f vs paper %.3f", row[0], mm, pm)
+			}
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestFigure7And8Shapes(t *testing.T) {
+	f7 := Figure7()
+	if len(f7.Rows) != 10 {
+		t.Fatalf("fig7 rows = %d", len(f7.Rows))
+	}
+	f8 := Figure8()
+	if len(f8.Rows) != 3 {
+		t.Fatalf("fig8 rows = %d", len(f8.Rows))
+	}
+	// GradSec static must be cheaper than DarkneTZ in both time and memory.
+	gs, dz := cell(t, f8.Rows[0][1]), cell(t, f8.Rows[1][1])
+	if gs >= dz {
+		t.Fatalf("static GradSec %.3f must beat DarkneTZ %.3f", gs, dz)
+	}
+	dyn := cell(t, f8.Rows[2][1])
+	if dyn >= gs {
+		t.Fatalf("dynamic average %.3f must beat static %.3f", dyn, gs)
+	}
+}
+
+func TestTable1Assembles(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("table1 rows = %d", len(tab.Rows))
+	}
+	// The gains row must contain percentages near the paper's claims.
+	if !strings.Contains(tab.Rows[3][4], "%") {
+		t.Fatalf("gain cell = %q", tab.Rows[3][4])
+	}
+}
+
+func TestByIDCoversAllArtefacts(t *testing.T) {
+	for _, id := range []string{"table6", "fig7", "fig8", "table1"} {
+		if ByID(id) == nil {
+			t.Fatalf("ByID(%q) = nil", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Fatal("unknown id must be nil")
+	}
+}
+
+func TestSecurityArtefactShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack experiments are slow in -short mode")
+	}
+	old := DefaultScale
+	DefaultScale = SecurityScale{DRIAIters: 40, MIASamples: 32, DPIACycles: 60}
+	defer func() { DefaultScale = old }()
+
+	f5 := Figure5a()
+	// Unprotected reconstruction must beat the L2-protected one.
+	open, l2 := cell(t, f5.Rows[0][1]), cell(t, f5.Rows[2][1])
+	if open >= l2 {
+		t.Fatalf("fig5a: open %.3f must beat L2-protected %.3f", open, l2)
+	}
+
+	f6 := Figure6a()
+	openAUC := cell(t, f6.Rows[0][2])
+	allAUC := cell(t, f6.Rows[len(f6.Rows)-1][2])
+	if openAUC < 0.7 {
+		t.Fatalf("fig6a open AUC = %.3f", openAUC)
+	}
+	if abs(allAUC-0.5) > 0.15 {
+		t.Fatalf("fig6a full-protection AUC = %.3f", allAUC)
+	}
+
+	t5 := Table5()
+	openDPIA := cell(t, t5.Rows[0][2])
+	if openDPIA < 0.7 {
+		t.Fatalf("table5 open AUC = %.3f", openDPIA)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	smc := AblationSMC()
+	if len(smc.Rows) != 6 {
+		t.Fatalf("smc rows = %d", len(smc.Rows))
+	}
+	// At the calibrated Pi switch cost, scattered must win.
+	if !strings.HasPrefix(smc.Rows[1][3], "+") {
+		t.Fatalf("scattered should win at 300µs: %v", smc.Rows[1])
+	}
+	enc := AblationEnclaveSize()
+	for _, row := range enc.Rows {
+		if row[4] != "yes" && row[0] != "all layers" {
+			t.Errorf("%s should fit a 4MB enclave", row[0])
+		}
+	}
+}
+
+func TestPrintRendersEveryColumn(t *testing.T) {
+	tab := Table6()
+	var sb strings.Builder
+	tab.Print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "table6") || !strings.Contains(out, "L2+L5") {
+		t.Fatalf("print output incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,308 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gradsec/gradsec/internal/attack"
+	"github.com/gradsec/gradsec/internal/core"
+	"github.com/gradsec/gradsec/internal/dataset"
+	"github.com/gradsec/gradsec/internal/nn"
+)
+
+// SecurityScale tunes the security experiments' cost. Benchmarks may
+// lower it; the defaults finish in a couple of minutes on a laptop core.
+type SecurityScale struct {
+	DRIAIters  int
+	MIASamples int
+	DPIACycles int
+}
+
+// DefaultScale is used by the CLI and benchmarks.
+var DefaultScale = SecurityScale{DRIAIters: 120, MIASamples: 72, DPIACycles: 140}
+
+// miaGen builds the CIFAR-100-like corpus at mini scale.
+func miaGen(seed int64) *dataset.Generator {
+	g := dataset.NewGenerator(rand.New(rand.NewSource(seed)), 10, 1, 16, 16, 1.0)
+	g.ScaleJitter = 0.5
+	g.Diversity = 0.5
+	return g
+}
+
+// Figure5a reproduces the DRIA sweep on LeNet-5(-mini): ImageLoss of the
+// reconstruction for no protection and for each single protected layer,
+// for two different images ("person" ≈ a face sample, "table" ≈ a
+// procedural object image), as in the paper's Figure 5a.
+func Figure5a() *Table {
+	t := &Table{
+		ID:     "fig5a",
+		Title:  "DRIA ImageLoss vs protected layer (LeNet-5-mini, sigmoid, L-BFGS)",
+		Header: []string{"Protected", "ImageLoss(person)", "ImageLoss(table)"},
+		Notes: []string{
+			"paper shape: unprotected ⇒ ImageLoss < 1 (reconstruction succeeds);",
+			"protecting an early conv layer (esp. L2) ⇒ loss explodes (attack fails)",
+		},
+	}
+	net := nn.NewLeNet5Mini(rand.New(rand.NewSource(3)), nn.ActSigmoid)
+	faces := dataset.NewFaceGenerator(rand.New(rand.NewSource(4)), 10, 1, 16, 16, 0.02)
+	things := dataset.NewGenerator(rand.New(rand.NewSource(5)), 10, 1, 16, 16, 0.02)
+	person := faces.Sample(rand.New(rand.NewSource(6)), 0, false).Reshape(1, 1, 16, 16)
+	table := things.Sample(rand.New(rand.NewSource(7)), 3).Reshape(1, 1, 16, 16)
+	y := dataset.OneHot([]int{0}, 10)
+	y2 := dataset.OneHot([]int{3}, 10)
+
+	cfg := attack.DRIAConfig{Iterations: DefaultScale.DRIAIters, Seed: 8}
+	for layer := 0; layer <= net.NumLayers(); layer++ {
+		var prot []int
+		label := "None"
+		if layer > 0 {
+			prot = []int{layer - 1}
+			label = fmt.Sprintf("L%d", layer)
+		}
+		rp := attack.DRIA(net, person, y, prot, cfg)
+		rt := attack.DRIA(net, table, y2, prot, cfg)
+		t.Rows = append(t.Rows, []string{label, f3(rp.ImageLoss), f3(rt.ImageLoss)})
+	}
+	return t
+}
+
+// Figure5b reproduces the DRIA sweep on AlexNet(-S): the paper could not
+// obtain a clear reconstruction even unprotected (max-pooling destroys
+// gradient invertibility), and protection makes it strictly worse.
+func Figure5b() *Table {
+	t := &Table{
+		ID:     "fig5b",
+		Title:  "DRIA ImageLoss vs protected layer (AlexNet-S, Adam)",
+		Header: []string{"Protected", "ImageLoss"},
+		Notes: []string{
+			"paper: no clear image even unprotected; protection (esp. L1/L2) makes DRIA worse",
+			"AlexNet-S is the channel-scaled Table-4 architecture (DESIGN.md substitution)",
+		},
+	}
+	net := nn.NewAlexNetS(rand.New(rand.NewSource(9)), 32, nn.ActSigmoid)
+	things := dataset.NewGenerator(rand.New(rand.NewSource(10)), 10, 3, 32, 32, 0.02)
+	x := things.Sample(rand.New(rand.NewSource(11)), 2).Reshape(1, 3, 32, 32)
+	y := dataset.OneHot([]int{2}, 100)
+	cfg := attack.DRIAConfig{Iterations: DefaultScale.DRIAIters / 2, UseAdam: true, AdamLR: 0.1, Seed: 12}
+	for layer := 0; layer <= net.NumLayers(); layer++ {
+		var prot []int
+		label := "None"
+		if layer > 0 {
+			prot = []int{layer - 1}
+			label = fmt.Sprintf("L%d", layer)
+		}
+		r := attack.DRIA(net, x, y, prot, cfg)
+		t.Rows = append(t.Rows, []string{label, f3(r.ImageLoss)})
+	}
+	return t
+}
+
+// Figure6a reproduces the MIA sweep on LeNet-5(-mini): AUC with
+// none/L5/L5+L4/…/L5..L2 protected, as in the paper's Figure 6a.
+func Figure6a() *Table {
+	t := &Table{
+		ID:     "fig6a",
+		Title:  "MIA AUC vs protected tail layers (LeNet-5-mini)",
+		Header: []string{"Protected", "paper AUC", "measured AUC"},
+		Notes: []string{
+			"shape: unprotected high; protection never helps the attacker; full protection ⇒ 0.5",
+			"intermediate decline is flatter than the paper's at mini scale (EXPERIMENTS.md)",
+		},
+	}
+	net := nn.NewLeNet5Mini(rand.New(rand.NewSource(13)), nn.ActReLU)
+	d, _ := attack.BuildMIADataset(net, miaGen(14), attack.MIAConfig{
+		VictimSteps: 600, MembersPerClass: 2, VictimLR: 0.03,
+		AttackSamples: DefaultScale.MIASamples, Seed: 15,
+	})
+	configs := []struct {
+		label string
+		paper string
+		prot  []int
+	}{
+		{"None", "0.95", nil},
+		{"L5", "0.85", []int{4}},
+		{"L5+L4", "0.84", []int{3, 4}},
+		{"L5+L4+L3", "0.82", []int{2, 3, 4}},
+		{"L5+L4+L3+L2", "0.80", []int{1, 2, 3, 4}},
+		{"all layers", "-", []int{0, 1, 2, 3, 4}},
+	}
+	for _, c := range configs {
+		auc := d.EvalStatic(c.prot, attack.LogisticAttack, 16)
+		t.Rows = append(t.Rows, []string{c.label, c.paper, f3(auc)})
+	}
+	return t
+}
+
+// Figure6b reproduces the MIA sweep on AlexNet(-S): none / convolutional
+// part / dense part / L6 protected.
+func Figure6b() *Table {
+	t := &Table{
+		ID:     "fig6b",
+		Title:  "MIA AUC vs protected parts (AlexNet-S)",
+		Header: []string{"Protected", "paper AUC", "measured AUC"},
+	}
+	// 8-layer AlexNet-mini: the Table-4 depth and layer structure with a
+	// 10-class head (full 100-class CIFAR training is out of budget; the
+	// conv/dense split the experiment varies is preserved).
+	arng := rand.New(rand.NewSource(17))
+	net := &nn.Network{
+		Label: "AlexNet-mini",
+		Layers: []nn.Layer{
+			nn.NewConv2D(arng, 3, 32, 32, 4, 3, 2, 1, 2, nn.ActReLU),
+			nn.NewConv2D(arng, 4, 8, 8, 6, 3, 1, 1, 2, nn.ActReLU),
+			nn.NewConv2D(arng, 6, 4, 4, 12, 3, 1, 1, 0, nn.ActReLU),
+			nn.NewConv2D(arng, 12, 4, 4, 8, 3, 1, 1, 0, nn.ActReLU),
+			nn.NewConv2D(arng, 8, 4, 4, 8, 3, 1, 1, 2, nn.ActReLU),
+			nn.NewDense(arng, 32, 128, nn.ActReLU),
+			nn.NewDense(arng, 128, 128, nn.ActReLU),
+			nn.NewDense(arng, 128, 10, nn.ActNone),
+		},
+	}
+	g := dataset.NewGenerator(rand.New(rand.NewSource(18)), 10, 3, 32, 32, 1.0)
+	g.ScaleJitter = 0.5
+	g.Diversity = 0.5
+	d, _ := attack.BuildMIADataset(net, g, attack.MIAConfig{
+		VictimSteps: 600, MembersPerClass: 2, VictimLR: 0.03, BatchSize: 8,
+		AttackSamples: DefaultScale.MIASamples / 2, Seed: 19,
+	})
+	configs := []struct {
+		label string
+		paper string
+		prot  []int
+	}{
+		{"None", "0.85", nil},
+		{"convolutional (L1..L5)", "0.79", []int{0, 1, 2, 3, 4}},
+		{"dense (L6+L7+L8)", "0.59", []int{5, 6, 7}},
+		{"L6", "0.56", []int{5}},
+		{"all layers", "-", []int{0, 1, 2, 3, 4, 5, 6, 7}},
+	}
+	for _, c := range configs {
+		auc := d.EvalStatic(c.prot, attack.LogisticAttack, 20)
+		t.Rows = append(t.Rows, []string{c.label, c.paper, f3(auc)})
+	}
+	return t
+}
+
+// Table5 reproduces the DPIA results: static protection is ineffective
+// (AUC stays high until most layers are shielded) while dynamic GradSec
+// reaches a lower AUC with only sizeMW layers resident.
+func Table5() *Table {
+	t := &Table{
+		ID:     "table5",
+		Title:  "AUC of DPIA under GradSec (LeNet-5-mini, LFW-like, random forest)",
+		Header: []string{"Configuration", "paper AUC", "measured AUC"},
+	}
+	// 5-layer LeNet-5-mini with a binary head: the DPIA main task is a
+	// 2-class face problem (as LFW attribute tasks are), keeping the
+	// property signal from being diluted across many classes.
+	zrng := rand.New(rand.NewSource(21))
+	net := &nn.Network{
+		Label: "LeNet-5-mini-2c",
+		Layers: []nn.Layer{
+			nn.NewConv2D(zrng, 1, 16, 16, 6, 5, 2, 2, 0, nn.ActReLU),
+			nn.NewConv2D(zrng, 6, 8, 8, 6, 5, 2, 2, 0, nn.ActReLU),
+			nn.NewConv2D(zrng, 6, 4, 4, 6, 5, 1, 2, 0, nn.ActReLU),
+			nn.NewConv2D(zrng, 6, 4, 4, 6, 5, 1, 2, 0, nn.ActReLU),
+			nn.NewDense(zrng, 96, 2, nn.ActNone),
+		},
+	}
+	faces := dataset.NewFaceGenerator(rand.New(rand.NewSource(22)), 2, 1, 16, 16, 0.05)
+	d := attack.BuildDPIADataset(net, faces, attack.DPIAConfig{
+		Cycles: DefaultScale.DPIACycles, ItersPerCycle: 2, BatchSize: 12, LR: 0.05, Seed: 23,
+	})
+	fit := attack.ForestAttack(24)
+
+	static := []struct {
+		label string
+		paper string
+		prot  []int
+	}{
+		{"None", "0.99", nil},
+		{"static L4", "0.99", []int{3}},
+		{"static L3+L4", "0.99", []int{2, 3}},
+		{"static L3+L4+L5", "0.95", []int{2, 3, 4}},
+		{"static L2+L3+L4+L5", "0.85", []int{1, 2, 3, 4}},
+	}
+	for _, c := range static {
+		t.Rows = append(t.Rows, []string{c.label, c.paper, f3(d.EvalStatic(c.prot, fit, 25))})
+	}
+
+	dynCases := []struct {
+		label string
+		paper string
+		size  int
+		vmw   []float64
+	}{
+		{"dynamic MW=2 VMW=[.2 .1 .6 .1]", "0.78", 2, []float64{0.2, 0.1, 0.6, 0.1}},
+		{"dynamic MW=3 VMW=[.1 .1 .8]", "0.77", 3, []float64{0.1, 0.1, 0.8}},
+		{"dynamic MW=4 VMW=[.1 .9]", "0.80", 4, []float64{0.1, 0.9}},
+	}
+	for _, c := range dynCases {
+		plan, err := core.NewDynamicPlan(c.size, c.vmw)
+		if err != nil {
+			panic(err)
+		}
+		auc := d.EvalSchedule(func(row int) map[int]bool {
+			return attack.ProtectedSet(plan.ProtectedLayers(row, net.NumLayers()))
+		}, fit, 26)
+		t.Rows = append(t.Rows, []string{c.label, c.paper, f3(auc)})
+	}
+
+	// The paper's VMW selection loop (§8.2): pick the distribution that
+	// minimises validation AUC for MW=2.
+	candidates := [][]float64{
+		{0.25, 0.25, 0.25, 0.25},
+		{0.2, 0.1, 0.6, 0.1},
+		{0.4, 0.1, 0.4, 0.1},
+		{0.1, 0.4, 0.4, 0.1},
+		{0.5, 0, 0.5, 0},
+	}
+	best, bestAUC := attack.SelectVMW(candidates, func(vmw []float64) float64 {
+		plan, err := core.NewDynamicPlan(2, vmw)
+		if err != nil {
+			return 2
+		}
+		return d.EvalSchedule(func(row int) map[int]bool {
+			return attack.ProtectedSet(plan.ProtectedLayers(row, net.NumLayers()))
+		}, fit, 27)
+	})
+	t.Notes = append(t.Notes, fmt.Sprintf("VMW search (MW=2): best %v at AUC %.3f", best, bestAUC))
+	return t
+}
+
+// Table1 reassembles the paper's headline summary from the other
+// experiments: attack success unprotected, the layers each defence needs,
+// and GradSec's gains over DarkneTZ.
+func Table1() *Table {
+	sim := lenetSim()
+	gradsec := sim.CycleCost([]int{1, 4}).Total().Seconds()
+	darknetz := sim.CycleCost([]int{1, 2, 3, 4}).Total().Seconds()
+	plan, err := core.NewDynamicPlan(2, []float64{0.2, 0.1, 0.6, 0.1})
+	if err != nil {
+		panic(err)
+	}
+	dyn, err := sim.Dynamic(plan)
+	if err != nil {
+		panic(err)
+	}
+	memGS := float64(sim.TEEMemory([]int{1, 4}))
+	memDZ := float64(sim.TEEMemory([]int{1, 2, 3, 4}))
+
+	t := &Table{
+		ID:     "table1",
+		Title:  "Headline comparison (paper Table 1)",
+		Header: []string{"Row", "DRIA", "MIA", "DRIA+MIA", "DPIA"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"Attack success unprotected", "ImageLoss<1", "AUC≈0.95", "-", "AUC≈0.99"},
+		[]string{"TEE layers (DarkneTZ)", "L2", "L5", "L2-L3-L4-L5", "L2-L3-L4-L5"},
+		[]string{"TEE layers (GradSec)", "L2", "L5", "L2 and L5", "MW=2 sliding"},
+		[]string{"GradSec training-time gain", "≡", "≡",
+			fmt.Sprintf("%.1f%% (paper 8.3%%)", (1-gradsec/darknetz)*100),
+			fmt.Sprintf("%.1f%% (paper 56.7%%)", (1-dyn.Average.Total().Seconds()/darknetz)*100)},
+		[]string{"GradSec TCB-size gain", "≡", "≡",
+			fmt.Sprintf("%.1f%% (paper 30%%)", (1-memGS/memDZ)*100),
+			fmt.Sprintf("%.1f%% (paper 8%%)", (1-float64(dyn.MaxMemory)/memDZ)*100)},
+	)
+	return t
+}

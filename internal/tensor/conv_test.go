@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvGeomOutputSizes(t *testing.T) {
+	tests := []struct {
+		name               string
+		h, w, k, stride, p int
+		wantH, wantW       int
+	}{
+		{"lenet-l1", 32, 32, 5, 2, 2, 16, 16},
+		{"lenet-l2", 16, 16, 5, 2, 2, 8, 8},
+		{"lenet-l3", 8, 8, 5, 1, 2, 8, 8},
+		{"alexnet-l1", 32, 32, 3, 2, 1, 16, 16},
+		{"same-3x3", 8, 8, 3, 1, 1, 8, 8},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewConvGeom(1, 1, tc.h, tc.w, tc.k, tc.k, tc.stride, tc.p)
+			if g.OutH != tc.wantH || g.OutW != tc.wantW {
+				t.Fatalf("out = %dx%d, want %dx%d", g.OutH, g.OutW, tc.wantH, tc.wantW)
+			}
+		})
+	}
+}
+
+func TestConvGeomPanicsOnEmptyOutput(t *testing.T) {
+	defer expectPanic(t, "empty output")
+	NewConvGeom(1, 1, 2, 2, 5, 5, 1, 0)
+}
+
+// A 1x1 kernel, stride 1, no padding im2col is just a reshape.
+func TestIm2ColIdentityKernel(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	g := NewConvGeom(1, 1, 2, 2, 1, 1, 1, 0)
+	cols := Im2Col(x, g)
+	if cols.Shape[0] != 4 || cols.Shape[1] != 1 {
+		t.Fatalf("cols shape = %v", cols.Shape)
+	}
+	for i, v := range cols.Data {
+		if v != x.Data[i] {
+			t.Fatalf("cols[%d] = %v, want %v", i, v, x.Data[i])
+		}
+	}
+}
+
+// Manual 2x2 convolution on a 3x3 input checked against hand computation.
+func TestIm2ColMatMulConvolution(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	g := NewConvGeom(1, 1, 3, 3, 2, 2, 1, 0)
+	cols := Im2Col(x, g) // [4, 4]
+	w := FromSlice([]float64{1, 0, 0, 1}, 4, 1)
+	y := MatMul(cols, w) // x[i,j] + x[i+1,j+1]
+	want := []float64{1 + 5, 2 + 6, 4 + 8, 5 + 9}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("conv out[%d] = %v, want %v", i, y.Data[i], v)
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	x := Full(1, 1, 1, 2, 2)
+	g := NewConvGeom(1, 1, 2, 2, 3, 3, 1, 1)
+	cols := Im2Col(x, g)
+	// Top-left output window covers padding: its first column entry must be 0.
+	if cols.At(0, 0) != 0 {
+		t.Fatalf("padded corner = %v, want 0", cols.At(0, 0))
+	}
+	// Center entries must be 1.
+	if cols.At(0, 4) != 1 {
+		t.Fatalf("center = %v, want 1", cols.At(0, 4))
+	}
+}
+
+// Property: Col2Im is the exact adjoint of Im2Col.
+func TestIm2ColCol2ImAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewConvGeom(2, 3, 6, 5, 3, 2, 2, 1)
+		x := Randn(r, 1, g.N, g.C, g.H, g.W)
+		rows, cols := g.ColShape()
+		c := Randn(r, 1, rows, cols)
+		lhs := Dot(Im2Col(x, g), c)
+		rhs := Dot(x, Col2Im(c, g))
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2ImShapeCheck(t *testing.T) {
+	defer expectPanic(t, "bad col shape")
+	Col2Im(New(3, 3), NewConvGeom(1, 1, 4, 4, 2, 2, 1, 0))
+}
+
+func TestMaxPool2DKnown(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		-1, -2, 0, 0,
+		-3, -4, 9, 0,
+	}, 1, 1, 4, 4)
+	y, arg := MaxPool2D(x, 2, 2)
+	want := []float64{4, 8, -1, 9}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("pool out[%d] = %v, want %v", i, y.Data[i], v)
+		}
+	}
+	// Verify argmax routes back to the original positions.
+	for i := range want {
+		if x.Data[arg[i]] != want[i] {
+			t.Fatalf("argmax[%d] points to %v, want %v", i, x.Data[arg[i]], want[i])
+		}
+	}
+}
+
+func TestMaxUnpool2DScatter(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	y, arg := MaxPool2D(x, 2, 2)
+	g := Full(5, y.Shape...)
+	back := MaxUnpool2D(g, arg, x.Shape)
+	// Only the max position (value 4, last slot) receives gradient.
+	want := []float64{0, 0, 0, 5}
+	for i, v := range want {
+		if back.Data[i] != v {
+			t.Fatalf("unpool[%d] = %v, want %v", i, back.Data[i], v)
+		}
+	}
+}
+
+// Property: pooling with k=1, stride=1 is the identity.
+func TestMaxPoolIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := Randn(r, 1, 1, 2, 3, 3)
+		y, _ := MaxPool2D(x, 1, 1)
+		return y.EqualApprox(x.Reshape(y.Shape...), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max-pool output dominates every unpooled gradient position's
+// original value... more precisely, each pooled value is >= mean of window.
+func TestMaxPoolDominanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := Randn(r, 1, 1, 1, 4, 4)
+		y, arg := MaxPool2D(x, 2, 2)
+		for i, v := range y.Data {
+			if x.Data[arg[i]] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise. Shapes must match.
+func Add(a, b *Tensor) *Tensor { return zip(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a - b elementwise. Shapes must match.
+func Sub(a, b *Tensor) *Tensor { return zip(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns the Hadamard (elementwise) product a * b. Shapes must match.
+func Mul(a, b *Tensor) *Tensor { return zip(a, b, func(x, y float64) float64 { return x * y }) }
+
+func zip(a, b *Tensor, f func(x, y float64) float64) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// Scale returns a * s elementwise.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.Shape...)
+	for i, v := range a.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a (a += b). Shapes must match.
+func AddInPlace(a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AxPy computes a += alpha*b. Shapes must match.
+func AxPy(alpha float64, b, a *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	for i := range a.Data {
+		a.Data[i] += alpha * b.Data[i]
+	}
+}
+
+// Apply returns a new tensor with f applied to every element.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.Shape...)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Exp returns e^a elementwise.
+func Exp(a *Tensor) *Tensor { return Apply(a, math.Exp) }
+
+// Log returns ln(a) elementwise.
+func Log(a *Tensor) *Tensor { return Apply(a, math.Log) }
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a.Data), len(b.Data)))
+	}
+	s := 0.0
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a viewed as a flat vector.
+func Norm2(a *Tensor) float64 { return math.Sqrt(Dot(a, a)) }
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: SqDist length mismatch %d vs %d", len(a.Data), len(b.Data)))
+	}
+	s := 0.0
+	for i, v := range a.Data {
+		d := v - b.Data[i]
+		s += d * d
+	}
+	return s
+}
+
+// SumAll returns the sum of all elements.
+func SumAll(a *Tensor) float64 {
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	return s
+}
+
+// mat2 asserts that a is 2-D and returns its rows and columns.
+func mat2(a *Tensor, op string) (rows, cols int) {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires a 2-D tensor, got shape %v", op, a.Shape))
+	}
+	return a.Shape[0], a.Shape[1]
+}
+
+// MatMul returns the matrix product a·b for 2-D tensors [m,k]·[k,n] → [m,n].
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := mat2(a, "MatMul")
+	k2, n := mat2(b, "MatMul")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	// ikj loop order for cache-friendly access of b and out.
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	m, n := mat2(a, "Transpose")
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// RowSum reduces a 2-D tensor [r,c] over columns producing [r,1].
+func RowSum(a *Tensor) *Tensor {
+	r, c := mat2(a, "RowSum")
+	out := New(r, 1)
+	for i := 0; i < r; i++ {
+		s := 0.0
+		row := a.Data[i*c : (i+1)*c]
+		for _, v := range row {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// ColSum reduces a 2-D tensor [r,c] over rows producing [1,c].
+func ColSum(a *Tensor) *Tensor {
+	r, c := mat2(a, "ColSum")
+	out := New(1, c)
+	for i := 0; i < r; i++ {
+		row := a.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// RowMax reduces a 2-D tensor [r,c] over columns producing the per-row
+// maximum as [r,1].
+func RowMax(a *Tensor) *Tensor {
+	r, c := mat2(a, "RowMax")
+	if c == 0 {
+		panic("tensor: RowMax of zero-column matrix")
+	}
+	out := New(r, 1)
+	for i := 0; i < r; i++ {
+		row := a.Data[i*c : (i+1)*c]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		out.Data[i] = m
+	}
+	return out
+}
+
+// BroadcastCol expands a column vector [r,1] to [r,c] by repetition.
+func BroadcastCol(v *Tensor, c int) *Tensor {
+	r, one := mat2(v, "BroadcastCol")
+	if one != 1 {
+		panic(fmt.Sprintf("tensor: BroadcastCol requires shape [r,1], got %v", v.Shape))
+	}
+	out := New(r, c)
+	for i := 0; i < r; i++ {
+		val := v.Data[i]
+		row := out.Data[i*c : (i+1)*c]
+		for j := range row {
+			row[j] = val
+		}
+	}
+	return out
+}
+
+// BroadcastRow expands a row vector [1,c] to [r,c] by repetition.
+func BroadcastRow(v *Tensor, r int) *Tensor {
+	one, c := mat2(v, "BroadcastRow")
+	if one != 1 {
+		panic(fmt.Sprintf("tensor: BroadcastRow requires shape [1,c], got %v", v.Shape))
+	}
+	out := New(r, c)
+	for i := 0; i < r; i++ {
+		copy(out.Data[i*c:(i+1)*c], v.Data)
+	}
+	return out
+}
+
+// ArgMaxRows returns, for a 2-D tensor [r,c], the column index of the
+// maximum element in each row.
+func ArgMaxRows(a *Tensor) []int {
+	r, c := mat2(a, "ArgMaxRows")
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		row := a.Data[i*c : (i+1)*c]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestElementwise(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{4, 3, 2, 1}, 2, 2)
+	tests := []struct {
+		name string
+		got  *Tensor
+		want []float64
+	}{
+		{"Add", Add(a, b), []float64{5, 5, 5, 5}},
+		{"Sub", Sub(a, b), []float64{-3, -1, 1, 3}},
+		{"Mul", Mul(a, b), []float64{4, 6, 6, 4}},
+		{"Scale", Scale(a, 2), []float64{2, 4, 6, 8}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if !tc.got.EqualApprox(FromSlice(tc.want, 2, 2), 1e-12) {
+				t.Fatalf("got %v, want %v", tc.got.Data, tc.want)
+			}
+		})
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "shape mismatch")
+	Add(New(2, 2), New(4))
+}
+
+func TestAddInPlaceAndAxPy(t *testing.T) {
+	a := FromSlice([]float64{1, 1}, 2)
+	AddInPlace(a, FromSlice([]float64{2, 3}, 2))
+	if a.Data[0] != 3 || a.Data[1] != 4 {
+		t.Fatalf("AddInPlace = %v", a.Data)
+	}
+	AxPy(0.5, FromSlice([]float64{2, 2}, 2), a)
+	if a.Data[0] != 4 || a.Data[1] != 5 {
+		t.Fatalf("AxPy = %v", a.Data)
+	}
+}
+
+func TestApplyExpLog(t *testing.T) {
+	a := FromSlice([]float64{0, 1}, 2)
+	e := Exp(a)
+	if math.Abs(e.Data[1]-math.E) > 1e-12 {
+		t.Fatalf("Exp = %v", e.Data)
+	}
+	l := Log(e)
+	if !l.EqualApprox(a, 1e-12) {
+		t.Fatalf("Log(Exp(x)) = %v, want %v", l.Data, a.Data)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(rng, 1, 4, 4)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	if !MatMul(a, id).EqualApprox(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !MatMul(id, a).EqualApprox(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+// Property: matmul is associative (within floating tolerance).
+func TestMatMulAssociativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Randn(r, 1, 3, 4)
+		b := Randn(r, 1, 4, 5)
+		c := Randn(r, 1, 5, 2)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return left.EqualApprox(right, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulInnerMismatch(t *testing.T) {
+	defer expectPanic(t, "inner dim")
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Randn(rng, 1, 3, 5)
+	if !Transpose(Transpose(a)).EqualApprox(a, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+	at := Transpose(a)
+	if at.At(4, 2) != a.At(2, 4) {
+		t.Fatal("Transpose element mismatch")
+	}
+}
+
+// Property: <A·B, C> == <B, Aᵀ·C> (adjoint of left-multiplication).
+func TestMatMulAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Randn(r, 1, 3, 4)
+		b := Randn(r, 1, 4, 2)
+		c := Randn(r, 1, 3, 2)
+		lhs := Dot(MatMul(a, b), c)
+		rhs := Dot(b, MatMul(Transpose(a), c))
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if rs := RowSum(a); !rs.EqualApprox(FromSlice([]float64{6, 15}, 2, 1), 1e-12) {
+		t.Fatalf("RowSum = %v", rs.Data)
+	}
+	if cs := ColSum(a); !cs.EqualApprox(FromSlice([]float64{5, 7, 9}, 1, 3), 1e-12) {
+		t.Fatalf("ColSum = %v", cs.Data)
+	}
+	if rm := RowMax(a); !rm.EqualApprox(FromSlice([]float64{3, 6}, 2, 1), 1e-12) {
+		t.Fatalf("RowMax = %v", rm.Data)
+	}
+	if s := SumAll(a); s != 21 {
+		t.Fatalf("SumAll = %v", s)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	col := FromSlice([]float64{1, 2}, 2, 1)
+	bc := BroadcastCol(col, 3)
+	if !bc.EqualApprox(FromSlice([]float64{1, 1, 1, 2, 2, 2}, 2, 3), 1e-12) {
+		t.Fatalf("BroadcastCol = %v", bc.Data)
+	}
+	row := FromSlice([]float64{1, 2, 3}, 1, 3)
+	br := BroadcastRow(row, 2)
+	if !br.EqualApprox(FromSlice([]float64{1, 2, 3, 1, 2, 3}, 2, 3), 1e-12) {
+		t.Fatalf("BroadcastRow = %v", br.Data)
+	}
+}
+
+// Property: ColSum is the adjoint of BroadcastRow:
+// <BroadcastRow(v,r), M> == <v, ColSum(M)>.
+func TestBroadcastAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := Randn(r, 1, 1, 4)
+		m := Randn(r, 1, 3, 4)
+		lhs := Dot(BroadcastRow(v, 3), m)
+		rhs := Dot(v, ColSum(m))
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotNormSqDist(t *testing.T) {
+	a := FromSlice([]float64{3, 4}, 2)
+	b := FromSlice([]float64{1, 0}, 2)
+	if Dot(a, b) != 3 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	if Norm2(a) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(a))
+	}
+	if SqDist(a, b) != 20 {
+		t.Fatalf("SqDist = %v", SqDist(a, b))
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	a := FromSlice([]float64{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := ArgMaxRows(a)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRows = %v", got)
+	}
+}

@@ -1,0 +1,194 @@
+// Package tensor implements the dense numeric kernel underlying the
+// GradSec reproduction: row-major float64 tensors with the linear-algebra
+// and convolution primitives (im2col/col2im, max-pooling) needed by the
+// neural-network framework and the inference attacks.
+//
+// Shape errors panic: they are programmer errors, not runtime conditions,
+// mirroring the convention of numeric kernels such as gonum.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense, row-major float64 tensor. The zero value is an empty
+// tensor; use New or FromSlice to create usable instances.
+type Tensor struct {
+	// Shape holds the extent of each dimension.
+	Shape []int
+	// Data holds the elements in row-major order. len(Data) == Size().
+	Data []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative or the shape is empty.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data (without copying) in a tensor of the given shape.
+// It panics if len(data) does not match the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Randn returns a tensor with elements drawn from N(0, stddev²) using rng.
+func Randn(rng *rand.Rand, stddev float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * stddev
+	}
+	return t
+}
+
+// Uniform returns a tensor with elements drawn uniformly from [lo, hi).
+func Uniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.Shape) != len(u.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if u.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape.
+// It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.Shape, len(t.Data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns v to the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index %v has wrong arity for shape %v", idx, t.Shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + ix
+	}
+	return off
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// String renders a compact description, truncating large tensors.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.Shape)
+	limit := len(t.Data)
+	if limit > 8 {
+		limit = 8
+	}
+	for i := 0; i < limit; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.Data[i])
+	}
+	if len(t.Data) > limit {
+		b.WriteString(" ...")
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// EqualApprox reports whether t and u have the same shape and all elements
+// within tol of each other.
+func (t *Tensor) EqualApprox(u *Tensor, tol float64) bool {
+	if !t.SameShape(u) {
+		return false
+	}
+	for i, v := range t.Data {
+		if math.Abs(v-u.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for empty tensors.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

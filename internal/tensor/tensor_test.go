@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", x.Size())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceNoCopy(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 9
+	if x.Data[0] != 9 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+}
+
+func TestFromSliceBadLength(t *testing.T) {
+	defer expectPanic(t, "length mismatch")
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7.5, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Row-major: the last element should be the final data slot.
+	if x.Data[23] != 7.5 {
+		t.Fatalf("row-major layout broken: Data[23] = %v", x.Data[23])
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	defer expectPanic(t, "out of range")
+	New(2, 2).At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 5
+	if x.Data[0] != 1 {
+		t.Fatal("Clone must deep-copy data")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Data[0] = 10
+	if x.Data[0] != 10 {
+		t.Fatal("Reshape must share data")
+	}
+	if y.Shape[0] != 3 || y.Shape[1] != 2 {
+		t.Fatalf("Reshape shape = %v", y.Shape)
+	}
+}
+
+func TestReshapeBadCount(t *testing.T) {
+	defer expectPanic(t, "element count mismatch")
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestFullAndFill(t *testing.T) {
+	x := Full(3.5, 2, 2)
+	for _, v := range x.Data {
+		if v != 3.5 {
+			t.Fatalf("Full element = %v", v)
+		}
+	}
+	x.Fill(-1)
+	if SumAll(x) != -4 {
+		t.Fatalf("Fill sum = %v, want -4", SumAll(x))
+	}
+}
+
+func TestRandnStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 2.0, 10000)
+	mean := SumAll(x) / float64(x.Size())
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("Randn mean = %v, want ≈0", mean)
+	}
+	varSum := 0.0
+	for _, v := range x.Data {
+		varSum += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(varSum / float64(x.Size()))
+	if math.Abs(sd-2.0) > 0.1 {
+		t.Fatalf("Randn stddev = %v, want ≈2", sd)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := Uniform(rng, -1, 1, 1000)
+	for _, v := range x.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("Uniform value %v out of [-1,1)", v)
+		}
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1.0001, 2.0001}, 2)
+	if !a.EqualApprox(b, 1e-3) {
+		t.Fatal("EqualApprox should accept within tol")
+	}
+	if a.EqualApprox(b, 1e-6) {
+		t.Fatal("EqualApprox should reject outside tol")
+	}
+	c := FromSlice([]float64{1, 2}, 1, 2)
+	if a.EqualApprox(c, 1) {
+		t.Fatal("EqualApprox must compare shapes")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	x := FromSlice([]float64{-3, 2, 1}, 3)
+	if got := x.MaxAbs(); got != 3 {
+		t.Fatalf("MaxAbs = %v, want 3", got)
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	s := New(100).String()
+	if len(s) == 0 {
+		t.Fatal("String should not be empty")
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("expected panic: %s", what)
+	}
+}

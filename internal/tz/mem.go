@@ -1,0 +1,170 @@
+package tz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// ErrOutOfSecureMemory is returned when an allocation would exceed the
+// enclave capacity — the central constraint the paper designs around
+// (TrustZone secure RAM is on the order of 3–5 MB).
+var ErrOutOfSecureMemory = errors.New("tz: out of secure memory")
+
+// ErrDoubleFree is returned when a region is freed twice.
+var ErrDoubleFree = errors.New("tz: secure region already freed")
+
+// Region is one named secure-memory allocation.
+type Region struct {
+	name  string
+	size  int
+	freed bool
+}
+
+// Name returns the region's label.
+func (r *Region) Name() string { return r.name }
+
+// Size returns the region's size in bytes.
+func (r *Region) Size() int { return r.size }
+
+// SecureAllocator models the enclave's secure RAM: a fixed capacity,
+// named allocations, and high-water-mark accounting (the paper's "TEE
+// memory usage" metric is the peak over a training cycle).
+type SecureAllocator struct {
+	mu sync.Mutex
+
+	capBytes int
+	inUse    int
+	peak     int
+	regions  map[*Region]struct{}
+	// tensors registered as secure, for boundary screening.
+	tensors map[*tensor.Tensor]string
+}
+
+// NewSecureAllocator creates an allocator with the given capacity.
+func NewSecureAllocator(capBytes int) *SecureAllocator {
+	return &SecureAllocator{
+		capBytes: capBytes,
+		regions:  make(map[*Region]struct{}),
+		tensors:  make(map[*tensor.Tensor]string),
+	}
+}
+
+// Cap returns the capacity in bytes.
+func (a *SecureAllocator) Cap() int { return a.capBytes }
+
+// InUse returns the currently allocated bytes.
+func (a *SecureAllocator) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// Peak returns the high-water mark since the last ResetPeak.
+func (a *SecureAllocator) Peak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// ResetPeak sets the high-water mark to the current usage.
+func (a *SecureAllocator) ResetPeak() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.peak = a.inUse
+}
+
+// Alloc reserves size bytes under the given name.
+func (a *SecureAllocator) Alloc(name string, size int) (*Region, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("tz: negative allocation %d for %q", size, name)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inUse+size > a.capBytes {
+		return nil, fmt.Errorf("%w: %q needs %d B, %d of %d B in use",
+			ErrOutOfSecureMemory, name, size, a.inUse, a.capBytes)
+	}
+	r := &Region{name: name, size: size}
+	a.regions[r] = struct{}{}
+	a.inUse += size
+	if a.inUse > a.peak {
+		a.peak = a.inUse
+	}
+	return r, nil
+}
+
+// Free releases a region.
+func (a *SecureAllocator) Free(r *Region) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r.freed {
+		return fmt.Errorf("%w: %q", ErrDoubleFree, r.name)
+	}
+	if _, ok := a.regions[r]; !ok {
+		return fmt.Errorf("tz: region %q does not belong to this allocator", r.name)
+	}
+	r.freed = true
+	delete(a.regions, r)
+	a.inUse -= r.size
+	return nil
+}
+
+// Regions returns the names and sizes of live regions, sorted by name
+// (diagnostics / TCB reports).
+func (a *SecureAllocator) Regions() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.regions))
+	for r := range a.regions {
+		out[r.name] += r.size
+	}
+	return out
+}
+
+// RegionNames returns live region names sorted alphabetically.
+func (a *SecureAllocator) RegionNames() []string {
+	m := a.Regions()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterTensor marks a tensor as residing in secure memory; the device
+// uses the registry to screen TA responses for leaks. The tensor's cell
+// count is already covered by an Alloc'd region; registration itself does
+// not charge capacity.
+func (a *SecureAllocator) RegisterTensor(t *tensor.Tensor, name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tensors[t] = name
+}
+
+// UnregisterTensor removes a tensor from the secure registry (e.g. after
+// its values have been intentionally declassified through the trusted
+// I/O path).
+func (a *SecureAllocator) UnregisterTensor(t *tensor.Tensor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.tensors, t)
+}
+
+// secureTensorName reports the registered name of t, or "" if t is not
+// secure.
+func (a *SecureAllocator) secureTensorName(t *tensor.Tensor) string {
+	if t == nil {
+		return ""
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tensors[t]
+}
+
+// IsSecure reports whether t is registered as secure memory.
+func (a *SecureAllocator) IsSecure(t *tensor.Tensor) bool { return a.secureTensorName(t) != "" }

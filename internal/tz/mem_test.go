@@ -1,0 +1,162 @@
+package tz
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+func TestAllocatorBasics(t *testing.T) {
+	a := NewSecureAllocator(1000)
+	r1, err := a.Alloc("w1", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Alloc("w2", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 900 || a.Peak() != 900 {
+		t.Fatalf("inUse=%d peak=%d", a.InUse(), a.Peak())
+	}
+	if _, err := a.Alloc("w3", 200); !errors.Is(err, ErrOutOfSecureMemory) {
+		t.Fatalf("overcommit: %v", err)
+	}
+	if err := a.Free(r1); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 500 {
+		t.Fatalf("inUse after free = %d", a.InUse())
+	}
+	// Peak survives frees.
+	if a.Peak() != 900 {
+		t.Fatalf("peak = %d, want 900", a.Peak())
+	}
+	if _, err := a.Alloc("w3", 500); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	_ = r2
+}
+
+func TestAllocatorDoubleFree(t *testing.T) {
+	a := NewSecureAllocator(100)
+	r, err := a.Alloc("x", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(r); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestAllocatorForeignRegion(t *testing.T) {
+	a := NewSecureAllocator(100)
+	b := NewSecureAllocator(100)
+	r, err := a.Alloc("x", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(r); err == nil {
+		t.Fatal("freeing foreign region must fail")
+	}
+}
+
+func TestAllocatorNegativeSize(t *testing.T) {
+	a := NewSecureAllocator(100)
+	if _, err := a.Alloc("x", -1); err == nil {
+		t.Fatal("negative allocation must fail")
+	}
+}
+
+func TestResetPeak(t *testing.T) {
+	a := NewSecureAllocator(100)
+	r, _ := a.Alloc("x", 80)
+	if err := a.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	a.ResetPeak()
+	if a.Peak() != 0 {
+		t.Fatalf("peak after reset = %d", a.Peak())
+	}
+}
+
+func TestRegionsAccounting(t *testing.T) {
+	a := NewSecureAllocator(1000)
+	if _, err := a.Alloc("layer2/weights", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc("layer2/acts", 200); err != nil {
+		t.Fatal(err)
+	}
+	m := a.Regions()
+	if m["layer2/weights"] != 100 || m["layer2/acts"] != 200 {
+		t.Fatalf("regions = %v", m)
+	}
+	names := a.RegionNames()
+	if len(names) != 2 || names[0] != "layer2/acts" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTensorRegistry(t *testing.T) {
+	a := NewSecureAllocator(100)
+	tt := tensor.New(2)
+	if a.IsSecure(tt) {
+		t.Fatal("unregistered tensor must not be secure")
+	}
+	a.RegisterTensor(tt, "w")
+	if !a.IsSecure(tt) {
+		t.Fatal("registered tensor must be secure")
+	}
+	a.UnregisterTensor(tt)
+	if a.IsSecure(tt) {
+		t.Fatal("unregistered tensor must lose secure status")
+	}
+	if a.IsSecure(nil) {
+		t.Fatal("nil tensor is never secure")
+	}
+}
+
+// Property: for any sequence of alloc/free operations, inUse equals the
+// sum of live region sizes, never exceeds capacity, and peak ≥ inUse.
+func TestAllocatorConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewSecureAllocator(1 << 16)
+		var live []*Region
+		liveSum := 0
+		for op := 0; op < 200; op++ {
+			if r.Intn(2) == 0 || len(live) == 0 {
+				size := r.Intn(5000)
+				reg, err := a.Alloc("r", size)
+				if err == nil {
+					live = append(live, reg)
+					liveSum += size
+				} else if !errors.Is(err, ErrOutOfSecureMemory) {
+					return false
+				}
+			} else {
+				i := r.Intn(len(live))
+				reg := live[i]
+				live = append(live[:i], live[i+1:]...)
+				liveSum -= reg.Size()
+				if err := a.Free(reg); err != nil {
+					return false
+				}
+			}
+			if a.InUse() != liveSum || a.InUse() > a.Cap() || a.Peak() < a.InUse() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

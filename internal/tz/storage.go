@@ -1,0 +1,327 @@
+package tz
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Secure storage implements the OP-TEE trusted-storage design the paper
+// relies on for keeping the FL model and client data confidential between
+// cycles (§7.3): every object is encrypted with a random File Encryption
+// Key (FEK); the FEK is wrapped by the TA Storage Key (TSK), which is
+// derived from the per-device Secure Storage Key (SSK) and the TA's UUID.
+
+// Storage errors.
+var (
+	ErrObjectNotFound  = errors.New("tz: storage object not found")
+	ErrStorageTampered = errors.New("tz: storage object failed authentication (tampered?)")
+	ErrRPMBFull        = errors.New("tz: RPMB partition full")
+)
+
+// StorageBackend is where encrypted blobs physically live. Backends see
+// only ciphertext: REE-FS lives in the (untrusted) normal world, RPMB in
+// a replay-protected eMMC partition.
+type StorageBackend interface {
+	// Put stores blob under name, replacing any previous value.
+	Put(name string, blob []byte) error
+	// Get retrieves the blob stored under name.
+	Get(name string) ([]byte, error)
+	// Delete removes name. Deleting a missing object is not an error.
+	Delete(name string) error
+	// List returns stored names in sorted order.
+	List() ([]string, error)
+}
+
+// REEFSBackend simulates the REE-FS secure-storage backend: blobs live in
+// normal-world storage (here an in-memory map) and are therefore fully
+// exposed to tampering — which the encryption layer must detect.
+type REEFSBackend struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewREEFSBackend returns an empty REE-FS backend.
+func NewREEFSBackend() *REEFSBackend {
+	return &REEFSBackend{blobs: make(map[string][]byte)}
+}
+
+// Put implements StorageBackend.
+func (b *REEFSBackend) Put(name string, blob []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.blobs[name] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Get implements StorageBackend.
+func (b *REEFSBackend) Get(name string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	blob, ok := b.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// Delete implements StorageBackend.
+func (b *REEFSBackend) Delete(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.blobs, name)
+	return nil
+}
+
+// List implements StorageBackend.
+func (b *REEFSBackend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.blobs))
+	for n := range b.blobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Tamper flips a byte of the stored blob — test hook simulating a
+// normal-world attacker modifying REE-FS files.
+func (b *REEFSBackend) Tamper(name string, offset int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	blob, ok := b.blobs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	blob[offset%len(blob)] ^= 0xFF
+	return nil
+}
+
+// RPMBBackend simulates the replay-protected memory block backend: a
+// small partition with a monotonic write counter.
+type RPMBBackend struct {
+	mu       sync.Mutex
+	capBytes int
+	used     int
+	counter  uint64
+	blobs    map[string][]byte
+}
+
+// NewRPMBBackend returns an RPMB backend with the given capacity
+// (hardware RPMB partitions are typically ≤16 MB; tests use small caps).
+func NewRPMBBackend(capBytes int) *RPMBBackend {
+	return &RPMBBackend{capBytes: capBytes, blobs: make(map[string][]byte)}
+}
+
+// Put implements StorageBackend, enforcing the partition capacity and
+// bumping the monotonic counter.
+func (b *RPMBBackend) Put(name string, blob []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delta := len(blob) - len(b.blobs[name])
+	if b.used+delta > b.capBytes {
+		return fmt.Errorf("%w: need %d more bytes of %d", ErrRPMBFull, delta, b.capBytes)
+	}
+	b.used += delta
+	b.counter++
+	b.blobs[name] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Get implements StorageBackend.
+func (b *RPMBBackend) Get(name string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	blob, ok := b.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// Delete implements StorageBackend.
+func (b *RPMBBackend) Delete(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if blob, ok := b.blobs[name]; ok {
+		b.used -= len(blob)
+		b.counter++
+		delete(b.blobs, name)
+	}
+	return nil
+}
+
+// List implements StorageBackend.
+func (b *RPMBBackend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.blobs))
+	for n := range b.blobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// WriteCounter returns the monotonic write counter.
+func (b *RPMBBackend) WriteCounter() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counter
+}
+
+// SecureStorage is a TA-scoped encrypted object store.
+type SecureStorage struct {
+	tsk     [32]byte
+	backend StorageBackend
+	prefix  string
+}
+
+// NewSecureStorage derives the TA Storage Key from the device SSK and the
+// TA UUID and returns a store bound to backend. Objects of different TAs
+// are namespaced and keyed apart.
+func NewSecureStorage(ssk [32]byte, uuid UUID, backend StorageBackend) *SecureStorage {
+	return &SecureStorage{
+		tsk:     deriveKey(ssk[:], "tsk", uuid[:]),
+		backend: backend,
+		prefix:  uuid.String() + "/",
+	}
+}
+
+// deriveKey is an HKDF-style expand: HMAC-SHA256(parent, label || ctx).
+func deriveKey(parent []byte, label string, ctx []byte) [32]byte {
+	mac := hmac.New(sha256.New, parent)
+	mac.Write([]byte(label))
+	mac.Write([]byte{0})
+	mac.Write(ctx)
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// blob layout: nonceFEK(12) | wrappedFEK(32+16) | nonceData(12) | ct.
+const (
+	nonceSize   = 12
+	wrappedSize = 32 + 16
+)
+
+// Put encrypts plaintext under a fresh FEK and stores it.
+func (s *SecureStorage) Put(name string, plaintext []byte) error {
+	var fek [32]byte
+	if _, err := rand.Read(fek[:]); err != nil {
+		return fmt.Errorf("tz: generating FEK: %w", err)
+	}
+	wrapNonce := make([]byte, nonceSize)
+	dataNonce := make([]byte, nonceSize)
+	if _, err := rand.Read(wrapNonce); err != nil {
+		return err
+	}
+	if _, err := rand.Read(dataNonce); err != nil {
+		return err
+	}
+	wrapped := gcmSeal(s.tsk, wrapNonce, fek[:], []byte(name))
+	ct := gcmSeal(fek, dataNonce, plaintext, []byte(name))
+	blob := make([]byte, 0, nonceSize+len(wrapped)+nonceSize+len(ct))
+	blob = append(blob, wrapNonce...)
+	blob = append(blob, wrapped...)
+	blob = append(blob, dataNonce...)
+	blob = append(blob, ct...)
+	return s.backend.Put(s.prefix+name, blob)
+}
+
+// Get retrieves and decrypts an object, failing with ErrStorageTampered
+// if authentication fails anywhere in the chain.
+func (s *SecureStorage) Get(name string) ([]byte, error) {
+	blob, err := s.backend.Get(s.prefix + name)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < nonceSize+wrappedSize+nonceSize {
+		return nil, fmt.Errorf("%w: truncated blob %q", ErrStorageTampered, name)
+	}
+	wrapNonce := blob[:nonceSize]
+	wrapped := blob[nonceSize : nonceSize+wrappedSize]
+	dataNonce := blob[nonceSize+wrappedSize : nonceSize+wrappedSize+nonceSize]
+	ct := blob[nonceSize+wrappedSize+nonceSize:]
+
+	fekBytes, err := gcmOpen(s.tsk, wrapNonce, wrapped, []byte(name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q FEK unwrap: %v", ErrStorageTampered, name, err)
+	}
+	var fek [32]byte
+	copy(fek[:], fekBytes)
+	pt, err := gcmOpen(fek, dataNonce, ct, []byte(name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q payload: %v", ErrStorageTampered, name, err)
+	}
+	return pt, nil
+}
+
+// Delete removes an object.
+func (s *SecureStorage) Delete(name string) error { return s.backend.Delete(s.prefix + name) }
+
+// List returns this TA's object names (without the namespace prefix).
+func (s *SecureStorage) List() ([]string, error) {
+	all, err := s.backend.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range all {
+		if len(n) > len(s.prefix) && n[:len(s.prefix)] == s.prefix {
+			out = append(out, n[len(s.prefix):])
+		}
+	}
+	return out, nil
+}
+
+func gcmSeal(key [32]byte, nonce, plaintext, aad []byte) []byte {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err) // 32-byte key cannot fail
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		panic(err)
+	}
+	return aead.Seal(nil, nonce, plaintext, aad)
+}
+
+func gcmOpen(key [32]byte, nonce, ct, aad []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		panic(err)
+	}
+	return aead.Open(nil, nonce, ct, aad)
+}
+
+// PutUint64 stores a little-endian uint64 (convenience for counters).
+func (s *SecureStorage) PutUint64(name string, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return s.Put(name, buf[:])
+}
+
+// GetUint64 retrieves a value stored with PutUint64.
+func (s *SecureStorage) GetUint64(name string) (uint64, error) {
+	b, err := s.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 8 {
+		return 0, fmt.Errorf("%w: %q is not a uint64", ErrStorageTampered, name)
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}

@@ -1,0 +1,204 @@
+package tz
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newStorage(backend StorageBackend) *SecureStorage {
+	ssk := [32]byte{1, 2, 3}
+	return NewSecureStorage(ssk, NameUUID("ta"), backend)
+}
+
+func TestStorageRoundTrip(t *testing.T) {
+	s := newStorage(NewREEFSBackend())
+	msg := []byte("model weights v1")
+	if err := s.Put("model", msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("roundtrip = %q", got)
+	}
+}
+
+func TestStorageCiphertextHidesPlaintext(t *testing.T) {
+	backend := NewREEFSBackend()
+	s := newStorage(backend)
+	secret := []byte("super-secret-gradients-0123456789")
+	if err := s.Put("g", secret); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := backend.List()
+	blob, err := backend.Get(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, secret[:16]) {
+		t.Fatal("backend blob contains plaintext")
+	}
+}
+
+func TestStorageTamperDetected(t *testing.T) {
+	backend := NewREEFSBackend()
+	s := newStorage(backend)
+	if err := s.Put("obj", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := backend.List()
+	for _, offset := range []int{0, 13, 60, 70} { // nonce, wrapped FEK, ct
+		if err := backend.Tamper(names[0], offset); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("obj"); !errors.Is(err, ErrStorageTampered) {
+			t.Fatalf("offset %d: err = %v, want tampered", offset, err)
+		}
+		// restore
+		if err := backend.Tamper(names[0], offset); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Get("obj"); err != nil {
+		t.Fatalf("restored object must decrypt: %v", err)
+	}
+}
+
+func TestStorageTruncatedBlob(t *testing.T) {
+	backend := NewREEFSBackend()
+	s := newStorage(backend)
+	if err := backend.Put(s.prefix+"short", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("short"); !errors.Is(err, ErrStorageTampered) {
+		t.Fatalf("truncated blob: %v", err)
+	}
+}
+
+func TestStorageMissingObject(t *testing.T) {
+	s := newStorage(NewREEFSBackend())
+	if _, err := s.Get("missing"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("missing object: %v", err)
+	}
+}
+
+func TestStorageDeleteAndList(t *testing.T) {
+	s := newStorage(NewREEFSBackend())
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("List = %v", names)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("deleted object: %v", err)
+	}
+	// Deleting a missing object is not an error.
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorageTAIsolation(t *testing.T) {
+	backend := NewREEFSBackend()
+	ssk := [32]byte{9}
+	s1 := NewSecureStorage(ssk, NameUUID("ta1"), backend)
+	s2 := NewSecureStorage(ssk, NameUUID("ta2"), backend)
+	if err := s1.Put("obj", []byte("ta1 data")); err != nil {
+		t.Fatal(err)
+	}
+	// ta2 cannot see ta1's object (different namespace)...
+	if _, err := s2.Get("obj"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("cross-TA get: %v", err)
+	}
+	// ...and even reading the raw blob under ta1's name fails to decrypt
+	// with ta2's TSK.
+	names, _ := backend.List()
+	blob, _ := backend.Get(names[0])
+	if err := backend.Put(s2.prefix+"obj", blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get("obj"); !errors.Is(err, ErrStorageTampered) {
+		t.Fatalf("cross-TA decrypt: %v", err)
+	}
+}
+
+func TestRPMBCapacityAndCounter(t *testing.T) {
+	b := NewRPMBBackend(200)
+	s := newStorage(b)
+	if err := s.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c1 := b.WriteCounter()
+	if c1 == 0 {
+		t.Fatal("write counter must advance")
+	}
+	// Overflow the partition.
+	big := make([]byte, 400)
+	if err := s.Put("big", big); !errors.Is(err, ErrRPMBFull) {
+		t.Fatalf("overflow: %v", err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if b.WriteCounter() <= c1 {
+		t.Fatal("delete must advance counter")
+	}
+}
+
+func TestStorageUint64Helpers(t *testing.T) {
+	s := newStorage(NewREEFSBackend())
+	if err := s.PutUint64("cycle", 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.GetUint64("cycle")
+	if err != nil || v != 42 {
+		t.Fatalf("GetUint64 = %d, %v", v, err)
+	}
+	if err := s.Put("notnum", []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetUint64("notnum"); !errors.Is(err, ErrStorageTampered) {
+		t.Fatalf("non-uint64: %v", err)
+	}
+}
+
+// Property: every payload round-trips through both backends.
+func TestStorageRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, name string) bool {
+		if name == "" {
+			name = "n"
+		}
+		for _, backend := range []StorageBackend{NewREEFSBackend(), NewRPMBBackend(1 << 20)} {
+			s := newStorage(backend)
+			if err := s.Put(name, payload); err != nil {
+				return false
+			}
+			got, err := s.Get(name)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package tz
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Trusted I/O path (§7.3 of the paper): protected layer weights arrive
+// from the FL server and protected gradients leave the device through a
+// channel whose plaintext is never visible to the normal world. We model
+// it as an X25519-agreed, AES-256-GCM-sealed, replay-protected channel
+// between the FL server and the TA. Normal-world code relays only
+// ciphertext.
+
+// TIOP errors.
+var (
+	ErrChannelReplay = errors.New("tz: trusted channel replay or reordering detected")
+	ErrChannelAuth   = errors.New("tz: trusted channel authentication failed")
+)
+
+// Channel is one endpoint of an established trusted I/O path.
+type Channel struct {
+	mu      sync.Mutex
+	sendKey [32]byte
+	recvKey [32]byte
+	sendSeq uint64
+	recvSeq uint64
+}
+
+// ChannelOffer is the public handshake half: an ephemeral X25519 public key.
+type ChannelOffer struct {
+	Public []byte
+	priv   *ecdh.PrivateKey
+}
+
+// NewChannelOffer generates an ephemeral keypair for the handshake.
+func NewChannelOffer() (*ChannelOffer, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tz: generating channel key: %w", err)
+	}
+	return &ChannelOffer{Public: priv.PublicKey().Bytes(), priv: priv}, nil
+}
+
+// Establish completes the handshake against the peer's public key.
+// initiator must differ between the two sides so the directional keys
+// line up.
+func (o *ChannelOffer) Establish(peerPublic []byte, initiator bool) (*Channel, error) {
+	peer, err := ecdh.X25519().NewPublicKey(peerPublic)
+	if err != nil {
+		return nil, fmt.Errorf("tz: bad peer public key: %w", err)
+	}
+	shared, err := o.priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("tz: ECDH: %w", err)
+	}
+	kAB := deriveKey(shared, "tiop-a2b", nil)
+	kBA := deriveKey(shared, "tiop-b2a", nil)
+	ch := &Channel{}
+	if initiator {
+		ch.sendKey, ch.recvKey = kAB, kBA
+	} else {
+		ch.sendKey, ch.recvKey = kBA, kAB
+	}
+	return ch, nil
+}
+
+// EstablishPair returns two connected channel endpoints directly (for
+// in-process use and tests).
+func EstablishPair() (initiator, responder *Channel, err error) {
+	a, err := NewChannelOffer()
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := NewChannelOffer()
+	if err != nil {
+		return nil, nil, err
+	}
+	initiator, err = a.Establish(b.Public, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	responder, err = b.Establish(a.Public, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return initiator, responder, nil
+}
+
+// Seal encrypts and authenticates plaintext with the next send sequence
+// number. Output layout: seq(8) | ct.
+func (c *Channel) Seal(plaintext []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.sendSeq
+	c.sendSeq++
+	nonce := make([]byte, nonceSize)
+	binary.BigEndian.PutUint64(nonce[nonceSize-8:], seq)
+	ct := gcmSeal(c.sendKey, nonce, plaintext, nonce[nonceSize-8:])
+	out := make([]byte, 8+len(ct))
+	binary.BigEndian.PutUint64(out[:8], seq)
+	copy(out[8:], ct)
+	return out
+}
+
+// Open authenticates and decrypts a sealed message, enforcing strictly
+// increasing sequence numbers (replay protection).
+func (c *Channel) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < 8 {
+		return nil, fmt.Errorf("%w: short message", ErrChannelAuth)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := binary.BigEndian.Uint64(sealed[:8])
+	if seq < c.recvSeq {
+		return nil, fmt.Errorf("%w: seq %d after %d", ErrChannelReplay, seq, c.recvSeq)
+	}
+	nonce := make([]byte, nonceSize)
+	binary.BigEndian.PutUint64(nonce[nonceSize-8:], seq)
+	pt, err := gcmOpen(c.recvKey, nonce, sealed[8:], sealed[:8])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrChannelAuth, err)
+	}
+	c.recvSeq = seq + 1
+	return pt, nil
+}

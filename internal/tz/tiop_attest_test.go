@@ -1,0 +1,186 @@
+package tz
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelRoundTrip(t *testing.T) {
+	a, b, err := EstablishPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		msg := []byte{byte(i), 1, 2, 3}
+		ct := a.Seal(msg)
+		pt, err := b.Open(ct)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Fatalf("msg %d roundtrip = %v", i, pt)
+		}
+	}
+}
+
+func TestChannelBidirectional(t *testing.T) {
+	a, b, err := EstablishPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := b.Seal([]byte("up"))
+	pt, err := a.Open(ct)
+	if err != nil || string(pt) != "up" {
+		t.Fatalf("b→a: %q %v", pt, err)
+	}
+	ct = a.Seal([]byte("down"))
+	pt, err = b.Open(ct)
+	if err != nil || string(pt) != "down" {
+		t.Fatalf("a→b: %q %v", pt, err)
+	}
+}
+
+func TestChannelReplayRejected(t *testing.T) {
+	a, b, err := EstablishPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := a.Seal([]byte("once"))
+	if _, err := b.Open(ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(ct); !errors.Is(err, ErrChannelReplay) {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestChannelTamperRejected(t *testing.T) {
+	a, b, err := EstablishPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := a.Seal([]byte("payload"))
+	ct[len(ct)-1] ^= 1
+	if _, err := b.Open(ct); !errors.Is(err, ErrChannelAuth) {
+		t.Fatalf("tamper: %v", err)
+	}
+	// Short message.
+	if _, err := b.Open([]byte{1, 2}); !errors.Is(err, ErrChannelAuth) {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func TestChannelWrongPeer(t *testing.T) {
+	a, _, err := EstablishPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, err := EstablishPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := a.Seal([]byte("x"))
+	if _, err := c.Open(ct); !errors.Is(err, ErrChannelAuth) {
+		t.Fatalf("cross-channel open: %v", err)
+	}
+}
+
+// Property: arbitrary payloads round-trip in order.
+func TestChannelRoundTripProperty(t *testing.T) {
+	a, b, err := EstablishPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload []byte) bool {
+		pt, err := b.Open(a.Seal(payload))
+		return err == nil && bytes.Equal(pt, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttestationHappyPath(t *testing.T) {
+	dev := NewDevice("pi-client-1")
+	app := &echoTA{uuid: NameUUID("gradsec"), version: "2.0"}
+	if err := dev.Install(app); err != nil {
+		t.Fatal(err)
+	}
+
+	v := NewVerifier()
+	v.RegisterDevice(dev.Identity().ID(), dev.Identity().RootKey())
+	v.AllowMeasurement(Measure(app))
+
+	nonce := []byte("server-nonce-123")
+	q, err := dev.Attest(app.UUID(), nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(q, nonce); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestAttestationFailures(t *testing.T) {
+	dev := NewDevice("pi-client-1")
+	app := &echoTA{uuid: NameUUID("gradsec"), version: "2.0"}
+	if err := dev.Install(app); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier()
+	v.RegisterDevice(dev.Identity().ID(), dev.Identity().RootKey())
+	v.AllowMeasurement(Measure(app))
+	nonce := []byte("n1")
+	q, err := dev.Attest(app.UUID(), nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("unknown device", func(t *testing.T) {
+		q2 := q
+		q2.DeviceID = "rogue"
+		if err := v.Verify(q2, nonce); !errors.Is(err, ErrUnknownDevice) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("stale nonce", func(t *testing.T) {
+		if err := v.Verify(q, []byte("other")); !errors.Is(err, ErrNonceMismatch) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("forged mac", func(t *testing.T) {
+		q2 := q
+		q2.MAC = append([]byte(nil), q.MAC...)
+		q2.MAC[0] ^= 1
+		if err := v.Verify(q2, nonce); !errors.Is(err, ErrBadQuote) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unexpected measurement", func(t *testing.T) {
+		rogue := &echoTA{uuid: NameUUID("malware"), version: "6.6.6"}
+		if err := dev.Install(rogue); err != nil {
+			t.Fatal(err)
+		}
+		q2, err := dev.Attest(rogue.UUID(), nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Verify(q2, nonce); !errors.Is(err, ErrUntrustedMeasure) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("version changes measurement", func(t *testing.T) {
+		v1 := Measure(&echoTA{uuid: NameUUID("x"), version: "1"})
+		v2 := Measure(&echoTA{uuid: NameUUID("x"), version: "2"})
+		if v1 == v2 {
+			t.Fatal("different versions must measure differently")
+		}
+	})
+	t.Run("attest unknown ta", func(t *testing.T) {
+		if _, err := dev.Attest(NameUUID("missing"), nonce); !errors.Is(err, ErrUnknownTA) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}

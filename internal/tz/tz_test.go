@@ -1,0 +1,169 @@
+package tz
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// echoTA is a trivial TA used to exercise the session machinery.
+type echoTA struct {
+	uuid    UUID
+	version string
+	// leak, when set, makes Invoke return a registered secure tensor —
+	// exercising the boundary screen.
+	leak *tensor.Tensor
+}
+
+func (e *echoTA) UUID() UUID      { return e.uuid }
+func (e *echoTA) Version() string { return e.version }
+
+func (e *echoTA) OpenSession(env *TAEnv) (any, error) {
+	return map[string]int{"invocations": 0}, nil
+}
+
+func (e *echoTA) Invoke(env *TAEnv, state any, cmd uint32, req any) (any, error) {
+	st := state.(map[string]int)
+	st["invocations"]++
+	switch cmd {
+	case 1: // echo
+		return req, nil
+	case 2: // leak a secure tensor
+		return e.leak, nil
+	case 3: // report invocation count
+		return st["invocations"], nil
+	default:
+		return nil, fmt.Errorf("echoTA: unknown command %d", cmd)
+	}
+}
+
+func (e *echoTA) CloseSession(env *TAEnv, state any) {}
+
+func newEchoDevice(t *testing.T) (*Device, *echoTA, *Session) {
+	t.Helper()
+	dev := NewDevice("test-device")
+	app := &echoTA{uuid: NameUUID("echo"), version: "1.0"}
+	if err := dev.Install(app); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dev.OpenSession(app.UUID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, app, sess
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	dev, app, sess := newEchoDevice(t)
+	resp, err := sess.Invoke(1, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "hello" {
+		t.Fatalf("echo = %v", resp)
+	}
+	n, err := sess.Invoke(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("invocation count = %v, want 2", n)
+	}
+	sess.Close()
+	if _, err := sess.Invoke(1, "x"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("invoke after close: %v", err)
+	}
+	// open + 2 invokes + close = 4 crossings pairs = 8 SMCs.
+	if got := dev.SMCCount(); got != 8 {
+		t.Fatalf("SMC count = %d, want 8", got)
+	}
+	_ = app
+}
+
+func TestOpenSessionUnknownTA(t *testing.T) {
+	dev := NewDevice("d")
+	if _, err := dev.OpenSession(NameUUID("missing")); !errors.Is(err, ErrUnknownTA) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoubleInstallRejected(t *testing.T) {
+	dev := NewDevice("d")
+	app := &echoTA{uuid: NameUUID("echo"), version: "1"}
+	if err := dev.Install(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Install(app); !errors.Is(err, ErrAlreadyInstalled) {
+		t.Fatalf("second install: %v", err)
+	}
+}
+
+func TestWorldSwitchChargesKernelTime(t *testing.T) {
+	dev, _, sess := newEchoDevice(t)
+	before := dev.Clock().Kernel()
+	if _, err := sess.Invoke(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	delta := dev.Clock().Kernel() - before
+	if want := 2 * dev.Cost().WorldSwitch; delta != want {
+		t.Fatalf("kernel delta = %v, want %v", delta, want)
+	}
+}
+
+func TestSecureLeakDetection(t *testing.T) {
+	dev, app, sess := newEchoDevice(t)
+	secret := tensor.Full(42, 2, 2)
+	dev.SecureMemory().RegisterTensor(secret, "layer2/weights")
+	app.leak = secret
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when TA leaks secure tensor")
+		}
+	}()
+	_, _ = sess.Invoke(2, nil)
+}
+
+func TestDeclassifiedTensorMayCross(t *testing.T) {
+	dev, app, sess := newEchoDevice(t)
+	tns := tensor.Full(1, 2, 2)
+	dev.SecureMemory().RegisterTensor(tns, "tmp")
+	dev.SecureMemory().UnregisterTensor(tns)
+	app.leak = tns
+	if _, err := sess.Invoke(2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakDetectionCoversContainers(t *testing.T) {
+	dev := NewDevice("d")
+	secret := tensor.Full(1, 1)
+	dev.SecureMemory().RegisterTensor(secret, "s")
+	cases := []any{
+		secret,
+		[]*tensor.Tensor{nil, secret},
+		[][]*tensor.Tensor{{secret}},
+		map[string]*tensor.Tensor{"g": secret},
+	}
+	for i, c := range cases {
+		if name := dev.SecureMemory().scanForSecureRefs(c); name != "s" {
+			t.Fatalf("case %d: scan = %q, want s", i, name)
+		}
+	}
+	if name := dev.SecureMemory().scanForSecureRefs([]*tensor.Tensor{tensor.Full(1, 1)}); name != "" {
+		t.Fatalf("clean tensor flagged: %q", name)
+	}
+}
+
+func TestNameUUIDDeterministicAndDistinct(t *testing.T) {
+	if NameUUID("a") != NameUUID("a") {
+		t.Fatal("NameUUID must be deterministic")
+	}
+	if NameUUID("a") == NameUUID("b") {
+		t.Fatal("distinct names must give distinct UUIDs")
+	}
+	if NameUUID("a").String() == "" {
+		t.Fatal("String must render")
+	}
+}

@@ -1,0 +1,293 @@
+// Package wire implements the length-prefixed binary encoding used by the
+// federated-learning protocol: primitive values, tensors, tensor lists
+// and framed messages. It is hand-rolled over encoding/binary so the FL
+// stack has no reflection in its hot path and malformed input fails with
+// explicit errors and bounded allocations.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// Limits protect decoders against malicious lengths.
+const (
+	// MaxFrame is the largest accepted frame payload (128 MiB —
+	// AlexNet-sized state fits comfortably).
+	MaxFrame = 128 << 20
+	// MaxDims is the largest accepted tensor rank.
+	MaxDims = 8
+)
+
+// Decoding errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrCorrupt       = errors.New("wire: corrupt input")
+)
+
+// Writer serialises values into a growing buffer with a sticky error.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Bool appends a boolean byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Blob appends a length-prefixed byte slice.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) { w.Blob([]byte(s)) }
+
+// Float64 appends one IEEE-754 value.
+func (w *Writer) Float64(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// Float64s appends a length-prefixed float64 slice.
+func (w *Writer) Float64s(fs []float64) {
+	w.Uvarint(uint64(len(fs)))
+	for _, f := range fs {
+		w.Float64(f)
+	}
+}
+
+// Tensor appends a tensor (nil allowed: encoded as rank 0xFF marker).
+func (w *Writer) Tensor(t *tensor.Tensor) {
+	if t == nil {
+		w.Uvarint(0xFF)
+		return
+	}
+	w.Uvarint(uint64(len(t.Shape)))
+	for _, d := range t.Shape {
+		w.Uvarint(uint64(d))
+	}
+	for _, f := range t.Data {
+		w.Float64(f)
+	}
+}
+
+// TensorList appends a length-prefixed list of (possibly nil) tensors.
+func (w *Writer) TensorList(ts []*tensor.Tensor) {
+	w.Uvarint(uint64(len(ts)))
+	for _, t := range ts {
+		w.Tensor(t)
+	}
+}
+
+// Reader decodes values from a byte slice with a sticky error.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps data for decoding.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, r.off)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.fail("bool")
+		return false
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b != 0
+}
+
+// Blob reads a length-prefixed byte slice (copied).
+func (r *Reader) Blob() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("blob length")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Blob()) }
+
+// Float64 reads one IEEE-754 value.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Float64s reads a length-prefixed float64 slice.
+func (r *Reader) Float64s() []float64 {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off)/8 {
+		r.fail("float64s length")
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// Tensor reads a tensor; returns nil for the nil marker.
+func (r *Reader) Tensor() *tensor.Tensor {
+	rank := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if rank == 0xFF {
+		return nil
+	}
+	if rank == 0 || rank > MaxDims {
+		r.fail("tensor rank")
+		return nil
+	}
+	shape := make([]int, rank)
+	size := 1
+	for i := range shape {
+		d := r.Uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if d > uint64(MaxFrame) {
+			r.fail("tensor dim")
+			return nil
+		}
+		shape[i] = int(d)
+		size *= int(d)
+	}
+	if size < 0 || uint64(size) > uint64(len(r.buf)-r.off)/8 {
+		r.fail("tensor size")
+		return nil
+	}
+	data := make([]float64, size)
+	for i := range data {
+		data[i] = r.Float64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return tensor.FromSlice(data, shape...)
+}
+
+// TensorList reads a list written by Writer.TensorList.
+func (r *Reader) TensorList() []*tensor.Tensor {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) { // each tensor costs ≥1 byte
+		r.fail("tensor list length")
+		return nil
+	}
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		out[i] = r.Tensor()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// WriteFrame writes a framed message: type byte, 4-byte big-endian
+// length, payload.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	hdr := [5]byte{msgType}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one framed message written by WriteFrame.
+func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return hdr[0], payload, nil
+}

@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Uvarint(12345)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello")
+	w.Blob([]byte{1, 2, 3})
+	w.Float64(math.Pi)
+	w.Float64s([]float64{1, -2, 3.5})
+
+	r := NewReader(w.Bytes())
+	if v := r.Uvarint(); v != 12345 {
+		t.Fatalf("Uvarint = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool roundtrip failed")
+	}
+	if s := r.String(); s != "hello" {
+		t.Fatalf("String = %q", s)
+	}
+	if b := r.Blob(); !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Fatalf("Blob = %v", b)
+	}
+	if f := r.Float64(); f != math.Pi {
+		t.Fatalf("Float64 = %v", f)
+	}
+	fs := r.Float64s()
+	if len(fs) != 3 || fs[1] != -2 {
+		t.Fatalf("Float64s = %v", fs)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTensorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := tensor.Randn(rng, 1, 2, 3, 4)
+	w := NewWriter()
+	w.Tensor(orig)
+	got := NewReader(w.Bytes()).Tensor()
+	if !got.EqualApprox(orig, 0) {
+		t.Fatal("tensor roundtrip mismatch")
+	}
+}
+
+func TestNilTensorRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.TensorList([]*tensor.Tensor{nil, tensor.Full(1, 2), nil})
+	r := NewReader(w.Bytes())
+	ts := r.TensorList()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(ts) != 3 || ts[0] != nil || ts[2] != nil || ts[1] == nil {
+		t.Fatalf("TensorList = %v", ts)
+	}
+}
+
+func TestDecodeCorruptInputs(t *testing.T) {
+	cases := map[string]func(r *Reader){
+		"uvarint-empty":   func(r *Reader) { r.Uvarint() },
+		"bool-empty":      func(r *Reader) { r.Bool() },
+		"float64-short":   func(r *Reader) { r.Float64() },
+		"blob-overlength": func(r *Reader) { r.Blob() },
+	}
+	for name, read := range cases {
+		t.Run(name, func(t *testing.T) {
+			var data []byte
+			if name == "blob-overlength" {
+				w := NewWriter()
+				w.Uvarint(1000) // claims 1000 bytes, provides none
+				data = w.Bytes()
+			}
+			r := NewReader(data)
+			read(r)
+			if !errors.Is(r.Err(), ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", r.Err())
+			}
+		})
+	}
+}
+
+func TestTensorDecodeHostileLengths(t *testing.T) {
+	// Claimed huge dimension must not allocate.
+	w := NewWriter()
+	w.Uvarint(2)
+	w.Uvarint(1 << 40)
+	w.Uvarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if got := r.Tensor(); got != nil || !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("hostile tensor: %v / %v", got, r.Err())
+	}
+
+	// Excessive rank.
+	w2 := NewWriter()
+	w2.Uvarint(MaxDims + 1)
+	r2 := NewReader(w2.Bytes())
+	if got := r2.Tensor(); got != nil || !errors.Is(r2.Err(), ErrCorrupt) {
+		t.Fatalf("hostile rank: %v / %v", got, r2.Err())
+	}
+
+	// Hostile list length.
+	w3 := NewWriter()
+	w3.Uvarint(1 << 50)
+	r3 := NewReader(w3.Bytes())
+	if got := r3.TensorList(); got != nil || !errors.Is(r3.Err(), ErrCorrupt) {
+		t.Fatalf("hostile list: %v / %v", got, r3.Err())
+	}
+}
+
+func TestStickyErrorStopsDecoding(t *testing.T) {
+	r := NewReader(nil)
+	r.Uvarint() // fails
+	if r.Float64() != 0 || r.Bool() || r.Blob() != nil {
+		t.Fatal("reads after error must return zero values")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 7, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	mt, p, err := ReadFrame(&buf)
+	if err != nil || mt != 7 || string(p) != "payload" {
+		t.Fatalf("frame 1 = %d %q %v", mt, p, err)
+	}
+	mt, p, err = ReadFrame(&buf)
+	if err != nil || mt != 8 || len(p) != 0 {
+		t.Fatalf("frame 2 = %d %q %v", mt, p, err)
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("EOF = %v", err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:8]
+	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated frame must fail")
+	}
+}
+
+func TestFrameHostileLength(t *testing.T) {
+	hdr := []byte{1, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile frame length: %v", err)
+	}
+}
+
+// Property: any tensor list round-trips exactly.
+func TestTensorListRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n % 5)
+		ts := make([]*tensor.Tensor, count)
+		for i := range ts {
+			if rng.Intn(4) == 0 {
+				continue // nil entry
+			}
+			ts[i] = tensor.Randn(rng, 1, 1+rng.Intn(3), 1+rng.Intn(3))
+		}
+		w := NewWriter()
+		w.TensorList(ts)
+		r := NewReader(w.Bytes())
+		got := r.TensorList()
+		if r.Err() != nil || len(got) != len(ts) {
+			return false
+		}
+		for i := range ts {
+			switch {
+			case ts[i] == nil && got[i] != nil, ts[i] != nil && got[i] == nil:
+				return false
+			case ts[i] != nil && !ts[i].EqualApprox(got[i], 0):
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
