@@ -1,0 +1,25 @@
+# GradSec reproduction — build/test/bench entry points.
+#
+#   make build   compile everything
+#   make vet     static checks
+#   make test    full test suite, race detector enabled
+#   make bench   all artefact + fleet benchmarks (one iteration each)
+#   make check   build + vet + test (CI gate)
+
+GO ?= go
+
+.PHONY: build vet test bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime=1x -benchmem .
+
+check: build vet test

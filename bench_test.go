@@ -11,9 +11,12 @@ package gradsec_test
 // (Figures 5–6, Table 5) run the real attacks at reduced scale.
 
 import (
+	"fmt"
 	"io"
+	"math/rand"
 	"testing"
 
+	"github.com/gradsec/gradsec"
 	"github.com/gradsec/gradsec/internal/repro"
 )
 
@@ -63,3 +66,42 @@ func BenchmarkAblationSMC(b *testing.B) { benchArtefact(b, "ablation-smc") }
 
 // BenchmarkAblationEnclave regenerates the enclave-size ablation.
 func BenchmarkAblationEnclave(b *testing.B) { benchArtefact(b, "ablation-enclave") }
+
+// BenchmarkFleetRound measures one full FL cycle of the concurrent
+// round engine over a simulated fleet: every client receives the
+// LeNet-5 model, trains (constant-work simulated update), and the
+// server streams all updates into the aggregate. Devices are plain
+// (no TEE) so the number isolates protocol + codec + aggregation
+// throughput rather than attestation crypto. EXPERIMENTS.md records a
+// reference run.
+func BenchmarkFleetRound(b *testing.B) {
+	for _, clients := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			model := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU)
+			params := 0
+			for _, t := range model.StateDict() {
+				params += t.Size()
+			}
+			b.SetBytes(int64(2 * clients * params * 8)) // model down + update up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				state := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU).StateDict()
+				b.StartTimer()
+				res, err := gradsec.RunFleet(gradsec.FleetScenario{
+					Clients:       clients,
+					Rounds:        1,
+					NoTEEFraction: 1.0,
+					Seed:          int64(i + 1),
+					Model:         state,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Trace[0].Responded != clients {
+					b.Fatalf("round folded %d of %d updates", res.Trace[0].Responded, clients)
+				}
+			}
+		})
+	}
+}

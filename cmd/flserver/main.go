@@ -24,6 +24,11 @@ func main() {
 	clients := flag.Int("clients", 2, "clients to wait for")
 	rounds := flag.Int("rounds", 3, "FL cycles")
 	layers := flag.String("protect", "2,5", "1-based protected layers (static plan)")
+	minClients := flag.Int("min-clients", 1, "responders required per round")
+	sampleFraction := flag.Float64("sample-fraction", 0, "fraction of clients sampled per round (0 = all)")
+	sampleCount := flag.Int("sample-count", 0, "clients sampled per round (overrides -sample-fraction)")
+	deadline := flag.Duration("deadline", 0, "per-round deadline; stragglers are dropped (0 = wait forever)")
+	seed := flag.Int64("seed", 1, "cohort sampling seed")
 	flag.Parse()
 
 	var protect []int
@@ -62,7 +67,19 @@ func main() {
 	}
 
 	srv := fl.NewServer(global.StateDict(), fl.ServerConfig{
-		Rounds: *rounds, Planner: planner, MinClients: 1,
+		Rounds:         *rounds,
+		Planner:        planner,
+		MinClients:     *minClients,
+		SampleFraction: *sampleFraction,
+		SampleCount:    *sampleCount,
+		SampleSeed:     *seed,
+		RoundDeadline:  *deadline,
+		Hooks: fl.Hooks{
+			RoundClosed: func(st fl.RoundStats) {
+				fmt.Printf("round %d: sampled %d, responded %d, dropped %d, quarantined %d, |update| %.4f\n",
+					st.Round, st.Sampled, st.Responded, st.Dropped, st.Quarantined, st.UpdateNorm)
+			},
+		},
 	})
 	selected, err := srv.Run(conns)
 	if err != nil {

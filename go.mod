@@ -1,0 +1,3 @@
+module github.com/gradsec/gradsec
+
+go 1.21

@@ -29,6 +29,35 @@
 //	// res.Observable — the attacker's view (nil at protected layers)
 //	// sv.FullUpdate(res) — the trusted server's complete update
 //
+// # Fleet-scale orchestration
+//
+// Beyond the single-device trainer, internal/fl provides a concurrent FL
+// round engine: client selection/attestation runs across a bounded
+// worker pool, each round samples a cohort (SampleFraction/SampleCount),
+// a per-round deadline drops stragglers (a round succeeds with ≥
+// MinClients responders; late updates are discarded), failed clients are
+// quarantined instead of aborting the session, and aggregation streams
+// each update into a running weighted sum so server memory stays
+// O(model) rather than O(clients × model). Wall time flows through an
+// injected clock (internal/simclock), so deadline behaviour is
+// deterministic under test.
+//
+// RunFleet drives that engine against a simulated fleet: N in-memory
+// clients with per-client latency/failure/no-TEE profiles from a seeded
+// RNG, returning a round-by-round trace (participation, drops,
+// quarantines, aggregate update norm). Two runs of the same scenario
+// produce identical traces:
+//
+//	res, _ := gradsec.RunFleet(gradsec.FleetScenario{
+//		Clients: 256, Rounds: 10, SampleFraction: 0.5,
+//		Deadline: 2 * time.Second, StragglerFraction: 0.1, Seed: 42,
+//	})
+//	for _, round := range res.Trace { fmt.Println(round) }
+//
+// Run `go run ./examples/fleet` for a full scenario walk-through, or
+// `go run ./cmd/flserver -deadline 5s -sample-fraction 0.5` plus several
+// `go run ./cmd/flclient` processes for the engine over real TCP.
+//
 // See examples/ for runnable programs and internal/repro for the code
 // that regenerates every table and figure of the paper.
 package gradsec
@@ -37,6 +66,8 @@ import (
 	"math/rand"
 
 	"github.com/gradsec/gradsec/internal/core"
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/flsim"
 	"github.com/gradsec/gradsec/internal/nn"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tz"
@@ -65,6 +96,22 @@ type (
 	Network = nn.Network
 	// Activation selects layer nonlinearities.
 	Activation = nn.Activation
+)
+
+// Re-exported fleet types: the round engine's trace and its scenario
+// simulator.
+type (
+	// RoundStats is one round's trace entry (participation, drops,
+	// quarantines, aggregate update norm).
+	RoundStats = fl.RoundStats
+	// FleetScenario parameterises a simulated fleet session.
+	FleetScenario = flsim.Scenario
+	// FleetProfile describes one simulated client (latency, failure
+	// round, TEE capability).
+	FleetProfile = flsim.Profile
+	// FleetResult is a completed simulation: selection outcome, trace,
+	// and final model.
+	FleetResult = flsim.Result
 )
 
 // Plan modes.
@@ -120,3 +167,8 @@ func NewAlexNet(rng *rand.Rand) *Network { return nn.NewAlexNet(rng) }
 
 // Pi3BCostModel returns the calibrated Raspberry-Pi-3B+/OP-TEE cost model.
 func Pi3BCostModel() simclock.CostModel { return simclock.Pi3B() }
+
+// RunFleet simulates an FL session over an in-memory fleet with the
+// given scenario, deterministically: identical scenarios yield identical
+// traces and final models.
+func RunFleet(sc FleetScenario) (*FleetResult, error) { return flsim.Run(sc) }

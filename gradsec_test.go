@@ -2,7 +2,9 @@ package gradsec_test
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
+	"time"
 
 	"github.com/gradsec/gradsec"
 	"github.com/gradsec/gradsec/internal/nn"
@@ -79,5 +81,37 @@ func TestFacadeOverheadSim(t *testing.T) {
 	}
 	if _, err := gradsec.NewDynamicPlan(2, []float64{0.5, 0.5}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeFleet drives the fleet simulator through the public API and
+// checks the scenario trace is reproducible.
+func TestFacadeFleet(t *testing.T) {
+	scenario := gradsec.FleetScenario{
+		Clients:           32,
+		Rounds:            3,
+		SampleFraction:    0.5,
+		Deadline:          time.Second,
+		StragglerFraction: 0.25,
+		Seed:              11,
+	}
+	first, err := gradsec.RunFleet(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := gradsec.RunFleet(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Trace) != 3 {
+		t.Fatalf("trace has %d rounds", len(first.Trace))
+	}
+	if !reflect.DeepEqual(first.Trace, second.Trace) {
+		t.Fatalf("fleet traces differ:\n%+v\n%+v", first.Trace, second.Trace)
+	}
+	for _, st := range first.Trace {
+		if st.Sampled != 16 || st.Responded+st.Dropped != 16 {
+			t.Fatalf("round stats = %+v", st)
+		}
 	}
 }

@@ -4,8 +4,14 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"math"
+	mrand "math/rand"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
+	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
 )
@@ -37,15 +43,80 @@ type ServerConfig struct {
 	// Planner supplies the per-round protection plan. Defaults to
 	// NoProtection.
 	Planner RoundPlanner
-	// MinClients aborts the session when fewer clients pass selection.
+	// MinClients is the fleet floor: the session aborts when fewer
+	// clients pass selection, and a round fails with ErrNotEnoughClients
+	// when fewer than MinClients updates arrive before the deadline.
 	MinClients int
+
+	// SampleCount, when positive, limits each round to that many
+	// randomly sampled clients. Takes precedence over SampleFraction.
+	SampleCount int
+	// SampleFraction, when in (0,1), samples ⌈fraction·live⌉ clients per
+	// round. 0 (or ≥1) means every live client participates.
+	SampleFraction float64
+	// SampleSeed seeds the sampling RNG so cohorts are reproducible.
+	// The default seed is 1.
+	SampleSeed int64
+
+	// RoundDeadline bounds each round: clients that have not responded
+	// when it expires are dropped for the round (their late updates are
+	// discarded) but stay eligible for later rounds. 0 waits forever.
+	RoundDeadline time.Duration
+	// SelectWorkers bounds the parallel attestation pool during client
+	// selection. Defaults to 8.
+	SelectWorkers int
+	// Clock supplies wall time for round deadlines. Defaults to the
+	// real clock; tests and flsim inject a simclock.Virtual.
+	Clock simclock.WallClock
+
+	// Hooks receive engine lifecycle events; all callbacks fire from the
+	// server's round goroutine, in order.
+	Hooks Hooks
 }
 
-// Server drives an FL training session over a fixed set of client
-// connections.
+// Hooks observe the round engine. Any field may be nil.
+type Hooks struct {
+	// RoundStarted fires after the round's cohort is sampled and the
+	// deadline timer (if any) is armed, before models are distributed.
+	RoundStarted func(round int, sampled []string)
+	// UpdateFolded fires after a client update is folded into the
+	// streaming aggregate.
+	UpdateFolded func(round int, device string)
+	// ClientQuarantined fires when a client is permanently excluded
+	// (training/protocol/transport failure — not straggling).
+	ClientQuarantined func(device string, reason error)
+	// RoundClosed fires after the round's aggregate is applied (or the
+	// round failed).
+	RoundClosed func(stats RoundStats)
+}
+
+// RoundStats is one round's trace entry.
+type RoundStats struct {
+	// Round is the FL cycle index.
+	Round int
+	// Sampled is the cohort size drawn for the round.
+	Sampled int
+	// Responded counts updates folded before the deadline.
+	Responded int
+	// Dropped counts sampled clients that straggled past the deadline.
+	Dropped int
+	// Quarantined counts clients permanently excluded during the round.
+	Quarantined int
+	// LateDiscarded counts stale updates (earlier rounds) thrown away.
+	LateDiscarded int
+	// UpdateNorm is the L2 norm of the applied aggregate update.
+	UpdateNorm float64
+}
+
+// Server drives an FL training session over a set of client connections:
+// parallel TEE-aware selection, per-round client sampling, deadline-based
+// straggler dropout, quarantine of failed clients, and streaming FedAvg
+// aggregation.
 type Server struct {
 	cfg   ServerConfig
 	state []*tensor.Tensor
+	rng   *mrand.Rand
+	trace []RoundStats
 }
 
 // NewServer creates a server owning the given initial global model state
@@ -60,100 +131,204 @@ func NewServer(state []*tensor.Tensor, cfg ServerConfig) *Server {
 	if cfg.MinClients <= 0 {
 		cfg.MinClients = 1
 	}
-	return &Server{cfg: cfg, state: state}
+	if cfg.SelectWorkers <= 0 {
+		cfg.SelectWorkers = 8
+	}
+	if cfg.SampleSeed == 0 {
+		cfg.SampleSeed = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real()
+	}
+	return &Server{cfg: cfg, state: state, rng: mrand.New(mrand.NewSource(cfg.SampleSeed))}
 }
 
 // State returns the current global model parameters.
 func (s *Server) State() []*tensor.Tensor { return s.state }
 
-// session is the server's per-client state.
+// Trace returns per-round statistics for the completed (or aborted)
+// session, in round order.
+func (s *Server) Trace() []RoundStats { return s.trace }
+
+// session is the server's per-client state. Mutable fields are owned by
+// the round goroutine.
 type session struct {
-	conn    Conn
-	device  string
-	hasTEE  bool
-	channel *tz.Channel
+	conn        Conn
+	device      string
+	hasTEE      bool
+	channel     *tz.Channel
+	quarantined bool
+}
+
+// arrival is one message (or terminal transport error) from a client's
+// read loop.
+type arrival struct {
+	sess *session
+	msg  Message
+	err  error
 }
 
 // ErrNotEnoughClients is returned when selection leaves fewer clients
-// than MinClients.
-var ErrNotEnoughClients = errors.New("fl: not enough clients passed selection")
+// than MinClients, or when fewer than MinClients updates arrive before a
+// round deadline.
+var ErrNotEnoughClients = errors.New("fl: not enough clients")
 
 // Run executes selection followed by cfg.Rounds FL cycles over the given
 // client connections, then closes them with a Done carrying the final
 // model. It returns the number of selected clients.
 func (s *Server) Run(conns []Conn) (int, error) {
-	sessions, err := s.selectClients(conns)
-	if err != nil {
-		return 0, err
+	if s.cfg.RequireTEE && s.cfg.Verifier == nil {
+		return 0, errors.New("fl: RequireTEE set but no Verifier configured")
 	}
+	sessions := s.selectClients(conns)
 	if len(sessions) < s.cfg.MinClients {
-		return len(sessions), fmt.Errorf("%w: %d of %d", ErrNotEnoughClients, len(sessions), s.cfg.MinClients)
+		for _, sess := range sessions {
+			s.reject(sess.conn, "not enough clients passed selection")
+		}
+		return len(sessions), fmt.Errorf("%w: %d of %d passed selection", ErrNotEnoughClients, len(sessions), s.cfg.MinClients)
 	}
+
+	// One reader per session feeds a shared arrival channel so a
+	// straggler's late reply can surface (and be discarded) during any
+	// later round instead of desynchronising the protocol.
+	arrivals := make(chan arrival, len(sessions))
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for _, sess := range sessions {
+		readers.Add(1)
+		go func(sess *session) {
+			defer readers.Done()
+			readLoop(sess, arrivals, done)
+		}(sess)
+	}
+	shutdown := func() {
+		close(done)
+		for _, sess := range sessions {
+			_ = sess.conn.Close()
+		}
+		readers.Wait()
+	}
+
 	for round := 0; round < s.cfg.Rounds; round++ {
-		if err := s.runRound(round, sessions); err != nil {
+		if err := s.runRound(round, sessions, arrivals); err != nil {
+			shutdown()
 			return len(sessions), fmt.Errorf("fl: round %d: %w", round, err)
 		}
 	}
-	done := &Done{Final: s.state}
+
+	// Best effort: a client that died after contributing does not fail
+	// the completed session.
+	final := &Done{Final: s.state}
 	for _, sess := range sessions {
-		if err := sess.conn.Send(done); err != nil {
-			return len(sessions), fmt.Errorf("fl: sending Done to %s: %w", sess.device, err)
+		if sess.quarantined {
+			continue
 		}
+		_ = sess.conn.Send(final)
 	}
+	shutdown()
 	return len(sessions), nil
 }
 
-// selectClients performs Fig. 2 step 1: challenge every connection,
-// verify attestation when TEE is required, and establish the trusted
-// channel with accepted clients.
-func (s *Server) selectClients(conns []Conn) ([]*session, error) {
-	var out []*session
-	for i, conn := range conns {
-		nonce := make([]byte, 16)
-		if _, err := rand.Read(nonce); err != nil {
-			return nil, fmt.Errorf("fl: generating nonce: %w", err)
+// readLoop pumps one connection into the shared arrival channel until
+// the connection fails or the session shuts down.
+func readLoop(sess *session, arrivals chan<- arrival, done <-chan struct{}) {
+	for {
+		msg, err := sess.conn.Recv()
+		select {
+		case arrivals <- arrival{sess: sess, msg: msg, err: err}:
+		case <-done:
+			return
 		}
-		offer, err := tz.NewChannelOffer()
 		if err != nil {
-			return nil, err
+			return
 		}
-		ch := &Challenge{Nonce: nonce, ServerPub: offer.Public, RequireTEE: s.cfg.RequireTEE}
-		if err := conn.Send(ch); err != nil {
-			return nil, fmt.Errorf("fl: challenging client %d: %w", i, err)
-		}
-		msg, err := conn.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("fl: awaiting attestation from client %d: %w", i, err)
-		}
-		att, ok := msg.(*Attest)
-		if !ok {
-			return nil, fmt.Errorf("fl: client %d sent %T instead of Attest", i, msg)
-		}
-		if s.cfg.RequireTEE {
-			if !att.HasTEE {
-				s.reject(conn, "device has no TEE")
-				continue
-			}
-			if s.cfg.Verifier == nil {
-				return nil, errors.New("fl: RequireTEE set but no Verifier configured")
-			}
-			if err := s.cfg.Verifier.Verify(att.Quote, nonce); err != nil {
-				s.reject(conn, fmt.Sprintf("attestation failed: %v", err))
-				continue
-			}
-		}
-		sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE}
-		if att.HasTEE && len(att.ClientPub) > 0 {
-			channel, err := offer.Establish(att.ClientPub, true)
-			if err != nil {
-				s.reject(conn, fmt.Sprintf("channel establishment failed: %v", err))
-				continue
-			}
-			sess.channel = channel
-		}
-		out = append(out, sess)
 	}
-	return out, nil
+}
+
+// selectClients performs Fig. 2 step 1 — challenge, attestation
+// verification, trusted-channel establishment — across a bounded worker
+// pool. Clients that fail are rejected individually; input order is
+// preserved so sampling stays deterministic.
+func (s *Server) selectClients(conns []Conn) []*session {
+	results := make([]*session, len(conns))
+	workers := s.cfg.SelectWorkers
+	if workers > len(conns) {
+		workers = len(conns)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = s.selectOne(conns[i])
+			}
+		}()
+	}
+	for i := range conns {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var out []*session
+	for _, sess := range results {
+		if sess != nil {
+			out = append(out, sess)
+		}
+	}
+	return out
+}
+
+// selectOne runs the selection handshake with a single connection,
+// returning nil when the client is rejected or unreachable.
+func (s *Server) selectOne(conn Conn) *session {
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		s.reject(conn, fmt.Sprintf("generating nonce: %v", err))
+		return nil
+	}
+	offer, err := tz.NewChannelOffer()
+	if err != nil {
+		s.reject(conn, fmt.Sprintf("channel offer: %v", err))
+		return nil
+	}
+	ch := &Challenge{Nonce: nonce, ServerPub: offer.Public, RequireTEE: s.cfg.RequireTEE}
+	if err := conn.Send(ch); err != nil {
+		_ = conn.Close()
+		return nil
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return nil
+	}
+	att, ok := msg.(*Attest)
+	if !ok {
+		s.reject(conn, fmt.Sprintf("sent %T instead of Attest", msg))
+		return nil
+	}
+	if s.cfg.RequireTEE {
+		if !att.HasTEE {
+			s.reject(conn, "device has no TEE")
+			return nil
+		}
+		if err := s.cfg.Verifier.Verify(att.Quote, nonce); err != nil {
+			s.reject(conn, fmt.Sprintf("attestation failed: %v", err))
+			return nil
+		}
+	}
+	sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE}
+	if att.HasTEE && len(att.ClientPub) > 0 {
+		channel, err := offer.Establish(att.ClientPub, true)
+		if err != nil {
+			s.reject(conn, fmt.Sprintf("channel establishment failed: %v", err))
+			return nil
+		}
+		sess.channel = channel
+	}
+	return sess
 }
 
 func (s *Server) reject(conn Conn, reason string) {
@@ -162,35 +337,225 @@ func (s *Server) reject(conn Conn, reason string) {
 	_ = conn.Close()
 }
 
-// runRound distributes the model (splitting protected weights into the
-// sealed path), gathers client updates concurrently, and applies FedAvg.
-func (s *Server) runRound(round int, sessions []*session) error {
-	protected, planBlob := s.cfg.Planner.PlanRound(round)
-
-	updates := make([][]*tensor.Tensor, len(sessions))
-	errs := make([]error, len(sessions))
-	var wg sync.WaitGroup
-	for i, sess := range sessions {
-		wg.Add(1)
-		go func(i int, sess *session) {
-			defer wg.Done()
-			updates[i], errs[i] = s.clientRound(round, sess, protected, planBlob)
-		}(i, sess)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("client %s: %w", sessions[i].device, err)
+// live returns the non-quarantined sessions, in selection order.
+func live(sessions []*session) []*session {
+	var out []*session
+	for _, sess := range sessions {
+		if !sess.quarantined {
+			out = append(out, sess)
 		}
 	}
+	return out
+}
 
-	avg := FedAvg(updates)
-	ApplyUpdate(s.state, avg, 1.0)
+// sample draws the round's cohort from the live sessions using the
+// seeded RNG. Selection order is preserved.
+func (s *Server) sample(live []*session) []*session {
+	n := len(live)
+	k := n
+	switch {
+	case s.cfg.SampleCount > 0:
+		k = s.cfg.SampleCount
+	case s.cfg.SampleFraction > 0 && s.cfg.SampleFraction < 1:
+		k = int(math.Ceil(float64(n) * s.cfg.SampleFraction))
+	}
+	if k < s.cfg.MinClients {
+		k = s.cfg.MinClients
+	}
+	if k >= n {
+		// Keep the RNG stream advancing uniformly so later rounds stay
+		// reproducible regardless of intermediate cohort sizes.
+		s.rng.Perm(n)
+		return live
+	}
+	idx := s.rng.Perm(n)[:k]
+	sort.Ints(idx)
+	out := make([]*session, 0, k)
+	for _, i := range idx {
+		out = append(out, live[i])
+	}
+	return out
+}
+
+// quarantine permanently excludes a client: its connection is closed and
+// it is never sampled again. Stragglers are *not* quarantined — only
+// training, protocol, and transport failures.
+func (s *Server) quarantine(sess *session, reason error, stats *RoundStats, reasons *[]string) {
+	if sess.quarantined {
+		return
+	}
+	sess.quarantined = true
+	_ = sess.conn.Close()
+	stats.Quarantined++
+	*reasons = append(*reasons, fmt.Sprintf("%s: %v", sess.device, reason))
+	if s.cfg.Hooks.ClientQuarantined != nil {
+		s.cfg.Hooks.ClientQuarantined(sess.device, reason)
+	}
+}
+
+// runRound executes one FL cycle: sample a cohort, distribute the model,
+// fold updates as they arrive (streaming FedAvg), and close the round at
+// the deadline with whoever responded.
+func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arrival) error {
+	alive := live(sessions)
+	if len(alive) < s.cfg.MinClients {
+		return fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
+	}
+	sampled := s.sample(alive)
+
+	stats := RoundStats{Round: round, Sampled: len(sampled)}
+	var reasons []string
+
+	// Arm the deadline before any model leaves the server so time spent
+	// distributing counts against the round budget. Note the sends
+	// themselves are not interruptible: a transport whose Send can stall
+	// indefinitely (raw TCP against a client that stops reading) needs
+	// its own write timeout — see ROADMAP "Open items".
+	var deadlineC <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		timer := s.cfg.Clock.NewTimer(s.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+
+	if s.cfg.Hooks.RoundStarted != nil {
+		names := make([]string, len(sampled))
+		for i, sess := range sampled {
+			names[i] = sess.device
+		}
+		s.cfg.Hooks.RoundStarted(round, names)
+	}
+
+	protected, planBlob := s.cfg.Planner.PlanRound(round)
+
+	// Distribute the model to the cohort in parallel; sealing is
+	// per-channel so each client gets its own ModelDown.
+	sendErrs := make([]error, len(sampled))
+	var sends sync.WaitGroup
+	for i, sess := range sampled {
+		sends.Add(1)
+		go func(i int, sess *session) {
+			defer sends.Done()
+			down, err := s.buildModelDown(round, sess, protected, planBlob)
+			if err == nil {
+				err = sess.conn.Send(down)
+			}
+			sendErrs[i] = err
+		}(i, sess)
+	}
+	sends.Wait()
+
+	pending := make(map[*session]bool, len(sampled))
+	for i, sess := range sampled {
+		if sendErrs[i] != nil {
+			s.quarantine(sess, fmt.Errorf("sending model: %w", sendErrs[i]), &stats, &reasons)
+			continue
+		}
+		pending[sess] = true
+	}
+
+	agg := NewAggregator(s.state)
+collect:
+	for len(pending) > 0 {
+		select {
+		case a := <-arrivals:
+			s.handleArrival(round, a, pending, agg, &stats, &reasons)
+		case <-deadlineC:
+			// Drain updates that raced the deadline, then drop the rest.
+			for {
+				select {
+				case a := <-arrivals:
+					s.handleArrival(round, a, pending, agg, &stats, &reasons)
+				default:
+					break collect
+				}
+			}
+		}
+	}
+	stats.Dropped = len(pending)
+	stats.Responded = agg.Count()
+
+	if agg.Count() < s.cfg.MinClients {
+		detail := ""
+		if len(reasons) > 0 {
+			detail = " (" + strings.Join(reasons, "; ") + ")"
+		}
+		err := fmt.Errorf("%w: %d of %d sampled clients responded, need %d%s",
+			ErrNotEnoughClients, agg.Count(), stats.Sampled, s.cfg.MinClients, detail)
+		s.closeRound(stats)
+		return err
+	}
+	mean, err := agg.Mean()
+	if err != nil {
+		s.closeRound(stats)
+		return err
+	}
+	stats.UpdateNorm = UpdateNorm(mean)
+	ApplyUpdate(s.state, mean, 1.0)
+	s.closeRound(stats)
 	return nil
 }
 
-// clientRound handles the ModelDown/GradUp exchange for one client.
-func (s *Server) clientRound(round int, sess *session, protected map[int]bool, planBlob []byte) ([]*tensor.Tensor, error) {
+func (s *Server) closeRound(stats RoundStats) {
+	s.trace = append(s.trace, stats)
+	if s.cfg.Hooks.RoundClosed != nil {
+		s.cfg.Hooks.RoundClosed(stats)
+	}
+}
+
+// handleArrival routes one client message during a round: fold a valid
+// update, discard stale ones, quarantine on failure.
+func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, agg *Aggregator, stats *RoundStats, reasons *[]string) {
+	sess := a.sess
+	if sess.quarantined {
+		return // residue from an already-closed connection
+	}
+	if a.err != nil {
+		delete(pending, sess)
+		s.quarantine(sess, fmt.Errorf("transport: %w", a.err), stats, reasons)
+		return
+	}
+	switch m := a.msg.(type) {
+	case *GradUp:
+		if m.Round < round {
+			// A straggler's answer to an earlier round: discard, but keep
+			// the client pending — its answer to this round may follow.
+			stats.LateDiscarded++
+			return
+		}
+		if m.Round > round || !pending[sess] {
+			delete(pending, sess)
+			s.quarantine(sess, fmt.Errorf("unexpected update for round %d during round %d", m.Round, round), stats, reasons)
+			return
+		}
+		update, err := s.mergeUpdate(sess, m)
+		if err != nil {
+			delete(pending, sess)
+			s.quarantine(sess, err, stats, reasons)
+			return
+		}
+		if err := agg.Add(update, 1); err != nil {
+			delete(pending, sess)
+			s.quarantine(sess, err, stats, reasons)
+			return
+		}
+		delete(pending, sess)
+		if s.cfg.Hooks.UpdateFolded != nil {
+			s.cfg.Hooks.UpdateFolded(round, sess.device)
+		}
+	case *ErrorMsg:
+		delete(pending, sess)
+		s.quarantine(sess, fmt.Errorf("client error: %s", m.Text), stats, reasons)
+	default:
+		delete(pending, sess)
+		s.quarantine(sess, fmt.Errorf("unexpected %T mid-round", a.msg), stats, reasons)
+	}
+}
+
+// buildModelDown assembles one client's round message, splitting
+// protected tensors into the sealed path when the client has a trusted
+// channel.
+func (s *Server) buildModelDown(round int, sess *session, protected map[int]bool, planBlob []byte) (*ModelDown, error) {
 	down := &ModelDown{Round: round, Plan: planBlob}
 	down.Plain = make([]*tensor.Tensor, len(s.state))
 	var secretIdx []int
@@ -206,25 +571,12 @@ func (s *Server) clientRound(round int, sess *session, protected map[int]bool, p
 	if len(secretIdx) > 0 {
 		down.Sealed = sess.channel.Seal(SealedUpdate(secretIdx, secretTs))
 	}
-	if err := sess.conn.Send(down); err != nil {
-		return nil, fmt.Errorf("sending model: %w", err)
-	}
+	return down, nil
+}
 
-	msg, err := sess.conn.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("awaiting update: %w", err)
-	}
-	up, ok := msg.(*GradUp)
-	if !ok {
-		if em, isErr := msg.(*ErrorMsg); isErr {
-			return nil, fmt.Errorf("client error: %s", em.Text)
-		}
-		return nil, fmt.Errorf("unexpected %T instead of GradUp", msg)
-	}
-	if up.Round != round {
-		return nil, fmt.Errorf("update for round %d during round %d", up.Round, round)
-	}
-
+// mergeUpdate reassembles a client's full flat update from its plain and
+// sealed halves and validates it against the model shapes.
+func (s *Server) mergeUpdate(sess *session, up *GradUp) ([]*tensor.Tensor, error) {
 	full := make([]*tensor.Tensor, len(s.state))
 	copy(full, up.Plain)
 	if len(up.Sealed) > 0 {
@@ -257,9 +609,11 @@ func (s *Server) clientRound(round int, sess *session, protected map[int]bool, p
 	return full, nil
 }
 
-// FedAvg returns the elementwise mean of the client updates. All updates
-// must be complete and shape-consistent (the server validates before
-// calling).
+// FedAvg returns the elementwise mean of the client updates — the
+// buffered reference implementation. The round engine itself streams
+// through an Aggregator; for unit weights and equal fold order the two
+// are bit-for-bit identical. All updates must be complete and
+// shape-consistent (the server validates before calling).
 func FedAvg(updates [][]*tensor.Tensor) []*tensor.Tensor {
 	if len(updates) == 0 {
 		return nil

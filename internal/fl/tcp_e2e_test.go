@@ -1,0 +1,120 @@
+package fl
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// e2eConfig is the shared session shape for the transport-equivalence
+// test: every client participates in every round, so the only variable
+// between the two runs is the transport itself.
+func e2eConfig() ServerConfig {
+	return ServerConfig{Rounds: 3, MinClients: 3}
+}
+
+// e2eDeltas are exact dyadic values: their sums and means are exact in
+// float64 regardless of client arrival order, so the final model is
+// bitwise reproducible across transports.
+var e2eDeltas = []float64{1, 2, 4}
+
+func e2eState() []*tensor.Tensor { return newState(0, 8) }
+
+// runPipeE2E runs the session over in-memory pipes.
+func runPipeE2E(t *testing.T) []*tensor.Tensor {
+	t.Helper()
+	state := e2eState()
+	srv := NewServer(state, e2eConfig())
+	trainers := make([]*testTrainer, len(e2eDeltas))
+	for i, d := range e2eDeltas {
+		trainers[i] = newTestTrainer("mem", false, d)
+	}
+	if _, err := runSession(t, srv, trainers); err != nil {
+		t.Fatal(err)
+	}
+	return state
+}
+
+// runTCPE2E runs the same session over real TCP on loopback: the server
+// accepts in-process connections from concurrently dialling clients.
+func runTCPE2E(t *testing.T) []*tensor.Tensor {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, len(e2eDeltas))
+	for i, d := range e2eDeltas {
+		wg.Add(1)
+		go func(i int, d float64) {
+			defer wg.Done()
+			conn, err := Dial(l.Addr())
+			if err != nil {
+				clientErrs[i] = err
+				return
+			}
+			defer conn.Close()
+			clientErrs[i] = NewClient(conn, newTestTrainer("tcp", false, d)).Run()
+		}(i, d)
+	}
+
+	conns := make([]Conn, 0, len(e2eDeltas))
+	for len(conns) < len(e2eDeltas) {
+		c, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+
+	state := e2eState()
+	srv := NewServer(state, e2eConfig())
+	if _, err := srv.Run(conns); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("tcp client %d: %v", i, err)
+		}
+	}
+	return state
+}
+
+// TestTCPSessionMatchesInMemorySession runs one multi-client session
+// over fl.Pipe and one over real loopback TCP and asserts the final
+// global models are bitwise identical.
+func TestTCPSessionMatchesInMemorySession(t *testing.T) {
+	viaPipe := runPipeE2E(t)
+	viaTCP := runTCPE2E(t)
+
+	if len(viaPipe) != len(viaTCP) {
+		t.Fatalf("tensor counts differ: %d vs %d", len(viaPipe), len(viaTCP))
+	}
+	for i := range viaPipe {
+		if !viaPipe[i].SameShape(viaTCP[i]) {
+			t.Fatalf("tensor %d shapes differ", i)
+		}
+		for j := range viaPipe[i].Data {
+			if viaPipe[i].Data[j] != viaTCP[i].Data[j] {
+				t.Fatalf("tensor %d elem %d: pipe %v != tcp %v",
+					i, j, viaPipe[i].Data[j], viaTCP[i].Data[j])
+			}
+		}
+	}
+	// Sanity: 3 rounds of mean(1,2,4) each, accumulated with the exact
+	// float operations the engine uses (reciprocal multiply, repeated add).
+	sum, n := 7.0, 3.0 // variables: Go folds constant float math exactly
+	mean := sum * (1.0 / n)
+	want := 0.0
+	for r := 0; r < 3; r++ {
+		want += mean
+	}
+	if got := viaPipe[0].Data[0]; got != want {
+		t.Fatalf("final state = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,381 @@
+// Package flsim is a deterministic scenario-simulation harness for the
+// FL round engine: it spins up N in-memory clients over fl.Pipe with
+// per-client latency/failure/no-TEE profiles drawn from a seeded RNG,
+// drives the engine's round deadlines through a virtual clock, and
+// returns a round-by-round trace (participation, drops, quarantines,
+// aggregate update norm).
+//
+// Determinism: the cohort sampler, profile assignment, and failure
+// schedule all derive from Scenario.Seed; deadlines only fire when the
+// harness advances the virtual clock (after every on-time response has
+// been folded); and simulated updates are dyadic rationals, so their
+// sums are exact in float64 and independent of goroutine arrival order.
+// Two runs of the same scenario therefore produce identical traces and
+// bitwise-identical final models.
+package flsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/simclock"
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+)
+
+// Profile describes one simulated client.
+type Profile struct {
+	// Device is the client's device ID.
+	Device string
+	// Straggler marks a client that never answers a round inside the
+	// deadline: it is dropped every round it is sampled in, but not
+	// quarantined. (Latency is modelled as binary relative to the
+	// scenario deadline, not as a graded delay.)
+	Straggler bool
+	// FailRound, when ≥ 0, makes the client report a training failure
+	// the first time it is sampled in a round ≥ FailRound (it is then
+	// quarantined by the engine).
+	FailRound int
+	// NoTEE marks a device without a TEE; under RequireTEE it is
+	// rejected at selection.
+	NoTEE bool
+}
+
+// Scenario parameterises a simulated fleet session.
+type Scenario struct {
+	// Clients is the fleet size.
+	Clients int
+	// Rounds is the number of FL cycles.
+	Rounds int
+	// MinClients is the per-round responder floor (engine semantics).
+	MinClients int
+	// SampleCount / SampleFraction configure per-round cohort sampling,
+	// forwarded to the engine.
+	SampleCount    int
+	SampleFraction float64
+	// Deadline is the per-round straggler cutoff. Required when
+	// StragglerFraction > 0.
+	Deadline time.Duration
+	// StragglerFraction of the fleet gets a latency beyond Deadline.
+	StragglerFraction float64
+	// FailureFraction of the fleet fails training at some round and is
+	// quarantined.
+	FailureFraction float64
+	// NoTEEFraction of the fleet has no TEE.
+	NoTEEFraction float64
+	// RequireTEE enables attested selection: no-TEE devices are
+	// rejected, the rest attest against an auto-provisioned verifier.
+	RequireTEE bool
+	// Seed drives every random choice in the scenario.
+	Seed int64
+	// Model is the initial global model; a small two-tensor model is
+	// used when nil. The slice is updated in place round by round.
+	Model []*tensor.Tensor
+	// Planner forwards a protection plan to the engine (default: none).
+	Planner fl.RoundPlanner
+}
+
+// Result is a completed (or aborted) simulation.
+type Result struct {
+	// Selected is the number of clients that passed selection.
+	Selected int
+	// Rejected is the number turned away at selection.
+	Rejected int
+	// Trace holds one entry per started round.
+	Trace []fl.RoundStats
+	// Final is the global model after the last round (aliases the
+	// scenario's Model slice).
+	Final []*tensor.Tensor
+	// Profiles are the assigned per-client profiles, in client order.
+	Profiles []Profile
+	// Quarantined lists devices the engine permanently excluded, in
+	// quarantine order.
+	Quarantined []string
+	// Elapsed is the total virtual time consumed by deadline waits.
+	Elapsed time.Duration
+}
+
+// splitmix64 is a tiny deterministic mixer for per-client/per-round
+// values that must not depend on shared RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// dyadicDelta returns client i's update value for a round: a multiple
+// of 1/256 in [-1, 1), so any summation order is exact in float64.
+func dyadicDelta(seed int64, client, round int) float64 {
+	h := splitmix64(uint64(seed)*0x100000001b3 ^ uint64(client)<<20 ^ uint64(round))
+	return float64(int64(h%512)-256) / 256
+}
+
+// Validate checks scenario consistency and applies defaults.
+func (sc *Scenario) Validate() error {
+	if sc.Clients <= 0 {
+		return errors.New("flsim: scenario needs at least one client")
+	}
+	if sc.Rounds <= 0 {
+		sc.Rounds = 1
+	}
+	if sc.MinClients <= 0 {
+		sc.MinClients = 1
+	}
+	if sc.StragglerFraction < 0 || sc.StragglerFraction > 1 ||
+		sc.FailureFraction < 0 || sc.FailureFraction > 1 ||
+		sc.NoTEEFraction < 0 || sc.NoTEEFraction > 1 {
+		return errors.New("flsim: fractions must be within [0,1]")
+	}
+	if sc.StragglerFraction > 0 && sc.Deadline <= 0 {
+		return errors.New("flsim: StragglerFraction needs a Deadline")
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Model == nil {
+		sc.Model = []*tensor.Tensor{tensor.New(8, 8), tensor.New(8)}
+	}
+	return nil
+}
+
+// assignProfiles deals straggler/failure/no-TEE roles across the fleet
+// from the scenario seed. Roles are disjoint: a straggler never also
+// fails (its failure would be unobservable anyway).
+func assignProfiles(sc *Scenario) []Profile {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	n := sc.Clients
+	order := rng.Perm(n)
+	stragglers := int(float64(n)*sc.StragglerFraction + 0.5)
+	failers := int(float64(n)*sc.FailureFraction + 0.5)
+	if stragglers+failers > n {
+		failers = n - stragglers
+	}
+	noTEE := int(float64(n)*sc.NoTEEFraction + 0.5)
+
+	profiles := make([]Profile, n)
+	for i := range profiles {
+		profiles[i] = Profile{
+			Device:    fmt.Sprintf("sim-%04d", i),
+			FailRound: -1,
+		}
+	}
+	for k := 0; k < stragglers; k++ {
+		profiles[order[k]].Straggler = true
+	}
+	for k := stragglers; k < stragglers+failers; k++ {
+		profiles[order[k]].FailRound = rng.Intn(sc.Rounds)
+	}
+	// No-TEE devices are drawn from the back of the shuffle, keeping the
+	// role disjoint from stragglers/failers while fractions sum to ≤ 1.
+	for k := 0; k < noTEE; k++ {
+		profiles[order[n-1-k]].NoTEE = true
+	}
+	return profiles
+}
+
+// simTA is the minimal trusted app simulated devices attest with.
+type simTA struct{ uuid tz.UUID }
+
+func (t *simTA) UUID() tz.UUID                                   { return t.uuid }
+func (t *simTA) Version() string                                 { return "flsim-1" }
+func (t *simTA) OpenSession(*tz.TAEnv) (any, error)              { return nil, nil }
+func (t *simTA) Invoke(*tz.TAEnv, any, uint32, any) (any, error) { return nil, nil }
+func (t *simTA) CloseSession(*tz.TAEnv, any)                     {}
+
+// simClient is one in-memory fleet member.
+type simClient struct {
+	index   int
+	profile Profile
+	conn    fl.Conn
+	dev     *tz.Device // nil for no-TEE devices
+	app     *simTA
+	shapes [][]int
+	seed   int64
+	failed bool
+}
+
+// run speaks the client side of the FL protocol: attest, then answer
+// (or straggle / fail) every round addressed to it until Done.
+func (c *simClient) run() {
+	defer c.conn.Close()
+	msg, err := c.conn.Recv()
+	if err != nil {
+		return
+	}
+	ch, ok := msg.(*fl.Challenge)
+	if !ok {
+		return
+	}
+	att := &fl.Attest{DeviceID: c.profile.Device, HasTEE: c.dev != nil}
+	if c.dev != nil {
+		quote, err := c.dev.Attest(c.app.UUID(), ch.Nonce)
+		if err != nil {
+			return
+		}
+		att.Quote = quote
+	}
+	if err := c.conn.Send(att); err != nil {
+		return
+	}
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			return // rejection close, quarantine close, or session end
+		}
+		switch m := msg.(type) {
+		case *fl.Reject, *fl.Done:
+			return
+		case *fl.ModelDown:
+			if c.profile.Straggler {
+				continue // never answers inside the deadline
+			}
+			if !c.failed && c.profile.FailRound >= 0 && m.Round >= c.profile.FailRound {
+				c.failed = true
+				_ = c.conn.Send(&fl.ErrorMsg{Text: fmt.Sprintf("simulated training failure (round %d)", m.Round)})
+				continue // the engine quarantines and closes the conn
+			}
+			delta := dyadicDelta(c.seed, c.index, m.Round)
+			upd := make([]*tensor.Tensor, len(c.shapes))
+			for i, shape := range c.shapes {
+				upd[i] = tensor.Full(delta, shape...)
+			}
+			if err := c.conn.Send(&fl.GradUp{Round: m.Round, Plain: upd}); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Run executes the scenario and returns its trace. The trace and final
+// model are identical across runs of the same scenario.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	profiles := assignProfiles(&sc)
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	start := clk.Now()
+
+	verifier := tz.NewVerifier()
+	clients := make([]*simClient, sc.Clients)
+	serverConns := make([]fl.Conn, sc.Clients)
+	shapes := make([][]int, len(sc.Model))
+	for i, t := range sc.Model {
+		shapes[i] = t.Shape
+	}
+	for i := range clients {
+		serverConn, clientConn := fl.Pipe()
+		serverConns[i] = serverConn
+		c := &simClient{
+			index:   i,
+			profile: profiles[i],
+			conn:    clientConn,
+			shapes:  shapes,
+			seed:    sc.Seed,
+		}
+		if !profiles[i].NoTEE {
+			c.dev = tz.NewDevice(profiles[i].Device)
+			c.app = &simTA{uuid: tz.NameUUID("flsim-ta")}
+			if err := c.dev.Install(c.app); err != nil {
+				return nil, fmt.Errorf("flsim: installing TA on %s: %w", profiles[i].Device, err)
+			}
+			verifier.RegisterDevice(c.dev.Identity().ID(), c.dev.Identity().RootKey())
+			m, err := c.dev.Measurement(c.app.UUID())
+			if err != nil {
+				return nil, fmt.Errorf("flsim: measuring TA on %s: %w", profiles[i].Device, err)
+			}
+			verifier.AllowMeasurement(m)
+		}
+		clients[i] = c
+	}
+
+	// The harness rides the engine hooks (all fired from the round
+	// goroutine): once every on-time cohort member has either folded or
+	// been quarantined, only stragglers remain and the deadline may
+	// fire, so advance the virtual clock. Roles are seed-deterministic,
+	// hence so is every advance — and the whole trace.
+	type roundWait struct {
+		outstanding int // sampled clients that will answer (fold or fail)
+		stragglers  int // sampled clients that never answer
+	}
+	var wait roundWait
+	byDevice := make(map[string]*simClient, len(clients))
+	for _, c := range clients {
+		byDevice[c.profile.Device] = c
+	}
+	var quarantined []string
+	hooks := fl.Hooks{
+		RoundStarted: func(round int, sampled []string) {
+			wait = roundWait{}
+			for _, d := range sampled {
+				if byDevice[d].profile.Straggler {
+					wait.stragglers++
+				} else {
+					wait.outstanding++
+				}
+			}
+			if wait.outstanding == 0 && wait.stragglers > 0 {
+				clk.Advance(sc.Deadline)
+			}
+		},
+		UpdateFolded: func(int, string) {
+			wait.outstanding--
+			if wait.outstanding == 0 && wait.stragglers > 0 {
+				clk.Advance(sc.Deadline)
+			}
+		},
+		ClientQuarantined: func(device string, _ error) {
+			quarantined = append(quarantined, device)
+			wait.outstanding--
+			if wait.outstanding == 0 && wait.stragglers > 0 {
+				clk.Advance(sc.Deadline)
+			}
+		},
+	}
+
+	srv := fl.NewServer(sc.Model, fl.ServerConfig{
+		Rounds:         sc.Rounds,
+		MinClients:     sc.MinClients,
+		SampleCount:    sc.SampleCount,
+		SampleFraction: sc.SampleFraction,
+		SampleSeed:     sc.Seed,
+		RoundDeadline:  sc.Deadline,
+		RequireTEE:     sc.RequireTEE,
+		Verifier:       verifier,
+		Planner:        sc.Planner,
+		Clock:          clk,
+		Hooks:          hooks,
+	})
+
+	var fleet sync.WaitGroup
+	for _, c := range clients {
+		fleet.Add(1)
+		go func(c *simClient) {
+			defer fleet.Done()
+			c.run()
+		}(c)
+	}
+	selected, runErr := srv.Run(serverConns)
+	fleet.Wait()
+
+	sort.Strings(quarantined) // arrival order within a round can race; the set cannot
+
+	res := &Result{
+		Selected:    selected,
+		Rejected:    sc.Clients - selected,
+		Trace:       srv.Trace(),
+		Final:       sc.Model,
+		Profiles:    profiles,
+		Quarantined: quarantined,
+		Elapsed:     clk.Now().Sub(start),
+	}
+	return res, runErr
+}

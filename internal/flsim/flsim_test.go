@@ -1,0 +1,194 @@
+package flsim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/fl"
+)
+
+// acceptance scenario from the issue: 256 clients, 10% stragglers,
+// half-fleet sampling, fully deterministic.
+func acceptanceScenario() Scenario {
+	return Scenario{
+		Clients:           256,
+		Rounds:            6,
+		MinClients:        8,
+		SampleFraction:    0.5,
+		Deadline:          2 * time.Second,
+		StragglerFraction: 0.10,
+		Seed:              42,
+	}
+}
+
+func TestScenarioDeterminism256(t *testing.T) {
+	first, err := Run(acceptanceScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(acceptanceScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(first.Trace) != 6 {
+		t.Fatalf("trace has %d rounds, want 6", len(first.Trace))
+	}
+	if !reflect.DeepEqual(first.Trace, second.Trace) {
+		t.Fatalf("traces differ:\n  run 1: %+v\n  run 2: %+v", first.Trace, second.Trace)
+	}
+	if first.Selected != 256 || second.Selected != 256 {
+		t.Fatalf("selected %d / %d, want 256", first.Selected, second.Selected)
+	}
+	for i := range first.Final {
+		for j := range first.Final[i].Data {
+			if first.Final[i].Data[j] != second.Final[i].Data[j] {
+				t.Fatalf("final models differ at tensor %d elem %d", i, j)
+			}
+		}
+	}
+	for _, st := range first.Trace {
+		if st.Sampled != 128 { // ceil(0.5 × 256)
+			t.Fatalf("round %d sampled %d, want 128", st.Round, st.Sampled)
+		}
+		if st.Responded+st.Dropped != st.Sampled {
+			t.Fatalf("round %d books don't balance: %+v", st.Round, st)
+		}
+		if st.Responded < 8 {
+			t.Fatalf("round %d under MinClients: %+v", st.Round, st)
+		}
+		if st.Quarantined != 0 {
+			t.Fatalf("stragglers must be dropped, not quarantined: %+v", st)
+		}
+		if st.UpdateNorm <= 0 {
+			t.Fatalf("round %d has zero aggregate norm", st.Round)
+		}
+	}
+}
+
+func TestStragglersAreDroppedEveryRound(t *testing.T) {
+	res, err := Run(Scenario{
+		Clients:           20,
+		Rounds:            4,
+		Deadline:          time.Second,
+		StragglerFraction: 0.25,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stragglers := 0
+	for _, p := range res.Profiles {
+		if p.Straggler {
+			stragglers++
+		}
+	}
+	if stragglers != 5 {
+		t.Fatalf("assigned %d stragglers, want 5", stragglers)
+	}
+	// No sampling: all 20 participate, the 5 stragglers drop each round.
+	for _, st := range res.Trace {
+		if st.Sampled != 20 || st.Responded != 15 || st.Dropped != 5 {
+			t.Fatalf("round %d stats = %+v", st.Round, st)
+		}
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("quarantined %v, want none", res.Quarantined)
+	}
+	// Each deadline wait advances virtual time by the full deadline.
+	if res.Elapsed != 4*time.Second {
+		t.Fatalf("elapsed virtual time = %v, want 4s", res.Elapsed)
+	}
+}
+
+func TestFailingClientsAreQuarantined(t *testing.T) {
+	res, err := Run(Scenario{
+		Clients:         12,
+		Rounds:          5,
+		FailureFraction: 0.25,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 3 {
+		t.Fatalf("quarantined %v, want 3 devices", res.Quarantined)
+	}
+	totalQuarantined := 0
+	for _, st := range res.Trace {
+		totalQuarantined += st.Quarantined
+	}
+	if totalQuarantined != 3 {
+		t.Fatalf("trace quarantine total = %d", totalQuarantined)
+	}
+	// The last round's cohort can only draw from the survivors.
+	last := res.Trace[len(res.Trace)-1]
+	if last.Sampled > 12-len(res.Quarantined) {
+		t.Fatalf("last round sampled %d of %d survivors", last.Sampled, 12-len(res.Quarantined))
+	}
+}
+
+func TestRequireTEERejectsNoTEEDevices(t *testing.T) {
+	res, err := Run(Scenario{
+		Clients:       16,
+		Rounds:        2,
+		NoTEEFraction: 0.25,
+		RequireTEE:    true,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 12 || res.Rejected != 4 {
+		t.Fatalf("selected %d / rejected %d, want 12 / 4", res.Selected, res.Rejected)
+	}
+	for _, st := range res.Trace {
+		if st.Sampled != 12 {
+			t.Fatalf("round %d sampled %d, want 12", st.Round, st.Sampled)
+		}
+	}
+}
+
+func TestAllStraggleFailsWithNotEnoughClients(t *testing.T) {
+	_, err := Run(Scenario{
+		Clients:           4,
+		Rounds:            2,
+		Deadline:          time.Second,
+		StragglerFraction: 1.0,
+		Seed:              5,
+	})
+	if !errors.Is(err, fl.ErrNotEnoughClients) {
+		t.Fatalf("err = %v, want ErrNotEnoughClients", err)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Run(Scenario{Clients: 0}); err == nil {
+		t.Fatal("zero clients must fail")
+	}
+	if _, err := Run(Scenario{Clients: 2, StragglerFraction: 0.5}); err == nil {
+		t.Fatal("stragglers without a deadline must fail")
+	}
+	if _, err := Run(Scenario{Clients: 2, FailureFraction: 1.5}); err == nil {
+		t.Fatal("fraction out of range must fail")
+	}
+}
+
+func TestDyadicDeltasAreExact(t *testing.T) {
+	// Every simulated update value is a multiple of 1/256 so sums are
+	// exact in float64 in any order — the basis of trace determinism.
+	for c := 0; c < 64; c++ {
+		for r := 0; r < 8; r++ {
+			v := dyadicDelta(1, c, r)
+			scaled := v * 256
+			if scaled != float64(int64(scaled)) {
+				t.Fatalf("delta %v is not a multiple of 1/256", v)
+			}
+			if v < -1 || v >= 1 {
+				t.Fatalf("delta %v out of range", v)
+			}
+		}
+	}
+}
