@@ -1,14 +1,16 @@
 # GradSec reproduction — build/test/bench entry points.
 #
-#   make build   compile everything
-#   make vet     static checks
-#   make test    full test suite, race detector enabled
-#   make bench   all artefact + fleet benchmarks (one iteration each)
-#   make check   build + vet + test (CI gate)
+#   make build        compile everything
+#   make vet          static checks
+#   make test         full test suite, race detector enabled
+#   make fuzz-check   run the fuzz corpora in regression mode (no fuzzing)
+#   make bench        all artefact + fleet benchmarks (one iteration each)
+#   make bench-fleet  fixed-benchtime fleet benchmarks -> bench-fleet.txt
+#   make check        build + vet + test + fuzz regression (CI gate)
 
 GO ?= go
 
-.PHONY: build vet test bench check
+.PHONY: build vet test fuzz-check bench bench-fleet check
 
 build:
 	$(GO) build ./...
@@ -19,7 +21,23 @@ vet:
 test:
 	$(GO) test -race ./...
 
+# Replays the fuzz seed corpora as ordinary tests. `make test` already
+# covers the seeds implicitly (go test runs fuzz targets as unit tests);
+# this target is the explicit, fast regression gate for the decoder
+# corpora and the entry point documented for CI. Real fuzzing is
+# `go test -fuzz FuzzReadFrame ./internal/wire` etc.
+fuzz-check:
+	$(GO) test -run 'Fuzz' ./internal/wire ./internal/fl
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1x -benchmem .
 
-check: build vet test
+# Fixed-iteration fleet benchmark sweep (clients × codec), captured as a
+# comparable artefact. Not part of `check`: it takes minutes. Written to
+# the file first so a failing run propagates its exit status (a bare
+# pipe into tee would mask it).
+bench-fleet:
+	$(GO) test -run xxx -bench 'BenchmarkFleetRound' -benchtime=2x -benchmem . > bench-fleet.txt; \
+	status=$$?; cat bench-fleet.txt; exit $$status
+
+check: build vet test fuzz-check

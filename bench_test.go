@@ -72,36 +72,43 @@ func BenchmarkAblationEnclave(b *testing.B) { benchArtefact(b, "ablation-enclave
 // LeNet-5 model, trains (constant-work simulated update), and the
 // server streams all updates into the aggregate. Devices are plain
 // (no TEE) so the number isolates protocol + codec + aggregation
-// throughput rather than attestation crypto. EXPERIMENTS.md records a
-// reference run.
+// throughput rather than attestation crypto. The codec dimension
+// sweeps the negotiated wire encoding: f64 is the exact baseline
+// protocol, f32 and q8 the compressed transfers. MB/s counts logical
+// model-down + update-up traffic (params × 8 bytes), so compressed
+// codecs report effective throughput on the same axis as f64.
+// EXPERIMENTS.md records a reference run.
 func BenchmarkFleetRound(b *testing.B) {
 	for _, clients := range []int{64, 256, 1024} {
-		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-			model := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU)
-			params := 0
-			for _, t := range model.StateDict() {
-				params += t.Size()
-			}
-			b.SetBytes(int64(2 * clients * params * 8)) // model down + update up
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				state := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU).StateDict()
-				b.StartTimer()
-				res, err := gradsec.RunFleet(gradsec.FleetScenario{
-					Clients:       clients,
-					Rounds:        1,
-					NoTEEFraction: 1.0,
-					Seed:          int64(i + 1),
-					Model:         state,
-				})
-				if err != nil {
-					b.Fatal(err)
+		for _, codec := range []gradsec.Codec{gradsec.CodecF64, gradsec.CodecF32, gradsec.CodecQ8} {
+			b.Run(fmt.Sprintf("clients=%d/codec=%s", clients, codec), func(b *testing.B) {
+				model := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU)
+				params := 0
+				for _, t := range model.StateDict() {
+					params += t.Size()
 				}
-				if res.Trace[0].Responded != clients {
-					b.Fatalf("round folded %d of %d updates", res.Trace[0].Responded, clients)
+				b.SetBytes(int64(2 * clients * params * 8)) // model down + update up
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					state := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU).StateDict()
+					b.StartTimer()
+					res, err := gradsec.RunFleet(gradsec.FleetScenario{
+						Clients:       clients,
+						Rounds:        1,
+						NoTEEFraction: 1.0,
+						Seed:          int64(i + 1),
+						Model:         state,
+						Codec:         codec,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Trace[0].Responded != clients {
+						b.Fatalf("round folded %d of %d updates", res.Trace[0].Responded, clients)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }

@@ -16,13 +16,20 @@ import (
 	"github.com/gradsec/gradsec/internal/nn"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7443", "server address")
 	name := flag.String("name", "pi-client", "device name")
 	seed := flag.Int64("seed", 1, "local data seed")
+	codecName := flag.String("codec", "q8", "highest tensor wire codec accepted from the server's offer: f64, f32, or q8")
 	flag.Parse()
+
+	maxCodec, err := wire.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	gen := dataset.NewGenerator(rand.New(rand.NewSource(*seed)), 10, 1, 16, 16, 0.2)
 	data := gen.FixedSet(rand.New(rand.NewSource(*seed+1)), 6)
@@ -49,6 +56,7 @@ func main() {
 	defer conn.Close()
 
 	client := fl.NewClient(conn, core.NewGradSecClient(*name, trainer))
+	client.MaxCodec = maxCodec
 	if err := client.Run(); err != nil {
 		log.Fatal(err)
 	}
@@ -56,6 +64,6 @@ func main() {
 		fmt.Printf("rejected by server: %s\n", client.RejectedReason)
 		return
 	}
-	fmt.Printf("%s: completed %d rounds; final model received (%d tensors); SMCs %d\n",
-		*name, client.Rounds, len(client.Final), dev.SMCCount())
+	fmt.Printf("%s: completed %d rounds over codec %s; final model received (%d tensors); SMCs %d\n",
+		*name, client.Rounds, client.NegotiatedCodec, len(client.Final), dev.SMCCount())
 }

@@ -13,10 +13,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/gradsec/gradsec/internal/core"
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 func main() {
@@ -29,7 +31,14 @@ func main() {
 	sampleCount := flag.Int("sample-count", 0, "clients sampled per round (overrides -sample-fraction)")
 	deadline := flag.Duration("deadline", 0, "per-round deadline; stragglers are dropped (0 = wait forever)")
 	seed := flag.Int64("seed", 1, "cohort sampling seed")
+	codecName := flag.String("codec", "f64", "tensor wire codec offered to clients: f64, f32, or q8")
+	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-operation transport deadline: handshake reads and model-distribution writes (0 = none)")
 	flag.Parse()
+
+	codec, err := wire.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var protect []int
 	for _, part := range strings.Split(*layers, ",") {
@@ -54,7 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer l.Close()
-	fmt.Printf("flserver listening on %s; waiting for %d clients (plan %s)\n", l.Addr(), *clients, plan)
+	fmt.Printf("flserver listening on %s; waiting for %d clients (plan %s, codec %s)\n", l.Addr(), *clients, plan, codec)
 
 	conns := make([]fl.Conn, 0, *clients)
 	for len(conns) < *clients {
@@ -74,6 +83,8 @@ func main() {
 		SampleCount:    *sampleCount,
 		SampleSeed:     *seed,
 		RoundDeadline:  *deadline,
+		Codec:          codec,
+		IOTimeout:      *ioTimeout,
 		Hooks: fl.Hooks{
 			RoundClosed: func(st fl.RoundStats) {
 				fmt.Printf("round %d: sampled %d, responded %d, dropped %d, quarantined %d, |update| %.4f\n",

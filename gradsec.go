@@ -54,9 +54,15 @@
 //	})
 //	for _, round := range res.Trace { fmt.Println(round) }
 //
+// Model traffic rides a negotiated wire codec (Codec): f64 is the exact
+// baseline, f32 and q8 shrink transfers 2–8× (q8 error ≤ range/255 per
+// tensor, sealed TEE tensors always exact). The server encodes each
+// round's model once per codec and broadcasts the shared frame.
+//
 // Run `go run ./examples/fleet` for a full scenario walk-through, or
-// `go run ./cmd/flserver -deadline 5s -sample-fraction 0.5` plus several
-// `go run ./cmd/flclient` processes for the engine over real TCP.
+// `go run ./cmd/flserver -deadline 5s -sample-fraction 0.5 -codec q8`
+// plus several `go run ./cmd/flclient` processes for the engine over
+// real TCP.
 //
 // See examples/ for runnable programs and internal/repro for the code
 // that regenerates every table and figure of the paper.
@@ -71,6 +77,7 @@ import (
 	"github.com/gradsec/gradsec/internal/nn"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // Re-exported core types: protection plans and the secure trainer.
@@ -112,6 +119,17 @@ type (
 	// FleetResult is a completed simulation: selection outcome, trace,
 	// and final model.
 	FleetResult = flsim.Result
+	// Codec selects the negotiated tensor wire encoding for fleet
+	// traffic: CodecF64 (exact), CodecF32 (4 B/elem), CodecQ8
+	// (1 B/elem, error ≤ range/255 per tensor).
+	Codec = wire.Codec
+)
+
+// Tensor wire codecs, in increasing compression order.
+const (
+	CodecF64 = wire.CodecF64
+	CodecF32 = wire.CodecF32
+	CodecQ8  = wire.CodecQ8
 )
 
 // Plan modes.

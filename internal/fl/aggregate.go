@@ -61,6 +61,9 @@ func (a *Aggregator) Add(update []*tensor.Tensor, weight float64) error {
 // Count returns the number of folded updates.
 func (a *Aggregator) Count() int { return a.count }
 
+// Weight returns the summed weight of the folded updates.
+func (a *Aggregator) Weight() float64 { return a.weight }
+
 // Mean returns the weighted average of the folded updates as freshly
 // allocated tensors, or an error when nothing was folded. The
 // accumulator is left intact, so further Adds remain valid.

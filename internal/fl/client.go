@@ -6,6 +6,7 @@ import (
 
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // Trainer is the device-side behaviour the FL client delegates to. The
@@ -31,10 +32,23 @@ type Trainer interface {
 	TrainRound(round int, plain []*tensor.Tensor, sealed []byte, plan []byte) (plainUpd []*tensor.Tensor, sealedUpd []byte, err error)
 }
 
+// ExampleCounter is an optional Trainer extension reporting the size of
+// the device's local training set. When implemented (and positive), the
+// count rides each GradUp and the server weights FedAvg by it.
+type ExampleCounter interface {
+	NumExamples() int
+}
+
 // Client runs the device side of the FL protocol over one connection.
 type Client struct {
 	conn    Conn
 	trainer Trainer
+
+	// MaxCodec caps the tensor codec this client accepts from the
+	// server's offer (codecs are ordered by compression; negotiation
+	// settles on min(offer, cap)). The zero value pins the exact
+	// uncompressed f64 protocol.
+	MaxCodec wire.Codec
 
 	// Rounds counts completed training cycles.
 	Rounds int
@@ -42,6 +56,9 @@ type Client struct {
 	Final []*tensor.Tensor
 	// RejectedReason is set when the server refused this client.
 	RejectedReason string
+	// NegotiatedCodec records the session's tensor codec after the
+	// handshake.
+	NegotiatedCodec wire.Codec
 }
 
 // NewClient pairs a connection with a trainer.
@@ -62,7 +79,11 @@ func (c *Client) Run() error {
 		return fmt.Errorf("fl: expected Challenge, got %T", msg)
 	}
 
-	att := &Attest{DeviceID: c.trainer.DeviceID(), HasTEE: c.trainer.HasTEE()}
+	codec := ch.Codec
+	if codec > c.MaxCodec {
+		codec = c.MaxCodec
+	}
+	att := &Attest{DeviceID: c.trainer.DeviceID(), HasTEE: c.trainer.HasTEE(), Codec: codec}
 	if c.trainer.HasTEE() {
 		quote, err := c.trainer.Attest(ch.Nonce)
 		if err != nil {
@@ -78,6 +99,8 @@ func (c *Client) Run() error {
 	if err := c.conn.Send(att); err != nil {
 		return fmt.Errorf("fl: sending attestation: %w", err)
 	}
+	c.conn.SetCodec(codec)
+	c.NegotiatedCodec = codec
 
 	for {
 		msg, err := c.conn.Recv()
@@ -101,6 +124,11 @@ func (c *Client) Run() error {
 				return fmt.Errorf("fl: local training round %d: %w", m.Round, err)
 			}
 			up := &GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd}
+			if ec, ok := c.trainer.(ExampleCounter); ok {
+				if n := ec.NumExamples(); n > 0 {
+					up.Examples = uint64(n)
+				}
+			}
 			if err := c.conn.Send(up); err != nil {
 				return fmt.Errorf("fl: sending update: %w", err)
 			}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // testTA is the minimal trusted app used for attestation in tests.
@@ -35,7 +36,15 @@ type testTrainer struct {
 	sawNilAt map[int]bool
 	// failOnRound injects a training failure.
 	failOnRound int
+	// examples is reported through the ExampleCounter extension; 0
+	// leaves the update unit-weighted.
+	examples int
+	// maxCodec caps the client's codec negotiation (default f64).
+	maxCodec wire.Codec
 }
+
+// NumExamples implements the optional ExampleCounter extension.
+func (t *testTrainer) NumExamples() int { return t.examples }
 
 func newTestTrainer(id string, hasTEE bool, delta float64) *testTrainer {
 	t := &testTrainer{id: id, hasTEE: hasTEE, delta: delta, sawNilAt: map[int]bool{}, failOnRound: -1}
@@ -140,6 +149,7 @@ func runSession(t *testing.T, srv *Server, trainers []*testTrainer) ([]*Client, 
 		sc, cc := Pipe()
 		serverConns[i] = sc
 		clients[i] = NewClient(cc, tr)
+		clients[i].MaxCodec = tr.maxCodec
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()

@@ -1,0 +1,46 @@
+package fl
+
+import (
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// FuzzDecodeMessage throws arbitrary payloads at the protocol decoder
+// under every message type and codec: it must never panic, and any
+// message it accepts must survive a re-encode/re-decode cycle.
+func FuzzDecodeMessage(f *testing.F) {
+	seeds := []Message{
+		&Challenge{Nonce: []byte{1, 2}, ServerPub: []byte{3}, RequireTEE: true, Codec: wire.CodecQ8},
+		&Attest{DeviceID: "d", HasTEE: true, ClientPub: []byte{9}, Codec: wire.CodecF32},
+		&Reject{Reason: "no"},
+		&ModelDown{Round: 2, Plain: []*tensor.Tensor{nil, tensor.Full(1.5, 2, 2)}, Plan: []byte{1}},
+		&GradUp{Round: 2, Plain: []*tensor.Tensor{tensor.Full(-0.25, 3)}, Examples: 7},
+		&Done{Final: []*tensor.Tensor{tensor.Full(2, 1)}},
+		&ErrorMsg{Text: "boom"},
+	}
+	for _, m := range seeds {
+		for _, c := range []wire.Codec{wire.CodecF64, wire.CodecF32, wire.CodecQ8} {
+			f.Add(byte(m.Kind()), uint8(c), EncodeMessageCodec(m, c))
+		}
+	}
+	f.Add(byte(MsgModelDown), uint8(wire.CodecF64), []byte{0xFF})
+	f.Add(byte(200), uint8(wire.CodecF64), []byte{})
+
+	f.Fuzz(func(t *testing.T, mt byte, codec uint8, payload []byte) {
+		c := wire.Codec(codec % 3)
+		m, err := DecodeMessageCodec(MsgType(mt), payload, c)
+		if err != nil {
+			return
+		}
+		re := EncodeMessageCodec(m, c)
+		m2, err := DecodeMessageCodec(MsgType(mt), re, c)
+		if err != nil {
+			t.Fatalf("accepted %T failed to re-decode: %v", m, err)
+		}
+		if m2.Kind() != m.Kind() {
+			t.Fatalf("kind drifted: %v -> %v", m.Kind(), m2.Kind())
+		}
+	})
+}

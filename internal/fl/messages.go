@@ -40,11 +40,16 @@ type Message interface {
 }
 
 // Challenge opens selection for a training session: the server sends a
-// fresh attestation nonce and its trusted-channel public key.
+// fresh attestation nonce, its trusted-channel public key, and the
+// tensor codec it offers for the session.
 type Challenge struct {
 	Nonce      []byte
 	ServerPub  []byte
 	RequireTEE bool
+	// Codec is the server's offered tensor codec; the client answers
+	// with min(offer, its own cap) in Attest.Codec. Absent (pre-codec
+	// peers) means CodecF64.
+	Codec wire.Codec
 }
 
 // Kind implements Message.
@@ -54,12 +59,16 @@ func (m *Challenge) encode(w *wire.Writer) {
 	w.Blob(m.Nonce)
 	w.Blob(m.ServerPub)
 	w.Bool(m.RequireTEE)
+	w.Uvarint(uint64(m.Codec))
 }
 
 func (m *Challenge) decode(r *wire.Reader) {
 	m.Nonce = r.Blob()
 	m.ServerPub = r.Blob()
 	m.RequireTEE = r.Bool()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Codec = wire.Codec(r.Uvarint())
+	}
 }
 
 // Attest is the client's selection response: device capability, an
@@ -69,6 +78,10 @@ type Attest struct {
 	HasTEE    bool
 	Quote     tz.Quote
 	ClientPub []byte
+	// Codec is the tensor codec the client will speak for the rest of
+	// the session: at most the server's offer (the server rejects a
+	// client that answers above it). Absent means CodecF64.
+	Codec wire.Codec
 }
 
 // Kind implements Message.
@@ -82,6 +95,7 @@ func (m *Attest) encode(w *wire.Writer) {
 	w.Blob(m.Quote.Nonce)
 	w.Blob(m.Quote.MAC)
 	w.Blob(m.ClientPub)
+	w.Uvarint(uint64(m.Codec))
 }
 
 func (m *Attest) decode(r *wire.Reader) {
@@ -92,6 +106,9 @@ func (m *Attest) decode(r *wire.Reader) {
 	m.Quote.Nonce = r.Blob()
 	m.Quote.MAC = r.Blob()
 	m.ClientPub = r.Blob()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Codec = wire.Codec(r.Uvarint())
+	}
 }
 
 // Reject tells a client it was not selected.
@@ -134,11 +151,14 @@ func (m *ModelDown) decode(r *wire.Reader) {
 }
 
 // GradUp returns the client's model update: unprotected update tensors in
-// the clear, protected ones sealed.
+// the clear, protected ones sealed. Examples carries the size of the
+// client's local training set; when positive the server uses it as the
+// FedAvg weight (0 — including pre-codec peers — means unit weight).
 type GradUp struct {
-	Round  int
-	Plain  []*tensor.Tensor
-	Sealed []byte
+	Round    int
+	Plain    []*tensor.Tensor
+	Sealed   []byte
+	Examples uint64
 }
 
 // Kind implements Message.
@@ -148,12 +168,16 @@ func (m *GradUp) encode(w *wire.Writer) {
 	w.Uvarint(uint64(m.Round))
 	w.TensorList(m.Plain)
 	w.Blob(m.Sealed)
+	w.Uvarint(m.Examples)
 }
 
 func (m *GradUp) decode(r *wire.Reader) {
 	m.Round = int(r.Uvarint())
 	m.Plain = r.TensorList()
 	m.Sealed = r.Blob()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Examples = r.Uvarint()
+	}
 }
 
 // Done ends a session, optionally delivering the final global model.
@@ -178,15 +202,32 @@ func (*ErrorMsg) Kind() MsgType { return MsgError }
 func (m *ErrorMsg) encode(w *wire.Writer) { w.String(m.Text) }
 func (m *ErrorMsg) decode(r *wire.Reader) { m.Text = r.String() }
 
-// EncodeMessage serialises a message to a framed-payload byte slice.
-func EncodeMessage(m Message) []byte {
+// EncodeMessage serialises a message to a framed-payload byte slice
+// with the uncompressed f64 tensor codec.
+func EncodeMessage(m Message) []byte { return EncodeMessageCodec(m, wire.CodecF64) }
+
+// EncodeMessageCodec serialises a message with the given tensor codec.
+// The payload escapes to the caller (pipe frames, broadcast caches), so
+// a fresh buffer is allocated rather than draining the writer pool —
+// pooled buffer reuse belongs to the TCP send path, where frames are
+// written out and released immediately.
+func EncodeMessageCodec(m Message, codec wire.Codec) []byte {
 	w := wire.NewWriter()
+	w.Codec = codec
 	m.encode(w)
 	return w.Bytes()
 }
 
-// DecodeMessage reconstructs a message from its type and payload.
+// DecodeMessage reconstructs a message from its type and payload,
+// expecting the uncompressed f64 tensor codec.
 func DecodeMessage(mt MsgType, payload []byte) (Message, error) {
+	return DecodeMessageCodec(mt, payload, wire.CodecF64)
+}
+
+// DecodeMessageCodec reconstructs a message whose tensors were encoded
+// with the given codec. The payload is fully copied out: it may be
+// reused by the caller immediately after.
+func DecodeMessageCodec(mt MsgType, payload []byte, codec wire.Codec) (Message, error) {
 	var m Message
 	switch mt {
 	case MsgChallenge:
@@ -207,6 +248,7 @@ func DecodeMessage(mt MsgType, payload []byte) (Message, error) {
 		return nil, fmt.Errorf("fl: unknown message type %d", mt)
 	}
 	r := wire.NewReader(payload)
+	r.Codec = codec
 	m.decode(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("fl: decoding %T: %w", m, err)
@@ -215,7 +257,8 @@ func DecodeMessage(mt MsgType, payload []byte) (Message, error) {
 }
 
 // SealedUpdate encodes indexed tensors for transport inside a trusted
-// channel: count, then (flatIndex, tensor) pairs.
+// channel: count, then (flatIndex, tensor) pairs. The sealed path always
+// uses the exact f64 encoding — protected tensors are never quantised.
 func SealedUpdate(idx []int, ts []*tensor.Tensor) []byte {
 	w := wire.NewWriter()
 	w.Uvarint(uint64(len(idx)))

@@ -14,6 +14,7 @@ import (
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // RoundPlanner decides, per FL cycle, which flat parameter tensors are
@@ -58,10 +59,25 @@ type ServerConfig struct {
 	// The default seed is 1.
 	SampleSeed int64
 
+	// Codec is the tensor wire codec the server offers clients during
+	// the handshake; a client may negotiate down (less compression),
+	// never up. The zero value, wire.CodecF64, keeps the uncompressed
+	// protocol: tensor payloads are byte-identical to the pre-codec
+	// encoding (messages gained optional trailing fields, which
+	// pre-codec decoders simply never read).
+	Codec wire.Codec
+
 	// RoundDeadline bounds each round: clients that have not responded
 	// when it expires are dropped for the round (their late updates are
 	// discarded) but stay eligible for later rounds. 0 waits forever.
 	RoundDeadline time.Duration
+	// IOTimeout bounds individual transport operations on connections
+	// that support deadlines (TCP): handshake reads during selection and
+	// every model-distribution write, so a client that stops reading can
+	// no longer stall selection or distribution indefinitely. Mid-round
+	// reads are not bounded by it (a sampled client may legitimately
+	// stay silent until the RoundDeadline). 0 disables.
+	IOTimeout time.Duration
 	// SelectWorkers bounds the parallel attestation pool during client
 	// selection. Defaults to 8.
 	SelectWorkers int
@@ -104,6 +120,10 @@ type RoundStats struct {
 	Quarantined int
 	// LateDiscarded counts stale updates (earlier rounds) thrown away.
 	LateDiscarded int
+	// WeightTotal is the summed FedAvg weight of the folded updates; it
+	// equals Responded when every client carries unit weight (no
+	// example counts on the wire).
+	WeightTotal float64
 	// UpdateNorm is the L2 norm of the applied aggregate update.
 	UpdateNorm float64
 }
@@ -140,6 +160,9 @@ func NewServer(state []*tensor.Tensor, cfg ServerConfig) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real()
 	}
+	if !cfg.Codec.Valid() {
+		cfg.Codec = wire.CodecF64
+	}
 	return &Server{cfg: cfg, state: state, rng: mrand.New(mrand.NewSource(cfg.SampleSeed))}
 }
 
@@ -157,6 +180,7 @@ type session struct {
 	device      string
 	hasTEE      bool
 	channel     *tz.Channel
+	codec       wire.Codec
 	quarantined bool
 }
 
@@ -172,6 +196,11 @@ type arrival struct {
 // than MinClients, or when fewer than MinClients updates arrive before a
 // round deadline.
 var ErrNotEnoughClients = errors.New("fl: not enough clients")
+
+// MaxExampleWeight caps the FedAvg weight a single client can claim
+// through GradUp.Examples: larger counts are folded at this weight, so
+// one client can outweigh at most this many unit-weight peers.
+const MaxExampleWeight = 1 << 20
 
 // Run executes selection followed by cfg.Rounds FL cycles over the given
 // client connections, then closes them with a Done carrying the final
@@ -217,13 +246,19 @@ func (s *Server) Run(conns []Conn) (int, error) {
 	}
 
 	// Best effort: a client that died after contributing does not fail
-	// the completed session.
-	final := &Done{Final: s.state}
+	// the completed session. The final model is encoded once per codec
+	// and the shared frame broadcast, like ModelDown.
+	finalFrames := make(map[wire.Codec][]byte)
 	for _, sess := range sessions {
 		if sess.quarantined {
 			continue
 		}
-		_ = sess.conn.Send(final)
+		payload, ok := finalFrames[sess.codec]
+		if !ok {
+			payload = EncodeMessageCodec(&Done{Final: s.state}, sess.codec)
+			finalFrames[sess.codec] = payload
+		}
+		_ = sess.conn.SendFrame(MsgDone, payload)
 	}
 	shutdown()
 	return len(sessions), nil
@@ -282,8 +317,16 @@ func (s *Server) selectClients(conns []Conn) []*session {
 }
 
 // selectOne runs the selection handshake with a single connection,
-// returning nil when the client is rejected or unreachable.
+// returning nil when the client is rejected or unreachable. On
+// deadline-capable transports the whole handshake is bounded by
+// IOTimeout; afterwards only writes stay bounded, since reads are paced
+// by the round deadline.
 func (s *Server) selectOne(conn Conn) *session {
+	dc, hasDeadlines := conn.(DeadlineConn)
+	if hasDeadlines && s.cfg.IOTimeout > 0 {
+		dc.SetReadTimeout(s.cfg.IOTimeout)
+		dc.SetWriteTimeout(s.cfg.IOTimeout)
+	}
 	nonce := make([]byte, 16)
 	if _, err := rand.Read(nonce); err != nil {
 		s.reject(conn, fmt.Sprintf("generating nonce: %v", err))
@@ -294,7 +337,7 @@ func (s *Server) selectOne(conn Conn) *session {
 		s.reject(conn, fmt.Sprintf("channel offer: %v", err))
 		return nil
 	}
-	ch := &Challenge{Nonce: nonce, ServerPub: offer.Public, RequireTEE: s.cfg.RequireTEE}
+	ch := &Challenge{Nonce: nonce, ServerPub: offer.Public, RequireTEE: s.cfg.RequireTEE, Codec: s.cfg.Codec}
 	if err := conn.Send(ch); err != nil {
 		_ = conn.Close()
 		return nil
@@ -309,6 +352,10 @@ func (s *Server) selectOne(conn Conn) *session {
 		s.reject(conn, fmt.Sprintf("sent %T instead of Attest", msg))
 		return nil
 	}
+	if !att.Codec.Valid() || att.Codec > s.cfg.Codec {
+		s.reject(conn, fmt.Sprintf("codec %s exceeds offered %s", att.Codec, s.cfg.Codec))
+		return nil
+	}
 	if s.cfg.RequireTEE {
 		if !att.HasTEE {
 			s.reject(conn, "device has no TEE")
@@ -319,7 +366,7 @@ func (s *Server) selectOne(conn Conn) *session {
 			return nil
 		}
 	}
-	sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE}
+	sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE, codec: att.Codec}
 	if att.HasTEE && len(att.ClientPub) > 0 {
 		channel, err := offer.Establish(att.ClientPub, true)
 		if err != nil {
@@ -327,6 +374,10 @@ func (s *Server) selectOne(conn Conn) *session {
 			return nil
 		}
 		sess.channel = channel
+	}
+	conn.SetCodec(att.Codec)
+	if hasDeadlines {
+		dc.SetReadTimeout(0) // reads are round-paced from here on
 	}
 	return sess
 }
@@ -407,10 +458,9 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 	var reasons []string
 
 	// Arm the deadline before any model leaves the server so time spent
-	// distributing counts against the round budget. Note the sends
-	// themselves are not interruptible: a transport whose Send can stall
-	// indefinitely (raw TCP against a client that stops reading) needs
-	// its own write timeout — see ROADMAP "Open items".
+	// distributing counts against the round budget. The sends themselves
+	// are not interruptible by this timer; on deadline-capable
+	// transports (TCP) each write is bounded by cfg.IOTimeout instead.
 	var deadlineC <-chan time.Time
 	if s.cfg.RoundDeadline > 0 {
 		timer := s.cfg.Clock.NewTimer(s.cfg.RoundDeadline)
@@ -427,15 +477,43 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 	}
 
 	protected, planBlob := s.cfg.Planner.PlanRound(round)
+	hasProtected := false
+	for _, p := range protected {
+		if p {
+			hasProtected = true
+			break
+		}
+	}
 
-	// Distribute the model to the cohort in parallel; sealing is
-	// per-channel so each client gets its own ModelDown.
+	// Encode-once broadcast: every cohort member that receives no sealed
+	// payload gets the identical ModelDown bytes, serialised once per
+	// negotiated codec instead of once per client. Only clients with a
+	// trusted channel AND a non-empty protection plan need a per-client
+	// build (their sealed blob is keyed to their channel).
+	needsSealing := func(sess *session) bool { return hasProtected && sess.channel != nil }
+	shared := make(map[wire.Codec][]byte)
+	for _, sess := range sampled {
+		if needsSealing(sess) {
+			continue
+		}
+		if _, ok := shared[sess.codec]; !ok {
+			down := &ModelDown{Round: round, Plain: s.state, Plan: planBlob}
+			shared[sess.codec] = EncodeMessageCodec(down, sess.codec)
+		}
+	}
+
+	// Distribute the model to the cohort in parallel: shared frames for
+	// the broadcast group, per-client sealing for the rest.
 	sendErrs := make([]error, len(sampled))
 	var sends sync.WaitGroup
 	for i, sess := range sampled {
 		sends.Add(1)
 		go func(i int, sess *session) {
 			defer sends.Done()
+			if !needsSealing(sess) {
+				sendErrs[i] = sess.conn.SendFrame(MsgModelDown, shared[sess.codec])
+				return
+			}
 			down, err := s.buildModelDown(round, sess, protected, planBlob)
 			if err == nil {
 				err = sess.conn.Send(down)
@@ -474,6 +552,7 @@ collect:
 	}
 	stats.Dropped = len(pending)
 	stats.Responded = agg.Count()
+	stats.WeightTotal = agg.Weight()
 
 	if agg.Count() < s.cfg.MinClients {
 		detail := ""
@@ -534,7 +613,15 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 			s.quarantine(sess, err, stats, reasons)
 			return
 		}
-		if err := agg.Add(update, 1); err != nil {
+		// Weighted FedAvg: a client reporting its local example count is
+		// weighted by it; absent (0) means unit weight. The count is
+		// clamped so a hostile or buggy client cannot claim an absurd
+		// weight and drown out the rest of the cohort.
+		weight := 1.0
+		if m.Examples > 0 {
+			weight = float64(min(m.Examples, MaxExampleWeight))
+		}
+		if err := agg.Add(update, weight); err != nil {
 			delete(pending, sess)
 			s.quarantine(sess, err, stats, reasons)
 			return

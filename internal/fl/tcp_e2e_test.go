@@ -5,13 +5,14 @@ import (
 	"testing"
 
 	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // e2eConfig is the shared session shape for the transport-equivalence
 // test: every client participates in every round, so the only variable
 // between the two runs is the transport itself.
-func e2eConfig() ServerConfig {
-	return ServerConfig{Rounds: 3, MinClients: 3}
+func e2eConfig(codec wire.Codec) ServerConfig {
+	return ServerConfig{Rounds: 3, MinClients: 3, Codec: codec}
 }
 
 // e2eDeltas are exact dyadic values: their sums and means are exact in
@@ -22,13 +23,14 @@ var e2eDeltas = []float64{1, 2, 4}
 func e2eState() []*tensor.Tensor { return newState(0, 8) }
 
 // runPipeE2E runs the session over in-memory pipes.
-func runPipeE2E(t *testing.T) []*tensor.Tensor {
+func runPipeE2E(t *testing.T, codec wire.Codec) []*tensor.Tensor {
 	t.Helper()
 	state := e2eState()
-	srv := NewServer(state, e2eConfig())
+	srv := NewServer(state, e2eConfig(codec))
 	trainers := make([]*testTrainer, len(e2eDeltas))
 	for i, d := range e2eDeltas {
 		trainers[i] = newTestTrainer("mem", false, d)
+		trainers[i].maxCodec = codec
 	}
 	if _, err := runSession(t, srv, trainers); err != nil {
 		t.Fatal(err)
@@ -38,7 +40,7 @@ func runPipeE2E(t *testing.T) []*tensor.Tensor {
 
 // runTCPE2E runs the same session over real TCP on loopback: the server
 // accepts in-process connections from concurrently dialling clients.
-func runTCPE2E(t *testing.T) []*tensor.Tensor {
+func runTCPE2E(t *testing.T, codec wire.Codec) []*tensor.Tensor {
 	t.Helper()
 	l, err := Listen("127.0.0.1:0")
 	if err != nil {
@@ -58,7 +60,11 @@ func runTCPE2E(t *testing.T) []*tensor.Tensor {
 				return
 			}
 			defer conn.Close()
-			clientErrs[i] = NewClient(conn, newTestTrainer("tcp", false, d)).Run()
+			tr := newTestTrainer("tcp", false, d)
+			tr.maxCodec = codec
+			client := NewClient(conn, tr)
+			client.MaxCodec = codec
+			clientErrs[i] = client.Run()
 		}(i, d)
 	}
 
@@ -72,7 +78,7 @@ func runTCPE2E(t *testing.T) []*tensor.Tensor {
 	}
 
 	state := e2eState()
-	srv := NewServer(state, e2eConfig())
+	srv := NewServer(state, e2eConfig(codec))
 	if _, err := srv.Run(conns); err != nil {
 		t.Fatal(err)
 	}
@@ -86,35 +92,42 @@ func runTCPE2E(t *testing.T) []*tensor.Tensor {
 }
 
 // TestTCPSessionMatchesInMemorySession runs one multi-client session
-// over fl.Pipe and one over real loopback TCP and asserts the final
-// global models are bitwise identical.
+// over fl.Pipe and one over real loopback TCP — under every codec — and
+// asserts the final global models are bitwise identical between the two
+// transports. For f64 this also pins the exact pre-codec arithmetic;
+// the deltas are constant tensors, so q8/f32 sessions stay exact too.
 func TestTCPSessionMatchesInMemorySession(t *testing.T) {
-	viaPipe := runPipeE2E(t)
-	viaTCP := runTCPE2E(t)
+	for _, codec := range []wire.Codec{wire.CodecF64, wire.CodecF32, wire.CodecQ8} {
+		t.Run(codec.String(), func(t *testing.T) {
+			viaPipe := runPipeE2E(t, codec)
+			viaTCP := runTCPE2E(t, codec)
 
-	if len(viaPipe) != len(viaTCP) {
-		t.Fatalf("tensor counts differ: %d vs %d", len(viaPipe), len(viaTCP))
-	}
-	for i := range viaPipe {
-		if !viaPipe[i].SameShape(viaTCP[i]) {
-			t.Fatalf("tensor %d shapes differ", i)
-		}
-		for j := range viaPipe[i].Data {
-			if viaPipe[i].Data[j] != viaTCP[i].Data[j] {
-				t.Fatalf("tensor %d elem %d: pipe %v != tcp %v",
-					i, j, viaPipe[i].Data[j], viaTCP[i].Data[j])
+			if len(viaPipe) != len(viaTCP) {
+				t.Fatalf("tensor counts differ: %d vs %d", len(viaPipe), len(viaTCP))
 			}
-		}
-	}
-	// Sanity: 3 rounds of mean(1,2,4) each, accumulated with the exact
-	// float operations the engine uses (reciprocal multiply, repeated add).
-	sum, n := 7.0, 3.0 // variables: Go folds constant float math exactly
-	mean := sum * (1.0 / n)
-	want := 0.0
-	for r := 0; r < 3; r++ {
-		want += mean
-	}
-	if got := viaPipe[0].Data[0]; got != want {
-		t.Fatalf("final state = %v, want %v", got, want)
+			for i := range viaPipe {
+				if !viaPipe[i].SameShape(viaTCP[i]) {
+					t.Fatalf("tensor %d shapes differ", i)
+				}
+				for j := range viaPipe[i].Data {
+					if viaPipe[i].Data[j] != viaTCP[i].Data[j] {
+						t.Fatalf("tensor %d elem %d: pipe %v != tcp %v",
+							i, j, viaPipe[i].Data[j], viaTCP[i].Data[j])
+					}
+				}
+			}
+			// Sanity: 3 rounds of mean(1,2,4) each, accumulated with the
+			// exact float operations the engine uses (reciprocal multiply,
+			// repeated add).
+			sum, n := 7.0, 3.0 // variables: Go folds constant float math exactly
+			mean := sum * (1.0 / n)
+			want := 0.0
+			for r := 0; r < 3; r++ {
+				want += mean
+			}
+			if got := viaPipe[0].Data[0]; got != want {
+				t.Fatalf("final state = %v, want %v", got, want)
+			}
+		})
 	}
 }

@@ -1,29 +1,56 @@
 package fl
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // Conn is a bidirectional, message-oriented connection between an FL
-// server and one client.
+// server and one client. Send and SendFrame are safe for concurrent use;
+// Recv must be called from a single goroutine at a time.
 type Conn interface {
-	// Send transmits one message.
+	// Send transmits one message, encoding tensors with the connection's
+	// negotiated codec.
 	Send(m Message) error
+	// SendFrame transmits a message payload that was already encoded
+	// (with EncodeMessageCodec and this connection's codec). The payload
+	// is not copied and must not be mutated afterwards — broadcast
+	// senders share one buffer across many connections.
+	SendFrame(mt MsgType, payload []byte) error
 	// Recv blocks for the next message. It returns io.EOF after the peer
 	// closes.
 	Recv() (Message, error)
+	// SetCodec installs the tensor codec negotiated during the handshake
+	// for all subsequent Send/SendFrame/Recv. Connections start at the
+	// uncompressed CodecF64.
+	SetCodec(c wire.Codec)
 	// Close releases the connection; it is safe to call twice.
 	Close() error
 }
 
+// DeadlineConn is implemented by connections with enforceable per-
+// operation I/O deadlines (the TCP transport). A read timeout bounds
+// each Recv, a write timeout each Send/SendFrame; 0 disables either.
+type DeadlineConn interface {
+	Conn
+	SetReadTimeout(d time.Duration)
+	SetWriteTimeout(d time.Duration)
+}
+
 // ErrConnClosed is returned by Send after Close.
 var ErrConnClosed = errors.New("fl: connection closed")
+
+// maxReadScratch caps the per-connection receive buffer retained across
+// frames (larger payloads are read fine, just not kept).
+const maxReadScratch = 8 << 20
 
 // pipeConn is an in-memory Conn built on channels. Messages still pass
 // through the full wire codec so in-process tests exercise encoding.
@@ -33,6 +60,7 @@ type pipeConn struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 	peerDone  <-chan struct{}
+	codec     atomic.Uint32
 }
 
 type frame struct {
@@ -51,8 +79,20 @@ func Pipe() (Conn, Conn) {
 	return a, b
 }
 
+// SetCodec implements Conn.
+func (c *pipeConn) SetCodec(codec wire.Codec) { c.codec.Store(uint32(codec)) }
+
+func (c *pipeConn) getCodec() wire.Codec { return wire.Codec(c.codec.Load()) }
+
 // Send implements Conn.
 func (c *pipeConn) Send(m Message) error {
+	return c.SendFrame(m.Kind(), EncodeMessageCodec(m, c.getCodec()))
+}
+
+// SendFrame implements Conn. The payload travels by reference: the
+// receiver's decode copies everything out, so sharing one payload
+// across many pipes is safe as long as no sender mutates it.
+func (c *pipeConn) SendFrame(mt MsgType, payload []byte) error {
 	// Check for closure first: the select below would otherwise pick the
 	// (buffered) send case at random even when already closed.
 	select {
@@ -62,13 +102,12 @@ func (c *pipeConn) Send(m Message) error {
 		return ErrConnClosed
 	default:
 	}
-	f := frame{mt: m.Kind(), payload: EncodeMessage(m)}
 	select {
 	case <-c.closed:
 		return ErrConnClosed
 	case <-c.peerDone:
 		return ErrConnClosed
-	case c.send <- f:
+	case c.send <- frame{mt: mt, payload: payload}:
 		return nil
 	}
 }
@@ -79,12 +118,12 @@ func (c *pipeConn) Recv() (Message, error) {
 	case <-c.closed:
 		return nil, io.EOF
 	case f := <-c.recv:
-		return DecodeMessage(f.mt, f.payload)
+		return DecodeMessageCodec(f.mt, f.payload, c.getCodec())
 	case <-c.peerDone:
 		// Drain anything already queued before reporting EOF.
 		select {
 		case f := <-c.recv:
-			return DecodeMessage(f.mt, f.payload)
+			return DecodeMessageCodec(f.mt, f.payload, c.getCodec())
 		default:
 			return nil, io.EOF
 		}
@@ -97,14 +136,22 @@ func (c *pipeConn) Close() error {
 	return nil
 }
 
-// tcpConn adapts a net.Conn to the Message framing.
+// tcpConn adapts a net.Conn to the Message framing. Outgoing messages
+// are encoded into a pooled buffer and written with a single Write;
+// incoming frames decode from a per-connection scratch buffer, so a
+// steady session allocates only the decoded messages themselves.
 type tcpConn struct {
 	nc        net.Conn
 	writeMu   sync.Mutex
 	closeOnce sync.Once
+	codec     atomic.Uint32
+	readTO    atomic.Int64 // read timeout, ns; 0 = none
+	writeTO   atomic.Int64 // write timeout, ns; 0 = none
+	readBuf   []byte       // frame scratch, owned by the single Recv caller
 }
 
-// NewNetConn wraps an established net.Conn (TCP or otherwise).
+// NewNetConn wraps an established net.Conn (TCP or otherwise). The
+// returned Conn also implements DeadlineConn.
 func NewNetConn(nc net.Conn) Conn { return &tcpConn{nc: nc} }
 
 // Dial connects to an FL server at addr over TCP.
@@ -116,20 +163,85 @@ func Dial(addr string) (Conn, error) {
 	return NewNetConn(nc), nil
 }
 
-// Send implements Conn.
+// SetCodec implements Conn.
+func (c *tcpConn) SetCodec(codec wire.Codec) { c.codec.Store(uint32(codec)) }
+
+func (c *tcpConn) getCodec() wire.Codec { return wire.Codec(c.codec.Load()) }
+
+// SetReadTimeout implements DeadlineConn.
+func (c *tcpConn) SetReadTimeout(d time.Duration) { c.readTO.Store(int64(d)) }
+
+// SetWriteTimeout implements DeadlineConn.
+func (c *tcpConn) SetWriteTimeout(d time.Duration) { c.writeTO.Store(int64(d)) }
+
+// armWriteDeadline applies (or clears) the write deadline for one write.
+// Callers hold writeMu.
+func (c *tcpConn) armWriteDeadline() {
+	if d := time.Duration(c.writeTO.Load()); d > 0 {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(d))
+	} else {
+		_ = c.nc.SetWriteDeadline(time.Time{})
+	}
+}
+
+// Send implements Conn: encode into a pooled frame buffer, one Write.
 func (c *tcpConn) Send(m Message) error {
+	w := wire.GetWriter()
+	w.BeginFrame(byte(m.Kind()))
+	w.Codec = c.getCodec()
+	m.encode(w)
+	buf, err := w.Frame()
+	if err == nil {
+		c.writeMu.Lock()
+		c.armWriteDeadline()
+		_, err = c.nc.Write(buf)
+		c.writeMu.Unlock()
+		if err != nil {
+			err = fmt.Errorf("wire: writing frame: %w", err)
+		}
+	}
+	wire.PutWriter(w)
+	return err
+}
+
+// SendFrame implements Conn: header + shared payload go out in a single
+// writev, so broadcasts neither copy the payload nor split the header
+// into its own packet.
+func (c *tcpConn) SendFrame(mt MsgType, payload []byte) error {
+	if len(payload) > wire.MaxFrame {
+		return fmt.Errorf("%w: %d bytes", wire.ErrFrameTooLarge, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = byte(mt)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	bufs := net.Buffers{hdr[:], payload}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return wire.WriteFrame(c.nc, byte(m.Kind()), EncodeMessage(m))
+	c.armWriteDeadline()
+	if _, err := bufs.WriteTo(c.nc); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	return nil
 }
 
 // Recv implements Conn.
 func (c *tcpConn) Recv() (Message, error) {
-	mt, payload, err := wire.ReadFrame(c.nc)
+	if d := time.Duration(c.readTO.Load()); d > 0 {
+		_ = c.nc.SetReadDeadline(time.Now().Add(d))
+	} else {
+		_ = c.nc.SetReadDeadline(time.Time{})
+	}
+	mt, payload, err := wire.ReadFrameInto(c.nc, c.readBuf)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeMessage(MsgType(mt), payload)
+	// Keep the grown scratch for the next frame, but never pin more
+	// than maxReadScratch per connection: one huge frame must not hold
+	// its capacity for the connection's lifetime.
+	if cap(payload) > cap(c.readBuf) && cap(payload) <= maxReadScratch {
+		c.readBuf = payload
+	}
+	return DecodeMessageCodec(MsgType(mt), payload, c.getCodec())
 }
 
 // Close implements Conn.

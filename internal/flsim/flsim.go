@@ -26,6 +26,7 @@ import (
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // Profile describes one simulated client.
@@ -44,6 +45,9 @@ type Profile struct {
 	// NoTEE marks a device without a TEE; under RequireTEE it is
 	// rejected at selection.
 	NoTEE bool
+	// Examples is the client's simulated local-example count; when
+	// positive it rides GradUp and weights the server's FedAvg.
+	Examples int
 }
 
 // Scenario parameterises a simulated fleet session.
@@ -71,6 +75,15 @@ type Scenario struct {
 	// RequireTEE enables attested selection: no-TEE devices are
 	// rejected, the rest attest against an auto-provisioned verifier.
 	RequireTEE bool
+	// Codec is the tensor wire codec the server offers the fleet
+	// (f64/f32/q8); every simulated client accepts the offer. Simulated
+	// updates are constant tensors, which all three codecs round-trip
+	// exactly, so traces stay bit-reproducible under any codec.
+	Codec wire.Codec
+	// WeightedExamples assigns each client a deterministic local-example
+	// count in [1,16] from the seed; GradUp carries it and the engine
+	// weights FedAvg by it. Off = uniform (unit) weights.
+	WeightedExamples bool
 	// Seed drives every random choice in the scenario.
 	Seed int64
 	// Model is the initial global model; a small two-tensor model is
@@ -138,6 +151,9 @@ func (sc *Scenario) Validate() error {
 	if sc.Seed == 0 {
 		sc.Seed = 1
 	}
+	if !sc.Codec.Valid() {
+		return fmt.Errorf("flsim: unknown codec %s", sc.Codec)
+	}
 	if sc.Model == nil {
 		sc.Model = []*tensor.Tensor{tensor.New(8, 8), tensor.New(8)}
 	}
@@ -163,6 +179,10 @@ func assignProfiles(sc *Scenario) []Profile {
 		profiles[i] = Profile{
 			Device:    fmt.Sprintf("sim-%04d", i),
 			FailRound: -1,
+		}
+		if sc.WeightedExamples {
+			h := splitmix64(uint64(sc.Seed)*0x9e3779b9 ^ uint64(i)<<24 ^ 0x5eed)
+			profiles[i].Examples = 1 + int(h%16)
 		}
 	}
 	for k := 0; k < stragglers; k++ {
@@ -195,9 +215,9 @@ type simClient struct {
 	conn    fl.Conn
 	dev     *tz.Device // nil for no-TEE devices
 	app     *simTA
-	shapes [][]int
-	seed   int64
-	failed bool
+	shapes  [][]int
+	seed    int64
+	failed  bool
 }
 
 // run speaks the client side of the FL protocol: attest, then answer
@@ -212,7 +232,9 @@ func (c *simClient) run() {
 	if !ok {
 		return
 	}
-	att := &fl.Attest{DeviceID: c.profile.Device, HasTEE: c.dev != nil}
+	// Accept the server's codec offer wholesale: the negotiated codec
+	// governs every tensor this connection carries from here on.
+	att := &fl.Attest{DeviceID: c.profile.Device, HasTEE: c.dev != nil, Codec: ch.Codec}
 	if c.dev != nil {
 		quote, err := c.dev.Attest(c.app.UUID(), ch.Nonce)
 		if err != nil {
@@ -223,6 +245,7 @@ func (c *simClient) run() {
 	if err := c.conn.Send(att); err != nil {
 		return
 	}
+	c.conn.SetCodec(ch.Codec)
 	for {
 		msg, err := c.conn.Recv()
 		if err != nil {
@@ -245,7 +268,8 @@ func (c *simClient) run() {
 			for i, shape := range c.shapes {
 				upd[i] = tensor.Full(delta, shape...)
 			}
-			if err := c.conn.Send(&fl.GradUp{Round: m.Round, Plain: upd}); err != nil {
+			up := &fl.GradUp{Round: m.Round, Plain: upd, Examples: uint64(max(c.profile.Examples, 0))}
+			if err := c.conn.Send(up); err != nil {
 				return
 			}
 		default:
@@ -349,6 +373,7 @@ func Run(sc Scenario) (*Result, error) {
 		SampleSeed:     sc.Seed,
 		RoundDeadline:  sc.Deadline,
 		RequireTEE:     sc.RequireTEE,
+		Codec:          sc.Codec,
 		Verifier:       verifier,
 		Planner:        sc.Planner,
 		Clock:          clk,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // acceptance scenario from the issue: 256 clients, 10% stragglers,
@@ -190,5 +191,79 @@ func TestDyadicDeltasAreExact(t *testing.T) {
 				t.Fatalf("delta %v out of range", v)
 			}
 		}
+	}
+}
+
+// TestCodecTraceInvariance: simulated updates are constant tensors,
+// which every codec round-trips exactly, so the same scenario must
+// produce bitwise-identical traces and final models under f64, f32 and
+// q8 — while actually exercising the quantised wire path end to end.
+func TestCodecTraceInvariance(t *testing.T) {
+	run := func(codec wire.Codec) *Result {
+		sc := acceptanceScenario()
+		sc.Codec = codec
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		return res
+	}
+	ref := run(wire.CodecF64)
+	for _, codec := range []wire.Codec{wire.CodecF32, wire.CodecQ8} {
+		got := run(codec)
+		if !reflect.DeepEqual(ref.Trace, got.Trace) {
+			t.Fatalf("%s trace diverged:\n  f64: %+v\n  %s: %+v", codec, ref.Trace, codec, got.Trace)
+		}
+		for i := range ref.Final {
+			for j := range ref.Final[i].Data {
+				if ref.Final[i].Data[j] != got.Final[i].Data[j] {
+					t.Fatalf("%s final model differs at tensor %d elem %d", codec, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownCodecRejected(t *testing.T) {
+	sc := Scenario{Clients: 1, Codec: wire.Codec(99)}
+	if _, err := Run(sc); err == nil {
+		t.Fatal("unknown codec must fail validation")
+	}
+}
+
+// TestWeightedExamples: with WeightedExamples on, the folded aggregate
+// is the example-weighted mean of the per-client dyadic deltas. The
+// expected value is recomputed here with the same exact arithmetic the
+// engine uses (integer-weighted dyadic sums commute in float64).
+func TestWeightedExamples(t *testing.T) {
+	sc := Scenario{Clients: 24, Rounds: 1, WeightedExamples: true, Seed: 9}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, weight float64
+	for i, p := range res.Profiles {
+		if p.Examples < 1 || p.Examples > 16 {
+			t.Fatalf("client %d examples = %d, want [1,16]", i, p.Examples)
+		}
+		sum += float64(p.Examples) * dyadicDelta(sc.Seed, i, 0)
+		weight += float64(p.Examples)
+	}
+	want := sum * (1 / weight)
+	if got := res.Final[0].Data[0]; got != want {
+		t.Fatalf("weighted aggregate = %v, want %v", got, want)
+	}
+	if res.Trace[0].WeightTotal != weight {
+		t.Fatalf("WeightTotal = %v, want %v", res.Trace[0].WeightTotal, weight)
+	}
+	// And without weighting the same fleet lands on the plain mean.
+	sc2 := sc
+	sc2.WeightedExamples = false
+	res2, err := Run(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace[0].WeightTotal != 24 {
+		t.Fatalf("unweighted WeightTotal = %v, want 24", res2.Trace[0].WeightTotal)
 	}
 }

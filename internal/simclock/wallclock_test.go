@@ -86,4 +86,3 @@ func TestRealClockTimerFires(t *testing.T) {
 	}
 	tm.Stop() // safe after firing
 }
-

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// FuzzReadFrame hammers the frame decoder with arbitrary bytes: it must
+// never panic, never allocate more than the input justifies, and every
+// successfully parsed frame must re-encode to the bytes consumed.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, 3, []byte("hello"))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF})          // oversized claim
+	f.Add([]byte{9, 0, 0, 1, 0, 42})                  // truncated payload
+	f.Add(append([]byte{7, 0, 0, 0, 2, 'h', 'i'}, 9)) // trailing junk
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		mt, payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if werr := WriteFrame(&out, mt, payload); werr != nil {
+			t.Fatalf("re-encoding a parsed frame failed: %v", werr)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("frame did not round-trip: %x != %x", out.Bytes(), data[:consumed])
+		}
+	})
+}
+
+// FuzzTensorDecode feeds arbitrary bytes to the tensor decoder under
+// every codec: decoding must never panic, and any tensor it accepts
+// must re-encode and re-decode to the same values.
+func FuzzTensorDecode(f *testing.F) {
+	for _, c := range []Codec{CodecF64, CodecF32, CodecQ8} {
+		w := NewWriter()
+		w.Codec = c
+		w.Tensor(tensor.FromSlice([]float64{1, -2, 0.5, 1e9}, 2, 2))
+		f.Add(uint8(c), w.Bytes())
+	}
+	hostile := NewWriter()
+	hostile.Uvarint(8)
+	for i := 0; i < 8; i++ {
+		hostile.Uvarint(1 << 24)
+	}
+	f.Add(uint8(CodecQ8), hostile.Bytes())
+	f.Add(uint8(CodecF64), binary.AppendUvarint(nil, 0xFF)) // nil marker
+
+	f.Fuzz(func(t *testing.T, codec uint8, data []byte) {
+		c := Codec(codec % uint8(codecCount))
+		r := NewReader(data)
+		r.Codec = c
+		got := r.Tensor()
+		if r.Err() != nil || got == nil {
+			return
+		}
+		w := NewWriter()
+		w.Codec = c
+		w.Tensor(got)
+		r2 := NewReader(w.Bytes())
+		r2.Codec = c
+		again := r2.Tensor()
+		if r2.Err() != nil || again == nil || !again.SameShape(got) {
+			t.Fatalf("accepted tensor failed to re-decode: %v", r2.Err())
+		}
+		// f64 and f32 re-encode losslessly from the decoded values; q8
+		// requantises over the decoded range, still within one level.
+		for i := range got.Data {
+			a, b := got.Data[i], again.Data[i]
+			if a != b && !(a != a && b != b) { // NaN == NaN for this purpose
+				if c == CodecF64 || c == CodecF32 {
+					t.Fatalf("%s elem %d drifted: %v -> %v", c, i, a, b)
+				}
+			}
+		}
+	})
+}

@@ -3,6 +3,35 @@
 // and framed messages. It is hand-rolled over encoding/binary so the FL
 // stack has no reflection in its hot path and malformed input fails with
 // explicit errors and bounded allocations.
+//
+// # Tensor codecs
+//
+// Tensor payloads support three negotiated encodings (see Codec):
+//
+//   - CodecF64 — 8 bytes/element IEEE-754, bit-exact; the tensor
+//     encoding is byte-for-byte the original protocol's. (Handshake and
+//     update messages themselves carry new optional trailing fields, so
+//     whole frames are wire-compatible rather than byte-identical.)
+//   - CodecF32 — 4 bytes/element; each value is rounded to float32, a
+//     relative error of at most 2⁻²⁴ for values in float32 range.
+//   - CodecQ8 — 1 byte/element plus a 16-byte (min, scale) header per
+//     tensor; values quantise to 256 levels over the tensor's own value
+//     range, so the absolute dequantisation error is at most
+//     scale/2 = (max−min)/510 < (max−min)/255. Constant tensors
+//     (max == min) round-trip exactly. Non-finite values are not
+//     representable and collapse to the nearest level.
+//
+// The codec is carried as a field on Writer and Reader — both sides of a
+// connection must agree (the FL handshake negotiates it) because the
+// tensor encoding is not self-describing; that keeps CodecF64 output
+// bit-identical to the pre-codec protocol.
+//
+// # Buffer reuse
+//
+// Writers are poolable: GetWriter/PutWriter recycle encode buffers, and
+// Writer.Detach hands off an encoded payload while returning the Writer
+// to the pool. ReadFrameInto decodes frames into a caller-owned scratch
+// buffer so a long-lived connection performs no per-frame allocation.
 package wire
 
 import (
@@ -11,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"github.com/gradsec/gradsec/internal/tensor"
 )
@@ -30,16 +60,73 @@ var (
 	ErrCorrupt       = errors.New("wire: corrupt input")
 )
 
-// Writer serialises values into a growing buffer with a sticky error.
+// Writer serialises values into a growing buffer. Codec selects the
+// tensor encoding; the zero value writes the uncompressed f64 protocol.
 type Writer struct {
 	buf []byte
+	// Codec is the tensor encoding applied by Tensor/TensorList.
+	Codec Codec
 }
 
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
 
-// Bytes returns the accumulated encoding.
+// writerPool recycles Writers (and their buffers) across messages.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// maxPooledBuf caps the buffer capacity retained by the pool so one huge
+// frame does not pin memory forever.
+const maxPooledBuf = 8 << 20
+
+// GetWriter returns a reset Writer from the pool.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns a Writer to the pool. The caller must not touch the
+// Writer (or any non-detached Bytes view) afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > maxPooledBuf {
+		w.buf = nil
+	}
+	writerPool.Put(w)
+}
+
+// Reset empties the writer for reuse, keeping the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.Codec = CodecF64
+}
+
+// Bytes returns the accumulated encoding. The slice aliases the writer's
+// buffer and is invalidated by Reset/PutWriter.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of encoded bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Detach returns the accumulated encoding and releases it from the
+// writer, so the bytes stay valid after the writer is pooled.
+func (w *Writer) Detach() []byte {
+	b := w.buf
+	w.buf = nil
+	return b
+}
+
+// grow extends the buffer by n bytes in one step and returns the newly
+// appended region, amortising capacity doubling across bulk writes.
+func (w *Writer) grow(n int) []byte {
+	if cap(w.buf)-len(w.buf) < n {
+		nb := make([]byte, len(w.buf), max(2*cap(w.buf), len(w.buf)+n))
+		copy(nb, w.buf)
+		w.buf = nb
+	}
+	off := len(w.buf)
+	w.buf = w.buf[:off+n]
+	return w.buf[off:]
+}
 
 // Uvarint appends an unsigned varint.
 func (w *Writer) Uvarint(v uint64) {
@@ -69,15 +156,24 @@ func (w *Writer) Float64(f float64) {
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
 }
 
-// Float64s appends a length-prefixed float64 slice.
+// Float64s appends a length-prefixed float64 slice (always full
+// precision, independent of Codec).
 func (w *Writer) Float64s(fs []float64) {
 	w.Uvarint(uint64(len(fs)))
-	for _, f := range fs {
-		w.Float64(f)
+	w.appendFloat64s(fs)
+}
+
+// appendFloat64s bulk-appends raw little-endian float64 values with a
+// single buffer growth.
+func (w *Writer) appendFloat64s(fs []float64) {
+	dst := w.grow(8 * len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(f))
 	}
 }
 
-// Tensor appends a tensor (nil allowed: encoded as rank 0xFF marker).
+// Tensor appends a tensor (nil allowed: encoded as rank 0xFF marker)
+// using the writer's Codec for the element payload.
 func (w *Writer) Tensor(t *tensor.Tensor) {
 	if t == nil {
 		w.Uvarint(0xFF)
@@ -87,8 +183,13 @@ func (w *Writer) Tensor(t *tensor.Tensor) {
 	for _, d := range t.Shape {
 		w.Uvarint(uint64(d))
 	}
-	for _, f := range t.Data {
-		w.Float64(f)
+	switch w.Codec {
+	case CodecF32:
+		w.appendFloat32s(t.Data)
+	case CodecQ8:
+		w.appendQ8(t.Data)
+	default:
+		w.appendFloat64s(t.Data)
 	}
 }
 
@@ -100,11 +201,39 @@ func (w *Writer) TensorList(ts []*tensor.Tensor) {
 	}
 }
 
-// Reader decodes values from a byte slice with a sticky error.
+// BeginFrame starts encoding a framed message in place: the message type
+// byte and a 4-byte length placeholder, patched by Frame. The writer
+// must be empty (freshly reset).
+func (w *Writer) BeginFrame(msgType byte) {
+	w.buf = append(w.buf[:0], msgType, 0, 0, 0, 0)
+}
+
+// Frame finalises a frame started with BeginFrame and returns the
+// complete wire bytes (header + payload), ready for a single Write.
+func (w *Writer) Frame() ([]byte, error) {
+	if len(w.buf) < 5 {
+		return nil, errors.New("wire: Frame without BeginFrame")
+	}
+	payload := len(w.buf) - 5
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payload)
+	}
+	binary.BigEndian.PutUint32(w.buf[1:5], uint32(payload))
+	return w.buf, nil
+}
+
+// Reader decodes values from a byte slice with a sticky error. Codec
+// selects the tensor decoding and must match the writer's.
 type Reader struct {
 	buf []byte
 	off int
 	err error
+	// decoded tracks the cumulative bytes of tensor data materialised
+	// from this reader; capped at MaxFrame so compressed codecs cannot
+	// amplify a frame into more memory than an f64 frame could carry.
+	decoded int
+	// Codec is the tensor encoding expected by Tensor/TensorList.
+	Codec Codec
 }
 
 // NewReader wraps data for decoding.
@@ -112,6 +241,14 @@ func NewReader(data []byte) *Reader { return &Reader{buf: data} }
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the number of undecoded bytes (0 after an error).
+func (r *Reader) Remaining() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.buf) - r.off
+}
 
 func (r *Reader) fail(what string) {
 	if r.err == nil {
@@ -191,13 +328,32 @@ func (r *Reader) Float64s() []float64 {
 		return nil
 	}
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = r.Float64()
+	r.float64sInto(out)
+	if r.err != nil {
+		return nil
 	}
 	return out
 }
 
-// Tensor reads a tensor; returns nil for the nil marker.
+// float64sInto bulk-decodes len(dst) raw little-endian float64 values.
+func (r *Reader) float64sInto(dst []float64) {
+	if r.err != nil {
+		return
+	}
+	need := 8 * len(dst)
+	if len(r.buf)-r.off < need {
+		r.fail("float64s payload")
+		return
+	}
+	src := r.buf[r.off : r.off+need]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	r.off += need
+}
+
+// Tensor reads a tensor; returns nil for the nil marker. The reader's
+// Codec must match the encoding.
 func (r *Reader) Tensor() *tensor.Tensor {
 	rank := r.Uvarint()
 	if r.err != nil {
@@ -211,7 +367,12 @@ func (r *Reader) Tensor() *tensor.Tensor {
 		return nil
 	}
 	shape := make([]int, rank)
-	size := 1
+	// Accumulate the element count in uint64 with a per-step cap: each
+	// dim is ≤ 2²⁷ and the running product is re-checked after every
+	// multiply, so the product never exceeds 2⁵⁴ — no overflow even
+	// where int is 32 bits, and no hostile size can wrap past the
+	// budget checks below.
+	size64 := uint64(1)
 	for i := range shape {
 		d := r.Uvarint()
 		if r.err != nil {
@@ -222,15 +383,45 @@ func (r *Reader) Tensor() *tensor.Tensor {
 			return nil
 		}
 		shape[i] = int(d)
-		size *= int(d)
+		size64 *= d
+		if size64 > MaxFrame {
+			r.fail("tensor size")
+			return nil
+		}
 	}
-	if size < 0 || uint64(size) > uint64(len(r.buf)-r.off)/8 {
+	size := int(size64)
+	// Decode-amplification budget: q8 spends 1 payload byte per 8-byte
+	// float64, so payload-proportional checks alone would let a 128 MiB
+	// frame materialise ~1 GiB. Cap the total decoded tensor data per
+	// reader at MaxFrame — exactly what an uncompressed frame could
+	// carry (no new restriction for f64).
+	r.decoded += 8 * size
+	if r.decoded > MaxFrame {
+		r.fail("tensor size")
+		return nil
+	}
+	// Payload-size check per codec before any allocation.
+	var need int
+	switch r.Codec {
+	case CodecF32:
+		need = 4 * size
+	case CodecQ8:
+		need = q8Header + size
+	default:
+		need = 8 * size
+	}
+	if need > len(r.buf)-r.off {
 		r.fail("tensor size")
 		return nil
 	}
 	data := make([]float64, size)
-	for i := range data {
-		data[i] = r.Float64()
+	switch r.Codec {
+	case CodecF32:
+		r.float32sInto(data)
+	case CodecQ8:
+		r.q8Into(data)
+	default:
+		r.float64sInto(data)
 	}
 	if r.err != nil {
 		return nil
@@ -277,17 +468,41 @@ func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
 
 // ReadFrame reads one framed message written by WriteFrame.
 func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	return ReadFrameInto(r, nil)
+}
+
+// frameChunk bounds the allocation made on the strength of a claimed
+// frame length alone: payload buffers grow as bytes actually arrive, so
+// a hostile header costs at most one chunk.
+const frameChunk = 1 << 20
+
+// ReadFrameInto reads one framed message, reusing buf's capacity for the
+// payload when possible (pass the previous payload to amortise per-frame
+// allocation on a long-lived connection). The returned payload aliases
+// buf when it fits.
+func ReadFrameInto(r io.Reader, buf []byte) (msgType byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err // io.EOF passes through for clean shutdown
 	}
-	n := binary.BigEndian.Uint32(hdr[1:])
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
 	if n > MaxFrame {
 		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	payload = buf[:0]
+	for remaining := n; remaining > 0; {
+		step := min(remaining, frameChunk)
+		start := len(payload)
+		if cap(payload)-start < step {
+			nb := make([]byte, start, max(2*cap(payload), start+step))
+			copy(nb, payload)
+			payload = nb
+		}
+		payload = payload[:start+step]
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return 0, nil, fmt.Errorf("wire: reading frame payload: %w", err)
+		}
+		remaining -= step
 	}
 	return hdr[0], payload, nil
 }
