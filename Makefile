@@ -6,11 +6,12 @@
 #   make fuzz-check   run the fuzz corpora in regression mode (no fuzzing)
 #   make bench        all artefact + fleet benchmarks (one iteration each)
 #   make bench-fleet  fixed-benchtime fleet benchmarks -> bench-fleet.txt
+#   make bench-secagg secagg privacy-ladder benchmarks -> bench-secagg.txt
 #   make check        build + vet + test + fuzz regression (CI gate)
 
 GO ?= go
 
-.PHONY: build vet test fuzz-check bench bench-fleet check
+.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg check
 
 build:
 	$(GO) build ./...
@@ -29,8 +30,10 @@ test:
 fuzz-check:
 	$(GO) test -run 'Fuzz' ./internal/wire ./internal/fl
 
+# BenchmarkSecAggRound's 1024-client masked rounds exceed go test's
+# default 10m timeout (mask expansion is O(cohort² · model)).
 bench:
-	$(GO) test -run xxx -bench . -benchtime=1x -benchmem .
+	$(GO) test -run xxx -bench . -benchtime=1x -benchmem -timeout 60m .
 
 # Fixed-iteration fleet benchmark sweep (clients × codec), captured as a
 # comparable artefact. Not part of `check`: it takes minutes. Written to
@@ -41,3 +44,10 @@ bench-fleet:
 	status=$$?; cat bench-fleet.txt; exit $$status
 
 check: build vet test fuzz-check
+
+# Privacy-ladder benchmark: plain vs masked vs enclave aggregation at
+# 64/256/1024 clients. Pairwise masking is O(cohort² · model) in mask
+# expansion, so the 1024-client masked rounds need a raised timeout.
+bench-secagg:
+	$(GO) test -run xxx -bench 'BenchmarkSecAggRound' -benchtime=1x -benchmem -timeout 60m . > bench-secagg.txt; \
+	status=$$?; cat bench-secagg.txt; exit $$status

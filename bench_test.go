@@ -112,3 +112,57 @@ func BenchmarkFleetRound(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSecAggRound measures the cost of the privacy ladder at
+// fleet scale: one full FL cycle per mode over the LeNet-5 model.
+// "plain" is the PR 2 baseline (plaintext FedAvg), "masked" adds
+// pairwise-masked fixed-point aggregation (8 B/element level transfer
+// plus per-pair mask expansion on the clients and at reconciliation),
+// and "enclave" additionally routes one protected tensor through the
+// simulated aggregation enclave's sealed path. MB/s counts logical
+// model-down + update-up traffic on the same axis as BenchmarkFleetRound.
+// EXPERIMENTS.md records a reference run.
+func BenchmarkSecAggRound(b *testing.B) {
+	type mode struct {
+		name    string
+		secagg  bool
+		protect []int
+	}
+	modes := []mode{
+		{name: "plain"},
+		{name: "masked", secagg: true},
+		{name: "enclave", secagg: true, protect: []int{0}},
+	}
+	for _, clients := range []int{64, 256, 1024} {
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("clients=%d/mode=%s", clients, m.name), func(b *testing.B) {
+				model := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU)
+				params := 0
+				for _, t := range model.StateDict() {
+					params += t.Size()
+				}
+				b.SetBytes(int64(2 * clients * params * 8)) // model down + update up
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					state := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU).StateDict()
+					b.StartTimer()
+					res, err := gradsec.RunFleet(gradsec.FleetScenario{
+						Clients: clients,
+						Rounds:  1,
+						SecAgg:  m.secagg,
+						Protect: m.protect,
+						Seed:    int64(i + 1),
+						Model:   state,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Trace[0].Responded != clients {
+						b.Fatalf("round folded %d of %d updates", res.Trace[0].Responded, clients)
+					}
+				}
+			})
+		}
+	}
+}

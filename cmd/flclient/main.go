@@ -64,6 +64,10 @@ func main() {
 		fmt.Printf("rejected by server: %s\n", client.RejectedReason)
 		return
 	}
-	fmt.Printf("%s: completed %d rounds over codec %s; final model received (%d tensors); SMCs %d\n",
-		*name, client.Rounds, client.NegotiatedCodec, len(client.Final), dev.SMCCount())
+	mode := "plaintext updates"
+	if client.SecAgg {
+		mode = "masked updates (secure aggregation)"
+	}
+	fmt.Printf("%s: completed %d rounds over codec %s with %s; final model received (%d tensors); SMCs %d\n",
+		*name, client.Rounds, client.NegotiatedCodec, mode, len(client.Final), dev.SMCCount())
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/gradsec/gradsec/internal/core"
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/wire"
 )
 
@@ -33,6 +34,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "cohort sampling seed")
 	codecName := flag.String("codec", "f64", "tensor wire codec offered to clients: f64, f32, or q8")
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-operation transport deadline: handshake reads and model-distribution writes (0 = none)")
+	secAgg := flag.Bool("secagg", false, "secure aggregation: clients send pairwise-masked updates; protected layers aggregate inside a simulated server enclave")
+	secAggScale := flag.Int("secagg-scale", secagg.DefaultScaleBits, "fixed-point fractional bits for masked updates")
+	quarantineRounds := flag.Int("quarantine-rounds", 0, "probation window for failed clients in rounds (0 = permanent exclusion)")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*codecName)
@@ -41,29 +45,55 @@ func main() {
 	}
 
 	var protect []int
-	for _, part := range strings.Split(*layers, ",") {
-		l, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || l < 1 {
-			log.Fatalf("bad -protect entry %q", part)
+	if trimmed := strings.TrimSpace(*layers); trimmed != "" && trimmed != "none" {
+		for _, part := range strings.Split(trimmed, ",") {
+			l, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || l < 1 {
+				log.Fatalf("bad -protect entry %q", part)
+			}
+			protect = append(protect, l-1)
 		}
-		protect = append(protect, l-1)
 	}
-	plan, err := core.NewStaticPlan(protect...)
-	if err != nil {
-		log.Fatal(err)
+	global := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU)
+	var planner fl.RoundPlanner = fl.NoProtection{}
+	planDesc := "none"
+	if len(protect) > 0 {
+		plan, err := core.NewStaticPlan(protect...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		planner = core.NewPlanner(plan, global, func(ls []int) map[int]bool {
+			return core.FlatIndicesForLayers(global, ls)
+		})
+		planDesc = plan.String()
 	}
 
-	global := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU)
-	planner := core.NewPlanner(plan, global, func(ls []int) map[int]bool {
-		return core.FlatIndicesForLayers(global, ls)
-	})
+	// Secure aggregation with protected layers requires the aggregation
+	// enclave — the server must not unseal updates into plaintext.
+	var enclave *secagg.Enclave
+	if *secAgg && len(protect) > 0 {
+		enclave, err = secagg.NewEnclave("flserver-aggregator")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer enclave.Close()
+	}
 
 	l, err := fl.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer l.Close()
-	fmt.Printf("flserver listening on %s; waiting for %d clients (plan %s, codec %s)\n", l.Addr(), *clients, plan, codec)
+	mode := "plaintext aggregation"
+	if *secAgg {
+		mode = "secure aggregation (pairwise masking"
+		if enclave != nil {
+			mode += " + enclave"
+		}
+		mode += ")"
+	}
+	fmt.Printf("flserver listening on %s; waiting for %d clients (plan %s, codec %s, %s)\n",
+		l.Addr(), *clients, planDesc, codec, mode)
 
 	conns := make([]fl.Conn, 0, *clients)
 	for len(conns) < *clients {
@@ -76,19 +106,26 @@ func main() {
 	}
 
 	srv := fl.NewServer(global.StateDict(), fl.ServerConfig{
-		Rounds:         *rounds,
-		Planner:        planner,
-		MinClients:     *minClients,
-		SampleFraction: *sampleFraction,
-		SampleCount:    *sampleCount,
-		SampleSeed:     *seed,
-		RoundDeadline:  *deadline,
-		Codec:          codec,
-		IOTimeout:      *ioTimeout,
+		Rounds:           *rounds,
+		Planner:          planner,
+		MinClients:       *minClients,
+		SampleFraction:   *sampleFraction,
+		SampleCount:      *sampleCount,
+		SampleSeed:       *seed,
+		RoundDeadline:    *deadline,
+		Codec:            codec,
+		IOTimeout:        *ioTimeout,
+		SecAgg:           *secAgg,
+		SecAggScaleBits:  *secAggScale,
+		Enclave:          enclave,
+		QuarantineRounds: *quarantineRounds,
 		Hooks: fl.Hooks{
+			ClientQuarantined: func(device string, reason error) {
+				fmt.Printf("quarantined %s: %v\n", device, reason)
+			},
 			RoundClosed: func(st fl.RoundStats) {
-				fmt.Printf("round %d: sampled %d, responded %d, dropped %d, quarantined %d, |update| %.4f\n",
-					st.Round, st.Sampled, st.Responded, st.Dropped, st.Quarantined, st.UpdateNorm)
+				fmt.Printf("round %d: sampled %d, responded %d, dropped %d, quarantined %d, reconciled %d, |update| %.4f\n",
+					st.Round, st.Sampled, st.Responded, st.Dropped, st.Quarantined, st.Reconciled, st.UpdateNorm)
 			},
 		},
 	})

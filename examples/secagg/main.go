@@ -1,0 +1,102 @@
+// Command secagg walks through server-side secure aggregation: the
+// same fleet scenario is run under plaintext FedAvg and under pairwise
+// masking (plus an aggregation enclave for the protected tensors), and
+// the walkthrough verifies what the paper's threat model demands —
+// the aggregates are bit-identical, while the masked path never shows
+// the server an individual client's update.
+//
+//	go run ./examples/secagg
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/gradsec/gradsec"
+)
+
+func main() {
+	fmt.Println("=== GradSec secure aggregation walkthrough ===")
+	fmt.Println()
+
+	// Part 1: full cohort — masks cancel, aggregates match bit for bit.
+	fmt.Println("-- Part 1: masked aggregation, full cohort")
+	base := gradsec.FleetScenario{
+		Clients:          64,
+		Rounds:           4,
+		SampleFraction:   0.5,
+		MinClients:       8,
+		WeightedExamples: true,
+		Seed:             42,
+	}
+	plain := run(base)
+	masked := run(withSecAgg(base))
+	fmt.Printf("   plaintext final norm-ish probe: %+.6f\n", plain.Final[0].Data[0])
+	fmt.Printf("   masked    final norm-ish probe: %+.6f\n", masked.Final[0].Data[0])
+	fmt.Printf("   bit-identical models: %v\n", identical(plain, masked))
+	fmt.Println()
+
+	// Part 2: straggler dropout — survivors reveal round seeds, the
+	// server subtracts exactly the unpaired masks.
+	fmt.Println("-- Part 2: straggler dropout + mask reconciliation")
+	drop := gradsec.FleetScenario{
+		Clients:           20,
+		Rounds:            3,
+		Deadline:          2 * time.Second,
+		StragglerFraction: 0.25,
+		Seed:              7,
+	}
+	plainDrop := run(drop)
+	maskedDrop := run(withSecAgg(drop))
+	for _, st := range maskedDrop.Trace {
+		fmt.Printf("   round %d: responded %2d, dropped %d, masks reconciled %d, |update| %.4f\n",
+			st.Round, st.Responded, st.Dropped, st.Reconciled, st.UpdateNorm)
+	}
+	fmt.Printf("   bit-identical to plaintext dropout run: %v\n", identical(plainDrop, maskedDrop))
+	fmt.Println()
+
+	// Part 3: protected tensors — sealed updates fold inside the
+	// aggregation enclave; the server never unseals them.
+	fmt.Println("-- Part 3: protected tensors through the aggregation enclave")
+	prot := gradsec.FleetScenario{
+		Clients:    16,
+		Rounds:     3,
+		Protect:    []int{0},
+		RequireTEE: true,
+		Seed:       11,
+	}
+	plainProt := run(prot)
+	maskedProt := run(withSecAgg(prot))
+	fmt.Printf("   enclave world switches (SMCs): %d\n", maskedProt.EnclaveSMCs)
+	fmt.Printf("   bit-identical to plaintext TEE run: %v\n", identical(plainProt, maskedProt))
+	fmt.Println()
+
+	fmt.Println("In the masked runs the server only ever folded uniformly random")
+	fmt.Println("ring levels (plus sealed ciphertext routed into the enclave) —")
+	fmt.Println("no individual client update existed outside a TEE at any point.")
+}
+
+func withSecAgg(sc gradsec.FleetScenario) gradsec.FleetScenario {
+	sc.SecAgg = true
+	return sc
+}
+
+func run(sc gradsec.FleetScenario) *gradsec.FleetResult {
+	res, err := gradsec.RunFleet(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func identical(a, b *gradsec.FleetResult) bool {
+	for i := range a.Final {
+		for j := range a.Final[i].Data {
+			if a.Final[i].Data[j] != b.Final[i].Data[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -59,7 +59,17 @@
 // tensor, sealed TEE tensors always exact). The server encodes each
 // round's model once per codec and broadcasts the shared frame.
 //
-// Run `go run ./examples/fleet` for a full scenario walk-through, or
+// Secure aggregation (FleetScenario.SecAgg, flserver -secagg) extends
+// the paper's threat model to a compromised aggregator: clients send
+// pairwise-masked fixed-point updates whose masks cancel over the
+// cohort, dropped stragglers are reconciled from survivor-revealed
+// round seeds, and protected tensors fold inside a simulated server
+// enclave (internal/secagg) — the server never materialises an
+// individual client's gradients, yet the aggregate is bit-identical
+// to plaintext FedAvg for the simulator's dyadic updates.
+//
+// Run `go run ./examples/fleet` for a full scenario walk-through,
+// `go run ./examples/secagg` for the secure-aggregation proof, or
 // `go run ./cmd/flserver -deadline 5s -sample-fraction 0.5 -codec q8`
 // plus several `go run ./cmd/flclient` processes for the engine over
 // real TCP.

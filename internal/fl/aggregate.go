@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/wire"
 )
 
 // Aggregator performs streaming (one-pass) federated averaging: each
@@ -52,6 +53,42 @@ func (a *Aggregator) Add(update []*tensor.Tensor, weight float64) error {
 	}
 	for i, u := range update {
 		tensor.AxPy(weight, u, a.sum[i])
+	}
+	a.weight += weight
+	a.count++
+	return nil
+}
+
+// AccumulateQ8 folds one complete client update that arrived in the
+// lazy q8 wire form, dequantising each element straight into the
+// running sum — no per-client float64 tensors are materialised, which
+// removes the remaining allocation floor of large quantised fleets.
+// The arithmetic is element-for-element identical to materialising the
+// tensors and calling Add: v = lo + q·(scale/2) + q·(scale/2), then
+// sum += weight·v.
+func (a *Aggregator) AccumulateQ8(update []*wire.Q8Tensor, weight float64) error {
+	if len(update) != len(a.ref) {
+		return fmt.Errorf("fl: update has %d tensors, model has %d", len(update), len(a.ref))
+	}
+	if weight <= 0 {
+		return fmt.Errorf("fl: non-positive update weight %v", weight)
+	}
+	for i, q := range update {
+		if q == nil {
+			return fmt.Errorf("fl: update missing tensor %d", i)
+		}
+		if !q.SameShape(a.ref[i]) || len(q.Levels) != a.ref[i].Size() {
+			return fmt.Errorf("fl: update tensor %d has shape %v, want %v", i, q.Shape, a.ref[i].Shape)
+		}
+	}
+	for i, q := range update {
+		dst := a.sum[i].Data
+		half := q.Scale / 2
+		lo := q.Lo
+		for j, b := range q.Levels {
+			lvl := float64(b)
+			dst[j] += weight * (lo + lvl*half + lvl*half)
+		}
 	}
 	a.weight += weight
 	a.count++

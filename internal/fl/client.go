@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -50,6 +51,16 @@ type Client struct {
 	// uncompressed f64 protocol.
 	MaxCodec wire.Codec
 
+	// MaskSeed, when non-nil, derives the secure-aggregation mask
+	// keypair deterministically (simulations, tests). Production
+	// clients leave it nil and draw from crypto/rand.
+	MaskSeed []byte
+	// EnclaveVerifier, when set, requires a secure-aggregation server
+	// to present a valid aggregation-enclave quote in its Challenge
+	// (verified against this verifier's registered devices and TA
+	// measurements); the session is refused otherwise.
+	EnclaveVerifier *tz.Verifier
+
 	// Rounds counts completed training cycles.
 	Rounds int
 	// Final holds the global model delivered with Done, if any.
@@ -59,6 +70,19 @@ type Client struct {
 	// NegotiatedCodec records the session's tensor codec after the
 	// handshake.
 	NegotiatedCodec wire.Codec
+	// SecAgg records whether the session ran under secure aggregation.
+	SecAgg bool
+
+	// secagg session state.
+	mask   *secagg.ClientSession
+	cohort []secagg.Peer // roster of the round in flight
+	round  int           // round of the roster
+
+	// lastTrainErr remembers a reported training failure: the client
+	// stays in the protocol afterwards (the server decides between
+	// probation and permanent quarantine), and if the server hangs up
+	// the failure is surfaced as the session error.
+	lastTrainErr error
 }
 
 // NewClient pairs a connection with a trainer.
@@ -84,6 +108,25 @@ func (c *Client) Run() error {
 		codec = c.MaxCodec
 	}
 	att := &Attest{DeviceID: c.trainer.DeviceID(), HasTEE: c.trainer.HasTEE(), Codec: codec}
+	if ch.SecAgg {
+		if c.EnclaveVerifier != nil {
+			if ch.AggQuote.DeviceID == "" {
+				return fmt.Errorf("fl: server announced secure aggregation without an enclave quote")
+			}
+			// The quote must cover the offered channel key: an enclave
+			// quote alone would not prove ServerPub belongs to it.
+			if err := c.EnclaveVerifier.Verify(ch.AggQuote, secagg.AggQuoteNonce(ch.Nonce, ch.ServerPub)); err != nil {
+				return fmt.Errorf("fl: aggregation enclave attestation: %w", err)
+			}
+		}
+		mask, err := secagg.NewClientSession(c.trainer.DeviceID(), c.MaskSeed, int(ch.ScaleBits))
+		if err != nil {
+			return fmt.Errorf("fl: secagg setup: %w", err)
+		}
+		c.mask = mask
+		c.SecAgg = true
+		att.MaskPub = mask.MaskPub()
+	}
 	if c.trainer.HasTEE() {
 		quote, err := c.trainer.Attest(ch.Nonce)
 		if err != nil {
@@ -105,6 +148,11 @@ func (c *Client) Run() error {
 	for {
 		msg, err := c.conn.Recv()
 		if err != nil {
+			if c.lastTrainErr != nil {
+				// The server hung up after we reported a training
+				// failure: surface the root cause, not the EOF.
+				return fmt.Errorf("fl: local training: %w", c.lastTrainErr)
+			}
 			if err == io.EOF {
 				return fmt.Errorf("fl: server closed mid-session: %w", err)
 			}
@@ -118,25 +166,89 @@ func (c *Client) Run() error {
 			c.Final = m.Final
 			return nil
 		case *ModelDown:
-			plainUpd, sealedUpd, err := c.trainer.TrainRound(m.Round, m.Plain, m.Sealed, m.Plan)
-			if err != nil {
-				_ = c.conn.Send(&ErrorMsg{Text: err.Error()})
-				return fmt.Errorf("fl: local training round %d: %w", m.Round, err)
+			if err := c.handleModelDown(m); err != nil {
+				return err
 			}
-			up := &GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd}
-			if ec, ok := c.trainer.(ExampleCounter); ok {
-				if n := ec.NumExamples(); n > 0 {
-					up.Examples = uint64(n)
-				}
+		case *MaskRecon:
+			if err := c.handleMaskRecon(m); err != nil {
+				return err
 			}
-			if err := c.conn.Send(up); err != nil {
-				return fmt.Errorf("fl: sending update: %w", err)
-			}
-			c.Rounds++
 		case *ErrorMsg:
 			return fmt.Errorf("fl: server error: %s", m.Text)
 		default:
 			return fmt.Errorf("fl: unexpected message %T", msg)
 		}
 	}
+}
+
+// handleModelDown trains one round and answers with the update — plain
+// (GradUp) or masked (MaskedUp) depending on the session mode. Training
+// failures are reported to the server and the client stays in the
+// protocol: under a probation policy it will be sampled again later.
+func (c *Client) handleModelDown(m *ModelDown) error {
+	plainUpd, sealedUpd, err := c.trainer.TrainRound(m.Round, m.Plain, m.Sealed, m.Plan)
+	if err != nil {
+		c.lastTrainErr = fmt.Errorf("round %d: %w", m.Round, err)
+		if sendErr := c.conn.Send(&ErrorMsg{Text: err.Error()}); sendErr != nil {
+			return fmt.Errorf("fl: local training round %d: %w", m.Round, err)
+		}
+		return nil
+	}
+	examples := uint64(0)
+	if ec, ok := c.trainer.(ExampleCounter); ok {
+		if n := ec.NumExamples(); n > 0 {
+			examples = uint64(n)
+		}
+	}
+	if c.mask != nil {
+		if len(m.Cohort) == 0 {
+			return fmt.Errorf("fl: secagg round %d arrived without a cohort roster", m.Round)
+		}
+		c.cohort = m.Cohort
+		c.round = m.Round
+		// The FedAvg weight is applied in the ring before masking; it
+		// must equal the weight the server derives from Examples, so the
+		// clamp is mirrored here.
+		weight := uint64(1)
+		if examples > 0 {
+			weight = min(examples, MaxExampleWeight)
+		}
+		levels, err := c.mask.MaskedUpdate(m.Round, m.Cohort, plainUpd, weight)
+		if err != nil {
+			return fmt.Errorf("fl: masking round %d update: %w", m.Round, err)
+		}
+		up := &MaskedUp{Round: m.Round, Levels: levels, Sealed: sealedUpd, Examples: examples}
+		if err := c.conn.Send(up); err != nil {
+			return fmt.Errorf("fl: sending masked update: %w", err)
+		}
+	} else {
+		up := &GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd, Examples: examples}
+		if err := c.conn.Send(up); err != nil {
+			return fmt.Errorf("fl: sending update: %w", err)
+		}
+	}
+	c.Rounds++
+	// A completed round supersedes any earlier reported failure: a
+	// later hang-up should not be misattributed to it.
+	c.lastTrainErr = nil
+	return nil
+}
+
+// handleMaskRecon reveals this client's round seeds with the dropped
+// cohort members so the server can subtract their dangling masks.
+func (c *Client) handleMaskRecon(m *MaskRecon) error {
+	if c.mask == nil {
+		return fmt.Errorf("fl: mask reconciliation outside a secagg session")
+	}
+	if m.Round != c.round || len(c.cohort) == 0 {
+		return fmt.Errorf("fl: mask reconciliation for round %d, last roster is round %d", m.Round, c.round)
+	}
+	shares, err := c.mask.Shares(m.Round, c.cohort, m.Dropped)
+	if err != nil {
+		return fmt.Errorf("fl: deriving mask shares: %w", err)
+	}
+	if err := c.conn.Send(&MaskShares{Round: m.Round, Shares: shares}); err != nil {
+		return fmt.Errorf("fl: sending mask shares: %w", err)
+	}
+	return nil
 }

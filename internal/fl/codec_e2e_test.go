@@ -2,12 +2,14 @@ package fl
 
 import (
 	"errors"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
 )
 
@@ -156,6 +158,124 @@ func TestSealedPathUnderQ8(t *testing.T) {
 	}
 	if state[0].Data[0] != 9 || state[1].Data[0] != 54 {
 		t.Fatalf("state = %v / %v, want 9 / 54", state[0].Data[0], state[1].Data[0])
+	}
+}
+
+// TestSealedPayloadsByteIdenticalAcrossCodecs: whatever codec the
+// session negotiates, the sealed (trusted-channel) payloads in both
+// directions must stay on the exact f64 encoding — the inner plaintext
+// blobs are byte-identical across f64/f32/q8 sessions and decode to the
+// exact tensors.
+func TestSealedPayloadsByteIdenticalAcrossCodecs(t *testing.T) {
+	type capture struct {
+		opened [][]byte // server→client sealed model payloads (plaintext)
+		sent   [][]byte // client→server sealed update payloads (plaintext)
+	}
+	run := func(codec wire.Codec) capture {
+		tee := newTestTrainer("tee", true, 2)
+		tee.maxCodec = codec
+		state := newState(5, 50)
+		srv := NewServer(state, ServerConfig{
+			Rounds: 2, RequireTEE: true, Verifier: setupVerifier(tee),
+			Planner: staticPlanner{0: true}, Codec: codec,
+		})
+		if _, err := runSession(t, srv, []*testTrainer{tee}); err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if state[0].Data[0] != 9 || state[1].Data[0] != 54 {
+			t.Fatalf("%s: state = %v / %v", codec, state[0].Data[0], state[1].Data[0])
+		}
+		return capture{opened: tee.openedBlobs, sent: tee.sentBlobs}
+	}
+
+	ref := run(wire.CodecF64)
+	if len(ref.opened) != 2 || len(ref.sent) != 2 {
+		t.Fatalf("f64 session sealed %d down / %d up payloads, want 2 / 2", len(ref.opened), len(ref.sent))
+	}
+	// The sealed model payload must carry the exact f64 state (5 in
+	// round 0), not a quantised copy.
+	idx, ts, err := ParseSealedUpdate(ref.opened[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 0 || ts[0].Data[0] != 5 {
+		t.Fatalf("sealed round-0 model = idx %v, value %v", idx, ts[0].Data)
+	}
+
+	for _, codec := range []wire.Codec{wire.CodecF32, wire.CodecQ8} {
+		got := run(codec)
+		for r := range ref.opened {
+			if string(got.opened[r]) != string(ref.opened[r]) {
+				t.Fatalf("%s: sealed model payload for round %d differs from the f64 session", codec, r)
+			}
+			if string(got.sent[r]) != string(ref.sent[r]) {
+				t.Fatalf("%s: sealed update payload for round %d differs from the f64 session", codec, r)
+			}
+		}
+	}
+}
+
+// TestAccumulateQ8MatchesMaterialisedFold: folding raw q8 levels must
+// be bit-for-bit the arithmetic of materialising the tensors and
+// calling Add.
+func TestAccumulateQ8MatchesMaterialisedFold(t *testing.T) {
+	ref := []*tensor.Tensor{tensor.New(3, 4), tensor.New(7)}
+	encode := func(seed int64) []*wire.Q8Tensor {
+		rng := rand.New(rand.NewSource(seed))
+		upd := make([]*tensor.Tensor, len(ref))
+		for i, r := range ref {
+			upd[i] = tensor.Randn(rng, 1.0, r.Shape...)
+		}
+		w := wire.NewWriter()
+		w.Codec = wire.CodecQ8
+		w.TensorList(upd)
+		r := wire.NewReader(w.Bytes())
+		r.Codec = wire.CodecQ8
+		return r.Q8TensorList()
+	}
+
+	lazy := NewAggregator(ref)
+	eager := NewAggregator(ref)
+	for seed := int64(1); seed <= 5; seed++ {
+		q8 := encode(seed)
+		weight := float64(seed)
+		if err := lazy.AccumulateQ8(q8, weight); err != nil {
+			t.Fatal(err)
+		}
+		mat := make([]*tensor.Tensor, len(q8))
+		for i, q := range q8 {
+			mat[i] = q.Materialise()
+		}
+		if err := eager.Add(mat, weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lm, err := lazy.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := eager.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		for j := range lm[i].Data {
+			if lm[i].Data[j] != em[i].Data[j] {
+				t.Fatalf("tensor %d elem %d: lazy %v != eager %v", i, j, lm[i].Data[j], em[i].Data[j])
+			}
+		}
+	}
+	// Validation parity with Add.
+	if err := lazy.AccumulateQ8(encode(9)[:1], 1); err == nil {
+		t.Fatal("short q8 update must be rejected")
+	}
+	if err := lazy.AccumulateQ8(encode(9), 0); err == nil {
+		t.Fatal("zero weight must be rejected")
+	}
+	bad := encode(9)
+	bad[0] = nil
+	if err := lazy.AccumulateQ8(bad, 1); err == nil {
+		t.Fatal("nil q8 tensor must be rejected")
 	}
 }
 

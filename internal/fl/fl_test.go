@@ -34,6 +34,12 @@ type testTrainer struct {
 
 	// sawNilAt records which plain positions arrived nil per round.
 	sawNilAt map[int]bool
+	// openedBlobs records the plaintext of every sealed model payload
+	// this trainer opened, in round order.
+	openedBlobs [][]byte
+	// sentBlobs records the plaintext of every sealed update this
+	// trainer produced, in round order.
+	sentBlobs [][]byte
 	// failOnRound injects a training failure.
 	failOnRound int
 	// examples is reported through the ExampleCounter extension; 0
@@ -92,6 +98,7 @@ func (t *testTrainer) TrainRound(round int, plain []*tensor.Tensor, sealed []byt
 		if err != nil {
 			return nil, nil, err
 		}
+		t.openedBlobs = append(t.openedBlobs, append([]byte(nil), blob...))
 		idx, ts, err := ParseSealedUpdate(blob)
 		if err != nil {
 			return nil, nil, err
@@ -125,7 +132,9 @@ func (t *testTrainer) TrainRound(round int, plain []*tensor.Tensor, sealed []byt
 	}
 	var sealedUpd []byte
 	if len(protIdx) > 0 {
-		sealedUpd = t.ch.Seal(SealedUpdate(protIdx, secretTs))
+		blob := SealedUpdate(protIdx, secretTs)
+		t.sentBlobs = append(t.sentBlobs, blob)
+		sealedUpd = t.ch.Seal(blob)
 	}
 	return plainUpd, sealedUpd, nil
 }

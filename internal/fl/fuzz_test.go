@@ -3,6 +3,7 @@ package fl
 import (
 	"testing"
 
+	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
 )
@@ -19,6 +20,9 @@ func FuzzDecodeMessage(f *testing.F) {
 		&GradUp{Round: 2, Plain: []*tensor.Tensor{tensor.Full(-0.25, 3)}, Examples: 7},
 		&Done{Final: []*tensor.Tensor{tensor.Full(2, 1)}},
 		&ErrorMsg{Text: "boom"},
+		&MaskedUp{Round: 1, Levels: []*wire.U64Tensor{nil, {Shape: []int{2}, Levels: []uint64{1, 1 << 63}}}, Examples: 3},
+		&MaskRecon{Round: 1, Dropped: []string{"d1", "d2"}},
+		&MaskShares{Round: 1, Shares: []secagg.PairShare{{Device: "d1", Seed: [32]byte{7}}}},
 	}
 	for _, m := range seeds {
 		for _, c := range []wire.Codec{wire.CodecF64, wire.CodecF32, wire.CodecQ8} {

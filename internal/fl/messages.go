@@ -12,6 +12,7 @@ package fl
 import (
 	"fmt"
 
+	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -29,6 +30,9 @@ const (
 	MsgGradUp
 	MsgDone
 	MsgError
+	MsgMaskedUp
+	MsgMaskRecon
+	MsgMaskShares
 )
 
 // Message is one protocol unit.
@@ -50,6 +54,20 @@ type Challenge struct {
 	// with min(offer, its own cap) in Attest.Codec. Absent (pre-codec
 	// peers) means CodecF64.
 	Codec wire.Codec
+	// SecAgg announces masked secure aggregation for the session: the
+	// client must answer with a mask public key and send MaskedUp
+	// instead of GradUp each round.
+	SecAgg bool
+	// ScaleBits is the fixed-point precision for masked updates
+	// (secagg.DefaultScaleBits when the server leaves it zero).
+	ScaleBits uint8
+	// AggQuote, when non-empty (detected via AggQuote.DeviceID), attests
+	// the server-side aggregation enclave over
+	// secagg.AggQuoteNonce(Nonce, ServerPub) — binding the enclave's TA
+	// identity to the trusted-channel key clients seal against. The
+	// challenge nonce is server-chosen, so the quote proves identity
+	// and key custody, not freshness — see the secagg package notes.
+	AggQuote tz.Quote
 }
 
 // Kind implements Message.
@@ -60,6 +78,12 @@ func (m *Challenge) encode(w *wire.Writer) {
 	w.Blob(m.ServerPub)
 	w.Bool(m.RequireTEE)
 	w.Uvarint(uint64(m.Codec))
+	w.Bool(m.SecAgg)
+	w.Uvarint(uint64(m.ScaleBits))
+	w.String(m.AggQuote.DeviceID)
+	w.Blob(m.AggQuote.Measurement[:])
+	w.Blob(m.AggQuote.Nonce)
+	w.Blob(m.AggQuote.MAC)
 }
 
 func (m *Challenge) decode(r *wire.Reader) {
@@ -68,6 +92,14 @@ func (m *Challenge) decode(r *wire.Reader) {
 	m.RequireTEE = r.Bool()
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Codec = wire.Codec(r.Uvarint())
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.SecAgg = r.Bool()
+		m.ScaleBits = uint8(r.Uvarint())
+		m.AggQuote.DeviceID = r.String()
+		copy(m.AggQuote.Measurement[:], r.Blob())
+		m.AggQuote.Nonce = r.Blob()
+		m.AggQuote.MAC = r.Blob()
 	}
 }
 
@@ -82,6 +114,9 @@ type Attest struct {
 	// the session: at most the server's offer (the server rejects a
 	// client that answers above it). Absent means CodecF64.
 	Codec wire.Codec
+	// MaskPub is the client's pairwise-masking public key, required
+	// when the challenge announced SecAgg.
+	MaskPub []byte
 }
 
 // Kind implements Message.
@@ -96,6 +131,7 @@ func (m *Attest) encode(w *wire.Writer) {
 	w.Blob(m.Quote.MAC)
 	w.Blob(m.ClientPub)
 	w.Uvarint(uint64(m.Codec))
+	w.Blob(m.MaskPub)
 }
 
 func (m *Attest) decode(r *wire.Reader) {
@@ -108,6 +144,9 @@ func (m *Attest) decode(r *wire.Reader) {
 	m.ClientPub = r.Blob()
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Codec = wire.Codec(r.Uvarint())
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.MaskPub = r.Blob()
 	}
 }
 
@@ -125,12 +164,15 @@ func (m *Reject) decode(r *wire.Reader) { m.Reason = r.String() }
 // ModelDown distributes the round's model: unprotected parameter tensors
 // travel in the clear (nil at protected positions); protected tensors are
 // sealed for the TA through the trusted I/O path. Plan carries the
-// round's protection plan blob.
+// round's protection plan blob. In secure-aggregation sessions Cohort
+// lists the round's sampled peers (device + mask public key) so every
+// member can derive its pairwise masks.
 type ModelDown struct {
 	Round  int
 	Plain  []*tensor.Tensor
 	Sealed []byte
 	Plan   []byte
+	Cohort []secagg.Peer
 }
 
 // Kind implements Message.
@@ -141,6 +183,11 @@ func (m *ModelDown) encode(w *wire.Writer) {
 	w.TensorList(m.Plain)
 	w.Blob(m.Sealed)
 	w.Blob(m.Plan)
+	w.Uvarint(uint64(len(m.Cohort)))
+	for _, p := range m.Cohort {
+		w.String(p.Device)
+		w.Blob(p.Pub)
+	}
 }
 
 func (m *ModelDown) decode(r *wire.Reader) {
@@ -148,15 +195,49 @@ func (m *ModelDown) decode(r *wire.Reader) {
 	m.Plain = r.TensorList()
 	m.Sealed = r.Blob()
 	m.Plan = r.Blob()
+	if r.Err() != nil || r.Remaining() == 0 {
+		return
+	}
+	m.Cohort = decodeBoundedList(r, func(r *wire.Reader) secagg.Peer {
+		return secagg.Peer{Device: r.String(), Pub: r.Blob()}
+	})
+}
+
+// decodeBoundedList reads a length-prefixed list of elements, each
+// costing at least one encoded byte: a hostile count claim is rejected
+// against the remaining payload, the initial allocation is capped so
+// the claim alone cannot force a large allocation, and decoding stops
+// (returning nil, with the reader's sticky error set by the element
+// decoder) at the first corrupt element.
+func decodeBoundedList[T any](r *wire.Reader, elem func(*wire.Reader) T) []T {
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	out := make([]T, 0, min(n, 1024))
+	for i := uint64(0); i < n; i++ {
+		e := elem(r)
+		if r.Err() != nil {
+			return nil
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // GradUp returns the client's model update: unprotected update tensors in
 // the clear, protected ones sealed. Examples carries the size of the
 // client's local training set; when positive the server uses it as the
 // FedAvg weight (0 — including pre-codec peers — means unit weight).
+//
+// Under CodecQ8 the decode is lazy: the update arrives as Q8 (raw
+// quantisation levels, Plain nil) so the aggregator can fold levels
+// directly (Aggregator.AccumulateQ8) without materialising a per-client
+// float64 model. Tensors() converts on demand.
 type GradUp struct {
 	Round    int
 	Plain    []*tensor.Tensor
+	Q8       []*wire.Q8Tensor
 	Sealed   []byte
 	Examples uint64
 }
@@ -164,16 +245,40 @@ type GradUp struct {
 // Kind implements Message.
 func (*GradUp) Kind() MsgType { return MsgGradUp }
 
+// Tensors returns the plain update tensors, materialising the lazy q8
+// form if that is what arrived.
+func (m *GradUp) Tensors() []*tensor.Tensor {
+	if m.Plain != nil || m.Q8 == nil {
+		return m.Plain
+	}
+	out := make([]*tensor.Tensor, len(m.Q8))
+	for i, q := range m.Q8 {
+		if q != nil {
+			out[i] = q.Materialise()
+		}
+	}
+	return out
+}
+
 func (m *GradUp) encode(w *wire.Writer) {
 	w.Uvarint(uint64(m.Round))
-	w.TensorList(m.Plain)
+	if m.Plain == nil && m.Q8 != nil {
+		// Re-encoding a lazily decoded update: emit the levels verbatim.
+		w.Q8TensorListRaw(m.Q8)
+	} else {
+		w.TensorList(m.Plain)
+	}
 	w.Blob(m.Sealed)
 	w.Uvarint(m.Examples)
 }
 
 func (m *GradUp) decode(r *wire.Reader) {
 	m.Round = int(r.Uvarint())
-	m.Plain = r.TensorList()
+	if r.Codec == wire.CodecQ8 {
+		m.Q8 = r.Q8TensorList()
+	} else {
+		m.Plain = r.TensorList()
+	}
 	m.Sealed = r.Blob()
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Examples = r.Uvarint()
@@ -201,6 +306,99 @@ func (*ErrorMsg) Kind() MsgType { return MsgError }
 
 func (m *ErrorMsg) encode(w *wire.Writer) { w.String(m.Text) }
 func (m *ErrorMsg) decode(r *wire.Reader) { m.Text = r.String() }
+
+// MaskedUp is the secure-aggregation counterpart of GradUp: the
+// unprotected update travels as fixed-point ring levels with the
+// cohort's pairwise masks added (nil at protected positions), opaque to
+// the server until the cohort sum cancels the masks. Protected tensors
+// still ride the sealed path (aggregated inside the server enclave).
+// Levels always travel as raw 64-bit words regardless of the session
+// codec — masked data is incompressible by construction.
+type MaskedUp struct {
+	Round    int
+	Levels   []*wire.U64Tensor
+	Sealed   []byte
+	Examples uint64
+}
+
+// Kind implements Message.
+func (*MaskedUp) Kind() MsgType { return MsgMaskedUp }
+
+func (m *MaskedUp) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Round))
+	w.U64TensorList(m.Levels)
+	w.Blob(m.Sealed)
+	w.Uvarint(m.Examples)
+}
+
+func (m *MaskedUp) decode(r *wire.Reader) {
+	m.Round = int(r.Uvarint())
+	m.Levels = r.U64TensorList()
+	m.Sealed = r.Blob()
+	m.Examples = r.Uvarint()
+}
+
+// MaskRecon asks the round's surviving cohort members to reveal their
+// round seeds with the listed dropped peers, so the server can subtract
+// the unpaired mask residue and close the round.
+type MaskRecon struct {
+	Round   int
+	Dropped []string
+}
+
+// Kind implements Message.
+func (*MaskRecon) Kind() MsgType { return MsgMaskRecon }
+
+func (m *MaskRecon) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Round))
+	w.Uvarint(uint64(len(m.Dropped)))
+	for _, d := range m.Dropped {
+		w.String(d)
+	}
+}
+
+func (m *MaskRecon) decode(r *wire.Reader) {
+	m.Round = int(r.Uvarint())
+	m.Dropped = decodeBoundedList(r, func(r *wire.Reader) string { return r.String() })
+}
+
+// MaskShares answers a MaskRecon: one round-scoped pair seed per
+// dropped peer. Only the named round's masks are derivable from the
+// seeds, so the revelation burns nothing beyond the failed pairs.
+type MaskShares struct {
+	Round  int
+	Shares []secagg.PairShare
+}
+
+// Kind implements Message.
+func (*MaskShares) Kind() MsgType { return MsgMaskShares }
+
+func (m *MaskShares) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Round))
+	w.Uvarint(uint64(len(m.Shares)))
+	for _, s := range m.Shares {
+		w.String(s.Device)
+		w.Blob(s.Seed[:])
+	}
+}
+
+func (m *MaskShares) decode(r *wire.Reader) {
+	m.Round = int(r.Uvarint())
+	m.Shares = decodeBoundedList(r, func(r *wire.Reader) secagg.PairShare {
+		var s secagg.PairShare
+		s.Device = r.String()
+		seed := r.Blob()
+		// A short seed would zero-pad and silently subtract the wrong
+		// mask during reconciliation — corrupting the published
+		// aggregate instead of failing the round. Fail-stop instead.
+		if r.Err() == nil && len(seed) != len(s.Seed) {
+			r.Fail("mask share seed size")
+			return s
+		}
+		copy(s.Seed[:], seed)
+		return s
+	})
+}
 
 // EncodeMessage serialises a message to a framed-payload byte slice
 // with the uncompressed f64 tensor codec.
@@ -244,6 +442,12 @@ func DecodeMessageCodec(mt MsgType, payload []byte, codec wire.Codec) (Message, 
 		m = &Done{}
 	case MsgError:
 		m = &ErrorMsg{}
+	case MsgMaskedUp:
+		m = &MaskedUp{}
+	case MsgMaskRecon:
+		m = &MaskRecon{}
+	case MsgMaskShares:
+		m = &MaskShares{}
 	default:
 		return nil, fmt.Errorf("fl: unknown message type %d", mt)
 	}
@@ -259,34 +463,13 @@ func DecodeMessageCodec(mt MsgType, payload []byte, codec wire.Codec) (Message, 
 // SealedUpdate encodes indexed tensors for transport inside a trusted
 // channel: count, then (flatIndex, tensor) pairs. The sealed path always
 // uses the exact f64 encoding — protected tensors are never quantised.
+// (The codec lives in wire so the aggregation enclave can parse sealed
+// blobs without importing this package.)
 func SealedUpdate(idx []int, ts []*tensor.Tensor) []byte {
-	w := wire.NewWriter()
-	w.Uvarint(uint64(len(idx)))
-	for i, id := range idx {
-		w.Uvarint(uint64(id))
-		w.Tensor(ts[i])
-	}
-	return w.Bytes()
+	return wire.EncodeSealedUpdate(idx, ts)
 }
 
 // ParseSealedUpdate decodes a blob produced by SealedUpdate.
 func ParseSealedUpdate(blob []byte) (idx []int, ts []*tensor.Tensor, err error) {
-	r := wire.NewReader(blob)
-	n := int(r.Uvarint())
-	if err := r.Err(); err != nil {
-		return nil, nil, err
-	}
-	if n < 0 || n > len(blob) {
-		return nil, nil, fmt.Errorf("fl: sealed update claims %d entries", n)
-	}
-	idx = make([]int, 0, n)
-	ts = make([]*tensor.Tensor, 0, n)
-	for i := 0; i < n; i++ {
-		idx = append(idx, int(r.Uvarint()))
-		ts = append(ts, r.Tensor())
-		if err := r.Err(); err != nil {
-			return nil, nil, err
-		}
-	}
-	return idx, ts, nil
+	return wire.DecodeSealedUpdate(blob)
 }

@@ -1,0 +1,410 @@
+package fl
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/secagg"
+	"github.com/gradsec/gradsec/internal/simclock"
+	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// TestSecAggSessionMatchesPlaintext: the same weighted fleet run under
+// plaintext FedAvg and under masked secure aggregation must land on
+// bit-identical models — masks cancel in the ring, and the dyadic
+// updates survive fixed-point quantisation exactly.
+func TestSecAggSessionMatchesPlaintext(t *testing.T) {
+	build := func() []*testTrainer {
+		small := newTestTrainer("small", false, 2)
+		small.examples = 1
+		big := newTestTrainer("big", false, 6)
+		big.examples = 3
+		return []*testTrainer{small, big}
+	}
+
+	plainState := newState(1, 10)
+	plainSrv := NewServer(plainState, ServerConfig{Rounds: 3})
+	if _, err := runSession(t, plainSrv, build()); err != nil {
+		t.Fatal(err)
+	}
+
+	maskedState := newState(1, 10)
+	maskedSrv := NewServer(maskedState, ServerConfig{Rounds: 3, SecAgg: true})
+	clients, err := runSession(t, maskedSrv, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients {
+		if !c.SecAgg {
+			t.Fatalf("client %d did not negotiate secure aggregation", i)
+		}
+	}
+
+	for i := range plainState {
+		for j := range plainState[i].Data {
+			if plainState[i].Data[j] != maskedState[i].Data[j] {
+				t.Fatalf("tensor %d elem %d: plaintext %v != masked %v",
+					i, j, plainState[i].Data[j], maskedState[i].Data[j])
+			}
+		}
+	}
+	for r, st := range maskedSrv.Trace() {
+		want := plainSrv.Trace()[r]
+		if st.Responded != want.Responded || st.WeightTotal != want.WeightTotal {
+			t.Fatalf("round %d stats diverged: plaintext %+v, masked %+v", r, want, st)
+		}
+		if st.Reconciled != 0 {
+			t.Fatalf("full cohort must need no reconciliation: %+v", st)
+		}
+	}
+}
+
+// TestSecAggStragglerReconciliation: a straggler is dropped at the
+// deadline; the survivor reveals the pair's round seed, the unpaired
+// mask is subtracted, and the round closes on exactly the survivor's
+// update. The straggler stays eligible and both answer the next round.
+func TestSecAggStragglerReconciliation(t *testing.T) {
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	events := make(chan engineEvent, 64)
+	fast := newTestTrainer("fast", false, 2)
+	slow := newGateTrainer("slow", 4, 0)
+	state := newState(0)
+	srv := NewServer(state, ServerConfig{
+		Rounds: 2, MinClients: 1, RoundDeadline: time.Second, Clock: clk,
+		SecAgg: true, Hooks: eventHooks(events),
+	})
+	serverErr, clients, _, wg := startSession(srv, []Trainer{fast, slow})
+
+	waitEvent(t, events, "folded")
+	clk.Advance(time.Second)
+	closed := waitEvent(t, events, "closed")
+	if closed.stats.Responded != 1 || closed.stats.Dropped != 1 {
+		t.Fatalf("round 0 stats = %+v", closed.stats)
+	}
+	if closed.stats.Reconciled != 1 {
+		t.Fatalf("round 0 reconciled %d masks, want 1", closed.stats.Reconciled)
+	}
+
+	waitEvent(t, events, "started")
+	slow.release(0)
+	closed = waitEvent(t, events, "closed")
+	if closed.stats.Responded != 2 || closed.stats.Reconciled != 0 {
+		t.Fatalf("round 1 stats = %+v", closed.stats)
+	}
+	if closed.stats.LateDiscarded != 1 {
+		t.Fatalf("round 1 discarded %d late updates, want 1", closed.stats.LateDiscarded)
+	}
+
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// Round 0 applied only fast's +2; round 1 applied mean(2,4) = +3.
+	if got := state[0].Data[0]; got != 5 {
+		t.Fatalf("state = %v, want 5", got)
+	}
+	if clients[1].Rounds != 2 {
+		t.Fatalf("straggler completed %d rounds, want 2", clients[1].Rounds)
+	}
+}
+
+// TestSecAggEnclaveProtectedSession: with a protection plan, sealed
+// updates are folded inside the aggregation enclave and the final model
+// still matches a plaintext TEE session bit for bit.
+func TestSecAggEnclaveProtectedSession(t *testing.T) {
+	build := func() []*testTrainer {
+		return []*testTrainer{
+			newTestTrainer("tee-a", true, 2),
+			newTestTrainer("tee-b", true, 6),
+		}
+	}
+
+	plainState := newState(5, 50)
+	plainTr := build()
+	plainSrv := NewServer(plainState, ServerConfig{
+		Rounds: 2, RequireTEE: true, Verifier: setupVerifier(plainTr...),
+		Planner: staticPlanner{0: true},
+	})
+	if _, err := runSession(t, plainSrv, plainTr); err != nil {
+		t.Fatal(err)
+	}
+
+	enclave, err := secagg.NewEnclave("aggregator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Close()
+	secState := newState(5, 50)
+	secTr := build()
+	secSrv := NewServer(secState, ServerConfig{
+		Rounds: 2, RequireTEE: true, Verifier: setupVerifier(secTr...),
+		Planner: staticPlanner{0: true}, SecAgg: true, Enclave: enclave,
+	})
+	if _, err := runSession(t, secSrv, secTr); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range plainState {
+		for j := range plainState[i].Data {
+			if plainState[i].Data[j] != secState[i].Data[j] {
+				t.Fatalf("tensor %d elem %d: plaintext %v != enclave %v",
+					i, j, plainState[i].Data[j], secState[i].Data[j])
+			}
+		}
+	}
+	// The protection split must have reached the clients through the
+	// enclave-sealed path.
+	for _, tr := range secTr {
+		if !tr.sawNilAt[0] || tr.sawNilAt[1] {
+			t.Fatalf("protection split wrong: %v", tr.sawNilAt)
+		}
+		if len(tr.openedBlobs) != 2 {
+			t.Fatalf("opened %d sealed payloads, want 2", len(tr.openedBlobs))
+		}
+	}
+	if enclave.Device().SMCCount() == 0 {
+		t.Fatal("enclave saw no world switches — sealed path bypassed it")
+	}
+	if got := enclave.Device().SecureMemory().InUse(); got != 0 {
+		t.Fatalf("enclave leaked %d bytes of secure memory", got)
+	}
+}
+
+// TestSecAggClientVerifiesEnclaveQuote: a client configured with an
+// enclave verifier accepts a provisioned aggregator and refuses an
+// unprovisioned one.
+func TestSecAggClientVerifiesEnclaveQuote(t *testing.T) {
+	enclave, err := secagg.NewEnclave("attested-agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Close()
+
+	run := func(provision bool) (clientErr error, serverErr error) {
+		v := tz.NewVerifier()
+		if provision {
+			v.RegisterDevice(enclave.Device().Identity().ID(), enclave.Device().Identity().RootKey())
+			m, err := enclave.Measurement()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.AllowMeasurement(m)
+		}
+		tr := newTestTrainer("tee", true, 2)
+		srv := NewServer(newState(0), ServerConfig{
+			Rounds: 1, SecAgg: true, Enclave: enclave,
+			RequireTEE: true, Verifier: setupVerifier(tr),
+		})
+		sc, cc := Pipe()
+		client := NewClient(cc, tr)
+		client.EnclaveVerifier = v
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cc.Close() // a refusing client must release the transport
+			clientErr = client.Run()
+		}()
+		_, serverErr = srv.Run([]Conn{sc})
+		wg.Wait()
+		return clientErr, serverErr
+	}
+
+	if cErr, sErr := run(true); cErr != nil || sErr != nil {
+		t.Fatalf("provisioned enclave refused: client=%v server=%v", cErr, sErr)
+	}
+	cErr, sErr := run(false)
+	if cErr == nil || !strings.Contains(cErr.Error(), "enclave attestation") {
+		t.Fatalf("unprovisioned enclave accepted: %v", cErr)
+	}
+	if !errors.Is(sErr, ErrNotEnoughClients) {
+		t.Fatalf("server err = %v", sErr)
+	}
+}
+
+// TestSecAggRejectsMissingMaskPub: a client that answers a secagg
+// challenge without a mask key is turned away at selection.
+func TestSecAggRejectsMissingMaskPub(t *testing.T) {
+	sc, cc := Pipe()
+	srv := NewServer(newState(0), ServerConfig{Rounds: 1, SecAgg: true})
+
+	var rejected string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer cc.Close()
+		msg, err := cc.Recv()
+		if err != nil {
+			return
+		}
+		ch, ok := msg.(*Challenge)
+		if !ok || !ch.SecAgg {
+			return
+		}
+		_ = cc.Send(&Attest{DeviceID: "bare"})
+		if m, err := cc.Recv(); err == nil {
+			if rej, ok := m.(*Reject); ok {
+				rejected = rej.Reason
+			}
+		}
+	}()
+	_, err := srv.Run([]Conn{sc})
+	wg.Wait()
+	if !errors.Is(err, ErrNotEnoughClients) {
+		t.Fatalf("server err = %v", err)
+	}
+	if !strings.Contains(rejected, "mask") {
+		t.Fatalf("rejection reason = %q", rejected)
+	}
+}
+
+// TestSecAggRejectsGarbageMaskPub: an unparseable mask key would abort
+// every honest peer's masking if it reached the roster, so it is
+// rejected at selection like an absent one.
+func TestSecAggRejectsGarbageMaskPub(t *testing.T) {
+	sc, cc := Pipe()
+	srv := NewServer(newState(0), ServerConfig{Rounds: 1, SecAgg: true})
+
+	var rejected string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer cc.Close()
+		if _, err := cc.Recv(); err != nil {
+			return
+		}
+		_ = cc.Send(&Attest{DeviceID: "garbled", MaskPub: []byte{1, 2, 3}})
+		if m, err := cc.Recv(); err == nil {
+			if rej, ok := m.(*Reject); ok {
+				rejected = rej.Reason
+			}
+		}
+	}()
+	_, err := srv.Run([]Conn{sc})
+	wg.Wait()
+	if !errors.Is(err, ErrNotEnoughClients) {
+		t.Fatalf("server err = %v", err)
+	}
+	if !strings.Contains(rejected, "mask") {
+		t.Fatalf("rejection reason = %q", rejected)
+	}
+}
+
+// TestMaskSharesRejectsShortSeed: a truncated seed must fail decoding
+// rather than zero-pad into a wrong-mask subtraction.
+func TestMaskSharesRejectsShortSeed(t *testing.T) {
+	good := &MaskShares{Round: 1, Shares: []secagg.PairShare{{Device: "d", Seed: [32]byte{9}}}}
+	if _, err := DecodeMessage(MsgMaskShares, EncodeMessage(good)); err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWriter()
+	w.Uvarint(1) // round
+	w.Uvarint(1) // one share
+	w.String("d")
+	w.Blob([]byte{1, 2, 3}) // 3-byte seed
+	if _, err := DecodeMessage(MsgMaskShares, w.Bytes()); err == nil {
+		t.Fatal("short seed must fail decoding")
+	}
+}
+
+// TestSecAggRejectsDuplicateDevices: pairwise masking keys masks to
+// device names, so a second client with the same name is turned away.
+func TestSecAggRejectsDuplicateDevices(t *testing.T) {
+	state := newState(0)
+	srv := NewServer(state, ServerConfig{Rounds: 1, SecAgg: true, MinClients: 1})
+	a := newTestTrainer("twin", false, 2)
+	b := newTestTrainer("twin", false, 4)
+	clients, err := runSession(t, srv, []*testTrainer{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clients[0].RejectedReason != "" {
+		t.Fatalf("first twin rejected: %s", clients[0].RejectedReason)
+	}
+	if !strings.Contains(clients[1].RejectedReason, "duplicate") {
+		t.Fatalf("second twin reason = %q", clients[1].RejectedReason)
+	}
+	if got := state[0].Data[0]; got != 2 {
+		t.Fatalf("state = %v, want only the first twin's update", got)
+	}
+}
+
+// TestSecAggDuplicateDeviceCannotClobberEnclaveChannel: with an
+// enclave, the first establisher of a device name keeps its channel;
+// the duplicate is rejected during selection and the surviving twin's
+// sealed path still works end to end.
+func TestSecAggDuplicateDeviceCannotClobberEnclaveChannel(t *testing.T) {
+	enclave, err := secagg.NewEnclave("twin-agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Close()
+	a := newTestTrainer("twin", true, 2)
+	b := newTestTrainer("twin", true, 2)
+	state := newState(5, 50)
+	srv := NewServer(state, ServerConfig{
+		Rounds: 2, SecAgg: true, Enclave: enclave, MinClients: 1,
+		RequireTEE: true, Verifier: setupVerifier(a, b),
+		Planner: staticPlanner{0: true},
+	})
+	clients, err := runSession(t, srv, []*testTrainer{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejections := 0
+	for _, c := range clients {
+		if c.RejectedReason != "" {
+			rejections++
+		}
+	}
+	if rejections != 1 {
+		t.Fatalf("%d twins rejected, want exactly 1 (reasons: %q / %q)",
+			rejections, clients[0].RejectedReason, clients[1].RejectedReason)
+	}
+	// The survivor's trusted channel must still work: both tensors
+	// advanced by +2 per round across 2 rounds, protected one included.
+	if state[0].Data[0] != 9 || state[1].Data[0] != 54 {
+		t.Fatalf("state = %v / %v, want 9 / 54", state[0].Data[0], state[1].Data[0])
+	}
+}
+
+// TestSecAggProtectionWithoutEnclaveFails: the server must refuse to
+// run a protected plan without an enclave rather than unseal updates
+// itself.
+func TestSecAggProtectionWithoutEnclaveFails(t *testing.T) {
+	tr := newTestTrainer("tee", true, 2)
+	srv := NewServer(newState(0), ServerConfig{
+		Rounds: 1, SecAgg: true, Planner: staticPlanner{0: true},
+		RequireTEE: true, Verifier: setupVerifier(tr),
+	})
+	_, err := runSession(t, srv, []*testTrainer{tr})
+	if !errors.Is(err, ErrSecAggNeedsEnclave) {
+		t.Fatalf("err = %v, want ErrSecAggNeedsEnclave", err)
+	}
+}
+
+// TestSecAggEnclaveRequiresChannel: in enclave-backed sessions a client
+// without a trusted channel would fracture the uniform masked layout
+// and is rejected at selection.
+func TestSecAggEnclaveRequiresChannel(t *testing.T) {
+	enclave, err := secagg.NewEnclave("strict-agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Close()
+	srv := NewServer(newState(0), ServerConfig{Rounds: 1, SecAgg: true, Enclave: enclave})
+	plain := newTestTrainer("no-tee", false, 2)
+	clients, err := runSession(t, srv, []*testTrainer{plain})
+	if !errors.Is(err, ErrNotEnoughClients) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(clients[0].RejectedReason, "trusted channel") {
+		t.Fatalf("reason = %q", clients[0].RejectedReason)
+	}
+}

@@ -1,0 +1,426 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/secagg"
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// Secure-aggregation errors.
+var (
+	// ErrSecAggNeedsEnclave is returned when the planner protects
+	// tensors in a SecAgg session but no aggregation enclave is
+	// configured — the server must never unseal protected updates into
+	// plaintext itself.
+	ErrSecAggNeedsEnclave = errors.New("fl: protection plan requires an aggregation enclave in secure-aggregation mode")
+	// ErrSecAggRecon is returned when mask reconciliation cannot
+	// complete: a surviving cohort member failed to reveal its round
+	// seeds with the dropped clients, leaving the folded sum masked.
+	ErrSecAggRecon = errors.New("fl: secure-aggregation mask reconciliation failed")
+)
+
+// runSecAggRound executes one secure-aggregation FL cycle. It mirrors
+// runRound's lifecycle — sample, distribute, fold until the deadline —
+// but the server folds pairwise-masked ring levels it cannot read, the
+// sealed half of each update is aggregated inside the enclave, and a
+// round that drops stragglers runs a reconciliation phase where the
+// survivors reveal their round-scoped pair seeds with the dropped
+// clients so the unpaired mask residue can be subtracted.
+func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan arrival) error {
+	alive := live(sessions, round)
+	if len(alive) < s.cfg.MinClients {
+		return fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
+	}
+	sampled := s.sample(alive)
+
+	stats := RoundStats{Round: round, Sampled: len(sampled)}
+	var reasons []string
+
+	// Arm the deadline before any model leaves the server, exactly as
+	// in the plaintext round.
+	var deadlineC <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		timer := s.cfg.Clock.NewTimer(s.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+
+	if s.cfg.Hooks.RoundStarted != nil {
+		names := make([]string, len(sampled))
+		for i, sess := range sampled {
+			names[i] = sess.device
+		}
+		s.cfg.Hooks.RoundStarted(round, names)
+	}
+
+	protected, planBlob := s.cfg.Planner.PlanRound(round)
+	var protIdx []int
+	protectedMap := make(map[int]bool)
+	for i := range s.state {
+		if protected[i] {
+			protIdx = append(protIdx, i)
+			protectedMap[i] = true
+		}
+	}
+	hasProtected := len(protIdx) > 0
+	if hasProtected && s.cfg.Enclave == nil {
+		s.closeRound(stats)
+		return ErrSecAggNeedsEnclave
+	}
+	if hasProtected {
+		shapes := make([][]int, len(protIdx))
+		for k, id := range protIdx {
+			shapes[k] = s.state[id].Shape
+		}
+		if err := s.cfg.Enclave.Begin(round, protIdx, shapes); err != nil {
+			s.closeRound(stats)
+			return fmt.Errorf("fl: enclave round begin: %w", err)
+		}
+	}
+	finished := false
+	defer func() {
+		if hasProtected && !finished {
+			s.cfg.Enclave.Abort(round)
+		}
+	}()
+
+	// The cohort roster travels with every ModelDown so each member can
+	// derive its pairwise masks. It is identical for the whole cohort,
+	// so the no-sealing broadcast stays encode-once per codec.
+	cohort := make([]secagg.Peer, len(sampled))
+	for i, sess := range sampled {
+		cohort[i] = secagg.Peer{Device: sess.device, Pub: sess.maskPub}
+	}
+
+	// Distribute: without a protection plan every client receives the
+	// shared frame; with one, each client's protected tensors are sealed
+	// by the enclave on its own trusted channel.
+	plain := make([]*tensor.Tensor, len(s.state))
+	for i, p := range s.state {
+		if !protectedMap[i] {
+			plain[i] = p
+		}
+	}
+	var sealedBlob []byte
+	if hasProtected {
+		sealedBlob = wire.EncodeSealedUpdate(protIdx, protTensors(s.state, protIdx))
+	}
+	shared := make(map[wire.Codec][]byte)
+	if !hasProtected {
+		for _, sess := range sampled {
+			if _, ok := shared[sess.codec]; !ok {
+				down := &ModelDown{Round: round, Plain: plain, Plan: planBlob, Cohort: cohort}
+				shared[sess.codec] = EncodeMessageCodec(down, sess.codec)
+			}
+		}
+	}
+	sendErrs := make([]error, len(sampled))
+	var sends sync.WaitGroup
+	for i, sess := range sampled {
+		sends.Add(1)
+		go func(i int, sess *session) {
+			defer sends.Done()
+			if !hasProtected {
+				sendErrs[i] = sess.conn.SendFrame(MsgModelDown, shared[sess.codec])
+				return
+			}
+			sealed, err := s.cfg.Enclave.Seal(sess.device, sealedBlob)
+			if err == nil {
+				down := &ModelDown{Round: round, Plain: plain, Sealed: sealed, Plan: planBlob, Cohort: cohort}
+				err = sess.conn.Send(down)
+			}
+			sendErrs[i] = err
+		}(i, sess)
+	}
+	sends.Wait()
+
+	pending := make(map[*session]bool, len(sampled))
+	for i, sess := range sampled {
+		if sendErrs[i] != nil {
+			s.quarantineAt(sess, round, false, fmt.Errorf("sending model: %w", sendErrs[i]), &stats, &reasons)
+			continue
+		}
+		pending[sess] = true
+	}
+
+	msum := secagg.NewMaskedSum(s.state, protectedMap, s.cfg.SecAggScaleBits)
+	folded := make(map[*session]bool, len(sampled))
+collect:
+	for len(pending) > 0 {
+		select {
+		case a := <-arrivals:
+			s.handleSecAggArrival(round, a, pending, folded, msum, hasProtected, &stats, &reasons)
+		case <-deadlineC:
+			// Drain updates that raced the deadline, then drop the rest.
+			for {
+				select {
+				case a := <-arrivals:
+					s.handleSecAggArrival(round, a, pending, folded, msum, hasProtected, &stats, &reasons)
+				default:
+					break collect
+				}
+			}
+		}
+	}
+	stats.Dropped = len(pending)
+	stats.Responded = msum.Count()
+	stats.WeightTotal = msum.Weight()
+
+	if msum.Count() < s.cfg.MinClients {
+		detail := ""
+		if len(reasons) > 0 {
+			detail = " (" + strings.Join(reasons, "; ") + ")"
+		}
+		err := fmt.Errorf("%w: %d of %d sampled clients responded, need %d%s",
+			ErrNotEnoughClients, msum.Count(), stats.Sampled, s.cfg.MinClients, detail)
+		s.closeRound(stats)
+		return err
+	}
+
+	// Every cohort member that did not fold — straggler, quarantined or
+	// unreachable — left its pairwise masks with the survivors dangling;
+	// reconcile before the sum is readable.
+	var unfolded []string
+	for _, sess := range sampled {
+		if !folded[sess] {
+			unfolded = append(unfolded, sess.device)
+		}
+	}
+	sort.Strings(unfolded)
+	if len(unfolded) > 0 {
+		if err := s.reconcileMasks(round, unfolded, folded, msum, arrivals, &stats, &reasons); err != nil {
+			s.closeRound(stats)
+			return err
+		}
+		stats.Reconciled = len(unfolded)
+	}
+
+	mean, err := msum.Mean()
+	if err != nil {
+		s.closeRound(stats)
+		return err
+	}
+	if hasProtected {
+		encMean, err := s.cfg.Enclave.Finish(round, msum.Count())
+		if err != nil {
+			s.closeRound(stats)
+			return fmt.Errorf("fl: enclave round finish: %w", err)
+		}
+		finished = true
+		for k, id := range protIdx {
+			mean[id] = encMean[k]
+		}
+	}
+	stats.UpdateNorm = UpdateNorm(mean)
+	ApplyUpdate(s.state, mean, 1.0)
+	s.closeRound(stats)
+	return nil
+}
+
+// protTensors selects the protected tensors in index order.
+func protTensors(state []*tensor.Tensor, idx []int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(idx))
+	for k, id := range idx {
+		out[k] = state[id]
+	}
+	return out
+}
+
+// handleSecAggArrival routes one client message during the fold phase
+// of a secure-aggregation round.
+func (s *Server) handleSecAggArrival(round int, a arrival, pending, folded map[*session]bool, msum *secagg.MaskedSum, hasProtected bool, stats *RoundStats, reasons *[]string) {
+	sess := a.sess
+	if sess.quarantined {
+		return // residue from an already-closed connection
+	}
+	if a.err != nil {
+		delete(pending, sess)
+		s.quarantineAt(sess, round, false, fmt.Errorf("transport: %w", a.err), stats, reasons)
+		return
+	}
+	switch m := a.msg.(type) {
+	case *MaskedUp:
+		if m.Round < round {
+			stats.LateDiscarded++
+			return
+		}
+		if m.Round > round || !pending[sess] {
+			delete(pending, sess)
+			s.quarantineAt(sess, round, true, fmt.Errorf("unexpected masked update for round %d during round %d", m.Round, round), stats, reasons)
+			return
+		}
+		weight := uint64(1)
+		if m.Examples > 0 {
+			weight = min(m.Examples, MaxExampleWeight)
+		}
+		if err := s.foldMasked(sess, round, m, weight, msum, hasProtected); err != nil {
+			delete(pending, sess)
+			s.quarantineAt(sess, round, true, err, stats, reasons)
+			return
+		}
+		delete(pending, sess)
+		folded[sess] = true
+		if s.cfg.Hooks.UpdateFolded != nil {
+			s.cfg.Hooks.UpdateFolded(round, sess.device)
+		}
+	case *ErrorMsg:
+		delete(pending, sess)
+		s.quarantineAt(sess, round, true, fmt.Errorf("client error: %s", m.Text), stats, reasons)
+	default:
+		delete(pending, sess)
+		s.quarantineAt(sess, round, true, fmt.Errorf("unexpected %T mid-round", a.msg), stats, reasons)
+	}
+}
+
+// foldMasked validates and folds one masked update: levels into the
+// masked sum, the sealed half into the enclave. Validation precedes
+// every mutation so a rejected update leaves both accumulators
+// untouched and consistent with each other.
+func (s *Server) foldMasked(sess *session, round int, m *MaskedUp, weight uint64, msum *secagg.MaskedSum, hasProtected bool) error {
+	if !hasProtected {
+		if len(m.Sealed) > 0 {
+			return errors.New("sealed payload in a round without protected tensors")
+		}
+		return msum.Add(m.Levels, weight) // Add validates atomically
+	}
+	// The level check must pass before the enclave folds, or the two
+	// accumulators drift apart on a rejected update. Add's own repeat
+	// of the validation cannot fail after this.
+	if err := msum.Validate(m.Levels); err != nil {
+		return err
+	}
+	if len(m.Sealed) == 0 {
+		return errors.New("masked update missing its sealed protected half")
+	}
+	if err := s.cfg.Enclave.Fold(sess.device, round, m.Sealed, float64(weight)); err != nil {
+		return err
+	}
+	return msum.Add(m.Levels, weight)
+}
+
+// reconcileMasks runs the post-deadline reconciliation phase: every
+// folded survivor is asked for its round seeds with the unfolded cohort
+// members, and each revealed seed's mask expansion is subtracted from
+// the folded sum. The phase is bounded by RoundDeadline (when set); any
+// survivor that cannot answer leaves the sum unreadable, which fails
+// the round.
+func (s *Server) reconcileMasks(round int, unfolded []string, folded map[*session]bool, msum *secagg.MaskedSum, arrivals <-chan arrival, stats *RoundStats, reasons *[]string) error {
+	need := make(map[*session]bool, len(folded))
+	for sess := range folded {
+		if sess.quarantined {
+			return fmt.Errorf("%w: survivor %s lost before revealing shares", ErrSecAggRecon, sess.device)
+		}
+		need[sess] = true
+	}
+	req := &MaskRecon{Round: round, Dropped: unfolded}
+	frames := make(map[wire.Codec][]byte)
+	for sess := range need {
+		payload, ok := frames[sess.codec]
+		if !ok {
+			payload = EncodeMessageCodec(req, sess.codec)
+			frames[sess.codec] = payload
+		}
+		if err := sess.conn.SendFrame(MsgMaskRecon, payload); err != nil {
+			return fmt.Errorf("%w: requesting shares from %s: %v", ErrSecAggRecon, sess.device, err)
+		}
+	}
+
+	var deadlineC <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		timer := s.cfg.Clock.NewTimer(s.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+	droppedSet := make(map[string]bool, len(unfolded))
+	for _, d := range unfolded {
+		droppedSet[d] = true
+	}
+	for len(need) > 0 {
+		select {
+		case a := <-arrivals:
+			sess := a.sess
+			if sess.quarantined {
+				continue
+			}
+			if a.err != nil {
+				if need[sess] {
+					return fmt.Errorf("%w: survivor %s lost before revealing shares: %v", ErrSecAggRecon, sess.device, a.err)
+				}
+				s.quarantineAt(sess, round, false, fmt.Errorf("transport: %w", a.err), stats, reasons)
+				continue
+			}
+			switch m := a.msg.(type) {
+			case *MaskShares:
+				if m.Round != round || !need[sess] {
+					s.quarantineAt(sess, round, true, fmt.Errorf("unexpected mask shares for round %d", m.Round), stats, reasons)
+					if need[sess] {
+						return fmt.Errorf("%w: survivor %s answered out of protocol", ErrSecAggRecon, sess.device)
+					}
+					continue
+				}
+				if err := applyShares(sess.device, m.Shares, droppedSet, msum); err != nil {
+					s.quarantineAt(sess, round, true, err, stats, reasons)
+					return fmt.Errorf("%w: shares from %s: %v", ErrSecAggRecon, sess.device, err)
+				}
+				delete(need, sess)
+			case *MaskedUp:
+				// A dropped straggler racing the reconciliation phase:
+				// its update can no longer fold (the cohort is being
+				// reconciled without it) and is discarded.
+				if m.Round <= round {
+					stats.LateDiscarded++
+					continue
+				}
+				s.quarantineAt(sess, round, true, fmt.Errorf("masked update for future round %d", m.Round), stats, reasons)
+			case *ErrorMsg:
+				wasNeeded := need[sess]
+				delete(need, sess)
+				s.quarantineAt(sess, round, true, fmt.Errorf("client error: %s", m.Text), stats, reasons)
+				if wasNeeded {
+					return fmt.Errorf("%w: survivor %s failed during reconciliation", ErrSecAggRecon, sess.device)
+				}
+			default:
+				wasNeeded := need[sess]
+				delete(need, sess)
+				s.quarantineAt(sess, round, true, fmt.Errorf("unexpected %T during reconciliation", a.msg), stats, reasons)
+				if wasNeeded {
+					return fmt.Errorf("%w: survivor %s answered out of protocol", ErrSecAggRecon, sess.device)
+				}
+			}
+		case <-deadlineC:
+			var missing []string
+			for sess := range need {
+				missing = append(missing, sess.device)
+			}
+			sort.Strings(missing)
+			return fmt.Errorf("%w: timed out waiting for shares from %s", ErrSecAggRecon, strings.Join(missing, ", "))
+		}
+	}
+	return nil
+}
+
+// applyShares validates one survivor's revealed seeds — exactly one per
+// dropped peer — and subtracts the corresponding mask expansions.
+func applyShares(survivor string, shares []secagg.PairShare, droppedSet map[string]bool, msum *secagg.MaskedSum) error {
+	if len(shares) != len(droppedSet) {
+		return fmt.Errorf("revealed %d shares, want %d", len(shares), len(droppedSet))
+	}
+	seen := make(map[string]bool, len(shares))
+	for _, share := range shares {
+		if !droppedSet[share.Device] || seen[share.Device] {
+			return fmt.Errorf("share for unexpected peer %q", share.Device)
+		}
+		seen[share.Device] = true
+	}
+	for _, share := range shares {
+		msum.ApplySeedMask(share.Seed, -secagg.PairSign(survivor, share.Device))
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
@@ -67,6 +68,34 @@ type ServerConfig struct {
 	// pre-codec decoders simply never read).
 	Codec wire.Codec
 
+	// SecAgg enables secure aggregation: clients send pairwise-masked
+	// fixed-point updates (MaskedUp) the server folds without ever
+	// seeing an individual update, reconciling dropped clients' masks
+	// through revealed round seeds. Sealed protected-layer updates
+	// additionally require Enclave. Example weights still apply
+	// (clients pre-multiply in the ring); sampling, deadlines and
+	// quarantine behave as in plaintext mode.
+	SecAgg bool
+	// SecAggScaleBits is the fixed-point precision for masked updates;
+	// 0 selects secagg.DefaultScaleBits.
+	SecAggScaleBits int
+	// Enclave, in SecAgg sessions, aggregates sealed protected-layer
+	// updates inside a simulated server enclave: trusted-channel keys
+	// are generated there during selection and sealed blobs are opened
+	// and folded behind the world boundary. Required whenever the
+	// Planner protects tensors in a SecAgg session; clients unable to
+	// establish a trusted channel are then rejected at selection so the
+	// masked layout stays uniform across the cohort.
+	Enclave *secagg.Enclave
+
+	// QuarantineRounds, when positive, turns quarantine for training
+	// and protocol failures into probation: the client is excluded from
+	// sampling for that many subsequent rounds, then becomes eligible
+	// again (its connection stays open). Transport failures remain
+	// permanent — the connection is gone. 0 keeps the historic
+	// behaviour: every quarantine is permanent.
+	QuarantineRounds int
+
 	// RoundDeadline bounds each round: clients that have not responded
 	// when it expires are dropped for the round (their late updates are
 	// discarded) but stay eligible for later rounds. 0 waits forever.
@@ -120,6 +149,9 @@ type RoundStats struct {
 	Quarantined int
 	// LateDiscarded counts stale updates (earlier rounds) thrown away.
 	LateDiscarded int
+	// Reconciled counts dropped cohort members whose unpaired masks
+	// were reconstructed from survivor shares (secure aggregation).
+	Reconciled int
 	// WeightTotal is the summed FedAvg weight of the folded updates; it
 	// equals Responded when every client carries unit weight (no
 	// example counts on the wire).
@@ -163,6 +195,9 @@ func NewServer(state []*tensor.Tensor, cfg ServerConfig) *Server {
 	if !cfg.Codec.Valid() {
 		cfg.Codec = wire.CodecF64
 	}
+	if cfg.SecAggScaleBits <= 0 || cfg.SecAggScaleBits > secagg.MaxScaleBits {
+		cfg.SecAggScaleBits = secagg.DefaultScaleBits
+	}
 	return &Server{cfg: cfg, state: state, rng: mrand.New(mrand.NewSource(cfg.SampleSeed))}
 }
 
@@ -176,12 +211,26 @@ func (s *Server) Trace() []RoundStats { return s.trace }
 // session is the server's per-client state. Mutable fields are owned by
 // the round goroutine.
 type session struct {
-	conn        Conn
-	device      string
-	hasTEE      bool
-	channel     *tz.Channel
-	codec       wire.Codec
+	conn    Conn
+	device  string
+	hasTEE  bool
+	channel *tz.Channel
+	codec   wire.Codec
+	// maskPub is the client's pairwise-masking public key (SecAgg).
+	maskPub []byte
+	// enclaveChannel marks a trusted channel held inside cfg.Enclave
+	// rather than in this process (channel stays nil).
+	enclaveChannel bool
+	// quarantined permanently excludes the client (connection closed).
 	quarantined bool
+	// probationUntil, under ServerConfig.QuarantineRounds, is the first
+	// round index the client is eligible for again after a failure.
+	probationUntil int
+}
+
+// eligible reports whether the session may be sampled in the round.
+func (s *session) eligible(round int) bool {
+	return !s.quarantined && round >= s.probationUntil
 }
 
 // arrival is one message (or terminal transport error) from a client's
@@ -210,6 +259,23 @@ func (s *Server) Run(conns []Conn) (int, error) {
 		return 0, errors.New("fl: RequireTEE set but no Verifier configured")
 	}
 	sessions := s.selectClients(conns)
+	if s.cfg.SecAgg {
+		// Pairwise masking keys a mask to each device name: a duplicate
+		// name would make two clients derive colliding pair signs, so
+		// later duplicates are turned away (selection order is the input
+		// order, hence deterministic).
+		seen := make(map[string]bool, len(sessions))
+		kept := sessions[:0]
+		for _, sess := range sessions {
+			if seen[sess.device] {
+				s.reject(sess.conn, fmt.Sprintf("duplicate device name %q in secure-aggregation session", sess.device))
+				continue
+			}
+			seen[sess.device] = true
+			kept = append(kept, sess)
+		}
+		sessions = kept
+	}
 	if len(sessions) < s.cfg.MinClients {
 		for _, sess := range sessions {
 			s.reject(sess.conn, "not enough clients passed selection")
@@ -239,7 +305,13 @@ func (s *Server) Run(conns []Conn) (int, error) {
 	}
 
 	for round := 0; round < s.cfg.Rounds; round++ {
-		if err := s.runRound(round, sessions, arrivals); err != nil {
+		var err error
+		if s.cfg.SecAgg {
+			err = s.runSecAggRound(round, sessions, arrivals)
+		} else {
+			err = s.runRound(round, sessions, arrivals)
+		}
+		if err != nil {
 			shutdown()
 			return len(sessions), fmt.Errorf("fl: round %d: %w", round, err)
 		}
@@ -332,12 +404,52 @@ func (s *Server) selectOne(conn Conn) *session {
 		s.reject(conn, fmt.Sprintf("generating nonce: %v", err))
 		return nil
 	}
-	offer, err := tz.NewChannelOffer()
-	if err != nil {
-		s.reject(conn, fmt.Sprintf("channel offer: %v", err))
-		return nil
+	// In enclave-backed secure-aggregation sessions the trusted-channel
+	// offer is generated inside the enclave, so the private half (and
+	// later the channel keys) never exist in server memory.
+	enclaved := s.cfg.SecAgg && s.cfg.Enclave != nil
+	var offer *tz.ChannelOffer
+	var offerID uint64
+	var serverPub []byte
+	establishedOffer := false
+	if enclaved {
+		var err error
+		offerID, serverPub, err = s.cfg.Enclave.NewOffer()
+		if err != nil {
+			s.reject(conn, fmt.Sprintf("enclave channel offer: %v", err))
+			return nil
+		}
+		// A handshake that fails before establishment must not leak the
+		// offer in the enclave for the life of the process.
+		defer func() {
+			if !establishedOffer {
+				s.cfg.Enclave.DiscardOffer(offerID)
+			}
+		}()
+	} else {
+		var err error
+		offer, err = tz.NewChannelOffer()
+		if err != nil {
+			s.reject(conn, fmt.Sprintf("channel offer: %v", err))
+			return nil
+		}
+		serverPub = offer.Public
 	}
-	ch := &Challenge{Nonce: nonce, ServerPub: offer.Public, RequireTEE: s.cfg.RequireTEE, Codec: s.cfg.Codec}
+	ch := &Challenge{Nonce: nonce, ServerPub: serverPub, RequireTEE: s.cfg.RequireTEE, Codec: s.cfg.Codec}
+	if s.cfg.SecAgg {
+		ch.SecAgg = true
+		ch.ScaleBits = uint8(s.cfg.SecAggScaleBits)
+		if enclaved {
+			// The quote covers nonce ‖ offered channel key, binding the
+			// enclave identity to the key clients will seal against.
+			quote, err := s.cfg.Enclave.Attest(secagg.AggQuoteNonce(nonce, serverPub))
+			if err != nil {
+				s.reject(conn, fmt.Sprintf("enclave attestation: %v", err))
+				return nil
+			}
+			ch.AggQuote = quote
+		}
+	}
 	if err := conn.Send(ch); err != nil {
 		_ = conn.Close()
 		return nil
@@ -366,14 +478,39 @@ func (s *Server) selectOne(conn Conn) *session {
 			return nil
 		}
 	}
-	sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE, codec: att.Codec}
-	if att.HasTEE && len(att.ClientPub) > 0 {
-		channel, err := offer.Establish(att.ClientPub, true)
-		if err != nil {
-			s.reject(conn, fmt.Sprintf("channel establishment failed: %v", err))
+	if s.cfg.SecAgg {
+		if len(att.MaskPub) == 0 {
+			s.reject(conn, "secure aggregation requires a mask public key")
 			return nil
 		}
-		sess.channel = channel
+		if err := secagg.ValidateMaskPub(att.MaskPub); err != nil {
+			s.reject(conn, fmt.Sprintf("invalid mask public key: %v", err))
+			return nil
+		}
+	}
+	sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE, codec: att.Codec, maskPub: att.MaskPub}
+	if att.HasTEE && len(att.ClientPub) > 0 {
+		if enclaved {
+			if err := s.cfg.Enclave.Establish(offerID, att.DeviceID, att.ClientPub); err != nil {
+				s.reject(conn, fmt.Sprintf("enclave channel establishment failed: %v", err))
+				return nil
+			}
+			establishedOffer = true
+			sess.enclaveChannel = true
+		} else {
+			channel, err := offer.Establish(att.ClientPub, true)
+			if err != nil {
+				s.reject(conn, fmt.Sprintf("channel establishment failed: %v", err))
+				return nil
+			}
+			sess.channel = channel
+		}
+	} else if enclaved {
+		// The masked layout must be uniform across the cohort: a client
+		// unable to take protected tensors through the sealed path
+		// cannot participate once the planner protects anything.
+		s.reject(conn, "secure aggregation with an enclave requires a trusted channel")
+		return nil
 	}
 	conn.SetCodec(att.Codec)
 	if hasDeadlines {
@@ -388,11 +525,12 @@ func (s *Server) reject(conn Conn, reason string) {
 	_ = conn.Close()
 }
 
-// live returns the non-quarantined sessions, in selection order.
-func live(sessions []*session) []*session {
+// live returns the sessions eligible for the round — neither
+// permanently quarantined nor on probation — in selection order.
+func live(sessions []*session, round int) []*session {
 	var out []*session
 	for _, sess := range sessions {
-		if !sess.quarantined {
+		if sess.eligible(round) {
 			out = append(out, sess)
 		}
 	}
@@ -428,15 +566,26 @@ func (s *Server) sample(live []*session) []*session {
 	return out
 }
 
-// quarantine permanently excludes a client: its connection is closed and
-// it is never sampled again. Stragglers are *not* quarantined — only
-// training, protocol, and transport failures.
+// quarantine excludes a failed client. Stragglers are *not*
+// quarantined — only training, protocol, and transport failures. With
+// QuarantineRounds configured, non-transport failures put the client on
+// probation (connection kept, re-eligible after the configured number
+// of rounds); transport failures — the connection is gone — and the
+// QuarantineRounds=0 default are permanent.
 func (s *Server) quarantine(sess *session, reason error, stats *RoundStats, reasons *[]string) {
+	s.quarantineAt(sess, 0, false, reason, stats, reasons)
+}
+
+func (s *Server) quarantineAt(sess *session, round int, probationable bool, reason error, stats *RoundStats, reasons *[]string) {
 	if sess.quarantined {
 		return
 	}
-	sess.quarantined = true
-	_ = sess.conn.Close()
+	if probationable && s.cfg.QuarantineRounds > 0 {
+		sess.probationUntil = round + 1 + s.cfg.QuarantineRounds
+	} else {
+		sess.quarantined = true
+		_ = sess.conn.Close()
+	}
 	stats.Quarantined++
 	*reasons = append(*reasons, fmt.Sprintf("%s: %v", sess.device, reason))
 	if s.cfg.Hooks.ClientQuarantined != nil {
@@ -448,7 +597,7 @@ func (s *Server) quarantine(sess *session, reason error, stats *RoundStats, reas
 // fold updates as they arrive (streaming FedAvg), and close the round at
 // the deadline with whoever responded.
 func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arrival) error {
-	alive := live(sessions)
+	alive := live(sessions, round)
 	if len(alive) < s.cfg.MinClients {
 		return fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
 	}
@@ -591,7 +740,7 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 	}
 	if a.err != nil {
 		delete(pending, sess)
-		s.quarantine(sess, fmt.Errorf("transport: %w", a.err), stats, reasons)
+		s.quarantineAt(sess, round, false, fmt.Errorf("transport: %w", a.err), stats, reasons)
 		return
 	}
 	switch m := a.msg.(type) {
@@ -604,13 +753,7 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 		}
 		if m.Round > round || !pending[sess] {
 			delete(pending, sess)
-			s.quarantine(sess, fmt.Errorf("unexpected update for round %d during round %d", m.Round, round), stats, reasons)
-			return
-		}
-		update, err := s.mergeUpdate(sess, m)
-		if err != nil {
-			delete(pending, sess)
-			s.quarantine(sess, err, stats, reasons)
+			s.quarantineAt(sess, round, true, fmt.Errorf("unexpected update for round %d during round %d", m.Round, round), stats, reasons)
 			return
 		}
 		// Weighted FedAvg: a client reporting its local example count is
@@ -621,9 +764,22 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 		if m.Examples > 0 {
 			weight = float64(min(m.Examples, MaxExampleWeight))
 		}
-		if err := agg.Add(update, weight); err != nil {
+		// A purely-plain update that arrived in the lazy q8 form folds
+		// its levels straight into the running sum — no per-client
+		// float64 model is ever materialised. Updates with a sealed half
+		// take the merge path (the sealed tensors are f64 anyway).
+		var err error
+		if m.Q8 != nil && len(m.Sealed) == 0 {
+			err = agg.AccumulateQ8(m.Q8, weight)
+		} else {
+			var update []*tensor.Tensor
+			if update, err = s.mergeUpdate(sess, m); err == nil {
+				err = agg.Add(update, weight)
+			}
+		}
+		if err != nil {
 			delete(pending, sess)
-			s.quarantine(sess, err, stats, reasons)
+			s.quarantineAt(sess, round, true, err, stats, reasons)
 			return
 		}
 		delete(pending, sess)
@@ -632,10 +788,10 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 		}
 	case *ErrorMsg:
 		delete(pending, sess)
-		s.quarantine(sess, fmt.Errorf("client error: %s", m.Text), stats, reasons)
+		s.quarantineAt(sess, round, true, fmt.Errorf("client error: %s", m.Text), stats, reasons)
 	default:
 		delete(pending, sess)
-		s.quarantine(sess, fmt.Errorf("unexpected %T mid-round", a.msg), stats, reasons)
+		s.quarantineAt(sess, round, true, fmt.Errorf("unexpected %T mid-round", a.msg), stats, reasons)
 	}
 }
 
@@ -665,7 +821,7 @@ func (s *Server) buildModelDown(round int, sess *session, protected map[int]bool
 // sealed halves and validates it against the model shapes.
 func (s *Server) mergeUpdate(sess *session, up *GradUp) ([]*tensor.Tensor, error) {
 	full := make([]*tensor.Tensor, len(s.state))
-	copy(full, up.Plain)
+	copy(full, up.Tensors())
 	if len(up.Sealed) > 0 {
 		if sess.channel == nil {
 			return nil, errors.New("sealed update without an established channel")

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
@@ -84,6 +85,22 @@ type Scenario struct {
 	// count in [1,16] from the seed; GradUp carries it and the engine
 	// weights FedAvg by it. Off = uniform (unit) weights.
 	WeightedExamples bool
+	// SecAgg runs the session under secure aggregation: clients send
+	// pairwise-masked fixed-point updates, stragglers' masks are
+	// reconciled from survivor shares, and (with Protect) sealed
+	// updates aggregate inside a simulated server enclave. Simulated
+	// updates are dyadic, so the masked aggregate is bit-identical to
+	// the plaintext aggregate of the same scenario.
+	SecAgg bool
+	// Protect lists flat tensor indices shielded every round: they
+	// travel sealed through each client's trusted channel. Under SecAgg
+	// an aggregation enclave is created to fold them; without SecAgg
+	// the server unseals them itself (the plaintext baseline).
+	Protect []int
+	// QuarantineRounds forwards the probation re-admission policy to
+	// the engine: failed clients sit out that many rounds instead of
+	// being excluded for the session.
+	QuarantineRounds int
 	// Seed drives every random choice in the scenario.
 	Seed int64
 	// Model is the initial global model; a small two-tensor model is
@@ -106,11 +123,14 @@ type Result struct {
 	Final []*tensor.Tensor
 	// Profiles are the assigned per-client profiles, in client order.
 	Profiles []Profile
-	// Quarantined lists devices the engine permanently excluded, in
-	// quarantine order.
+	// Quarantined lists devices the engine excluded (permanently or on
+	// probation), in quarantine order.
 	Quarantined []string
 	// Elapsed is the total virtual time consumed by deadline waits.
 	Elapsed time.Duration
+	// EnclaveSMCs counts world switches of the aggregation enclave
+	// (0 when the scenario ran without one).
+	EnclaveSMCs int64
 }
 
 // splitmix64 is a tiny deterministic mixer for per-client/per-round
@@ -156,6 +176,19 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Model == nil {
 		sc.Model = []*tensor.Tensor{tensor.New(8, 8), tensor.New(8)}
+	}
+	seen := make(map[int]bool)
+	for _, id := range sc.Protect {
+		if id < 0 || id >= len(sc.Model) {
+			return fmt.Errorf("flsim: protected index %d outside the %d-tensor model", id, len(sc.Model))
+		}
+		if seen[id] {
+			return fmt.Errorf("flsim: protected index %d listed twice", id)
+		}
+		seen[id] = true
+	}
+	if len(sc.Protect) > 0 && sc.NoTEEFraction > 0 {
+		return errors.New("flsim: protected tensors need a full-TEE fleet (NoTEEFraction must be 0)")
 	}
 	return nil
 }
@@ -218,10 +251,17 @@ type simClient struct {
 	shapes  [][]int
 	seed    int64
 	failed  bool
+
+	channel *tz.Channel            // trusted I/O path, when the device has a TEE
+	mask    *secagg.ClientSession  // masking state in secagg sessions
+	cohort  []secagg.Peer          // roster of the round in flight
+	round   int
 }
 
 // run speaks the client side of the FL protocol: attest, then answer
-// (or straggle / fail) every round addressed to it until Done.
+// (or straggle / fail) every round addressed to it until Done. In
+// secure-aggregation sessions updates travel masked and the client
+// answers mask-reconciliation requests for dropped peers.
 func (c *simClient) run() {
 	defer c.conn.Close()
 	msg, err := c.conn.Recv()
@@ -241,6 +281,23 @@ func (c *simClient) run() {
 			return
 		}
 		att.Quote = quote
+		offer, err := tz.NewChannelOffer()
+		if err != nil {
+			return
+		}
+		c.channel, err = offer.Establish(ch.ServerPub, false)
+		if err != nil {
+			return
+		}
+		att.ClientPub = offer.Public
+	}
+	if ch.SecAgg {
+		mask, err := secagg.NewClientSession(c.profile.Device, nil, int(ch.ScaleBits))
+		if err != nil {
+			return
+		}
+		c.mask = mask
+		att.MaskPub = mask.MaskPub()
 	}
 	if err := c.conn.Send(att); err != nil {
 		return
@@ -261,15 +318,20 @@ func (c *simClient) run() {
 			if !c.failed && c.profile.FailRound >= 0 && m.Round >= c.profile.FailRound {
 				c.failed = true
 				_ = c.conn.Send(&fl.ErrorMsg{Text: fmt.Sprintf("simulated training failure (round %d)", m.Round)})
-				continue // the engine quarantines and closes the conn
+				continue // the engine quarantines (or probations) the client
 			}
-			delta := dyadicDelta(c.seed, c.index, m.Round)
-			upd := make([]*tensor.Tensor, len(c.shapes))
-			for i, shape := range c.shapes {
-				upd[i] = tensor.Full(delta, shape...)
+			if err := c.answerRound(m); err != nil {
+				return
 			}
-			up := &fl.GradUp{Round: m.Round, Plain: upd, Examples: uint64(max(c.profile.Examples, 0))}
-			if err := c.conn.Send(up); err != nil {
+		case *fl.MaskRecon:
+			if c.mask == nil || m.Round != c.round {
+				return
+			}
+			shares, err := c.mask.Shares(m.Round, c.cohort, m.Dropped)
+			if err != nil {
+				return
+			}
+			if err := c.conn.Send(&fl.MaskShares{Round: m.Round, Shares: shares}); err != nil {
 				return
 			}
 		default:
@@ -278,8 +340,72 @@ func (c *simClient) run() {
 	}
 }
 
+// answerRound builds the round's dyadic update and sends it plain or
+// masked, splitting protected tensors onto the sealed path.
+func (c *simClient) answerRound(m *fl.ModelDown) error {
+	delta := dyadicDelta(c.seed, c.index, m.Round)
+	examples := uint64(max(c.profile.Examples, 0))
+
+	// Protected positions are those the server sealed away from the
+	// plain view; the sealed blob names them.
+	var protIdx []int
+	if len(m.Sealed) > 0 {
+		if c.channel == nil {
+			return fmt.Errorf("sealed payload without a channel")
+		}
+		blob, err := c.channel.Open(m.Sealed)
+		if err != nil {
+			return err
+		}
+		if protIdx, _, err = fl.ParseSealedUpdate(blob); err != nil {
+			return err
+		}
+	}
+	protected := make(map[int]bool, len(protIdx))
+	for _, id := range protIdx {
+		protected[id] = true
+	}
+	plainUpd := make([]*tensor.Tensor, len(c.shapes))
+	protTs := make([]*tensor.Tensor, 0, len(protIdx))
+	for i, shape := range c.shapes {
+		upd := tensor.Full(delta, shape...)
+		if protected[i] {
+			protTs = append(protTs, upd)
+		} else {
+			plainUpd[i] = upd
+		}
+	}
+	var sealedUpd []byte
+	if len(protIdx) > 0 {
+		sealedUpd = c.channel.Seal(fl.SealedUpdate(protIdx, protTs))
+	}
+
+	if c.mask == nil {
+		return c.conn.Send(&fl.GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd, Examples: examples})
+	}
+	c.cohort = m.Cohort
+	c.round = m.Round
+	weight := uint64(1)
+	if examples > 0 {
+		weight = min(examples, fl.MaxExampleWeight)
+	}
+	levels, err := c.mask.MaskedUpdate(m.Round, m.Cohort, plainUpd, weight)
+	if err != nil {
+		return err
+	}
+	return c.conn.Send(&fl.MaskedUp{Round: m.Round, Levels: levels, Sealed: sealedUpd, Examples: examples})
+}
+
+// staticProtect shields a fixed flat-index set every round.
+type staticProtect map[int]bool
+
+// PlanRound implements fl.RoundPlanner.
+func (p staticProtect) PlanRound(int) (map[int]bool, []byte) { return p, nil }
+
 // Run executes the scenario and returns its trace. The trace and final
-// model are identical across runs of the same scenario.
+// model are identical across runs of the same scenario — including
+// under SecAgg, where the pairwise masks differ between runs but cancel
+// exactly in the ring.
 func Run(sc Scenario) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -287,6 +413,24 @@ func Run(sc Scenario) (*Result, error) {
 	profiles := assignProfiles(&sc)
 	clk := simclock.NewVirtual(time.Unix(0, 0))
 	start := clk.Now()
+
+	planner := sc.Planner
+	if planner == nil && len(sc.Protect) > 0 {
+		pm := make(staticProtect, len(sc.Protect))
+		for _, id := range sc.Protect {
+			pm[id] = true
+		}
+		planner = pm
+	}
+	var enclave *secagg.Enclave
+	if sc.SecAgg && len(sc.Protect) > 0 {
+		var err error
+		enclave, err = secagg.NewEnclave("flsim-aggregator")
+		if err != nil {
+			return nil, fmt.Errorf("flsim: booting aggregation enclave: %w", err)
+		}
+		defer enclave.Close()
+	}
 
 	verifier := tz.NewVerifier()
 	clients := make([]*simClient, sc.Clients)
@@ -366,18 +510,21 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	srv := fl.NewServer(sc.Model, fl.ServerConfig{
-		Rounds:         sc.Rounds,
-		MinClients:     sc.MinClients,
-		SampleCount:    sc.SampleCount,
-		SampleFraction: sc.SampleFraction,
-		SampleSeed:     sc.Seed,
-		RoundDeadline:  sc.Deadline,
-		RequireTEE:     sc.RequireTEE,
-		Codec:          sc.Codec,
-		Verifier:       verifier,
-		Planner:        sc.Planner,
-		Clock:          clk,
-		Hooks:          hooks,
+		Rounds:           sc.Rounds,
+		MinClients:       sc.MinClients,
+		SampleCount:      sc.SampleCount,
+		SampleFraction:   sc.SampleFraction,
+		SampleSeed:       sc.Seed,
+		RoundDeadline:    sc.Deadline,
+		RequireTEE:       sc.RequireTEE,
+		Codec:            sc.Codec,
+		SecAgg:           sc.SecAgg,
+		Enclave:          enclave,
+		QuarantineRounds: sc.QuarantineRounds,
+		Verifier:         verifier,
+		Planner:          planner,
+		Clock:            clk,
+		Hooks:            hooks,
 	})
 
 	var fleet sync.WaitGroup
@@ -401,6 +548,9 @@ func Run(sc Scenario) (*Result, error) {
 		Profiles:    profiles,
 		Quarantined: quarantined,
 		Elapsed:     clk.Now().Sub(start),
+	}
+	if enclave != nil {
+		res.EnclaveSMCs = enclave.Device().SMCCount()
 	}
 	return res, runErr
 }

@@ -1,0 +1,125 @@
+package secagg
+
+import (
+	"fmt"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// ClientSession is the device side of the masking protocol for one FL
+// session: it owns the mask keypair announced during the handshake and
+// turns local updates into masked ring-level tensors.
+type ClientSession struct {
+	device    string
+	key       *MaskKey
+	scaleBits int
+}
+
+// NewClientSession creates the masking state for one session. A nil
+// maskSeed draws the keypair from crypto/rand; a non-nil seed derives
+// it deterministically (simulations, tests). scaleBits ≤ 0 selects
+// DefaultScaleBits.
+func NewClientSession(device string, maskSeed []byte, scaleBits int) (*ClientSession, error) {
+	var key *MaskKey
+	var err error
+	if maskSeed != nil {
+		key, err = MaskKeyFromSeed(maskSeed)
+	} else {
+		key, err = NewMaskKey()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if scaleBits <= 0 {
+		scaleBits = DefaultScaleBits
+	}
+	if scaleBits > MaxScaleBits {
+		return nil, fmt.Errorf("secagg: scale bits %d exceed maximum %d", scaleBits, MaxScaleBits)
+	}
+	return &ClientSession{device: device, key: key, scaleBits: scaleBits}, nil
+}
+
+// MaskPub returns the mask public key for the Attest message.
+func (s *ClientSession) MaskPub() []byte { return s.key.Public() }
+
+// ScaleBits returns the session's fixed-point precision.
+func (s *ClientSession) ScaleBits() int { return s.scaleBits }
+
+// roundSeedWith derives the round-scoped pair seed with one peer.
+func (s *ClientSession) roundSeedWith(peer Peer, round int) ([32]byte, error) {
+	pair, err := s.key.pairSecret(peer.Pub)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("secagg: pairing with %s: %w", peer.Device, err)
+	}
+	return RoundSeed(pair, round), nil
+}
+
+// MaskedUpdate quantises the update (nil entries mark protected
+// positions travelling through the sealed path), multiplies by the
+// client's FedAvg weight in the ring, and adds the pairwise masks for
+// every cohort peer. The cohort must contain this client exactly once;
+// masks cover the non-nil positions in order, matching the layout every
+// cohort member derives from the same round plan.
+func (s *ClientSession) MaskedUpdate(round int, cohort []Peer, upd []*tensor.Tensor, weight uint64) ([]*wire.U64Tensor, error) {
+	if weight == 0 {
+		return nil, fmt.Errorf("secagg: zero update weight")
+	}
+	out := make([]*wire.U64Tensor, len(upd))
+	var active [][]uint64
+	for i, t := range upd {
+		if t == nil {
+			continue
+		}
+		q := Quantise(t, ScaleFor(s.scaleBits), weight)
+		out[i] = q
+		active = append(active, q.Levels)
+	}
+	self := 0
+	seen := make(map[string]bool, len(cohort))
+	for _, peer := range cohort {
+		if seen[peer.Device] {
+			return nil, fmt.Errorf("secagg: duplicate device %q in cohort", peer.Device)
+		}
+		seen[peer.Device] = true
+		if peer.Device == s.device {
+			self++
+			continue
+		}
+		seed, err := s.roundSeedWith(peer, round)
+		if err != nil {
+			return nil, err
+		}
+		streamMask(seed, PairSign(s.device, peer.Device), active)
+	}
+	if self != 1 {
+		return nil, fmt.Errorf("secagg: client %q appears %d times in cohort", s.device, self)
+	}
+	return out, nil
+}
+
+// Shares reveals this client's round seeds with the listed dropped
+// peers, so the server can subtract the unpaired mask residue. Only the
+// named round's seeds are derivable from the result.
+func (s *ClientSession) Shares(round int, cohort []Peer, dropped []string) ([]PairShare, error) {
+	byDevice := make(map[string]Peer, len(cohort))
+	for _, p := range cohort {
+		byDevice[p.Device] = p
+	}
+	out := make([]PairShare, 0, len(dropped))
+	for _, d := range dropped {
+		if d == s.device {
+			return nil, fmt.Errorf("%w: asked to reveal own seed", ErrSelfInPairs)
+		}
+		peer, ok := byDevice[d]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoPair, d)
+		}
+		seed, err := s.roundSeedWith(peer, round)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PairShare{Device: d, Seed: seed})
+	}
+	return out, nil
+}

@@ -1,0 +1,411 @@
+package secagg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// Enclave errors.
+var (
+	ErrNoChannel     = errors.New("secagg: no trusted channel for device")
+	ErrUnknownOffer  = errors.New("secagg: unknown channel offer")
+	ErrRoundMismatch = errors.New("secagg: enclave round state mismatch")
+	ErrAlreadyFolded = errors.New("secagg: device already folded this round")
+)
+
+// DefaultEnclaveMemory sizes the aggregation enclave: server-grade TEEs
+// are far roomier than the 3–5 MB client TrustZone carve-out, and the
+// accumulator needs one model worth of tensors plus channel state.
+const DefaultEnclaveMemory = 64 << 20
+
+// Enclave is a simulated server-side aggregation enclave built on the
+// internal/tz TA framework. Trusted-channel keys are generated and held
+// inside the TA; sealed protected-layer updates are opened and folded
+// behind the world boundary; only the per-round aggregate mean crosses
+// back (the tz leak screen panics if TA-resident tensors ever would).
+// The enclave device attests like any client TEE, so clients can verify
+// the aggregator's TA measurement during the handshake.
+type Enclave struct {
+	// mu serialises TA invocations: the tz device (virtual clock, SMC
+	// accounting) assumes single-threaded entry, while the FL server
+	// seals model payloads from its parallel distribution goroutines.
+	mu   sync.Mutex
+	dev  *tz.Device
+	app  *aggTA
+	sess *tz.Session
+}
+
+// invoke enters the TA under the enclave lock.
+func (e *Enclave) invoke(cmd uint32, req any) (any, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sess.Invoke(cmd, req)
+}
+
+// aggTA is the aggregation trusted application.
+type aggTA struct{}
+
+// AggTAUUID identifies the aggregation TA for attestation policy.
+var AggTAUUID = tz.NameUUID("secagg-aggregator-ta")
+
+func (*aggTA) UUID() tz.UUID   { return AggTAUUID }
+func (*aggTA) Version() string { return "secagg-1" }
+
+func (*aggTA) OpenSession(*tz.TAEnv) (any, error) {
+	return &aggState{
+		offers:   make(map[uint64]*tz.ChannelOffer),
+		channels: make(map[string]*tz.Channel),
+		rounds:   make(map[int]*enclaveRound),
+	}, nil
+}
+
+func (*aggTA) CloseSession(*tz.TAEnv, any) {}
+
+// aggState is the TA's secure-world session state. Nothing in it is
+// ever returned across the boundary.
+type aggState struct {
+	mu        sync.Mutex
+	nextOffer uint64
+	offers    map[uint64]*tz.ChannelOffer
+	channels  map[string]*tz.Channel
+	rounds    map[int]*enclaveRound
+}
+
+// enclaveRound is one round's in-enclave accumulator.
+type enclaveRound struct {
+	idx    []int
+	sum    []*tensor.Tensor
+	region *tz.Region
+	weight float64
+	count  int
+	folded map[string]bool
+}
+
+// TA commands.
+const (
+	cmdOffer uint32 = iota + 1
+	cmdEstablish
+	cmdDiscardOffer
+	cmdSeal
+	cmdBegin
+	cmdFold
+	cmdFinish
+	cmdAbort
+)
+
+type offerResp struct {
+	id  uint64
+	pub []byte
+}
+
+type establishReq struct {
+	offerID   uint64
+	device    string
+	clientPub []byte
+}
+
+type sealReq struct {
+	device    string
+	plaintext []byte
+}
+
+type beginReq struct {
+	round  int
+	idx    []int
+	shapes [][]int
+}
+
+type foldReq struct {
+	device string
+	round  int
+	sealed []byte
+	weight float64
+}
+
+type finishReq struct {
+	round int
+	count int
+}
+
+func (*aggTA) Invoke(env *tz.TAEnv, state any, cmd uint32, req any) (any, error) {
+	st := state.(*aggState)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch cmd {
+	case cmdOffer:
+		offer, err := tz.NewChannelOffer()
+		if err != nil {
+			return nil, err
+		}
+		st.nextOffer++
+		st.offers[st.nextOffer] = offer
+		return offerResp{id: st.nextOffer, pub: offer.Public}, nil
+	case cmdEstablish:
+		r := req.(establishReq)
+		offer, ok := st.offers[r.offerID]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownOffer, r.offerID)
+		}
+		delete(st.offers, r.offerID)
+		// One channel per device name, first establisher wins: a
+		// duplicate-named client must not clobber the kept client's
+		// channel keys (selection rejects the loser).
+		if _, exists := st.channels[r.device]; exists {
+			return nil, fmt.Errorf("secagg: device %q already holds an enclave channel", r.device)
+		}
+		ch, err := offer.Establish(r.clientPub, true)
+		if err != nil {
+			return nil, err
+		}
+		st.channels[r.device] = ch
+		return nil, nil
+	case cmdDiscardOffer:
+		delete(st.offers, req.(uint64))
+		return nil, nil
+	case cmdSeal:
+		r := req.(sealReq)
+		ch, ok := st.channels[r.device]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoChannel, r.device)
+		}
+		return ch.Seal(r.plaintext), nil
+	case cmdBegin:
+		r := req.(beginReq)
+		if _, ok := st.rounds[r.round]; ok {
+			return nil, fmt.Errorf("%w: round %d already begun", ErrRoundMismatch, r.round)
+		}
+		if len(r.idx) != len(r.shapes) {
+			return nil, fmt.Errorf("secagg: %d protected indices but %d shapes", len(r.idx), len(r.shapes))
+		}
+		er := &enclaveRound{
+			idx:    append([]int(nil), r.idx...),
+			folded: make(map[string]bool),
+		}
+		// Build the accumulator with secure-memory accounting: the region
+		// models the enclave RAM the sums occupy, and registering the
+		// tensors arms the world-boundary leak screen on them.
+		tensors := make([]*tensor.Tensor, len(r.shapes))
+		bytes := 0
+		for k, shape := range r.shapes {
+			tensors[k] = tensor.New(shape...)
+			bytes += 8 * tensors[k].Size()
+		}
+		region, err := env.Mem.Alloc(fmt.Sprintf("secagg-round-%d", r.round), bytes)
+		if err != nil {
+			return nil, err
+		}
+		er.region = region
+		for k, t := range tensors {
+			env.Mem.RegisterTensor(t, fmt.Sprintf("secagg-round-%d-sum-%d", r.round, k))
+		}
+		er.sum = tensors
+		st.rounds[r.round] = er
+		return nil, nil
+	case cmdFold:
+		r := req.(foldReq)
+		er, ok := st.rounds[r.round]
+		if !ok {
+			return nil, fmt.Errorf("%w: round %d not begun", ErrRoundMismatch, r.round)
+		}
+		ch, ok := st.channels[r.device]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoChannel, r.device)
+		}
+		if er.folded[r.device] {
+			return nil, fmt.Errorf("%w: %q", ErrAlreadyFolded, r.device)
+		}
+		if r.weight <= 0 {
+			return nil, fmt.Errorf("secagg: non-positive fold weight %v", r.weight)
+		}
+		blob, err := ch.Open(r.sealed)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: unsealing update from %q: %w", r.device, err)
+		}
+		idx, ts, err := wire.DecodeSealedUpdate(blob)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: parsing sealed update from %q: %w", r.device, err)
+		}
+		if len(idx) != len(er.idx) {
+			return nil, fmt.Errorf("secagg: sealed update covers %d tensors, round protects %d", len(idx), len(er.idx))
+		}
+		// The update may list the protected tensors in any order (the
+		// plaintext merge path is order-insensitive too) but must cover
+		// the protected set exactly once.
+		pos := make(map[int]int, len(er.idx))
+		for k, id := range er.idx {
+			pos[id] = k
+		}
+		slot := make([]int, len(idx))
+		seen := make(map[int]bool, len(idx))
+		for k, id := range idx {
+			p, ok := pos[id]
+			if !ok || seen[id] {
+				return nil, fmt.Errorf("secagg: sealed update index %d outside the round's protected set", id)
+			}
+			seen[id] = true
+			slot[k] = p
+			if !ts[k].SameShape(er.sum[p]) {
+				return nil, fmt.Errorf("secagg: sealed tensor %d has shape %v, want %v", id, ts[k].Shape, er.sum[p].Shape)
+			}
+		}
+		// All validation passed: fold atomically, mirroring the
+		// fl.Aggregator arithmetic (Σ wᵢuᵢ, then 1/Σ wᵢ at Finish).
+		for k := range idx {
+			tensor.AxPy(r.weight, ts[k], er.sum[slot[k]])
+		}
+		er.weight += r.weight
+		er.count++
+		er.folded[r.device] = true
+		return nil, nil
+	case cmdFinish:
+		r := req.(finishReq)
+		er, ok := st.rounds[r.round]
+		if !ok {
+			return nil, fmt.Errorf("%w: round %d not begun", ErrRoundMismatch, r.round)
+		}
+		if er.count != r.count {
+			return nil, fmt.Errorf("%w: enclave folded %d updates, server folded %d", ErrRoundMismatch, er.count, r.count)
+		}
+		if er.count == 0 {
+			return nil, errors.New("secagg: enclave aggregating zero updates")
+		}
+		mean := make([]*tensor.Tensor, len(er.sum))
+		inv := 1 / er.weight
+		for k, s := range er.sum {
+			mean[k] = tensor.Scale(s, inv) // fresh, non-secure tensors
+		}
+		releaseRound(env, st, r.round, er)
+		return mean, nil
+	case cmdAbort:
+		round := req.(int)
+		if er, ok := st.rounds[round]; ok {
+			releaseRound(env, st, round, er)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("secagg: unknown enclave command %d", cmd)
+	}
+}
+
+// releaseRound frees a round's secure accumulator. Callers hold st.mu.
+func releaseRound(env *tz.TAEnv, st *aggState, round int, er *enclaveRound) {
+	for _, t := range er.sum {
+		env.Mem.UnregisterTensor(t)
+	}
+	if er.region != nil {
+		_ = env.Mem.Free(er.region)
+	}
+	delete(st.rounds, round)
+}
+
+// NewEnclave boots an aggregation enclave: a tz device named name with
+// server-grade secure memory, the aggregation TA installed, and an open
+// TA session. Pass tz.DeviceOption values to override the device
+// configuration.
+func NewEnclave(name string, opts ...tz.DeviceOption) (*Enclave, error) {
+	all := append([]tz.DeviceOption{tz.WithSecureMemory(DefaultEnclaveMemory)}, opts...)
+	dev := tz.NewDevice(name, all...)
+	app := &aggTA{}
+	if err := dev.Install(app); err != nil {
+		return nil, err
+	}
+	sess, err := dev.OpenSession(app.UUID())
+	if err != nil {
+		return nil, err
+	}
+	return &Enclave{dev: dev, app: app, sess: sess}, nil
+}
+
+// Device returns the enclave's tz device (attestation provisioning,
+// SMC accounting).
+func (e *Enclave) Device() *tz.Device { return e.dev }
+
+// Measurement returns the aggregation TA's attestation measurement.
+func (e *Enclave) Measurement() ([32]byte, error) { return e.dev.Measurement(AggTAUUID) }
+
+// Attest produces a quote over the aggregation TA for the given nonce.
+func (e *Enclave) Attest(nonce []byte) (tz.Quote, error) { return e.dev.Attest(AggTAUUID, nonce) }
+
+// NewOffer generates a trusted-channel offer inside the enclave and
+// returns its handle and public key. The private half never leaves.
+func (e *Enclave) NewOffer() (id uint64, pub []byte, err error) {
+	resp, err := e.invoke(cmdOffer, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	r := resp.(offerResp)
+	return r.id, r.pub, nil
+}
+
+// Establish completes a channel handshake inside the enclave, binding
+// the resulting channel to the device name. It fails when the device
+// already holds a channel — first establisher wins, so a duplicate
+// name cannot clobber an honest client's keys.
+func (e *Enclave) Establish(offerID uint64, device string, clientPub []byte) error {
+	_, err := e.invoke(cmdEstablish, establishReq{offerID: offerID, device: device, clientPub: clientPub})
+	return err
+}
+
+// DiscardOffer releases an unconsumed channel offer: a failed
+// handshake must not leak offer state in the enclave for the life of
+// the process.
+func (e *Enclave) DiscardOffer(offerID uint64) {
+	_, _ = e.invoke(cmdDiscardOffer, offerID)
+}
+
+// Seal encrypts plaintext for the named device's TA on its trusted
+// channel (model distribution of protected tensors).
+func (e *Enclave) Seal(device string, plaintext []byte) ([]byte, error) {
+	resp, err := e.invoke(cmdSeal, sealReq{device: device, plaintext: plaintext})
+	if err != nil {
+		return nil, err
+	}
+	return resp.([]byte), nil
+}
+
+// Begin opens a round's accumulator for the given protected layout
+// (sorted flat indices and their shapes).
+func (e *Enclave) Begin(round int, idx []int, shapes [][]int) error {
+	_, err := e.invoke(cmdBegin, beginReq{round: round, idx: idx, shapes: shapes})
+	return err
+}
+
+// Fold validates and folds one client's sealed protected-layer update
+// into the round accumulator with the given FedAvg weight. Validation
+// is atomic: a rejected update leaves the accumulator untouched.
+func (e *Enclave) Fold(device string, round int, sealed []byte, weight float64) error {
+	_, err := e.invoke(cmdFold, foldReq{device: device, round: round, sealed: sealed, weight: weight})
+	return err
+}
+
+// Finish closes a round and returns the weighted-mean protected update
+// (aligned with the Begin indices) as fresh, non-secure tensors —
+// the only data that ever leaves the enclave. count cross-checks the
+// server's fold count against the enclave's.
+func (e *Enclave) Finish(round int, count int) ([]*tensor.Tensor, error) {
+	resp, err := e.invoke(cmdFinish, finishReq{round: round, count: count})
+	if err != nil {
+		return nil, err
+	}
+	return resp.([]*tensor.Tensor), nil
+}
+
+// Abort discards a round's accumulator (failed rounds).
+func (e *Enclave) Abort(round int) {
+	_, _ = e.invoke(cmdAbort, round)
+}
+
+// Close tears down the enclave session.
+func (e *Enclave) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sess != nil {
+		e.sess.Close()
+		e.sess = nil
+	}
+}

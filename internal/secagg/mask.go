@@ -1,0 +1,212 @@
+package secagg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Masking errors.
+var (
+	ErrNoPair      = errors.New("secagg: peer not in cohort")
+	ErrBadMaskKey  = errors.New("secagg: bad mask key material")
+	ErrSelfInPairs = errors.New("secagg: cohort pairs a client with itself")
+)
+
+// Peer is one cohort member's masking identity, distributed to the
+// whole cohort by the server with each round's model: the device name
+// and the mask public key it presented during the attestation
+// handshake.
+type Peer struct {
+	Device string
+	Pub    []byte
+}
+
+// MaskKey is a client's per-session X25519 keypair for pairwise mask
+// agreement. The public half rides the Attest message; the private half
+// never leaves the client.
+type MaskKey struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewMaskKey generates a mask keypair from crypto/rand.
+func NewMaskKey() (*MaskKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("secagg: generating mask key: %w", err)
+	}
+	return &MaskKey{priv: priv}, nil
+}
+
+// MaskKeyFromSeed derives a deterministic mask keypair from arbitrary
+// seed bytes — used by simulations and tests that need reproducible
+// handshakes. Production clients use NewMaskKey.
+func MaskKeyFromSeed(seed []byte) (*MaskKey, error) {
+	sum := sha256.Sum256(append([]byte("secagg-mask-key:"), seed...))
+	priv, err := ecdh.X25519().NewPrivateKey(sum[:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMaskKey, err)
+	}
+	return &MaskKey{priv: priv}, nil
+}
+
+// Public returns the key's public half for the Attest message.
+func (k *MaskKey) Public() []byte { return k.priv.PublicKey().Bytes() }
+
+// ValidateMaskPub checks that pub parses as an X25519 public key. The
+// server runs this at selection: one client presenting a garbage key
+// would otherwise be admitted into the roster and abort every honest
+// peer's masking instead of only itself.
+func ValidateMaskPub(pub []byte) error {
+	if _, err := ecdh.X25519().NewPublicKey(pub); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMaskKey, err)
+	}
+	return nil
+}
+
+// pairSecret computes the session-long shared secret with a peer's
+// mask public key. Both orders of the pair derive the same secret
+// (X25519 commutativity).
+func (k *MaskKey) pairSecret(peerPub []byte) ([32]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peerPub)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("%w: %v", ErrBadMaskKey, err)
+	}
+	shared, err := k.priv.ECDH(pub)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("secagg: pair ECDH: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("secagg-pair-secret"))
+	h.Write(shared)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
+// AggQuoteNonce derives the nonce an aggregation-enclave quote must
+// cover: the challenge nonce bound to the offered trusted-channel
+// public key. Without the binding a quote would only prove the enclave
+// exists — a dishonest server could attest the enclave while offering
+// its own channel key and unseal protected updates itself.
+func AggQuoteNonce(nonce, serverPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("secagg-agg-quote"))
+	h.Write(nonce)
+	h.Write([]byte{0})
+	h.Write(serverPub)
+	return h.Sum(nil)
+}
+
+// RoundSeed narrows a session-long pair secret to one round. Only the
+// round seed is ever revealed during reconciliation, so a revealed
+// seed unmasks nothing in any other round.
+func RoundSeed(pair [32]byte, round int) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("secagg-round-seed"))
+	h.Write(pair[:])
+	var rb [8]byte
+	binary.BigEndian.PutUint64(rb[:], uint64(round))
+	h.Write(rb[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// PairSign orients a pair's mask: the lexicographically smaller device
+// adds the expansion, the larger subtracts it, so the pair contributes
+// net zero to the cohort sum. Device names must be unique within a
+// cohort (the server enforces this at selection).
+func PairSign(self, peer string) int {
+	if self < peer {
+		return 1
+	}
+	return -1
+}
+
+// MaskLevels expands a round seed into mask level tensors of the given
+// sizes using AES-256-CTR as the PRG. The expansion is deterministic in
+// (seed, sizes), so the masker and a reconciling server derive the same
+// stream.
+func MaskLevels(seed [32]byte, sizes []int) [][]uint64 {
+	block, err := aes.NewCipher(seed[:])
+	if err != nil {
+		panic("secagg: AES key size invariant violated: " + err.Error())
+	}
+	var iv [aes.BlockSize]byte
+	stream := cipher.NewCTR(block, iv[:])
+	out := make([][]uint64, len(sizes))
+	for i, n := range sizes {
+		buf := make([]byte, 8*n)
+		stream.XORKeyStream(buf, buf)
+		levels := make([]uint64, n)
+		for j := range levels {
+			levels[j] = binary.LittleEndian.Uint64(buf[8*j:])
+		}
+		out[i] = levels
+	}
+	return out
+}
+
+// applyMask adds (sign=+1) or subtracts (sign=-1) mask levels onto a
+// level vector in the ring.
+func applyMask(dst []uint64, mask []uint64, sign int) {
+	if sign >= 0 {
+		for i, m := range mask {
+			dst[i] += m
+		}
+	} else {
+		for i, m := range mask {
+			dst[i] -= m
+		}
+	}
+}
+
+// maskChunk sizes the streaming expansion buffer (bytes).
+const maskChunk = 1 << 16
+
+// streamMask applies ±PRG(seed) over the destination vectors in order
+// without materialising the whole expansion: the keystream is produced
+// chunk by chunk into one scratch buffer. The stream consumed is
+// byte-identical to MaskLevels', so the two application paths cancel
+// each other exactly — clients mask with this, the reconciling server
+// may subtract with either.
+func streamMask(seed [32]byte, sign int, dsts [][]uint64) {
+	block, err := aes.NewCipher(seed[:])
+	if err != nil {
+		panic("secagg: AES key size invariant violated: " + err.Error())
+	}
+	var iv [aes.BlockSize]byte
+	stream := cipher.NewCTR(block, iv[:])
+	var buf [maskChunk]byte
+	for _, dst := range dsts {
+		for off := 0; off < len(dst); {
+			n := min(len(dst)-off, maskChunk/8)
+			chunk := buf[:8*n]
+			clear(chunk)
+			stream.XORKeyStream(chunk, chunk)
+			if sign >= 0 {
+				for i := 0; i < n; i++ {
+					dst[off+i] += binary.LittleEndian.Uint64(chunk[8*i:])
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					dst[off+i] -= binary.LittleEndian.Uint64(chunk[8*i:])
+				}
+			}
+			off += n
+		}
+	}
+}
+
+// PairShare is one revealed round seed during reconciliation: the
+// dropped peer's device name and the survivor's round seed with it.
+type PairShare struct {
+	Device string
+	Seed   [32]byte
+}

@@ -1,0 +1,172 @@
+package secagg
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// MaskedSum is the server's streaming aggregator for masked updates:
+// the ring analogue of fl.Aggregator. Each client's masked level
+// tensors are folded into a running sum in ℤ/2⁶⁴ the moment they
+// arrive; pairwise masks cancel as both halves of each pair fold (or
+// are subtracted during reconciliation), and Mean converts the clean
+// ring sum back to float64 tensors. Memory stays O(model).
+type MaskedSum struct {
+	ref    []*tensor.Tensor
+	active []bool
+	scale  float64
+	sum    [][]uint64 // nil at inactive (protected) positions
+	weight float64
+	count  int
+}
+
+// NewMaskedSum creates a masked aggregator for updates shaped like ref,
+// with the protected positions (travelling sealed, aggregated in the
+// enclave) excluded from the masked layout.
+func NewMaskedSum(ref []*tensor.Tensor, protected map[int]bool, scaleBits int) *MaskedSum {
+	if scaleBits <= 0 {
+		scaleBits = DefaultScaleBits
+	}
+	m := &MaskedSum{
+		ref:    ref,
+		active: make([]bool, len(ref)),
+		scale:  ScaleFor(scaleBits),
+		sum:    make([][]uint64, len(ref)),
+	}
+	for i, r := range ref {
+		if protected[i] {
+			continue
+		}
+		m.active[i] = true
+		m.sum[i] = make([]uint64, r.Size())
+	}
+	return m
+}
+
+// ActiveSizes returns the element counts of the masked positions in
+// layout order — the sizes a mask expansion must cover.
+func (m *MaskedSum) ActiveSizes() []int {
+	var sizes []int
+	for i, on := range m.active {
+		if on {
+			sizes = append(sizes, m.ref[i].Size())
+		}
+	}
+	return sizes
+}
+
+// Validate checks a masked update against the layout without folding
+// it: exactly one level tensor per active position, shapes matching the
+// reference model.
+func (m *MaskedSum) Validate(up []*wire.U64Tensor) error {
+	if len(up) != len(m.ref) {
+		return fmt.Errorf("secagg: update has %d tensors, model has %d", len(up), len(m.ref))
+	}
+	for i, t := range up {
+		if !m.active[i] {
+			if t != nil {
+				return fmt.Errorf("secagg: levels present at protected position %d", i)
+			}
+			continue
+		}
+		if t == nil {
+			return fmt.Errorf("secagg: update missing levels for tensor %d", i)
+		}
+		if len(t.Levels) != m.ref[i].Size() || t.Size() != m.ref[i].Size() {
+			return fmt.Errorf("secagg: levels for tensor %d have %d elements, want %d", i, len(t.Levels), m.ref[i].Size())
+		}
+	}
+	return nil
+}
+
+// Add validates and folds one masked update carrying the given FedAvg
+// weight (the client already multiplied its levels by it in the ring;
+// here it only accumulates the denominator).
+func (m *MaskedSum) Add(up []*wire.U64Tensor, weight uint64) error {
+	if weight == 0 {
+		return errors.New("secagg: zero update weight")
+	}
+	if err := m.Validate(up); err != nil {
+		return err
+	}
+	for i, t := range up {
+		if t == nil {
+			continue
+		}
+		dst := m.sum[i]
+		for j, l := range t.Levels {
+			dst[j] += l
+		}
+	}
+	m.weight += float64(weight)
+	m.count++
+	return nil
+}
+
+// ApplyMask adds (sign=+1) or subtracts (sign=-1) a mask expansion —
+// one level vector per active position — from the running sum. Used
+// during reconciliation to remove the unpaired residue left by dropped
+// clients.
+func (m *MaskedSum) ApplyMask(mask [][]uint64, sign int) error {
+	sizes := m.ActiveSizes()
+	if len(mask) != len(sizes) {
+		return fmt.Errorf("secagg: mask covers %d tensors, layout has %d", len(mask), len(sizes))
+	}
+	k := 0
+	for i, on := range m.active {
+		if !on {
+			continue
+		}
+		if len(mask[k]) != len(m.sum[i]) {
+			return fmt.Errorf("secagg: mask tensor %d has %d elements, want %d", k, len(mask[k]), len(m.sum[i]))
+		}
+		applyMask(m.sum[i], mask[k], sign)
+		k++
+	}
+	return nil
+}
+
+// ApplySeedMask expands a revealed round seed and adds (sign=+1) or
+// subtracts (sign=-1) it from the running sum, streaming the keystream
+// instead of materialising the full expansion — the reconciliation hot
+// path for large models.
+func (m *MaskedSum) ApplySeedMask(seed [32]byte, sign int) {
+	var active [][]uint64
+	for i, on := range m.active {
+		if on {
+			active = append(active, m.sum[i])
+		}
+	}
+	streamMask(seed, sign, active)
+}
+
+// Count returns the number of folded updates.
+func (m *MaskedSum) Count() int { return m.count }
+
+// Weight returns the summed FedAvg weight of the folded updates.
+func (m *MaskedSum) Weight() float64 { return m.weight }
+
+// Mean converts the (reconciled) ring sum to the weighted-average
+// update: nil at protected positions, fresh tensors elsewhere. The
+// arithmetic mirrors fl.Aggregator.Mean — dequantise to the exact
+// float sum, then scale by 1/weight — so dyadic inputs reproduce the
+// plaintext aggregate bit for bit.
+func (m *MaskedSum) Mean() ([]*tensor.Tensor, error) {
+	if m.count == 0 {
+		return nil, errors.New("secagg: aggregating zero updates")
+	}
+	out := make([]*tensor.Tensor, len(m.ref))
+	inv := 1 / m.weight
+	for i, on := range m.active {
+		if !on {
+			continue
+		}
+		t := tensor.New(m.ref[i].Shape...)
+		Dequantise(m.sum[i], m.scale, t.Data)
+		out[i] = tensor.Scale(t, inv)
+	}
+	return out, nil
+}

@@ -1,0 +1,453 @@
+package secagg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// dyadic returns a deterministic multiple of 1/256 in [-1, 1).
+func dyadic(seed, i int) float64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return float64(int64(h%512)-256) / 256
+}
+
+func testCohort(t *testing.T, n int) ([]*ClientSession, []Peer) {
+	t.Helper()
+	sessions := make([]*ClientSession, n)
+	cohort := make([]Peer, n)
+	for i := range sessions {
+		device := fmt.Sprintf("dev-%03d", i)
+		s, err := NewClientSession(device, []byte(device), DefaultScaleBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		cohort[i] = Peer{Device: device, Pub: s.MaskPub()}
+	}
+	return sessions, cohort
+}
+
+func dyadicUpdate(seed int, shapes [][]int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(shapes))
+	k := 0
+	for i, shape := range shapes {
+		tt := tensor.New(shape...)
+		for j := range tt.Data {
+			tt.Data[j] = dyadic(seed, k)
+			k++
+		}
+		out[i] = tt
+	}
+	return out
+}
+
+// plainWeightedMean reproduces the fl.Aggregator arithmetic exactly:
+// AxPy folds in order, then one multiply by 1/Σw.
+func plainWeightedMean(updates [][]*tensor.Tensor, weights []float64, ref []*tensor.Tensor) []*tensor.Tensor {
+	sum := make([]*tensor.Tensor, len(ref))
+	for i, r := range ref {
+		sum[i] = tensor.New(r.Shape...)
+	}
+	var w float64
+	for c, upd := range updates {
+		for i := range sum {
+			tensor.AxPy(weights[c], upd[i], sum[i])
+		}
+		w += weights[c]
+	}
+	inv := 1 / w
+	out := make([]*tensor.Tensor, len(sum))
+	for i, s := range sum {
+		out[i] = tensor.Scale(s, inv)
+	}
+	return out
+}
+
+// TestMaskedAggregateBitIdentical: a full cohort's pairwise masks
+// cancel exactly in the ring and the dequantised mean is bit-identical
+// to the plaintext weighted FedAvg of the same dyadic updates.
+func TestMaskedAggregateBitIdentical(t *testing.T) {
+	const n, round = 7, 3
+	ref := []*tensor.Tensor{tensor.New(4, 3), tensor.New(5)}
+	shapes := [][]int{{4, 3}, {5}}
+	sessions, cohort := testCohort(t, n)
+
+	msum := NewMaskedSum(ref, nil, DefaultScaleBits)
+	var updates [][]*tensor.Tensor
+	var weights []float64
+	for i, s := range sessions {
+		upd := dyadicUpdate(i, shapes)
+		w := uint64(1 + i%4)
+		masked, err := s.MaskedUpdate(round, cohort, upd, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := msum.Add(masked, w); err != nil {
+			t.Fatal(err)
+		}
+		updates = append(updates, upd)
+		weights = append(weights, float64(w))
+	}
+	got, err := msum.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainWeightedMean(updates, weights, ref)
+	for i := range ref {
+		for j := range want[i].Data {
+			if got[i].Data[j] != want[i].Data[j] {
+				t.Fatalf("tensor %d elem %d: masked %v != plaintext %v", i, j, got[i].Data[j], want[i].Data[j])
+			}
+		}
+	}
+	if msum.Count() != n {
+		t.Fatalf("count = %d", msum.Count())
+	}
+}
+
+// TestMaskReconciliationAfterDropout: when some cohort members never
+// fold, survivor-revealed round seeds let the server subtract exactly
+// the unpaired residue — recovering the plaintext mean over survivors.
+func TestMaskReconciliationAfterDropout(t *testing.T) {
+	const n, round = 6, 1
+	ref := []*tensor.Tensor{tensor.New(3, 3), tensor.New(2)}
+	shapes := [][]int{{3, 3}, {2}}
+	sessions, cohort := testCohort(t, n)
+	droppedSet := map[int]bool{1: true, 4: true}
+	var droppedIDs []string
+	for i := range sessions {
+		if droppedSet[i] {
+			droppedIDs = append(droppedIDs, cohort[i].Device)
+		}
+	}
+
+	msum := NewMaskedSum(ref, nil, DefaultScaleBits)
+	var updates [][]*tensor.Tensor
+	var weights []float64
+	for i, s := range sessions {
+		upd := dyadicUpdate(100+i, shapes)
+		masked, err := s.MaskedUpdate(round, cohort, upd, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if droppedSet[i] {
+			continue // straggled: masked update never folds
+		}
+		if err := msum.Add(masked, 1); err != nil {
+			t.Fatal(err)
+		}
+		updates = append(updates, upd)
+		weights = append(weights, 1)
+	}
+
+	// Reconciliation: every survivor reveals its round seeds with the
+	// dropped peers; the server subtracts each survivor-side residue.
+	for i, s := range sessions {
+		if droppedSet[i] {
+			continue
+		}
+		shares, err := s.Shares(round, cohort, droppedIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, share := range shares {
+			mask := MaskLevels(share.Seed, msum.ActiveSizes())
+			sign := PairSign(cohort[i].Device, share.Device)
+			if err := msum.ApplyMask(mask, -sign); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	got, err := msum.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainWeightedMean(updates, weights, ref)
+	for i := range ref {
+		for j := range want[i].Data {
+			if got[i].Data[j] != want[i].Data[j] {
+				t.Fatalf("tensor %d elem %d: reconciled %v != plaintext %v", i, j, got[i].Data[j], want[i].Data[j])
+			}
+		}
+	}
+}
+
+// TestRoundSeedsAgreeAndScope: both ends of a pair derive the same
+// round seed, and different rounds yield different seeds.
+func TestRoundSeedsAgreeAndScope(t *testing.T) {
+	sessions, cohort := testCohort(t, 2)
+	a, err := sessions[0].Shares(5, cohort, []string{cohort[1].Device})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sessions[1].Shares(5, cohort, []string{cohort[0].Device})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Seed != b[0].Seed {
+		t.Fatal("pair ends derived different round seeds")
+	}
+	c, err := sessions[0].Shares(6, cohort, []string{cohort[1].Device})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Seed == c[0].Seed {
+		t.Fatal("round seeds must differ across rounds")
+	}
+}
+
+// TestMaskedUpdateValidation covers the cohort sanity checks.
+func TestMaskedUpdateValidation(t *testing.T) {
+	sessions, cohort := testCohort(t, 3)
+	upd := dyadicUpdate(1, [][]int{{2}})
+	if _, err := sessions[0].MaskedUpdate(0, cohort[1:], upd, 1); err == nil {
+		t.Fatal("cohort without self must fail")
+	}
+	dup := append(append([]Peer(nil), cohort...), cohort[1])
+	if _, err := sessions[0].MaskedUpdate(0, dup, upd, 1); err == nil {
+		t.Fatal("duplicate cohort device must fail")
+	}
+	if _, err := sessions[0].MaskedUpdate(0, cohort, upd, 0); err == nil {
+		t.Fatal("zero weight must fail")
+	}
+	if _, err := sessions[0].Shares(0, cohort, []string{"dev-000"}); err == nil {
+		t.Fatal("revealing own seed must fail")
+	}
+	if _, err := sessions[0].Shares(0, cohort, []string{"ghost"}); err == nil {
+		t.Fatal("unknown dropped peer must fail")
+	}
+}
+
+// TestMaskedSumValidation covers the layout checks.
+func TestMaskedSumValidation(t *testing.T) {
+	ref := []*tensor.Tensor{tensor.New(2, 2), tensor.New(3)}
+	m := NewMaskedSum(ref, map[int]bool{0: true}, DefaultScaleBits)
+	if got := m.ActiveSizes(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("active sizes = %v", got)
+	}
+	ok := []*wire.U64Tensor{nil, {Shape: []int{3}, Levels: make([]uint64, 3)}}
+	if err := m.Add(ok, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*wire.U64Tensor{{Shape: []int{2, 2}, Levels: make([]uint64, 4)}, {Shape: []int{3}, Levels: make([]uint64, 3)}}
+	if err := m.Add(bad, 1); err == nil {
+		t.Fatal("levels at a protected position must fail")
+	}
+	short := []*wire.U64Tensor{nil, {Shape: []int{2}, Levels: make([]uint64, 2)}}
+	if err := m.Add(short, 1); err == nil {
+		t.Fatal("misshapen levels must fail")
+	}
+	if err := m.Add(ok, 0); err == nil {
+		t.Fatal("zero weight must fail")
+	}
+	if err := m.ApplyMask([][]uint64{{1, 2}}, 1); err == nil {
+		t.Fatal("misshapen mask must fail")
+	}
+}
+
+// TestQuantisationErrorBound: arbitrary floats survive the fixed-point
+// round trip within 2^-(bits+1) per element.
+func TestQuantisationErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const bits = 24
+	scale := ScaleFor(bits)
+	tt := tensor.New(64)
+	for i := range tt.Data {
+		tt.Data[i] = rng.NormFloat64()
+	}
+	q := Quantise(tt, scale, 1)
+	back := make([]float64, len(q.Levels))
+	Dequantise(q.Levels, scale, back)
+	bound := math.Ldexp(1, -(bits + 1))
+	for i, v := range tt.Data {
+		if diff := math.Abs(back[i] - v); diff > bound {
+			t.Fatalf("elem %d: error %v exceeds %v", i, diff, bound)
+		}
+	}
+	// Dyadic values with ≤ bits fractional bits are exact.
+	for i := range tt.Data {
+		tt.Data[i] = dyadic(7, i)
+	}
+	q = Quantise(tt, scale, 3)
+	Dequantise(q.Levels, scale, back)
+	for i, v := range tt.Data {
+		if back[i] != 3*v {
+			t.Fatalf("dyadic elem %d: %v != %v", i, back[i], 3*v)
+		}
+	}
+}
+
+// TestEnclaveAggregatesSealedUpdates: sealed updates fold inside the
+// enclave; only the aggregate mean crosses the world boundary and it
+// matches the plaintext weighted mean bit for bit.
+func TestEnclaveAggregatesSealedUpdates(t *testing.T) {
+	enc, err := NewEnclave("agg-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+
+	const n, round = 3, 0
+	idx := []int{1, 4}
+	shapes := [][]int{{2, 2}, {3}}
+	type client struct {
+		ch  *tz.Channel
+		upd []*tensor.Tensor
+	}
+	clients := make([]client, n)
+	var updates [][]*tensor.Tensor
+	var weights []float64
+	for i := range clients {
+		offerID, pub, err := enc.NewOffer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientOffer, err := tz.NewChannelOffer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := clientOffer.Establish(pub, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Establish(offerID, fmt.Sprintf("c%d", i), clientOffer.Public); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = client{ch: ch, upd: dyadicUpdate(i, shapes)}
+		updates = append(updates, clients[i].upd)
+		weights = append(weights, float64(i+1))
+	}
+
+	if err := enc.Begin(round, idx, shapes); err != nil {
+		t.Fatal(err)
+	}
+	before := enc.Device().SecureMemory().InUse()
+	if before == 0 {
+		t.Fatal("round accumulator not charged to secure memory")
+	}
+	for i, c := range clients {
+		sealed := c.ch.Seal(wire.EncodeSealedUpdate(idx, c.upd))
+		if err := enc.Fold(fmt.Sprintf("c%d", i), round, sealed, weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Double fold must be rejected atomically.
+	sealed := clients[0].ch.Seal(wire.EncodeSealedUpdate(idx, clients[0].upd))
+	if err := enc.Fold("c0", round, sealed, 1); err == nil {
+		t.Fatal("double fold must fail")
+	}
+	if _, err := enc.Finish(round, n+1); err == nil {
+		t.Fatal("count mismatch must fail")
+	}
+	mean, err := enc.Finish(round, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := []*tensor.Tensor{tensor.New(2, 2), tensor.New(3)}
+	want := plainWeightedMean(updates, weights, ref)
+	for k := range mean {
+		for j := range mean[k].Data {
+			if mean[k].Data[j] != want[k].Data[j] {
+				t.Fatalf("tensor %d elem %d: enclave %v != plaintext %v", k, j, mean[k].Data[j], want[k].Data[j])
+			}
+		}
+	}
+	if after := enc.Device().SecureMemory().InUse(); after != 0 {
+		t.Fatalf("secure memory not released: %d bytes in use", after)
+	}
+	if enc.Device().SMCCount() == 0 {
+		t.Fatal("enclave work must cross the world boundary")
+	}
+}
+
+// TestEnclaveRejectsBadFolds: validation failures leave the round
+// accumulator untouched and further folds still work.
+func TestEnclaveRejectsBadFolds(t *testing.T) {
+	enc, err := NewEnclave("agg-bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+
+	offerID, pub, err := enc.NewOffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientOffer, err := tz.NewChannelOffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := clientOffer.Establish(pub, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Establish(offerID, "c0", clientOffer.Public); err != nil {
+		t.Fatal(err)
+	}
+
+	idx := []int{0}
+	shapes := [][]int{{2}}
+	if err := enc.Begin(1, idx, shapes); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Fold("ghost", 1, nil, 1); err == nil {
+		t.Fatal("unknown device must fail")
+	}
+	if err := enc.Fold("c0", 1, []byte{1, 2, 3}, 1); err == nil {
+		t.Fatal("garbage seal must fail")
+	}
+	wrongIdx := ch.Seal(wire.EncodeSealedUpdate([]int{5}, []*tensor.Tensor{tensor.Full(1, 2)}))
+	if err := enc.Fold("c0", 1, wrongIdx, 1); err == nil {
+		t.Fatal("wrong protected index must fail")
+	}
+	good := ch.Seal(wire.EncodeSealedUpdate(idx, []*tensor.Tensor{tensor.Full(0.5, 2)}))
+	if err := enc.Fold("c0", 1, good, 1); err != nil {
+		t.Fatal(err)
+	}
+	mean, err := enc.Finish(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean[0].Data[0] != 0.5 {
+		t.Fatalf("mean = %v", mean[0].Data)
+	}
+	// A sealed update may list the protected tensors in any order: the
+	// real GradSec trainer does not sort its layer enumeration.
+	if err := enc.Begin(3, []int{2, 7}, [][]int{{2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	permuted := ch.Seal(wire.EncodeSealedUpdate([]int{7, 2},
+		[]*tensor.Tensor{tensor.Full(3, 3), tensor.Full(1, 2)}))
+	if err := enc.Fold("c0", 3, permuted, 1); err != nil {
+		t.Fatal(err)
+	}
+	mean, err = enc.Finish(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean[0].Data[0] != 1 || mean[1].Data[0] != 3 {
+		t.Fatalf("permuted fold landed wrong: %v / %v", mean[0].Data, mean[1].Data)
+	}
+	// Duplicate coverage of one protected index must still be rejected.
+	if err := enc.Begin(4, []int{2, 7}, [][]int{{2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	dup := ch.Seal(wire.EncodeSealedUpdate([]int{2, 2},
+		[]*tensor.Tensor{tensor.Full(1, 2), tensor.Full(1, 2)}))
+	if err := enc.Fold("c0", 4, dup, 1); err == nil {
+		t.Fatal("duplicate protected index must fail")
+	}
+	enc.Abort(4)
+	enc.Abort(2) // aborting an unknown round is a no-op
+	if got := enc.Device().SecureMemory().InUse(); got != 0 {
+		t.Fatalf("secure memory leaked: %d", got)
+	}
+}

@@ -256,6 +256,11 @@ func (r *Reader) fail(what string) {
 	}
 }
 
+// Fail marks the input corrupt with a sticky error — for consumers
+// whose message-level invariants (fixed-size fields, structural
+// checks) go beyond what the primitive readers can see.
+func (r *Reader) Fail(what string) { r.fail(what) }
+
 // Uvarint reads an unsigned varint.
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
@@ -352,21 +357,23 @@ func (r *Reader) float64sInto(dst []float64) {
 	r.off += need
 }
 
-// Tensor reads a tensor; returns nil for the nil marker. The reader's
-// Codec must match the encoding.
-func (r *Reader) Tensor() *tensor.Tensor {
+// tensorHeader reads the shared tensor prelude — rank and dims — and
+// charges the decode-amplification budget. It returns (0, nil) with no
+// error for the nil-tensor marker, and a nil shape with a sticky error
+// on corrupt input.
+func (r *Reader) tensorHeader() (size int, shape []int) {
 	rank := r.Uvarint()
 	if r.err != nil {
-		return nil
+		return 0, nil
 	}
 	if rank == 0xFF {
-		return nil
+		return 0, nil
 	}
 	if rank == 0 || rank > MaxDims {
 		r.fail("tensor rank")
-		return nil
+		return 0, nil
 	}
-	shape := make([]int, rank)
+	shape = make([]int, rank)
 	// Accumulate the element count in uint64 with a per-step cap: each
 	// dim is ≤ 2²⁷ and the running product is re-checked after every
 	// multiply, so the product never exceeds 2⁵⁴ — no overflow even
@@ -376,20 +383,20 @@ func (r *Reader) Tensor() *tensor.Tensor {
 	for i := range shape {
 		d := r.Uvarint()
 		if r.err != nil {
-			return nil
+			return 0, nil
 		}
 		if d > uint64(MaxFrame) {
 			r.fail("tensor dim")
-			return nil
+			return 0, nil
 		}
 		shape[i] = int(d)
 		size64 *= d
 		if size64 > MaxFrame {
 			r.fail("tensor size")
-			return nil
+			return 0, nil
 		}
 	}
-	size := int(size64)
+	size = int(size64)
 	// Decode-amplification budget: q8 spends 1 payload byte per 8-byte
 	// float64, so payload-proportional checks alone would let a 128 MiB
 	// frame materialise ~1 GiB. Cap the total decoded tensor data per
@@ -398,6 +405,16 @@ func (r *Reader) Tensor() *tensor.Tensor {
 	r.decoded += 8 * size
 	if r.decoded > MaxFrame {
 		r.fail("tensor size")
+		return 0, nil
+	}
+	return size, shape
+}
+
+// Tensor reads a tensor; returns nil for the nil marker. The reader's
+// Codec must match the encoding.
+func (r *Reader) Tensor() *tensor.Tensor {
+	size, shape := r.tensorHeader()
+	if r.err != nil || shape == nil {
 		return nil
 	}
 	// Payload-size check per codec before any allocation.
@@ -429,24 +446,35 @@ func (r *Reader) Tensor() *tensor.Tensor {
 	return tensor.FromSlice(data, shape...)
 }
 
-// TensorList reads a list written by Writer.TensorList.
-func (r *Reader) TensorList() []*tensor.Tensor {
+// readList decodes a length-prefixed list of elements, each costing at
+// least one encoded byte: the count claim is checked against the
+// remaining payload, the initial allocation is capped so a hostile
+// claim alone cannot force a large allocation, and decoding stops with
+// the reader's sticky error at the first corrupt element. Shared by
+// every list decoder in the package.
+func readList[T any](r *Reader, what string, elem func(*Reader) T) []T {
 	n := r.Uvarint()
 	if r.err != nil {
 		return nil
 	}
-	if n > uint64(len(r.buf)-r.off) { // each tensor costs ≥1 byte
-		r.fail("tensor list length")
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail(what)
 		return nil
 	}
-	out := make([]*tensor.Tensor, n)
-	for i := range out {
-		out[i] = r.Tensor()
+	out := make([]T, 0, min(n, 4096))
+	for i := uint64(0); i < n; i++ {
+		e := elem(r)
 		if r.err != nil {
 			return nil
 		}
+		out = append(out, e)
 	}
 	return out
+}
+
+// TensorList reads a list written by Writer.TensorList.
+func (r *Reader) TensorList() []*tensor.Tensor {
+	return readList(r, "tensor list length", (*Reader).Tensor)
 }
 
 // WriteFrame writes a framed message: type byte, 4-byte big-endian
