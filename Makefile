@@ -5,13 +5,17 @@
 #   make test         full test suite, race detector enabled
 #   make fuzz-check   run the fuzz corpora in regression mode (no fuzzing)
 #   make bench        all artefact + fleet benchmarks (one iteration each)
-#   make bench-fleet  fixed-benchtime fleet benchmarks -> bench-fleet.txt
-#   make bench-secagg secagg privacy-ladder benchmarks -> bench-secagg.txt
+#   make bench-fleet  fixed-benchtime fleet benchmarks -> bench/fleet.txt
+#   make bench-secagg secagg privacy-ladder benchmarks -> bench/secagg.txt
+#   make bench-hier   hierarchical fan-in benchmarks   -> bench/hier.txt
+#   make bench-smoke  every benchmark once, small cases only (CI)
 #   make check        build + vet + test + fuzz regression (CI gate)
+#
+# Benchmark artefacts land in the git-ignored bench/ directory.
 
 GO ?= go
 
-.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg check
+.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg bench-hier bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -40,8 +44,9 @@ bench:
 # the file first so a failing run propagates its exit status (a bare
 # pipe into tee would mask it).
 bench-fleet:
-	$(GO) test -run xxx -bench 'BenchmarkFleetRound' -benchtime=2x -benchmem . > bench-fleet.txt; \
-	status=$$?; cat bench-fleet.txt; exit $$status
+	@mkdir -p bench
+	$(GO) test -run xxx -bench 'BenchmarkFleetRound' -benchtime=2x -benchmem . > bench/fleet.txt; \
+	status=$$?; cat bench/fleet.txt; exit $$status
 
 check: build vet test fuzz-check
 
@@ -49,5 +54,20 @@ check: build vet test fuzz-check
 # 64/256/1024 clients. Pairwise masking is O(cohort² · model) in mask
 # expansion, so the 1024-client masked rounds need a raised timeout.
 bench-secagg:
-	$(GO) test -run xxx -bench 'BenchmarkSecAggRound' -benchtime=1x -benchmem -timeout 60m . > bench-secagg.txt; \
-	status=$$?; cat bench-secagg.txt; exit $$status
+	@mkdir -p bench
+	$(GO) test -run xxx -bench 'BenchmarkSecAggRound' -benchtime=1x -benchmem -timeout 60m . > bench/secagg.txt; \
+	status=$$?; cat bench/secagg.txt; exit $$status
+
+# Hierarchical fan-in benchmark: flat server vs sharded root over
+# protocol stubs at 4096/16384 simulated clients. The flat 16384-client
+# baseline alone runs for minutes — that asymmetry is the result.
+bench-hier:
+	@mkdir -p bench
+	$(GO) test -run xxx -bench 'BenchmarkHierRound' -benchtime=1x -benchmem -timeout 60m . > bench/hier.txt; \
+	status=$$?; cat bench/hier.txt; exit $$status
+
+# CI benchmark smoke: run every benchmark exactly once with the heavy
+# cases gated behind -short, so bench code can neither rot uncompiled
+# nor unrun.
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x -timeout 20m ./...

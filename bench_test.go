@@ -14,10 +14,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/gradsec/gradsec"
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/hier"
 	"github.com/gradsec/gradsec/internal/repro"
+	"github.com/gradsec/gradsec/internal/tensor"
 )
 
 func benchArtefact(b *testing.B, id string) {
@@ -81,6 +85,9 @@ func BenchmarkAblationEnclave(b *testing.B) { benchArtefact(b, "ablation-enclave
 func BenchmarkFleetRound(b *testing.B) {
 	for _, clients := range []int{64, 256, 1024} {
 		for _, codec := range []gradsec.Codec{gradsec.CodecF64, gradsec.CodecF32, gradsec.CodecQ8} {
+			if testing.Short() && clients > 64 {
+				continue // CI bench smoke: compile-and-run, smallest case only
+			}
 			b.Run(fmt.Sprintf("clients=%d/codec=%s", clients, codec), func(b *testing.B) {
 				model := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU)
 				params := 0
@@ -113,6 +120,176 @@ func BenchmarkFleetRound(b *testing.B) {
 	}
 }
 
+// benchModel builds the LeNet-5 flat state used by the fan-in
+// benchmarks.
+func benchModel() []*tensor.Tensor {
+	return gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU).StateDict()
+}
+
+// runFlatStubRound drives one flat FL round against `fleet` stub
+// clients that answer every ModelDown with one precomputed GradUp
+// frame. The stubs spend no cycles on training or encoding, so the
+// measured work is the server's own fan-in: `fleet` model
+// distributions, `fleet` update decodes, `fleet` folds.
+func runFlatStubRound(b *testing.B, fleet int, state []*tensor.Tensor) {
+	b.Helper()
+	upd := make([]*tensor.Tensor, len(state))
+	for i, t := range state {
+		upd[i] = tensor.Full(0.25, t.Shape...)
+	}
+	payload := fl.EncodeMessageCodec(&fl.GradUp{Round: 0, Plain: upd}, gradsec.CodecF64)
+	conns := make([]fl.Conn, fleet)
+	var wg sync.WaitGroup
+	for i := range conns {
+		server, client := fl.Pipe()
+		conns[i] = server
+		wg.Add(1)
+		go func(id int, c fl.Conn) {
+			defer wg.Done()
+			defer c.Close()
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			ch, ok := msg.(*fl.Challenge)
+			if !ok {
+				return
+			}
+			if err := c.Send(&fl.Attest{DeviceID: fmt.Sprintf("stub-%05d", id), Codec: ch.Codec}); err != nil {
+				return
+			}
+			for {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				switch m.(type) {
+				case *fl.ModelDown:
+					if err := c.SendFrame(fl.MsgGradUp, payload); err != nil {
+						return
+					}
+				default:
+					return // Done or teardown
+				}
+			}
+		}(i, client)
+	}
+	srv := fl.NewServer(state, fl.ServerConfig{Rounds: 1})
+	if _, err := srv.Run(conns); err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// runHierStubRound drives one hierarchical FL round against `shards`
+// stub edges, each representing fleet/shards clients through one
+// precomputed PartialUp frame. The measured work is the root's fan-in:
+// `shards` ShardDown broadcasts, `shards` partial decodes and folds —
+// independent of the fleet size the partials claim to represent.
+func runHierStubRound(b *testing.B, fleet, shards int, state []*tensor.Tensor) {
+	b.Helper()
+	shardSize := fleet / shards
+	sum := make([]*tensor.Tensor, len(state))
+	for i, t := range state {
+		sum[i] = tensor.Full(0.25*float64(shardSize), t.Shape...)
+	}
+	payload := fl.EncodeMessageCodec(&fl.PartialUp{
+		Round: 0, Sum: sum, Weight: float64(shardSize),
+		Count: uint64(shardSize), Sampled: uint64(shardSize),
+	}, gradsec.CodecF64)
+	conns := make([]fl.Conn, shards)
+	var wg sync.WaitGroup
+	for s := range conns {
+		rootSide, edgeSide := fl.Pipe()
+		conns[s] = rootSide
+		wg.Add(1)
+		go func(id int, c fl.Conn) {
+			defer wg.Done()
+			defer c.Close()
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			ch, ok := msg.(*fl.Challenge)
+			if !ok {
+				return
+			}
+			if err := c.Send(&fl.Attest{DeviceID: fmt.Sprintf("edge-%03d", id), Codec: ch.Codec}); err != nil {
+				return
+			}
+			for {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				switch m.(type) {
+				case *fl.ShardDown:
+					if err := c.SendFrame(fl.MsgPartialUp, payload); err != nil {
+						return
+					}
+				default:
+					return // Done or teardown
+				}
+			}
+		}(s, edgeSide)
+	}
+	root := hier.NewRoot(state, hier.RootConfig{Rounds: 1, MinShards: shards})
+	if _, err := root.Run(conns); err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// BenchmarkHierRound isolates root-side fan-in cost across the
+// hierarchy design space: one FL round of the LeNet-5 model over
+// protocol stubs that answer instantly (no training, no client-side
+// encode), so ns/op and B/op measure what the aggregation tier itself
+// must do per round. "flat" is the single-tier baseline — the server
+// fans in every client directly and its cost grows with the fleet;
+// "shards=K" is the hierarchical root fanning in K edge partials —
+// its cost grows with K and stays flat as the fleet behind the edges
+// quadruples from 4096 to 16384 (the acceptance claim of PR 4).
+// End-to-end hierarchy correctness at these sizes is covered by the
+// flsim multi-tier scenarios. EXPERIMENTS.md records a reference run.
+func BenchmarkHierRound(b *testing.B) {
+	for _, fleet := range []int{4096, 16384} {
+		for _, shards := range []int{0, 16, 64} { // 0 = flat baseline
+			if testing.Short() && (fleet > 4096 || shards == 0) {
+				continue // CI bench smoke: the flat 4096/16384-client fan-ins dominate
+			}
+			name := fmt.Sprintf("fleet=%d/mode=flat", fleet)
+			if shards > 0 {
+				name = fmt.Sprintf("fleet=%d/mode=shards-%d", fleet, shards)
+			}
+			b.Run(name, func(b *testing.B) {
+				model := benchModel()
+				params := 0
+				for _, t := range model {
+					params += t.Size()
+				}
+				// Root-side logical traffic: one model down and one
+				// aggregate-sized payload up per fan-in peer.
+				peers := fleet
+				if shards > 0 {
+					peers = shards
+				}
+				b.SetBytes(int64(2 * peers * params * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					state := benchModel()
+					b.StartTimer()
+					if shards == 0 {
+						runFlatStubRound(b, fleet, state)
+					} else {
+						runHierStubRound(b, fleet, shards, state)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSecAggRound measures the cost of the privacy ladder at
 // fleet scale: one full FL cycle per mode over the LeNet-5 model.
 // "plain" is the PR 2 baseline (plaintext FedAvg), "masked" adds
@@ -135,6 +312,9 @@ func BenchmarkSecAggRound(b *testing.B) {
 	}
 	for _, clients := range []int{64, 256, 1024} {
 		for _, m := range modes {
+			if testing.Short() && clients > 64 {
+				continue // CI bench smoke: the 1024-client masked round alone takes minutes
+			}
 			b.Run(fmt.Sprintf("clients=%d/mode=%s", clients, m.name), func(b *testing.B) {
 				model := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU)
 				params := 0

@@ -2,6 +2,13 @@
 // a simulated TrustZone device training LeNet-5-mini on a synthetic local
 // corpus, with the server-distributed protection plan enforced by the
 // GradSec trusted application.
+//
+// The client is tier-agnostic: -addr may point at a flat flserver or at
+// a fledge edge aggregator — the round protocol is identical, so a
+// device cannot tell (and need not care) whether its aggregator is the
+// root or a shard of a larger hierarchy. Adaptive servers may switch
+// the session codec mid-run (CodecSwitch); the client follows any
+// switch up to its -codec cap.
 package main
 
 import (

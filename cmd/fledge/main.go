@@ -1,0 +1,123 @@
+// Command fledge runs a GradSec edge aggregator over TCP — the middle
+// tier of the hierarchical aggregation topology. Upstream it connects
+// to a flserver running in root mode (-edges); downstream it is a
+// complete FL server for its shard of flclient processes: TEE-aware
+// selection, cohort sampling, round deadlines, quarantine, codec
+// negotiation, and (when the root announces it) shard-scoped secure
+// aggregation. Each round it adopts the root's global model, folds its
+// shard into one partial aggregate, and forwards a single PartialUp
+// frame upstream — so the root's fan-in stays O(shards) however many
+// clients sit behind the edges.
+//
+// Example topology (one root, two edges, four clients):
+//
+//	flserver -edges 2 -rounds 3
+//	fledge -name edge-a -addr :7501 -clients 2
+//	fledge -name edge-b -addr :7502 -clients 2
+//	flclient -addr 127.0.0.1:7501 -name pi-1
+//	flclient -addr 127.0.0.1:7501 -name pi-2
+//	flclient -addr 127.0.0.1:7502 -name pi-3
+//	flclient -addr 127.0.0.1:7502 -name pi-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/hier"
+	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+func main() {
+	upstream := flag.String("upstream", "127.0.0.1:7443", "root server address (flserver -edges)")
+	addr := flag.String("addr", "127.0.0.1:7501", "listen address for this shard's clients")
+	name := flag.String("name", "edge", "edge aggregator name (shard identity at the root)")
+	clients := flag.Int("clients", 2, "shard clients to wait for")
+	minClients := flag.Int("min-clients", 1, "responders required per shard round")
+	sampleFraction := flag.Float64("sample-fraction", 0, "fraction of shard clients sampled per round (0 = all)")
+	sampleCount := flag.Int("sample-count", 0, "shard clients sampled per round (overrides -sample-fraction)")
+	deadline := flag.Duration("deadline", 0, "per-round shard deadline; stragglers are dropped (0 = wait forever)")
+	seed := flag.Int64("seed", 1, "shard cohort sampling seed")
+	codecName := flag.String("codec", "f64", "tensor wire codec offered to the shard's clients: f64, f32, or q8")
+	maxCodecName := flag.String("max-codec", "q8", "highest codec accepted from the root's offer for the model broadcast")
+	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-operation transport deadline (0 = none)")
+	quarantineRounds := flag.Int("quarantine-rounds", 0, "probation window for failed shard clients in rounds (0 = permanent exclusion)")
+	minRelease := flag.Int("min-release", 0, "shard-level secure-aggregation release floor: a shard partial folding fewer updates is never forwarded (0 = no floor)")
+	flag.Parse()
+
+	codec, err := wire.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxCodec, err := wire.ParseCodec(*maxCodecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := fl.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	fmt.Printf("fledge %s listening on %s; waiting for %d shard clients (downstream codec %s)\n",
+		*name, l.Addr(), *clients, codec)
+	conns := make([]fl.Conn, 0, *clients)
+	for len(conns) < *clients {
+		c, err := l.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		conns = append(conns, c)
+		fmt.Printf("shard client %d connected\n", len(conns))
+	}
+
+	up, err := fl.Dial(*upstream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolling with root at %s\n", *upstream)
+
+	// The model template mirrors the root's: shapes are what matter,
+	// values are overwritten by the root's broadcast each round.
+	template := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU).StateDict()
+	edge := hier.NewEdge(template, hier.EdgeConfig{
+		Name:     *name,
+		MaxCodec: maxCodec,
+		Server: fl.ServerConfig{
+			MinClients:       *minClients,
+			SampleFraction:   *sampleFraction,
+			SampleCount:      *sampleCount,
+			SampleSeed:       *seed,
+			RoundDeadline:    *deadline,
+			Codec:            codec,
+			IOTimeout:        *ioTimeout,
+			QuarantineRounds: *quarantineRounds,
+			MinRelease:       *minRelease,
+			Hooks: fl.Hooks{
+				ClientQuarantined: func(device string, reason error) {
+					fmt.Printf("quarantined %s: %v\n", device, reason)
+				},
+				RoundClosed: func(st fl.RoundStats) {
+					fmt.Printf("shard round %d: sampled %d, responded %d, dropped %d, reconciled %d\n",
+						st.Round, st.Sampled, st.Responded, st.Dropped, st.Reconciled)
+				},
+			},
+		},
+	})
+	if err := edge.Run(up, conns); err != nil {
+		fmt.Fprintf(os.Stderr, "edge session failed: %v\n", err)
+		os.Exit(1)
+	}
+	if edge.RejectedReason != "" {
+		fmt.Printf("rejected by root: %s\n", edge.RejectedReason)
+		return
+	}
+	fmt.Printf("%s: %d shard clients served across %d rounds; partials forwarded upstream\n",
+		*name, edge.Selected, edge.Rounds)
+}

@@ -3,6 +3,12 @@
 // enrolment: device keys are accepted on first use in this demo binary),
 // and drives -rounds FL cycles of the LeNet-5-mini model with the given
 // protection plan.
+//
+// With -edges N the binary runs as a hierarchical aggregation root
+// instead: it waits for N fledge edge-aggregator connections, broadcasts
+// the model once per round, and folds one partial aggregate per shard —
+// fan-in O(shards) instead of O(fleet). Clients then connect to the
+// fledge processes, not to this one.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"github.com/gradsec/gradsec/internal/core"
 	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/hier"
 	"github.com/gradsec/gradsec/internal/nn"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -37,11 +44,20 @@ func main() {
 	secAgg := flag.Bool("secagg", false, "secure aggregation: clients send pairwise-masked updates; protected layers aggregate inside a simulated server enclave")
 	secAggScale := flag.Int("secagg-scale", secagg.DefaultScaleBits, "fixed-point fractional bits for masked updates")
 	quarantineRounds := flag.Int("quarantine-rounds", 0, "probation window for failed clients in rounds (0 = permanent exclusion)")
+	minRelease := flag.Int("min-release", 0, "secure-aggregation release floor: rounds folding fewer updates never publish their aggregate (0 = no floor)")
+	adaptiveCodec := flag.Float64("adaptive-codec", 0, "adaptive codec downgrade: open the session at f64 and switch capable clients to q8 once the round update norm falls below this threshold (0 = off; flat mode only)")
+	edges := flag.Int("edges", 0, "hierarchical root mode: wait for this many fledge edge aggregators instead of clients (0 = flat server)")
+	minShards := flag.Int("min-shards", 0, "root mode: shard partials required per round (0 = all edges)")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*codecName)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *edges > 0 {
+		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale)
+		return
 	}
 
 	var protect []int
@@ -119,6 +135,8 @@ func main() {
 		SecAggScaleBits:  *secAggScale,
 		Enclave:          enclave,
 		QuarantineRounds: *quarantineRounds,
+		MinRelease:       *minRelease,
+		AdaptiveCodec:    *adaptiveCodec,
 		Hooks: fl.Hooks{
 			ClientQuarantined: func(device string, reason error) {
 				fmt.Printf("quarantined %s: %v\n", device, reason)
@@ -136,4 +154,56 @@ func main() {
 	}
 	fmt.Printf("session complete: %d clients, %d rounds, %d parameter tensors aggregated\n",
 		selected, *rounds, len(srv.State()))
+}
+
+// runRoot drives the hierarchical root: N edge aggregators instead of
+// N clients, one partial fold per shard per round.
+func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale int) {
+	global := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU)
+	l, err := fl.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	mode := "plain partial sums"
+	if secAgg {
+		mode = "masked ring partials (shard-scoped secure aggregation)"
+	}
+	fmt.Printf("flserver (root) listening on %s; waiting for %d edge aggregators (codec %s, %s)\n",
+		l.Addr(), edges, codec, mode)
+	conns := make([]fl.Conn, 0, edges)
+	for len(conns) < edges {
+		c, err := l.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		conns = append(conns, c)
+		fmt.Printf("edge %d connected\n", len(conns))
+	}
+	root := hier.NewRoot(global.StateDict(), hier.RootConfig{
+		Rounds:          rounds,
+		MinShards:       minShards,
+		ShardDeadline:   shardDeadline,
+		Codec:           codec,
+		SecAgg:          secAgg,
+		SecAggScaleBits: secAggScale,
+		MinRelease:      minRelease,
+		IOTimeout:       ioTimeout,
+		Hooks: hier.Hooks{
+			ShardDropped: func(shard string, reason error) {
+				fmt.Printf("dropped edge %s: %v\n", shard, reason)
+			},
+			RoundClosed: func(st fl.RoundStats) {
+				fmt.Printf("round %d: %d shards, sampled %d, responded %d, dropped %d, reconciled %d, |update| %.4f\n",
+					st.Round, st.Shards, st.Sampled, st.Responded, st.Dropped, st.Reconciled, st.UpdateNorm)
+			},
+		},
+	})
+	enrolled, err := root.Run(conns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "session failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("session complete: %d edge aggregators, %d rounds, fan-in O(shards) at the root\n",
+		enrolled, rounds)
 }

@@ -68,11 +68,23 @@
 // individual client's gradients, yet the aggregate is bit-identical
 // to plaintext FedAvg for the simulator's dyadic updates.
 //
+// Fleet scale comes from the hierarchical aggregation tier
+// (internal/hier, FleetScenario.Shards): the fleet is partitioned
+// across edge aggregators that each run the full round protocol
+// against their shard and forward one exact partial aggregate
+// upstream, so the root folds O(shards) frames instead of O(fleet)
+// and a round is bounded by the slowest shard. Partial sums compose
+// exactly — plain sums in f64, masked sums in the ring with
+// shard-scoped mask graphs — so the hierarchical aggregate is
+// bit-identical to flat FedAvg over the same fleet.
+//
 // Run `go run ./examples/fleet` for a full scenario walk-through,
-// `go run ./examples/secagg` for the secure-aggregation proof, or
-// `go run ./cmd/flserver -deadline 5s -sample-fraction 0.5 -codec q8`
-// plus several `go run ./cmd/flclient` processes for the engine over
-// real TCP.
+// `go run ./examples/secagg` for the secure-aggregation proof,
+// `go run ./examples/hier` for the flat-vs-hierarchy identity and
+// degradation demo, or `go run ./cmd/flserver -deadline 5s
+// -sample-fraction 0.5 -codec q8` plus several `go run ./cmd/flclient`
+// processes for the engine over real TCP (`flserver -edges N` plus
+// `cmd/fledge` processes for the two-tier topology).
 //
 // See examples/ for runnable programs and internal/repro for the code
 // that regenerates every table and figure of the paper.

@@ -98,6 +98,12 @@ func (a *Aggregator) AccumulateQ8(update []*wire.Q8Tensor, weight float64) error
 // Count returns the number of folded updates.
 func (a *Aggregator) Count() int { return a.count }
 
+// Sum returns the raw weighted sum Σ wᵢuᵢ of the folded updates. The
+// tensors alias the accumulator: hierarchical edges hand them straight
+// to the wire encoder and discard the aggregator, so no copy is made —
+// callers must not Add afterwards while still holding the slice.
+func (a *Aggregator) Sum() []*tensor.Tensor { return a.sum }
+
 // Weight returns the summed weight of the folded updates.
 func (a *Aggregator) Weight() float64 { return a.weight }
 

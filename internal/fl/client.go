@@ -68,8 +68,11 @@ type Client struct {
 	// RejectedReason is set when the server refused this client.
 	RejectedReason string
 	// NegotiatedCodec records the session's tensor codec after the
-	// handshake.
+	// handshake, tracking later adaptive switches (CodecSwitch).
 	NegotiatedCodec wire.Codec
+	// CodecSwitches counts mid-session codec switches applied by an
+	// adaptive server.
+	CodecSwitches int
 	// SecAgg records whether the session ran under secure aggregation.
 	SecAgg bool
 
@@ -107,7 +110,9 @@ func (c *Client) Run() error {
 	if codec > c.MaxCodec {
 		codec = c.MaxCodec
 	}
-	att := &Attest{DeviceID: c.trainer.DeviceID(), HasTEE: c.trainer.HasTEE(), Codec: codec}
+	// The true cap rides alongside the negotiated codec so an adaptive
+	// server can upgrade the session later without renegotiating.
+	att := &Attest{DeviceID: c.trainer.DeviceID(), HasTEE: c.trainer.HasTEE(), Codec: codec, Cap: c.MaxCodec}
 	if ch.SecAgg {
 		if c.EnclaveVerifier != nil {
 			if ch.AggQuote.DeviceID == "" {
@@ -173,6 +178,15 @@ func (c *Client) Run() error {
 			if err := c.handleMaskRecon(m); err != nil {
 				return err
 			}
+		case *CodecSwitch:
+			// Adaptive downgrade: every message from here on — in both
+			// directions — speaks the new codec.
+			if !m.Codec.Valid() || m.Codec > c.MaxCodec {
+				return fmt.Errorf("fl: server switched to codec %s beyond cap %s", m.Codec, c.MaxCodec)
+			}
+			c.conn.SetCodec(m.Codec)
+			c.NegotiatedCodec = m.Codec
+			c.CodecSwitches++
 		case *ErrorMsg:
 			return fmt.Errorf("fl: server error: %s", m.Text)
 		default:

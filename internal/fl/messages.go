@@ -33,6 +33,9 @@ const (
 	MsgMaskedUp
 	MsgMaskRecon
 	MsgMaskShares
+	MsgShardDown
+	MsgPartialUp
+	MsgCodecSwitch
 )
 
 // Message is one protocol unit.
@@ -117,6 +120,12 @@ type Attest struct {
 	// MaskPub is the client's pairwise-masking public key, required
 	// when the challenge announced SecAgg.
 	MaskPub []byte
+	// Cap is the client's true maximum codec, which may exceed the
+	// negotiated Codec when the server opened with a conservative offer.
+	// It lets an adaptive server upgrade the session codec later
+	// (CodecSwitch) without renegotiating. Absent (pre-adaptive peers)
+	// means the negotiated codec is also the cap.
+	Cap wire.Codec
 }
 
 // Kind implements Message.
@@ -132,6 +141,7 @@ func (m *Attest) encode(w *wire.Writer) {
 	w.Blob(m.ClientPub)
 	w.Uvarint(uint64(m.Codec))
 	w.Blob(m.MaskPub)
+	w.Uvarint(uint64(m.Cap))
 }
 
 func (m *Attest) decode(r *wire.Reader) {
@@ -147,6 +157,12 @@ func (m *Attest) decode(r *wire.Reader) {
 	}
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.MaskPub = r.Blob()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Cap = wire.Codec(r.Uvarint())
+	}
+	if m.Cap < m.Codec {
+		m.Cap = m.Codec // absent or stale cap: the spoken codec is proof
 	}
 }
 
@@ -400,6 +416,111 @@ func (m *MaskShares) decode(r *wire.Reader) {
 	})
 }
 
+// ShardDown distributes one round's global model from the hierarchy
+// root to an edge aggregator, which redistributes it to its shard of
+// clients under the edge's own downstream codec. Model tensors are
+// encoded with the root↔edge negotiated codec (the root serialises the
+// frame once per codec and broadcasts it — encode-once, like
+// ModelDown).
+type ShardDown struct {
+	Round int
+	Model []*tensor.Tensor
+}
+
+// Kind implements Message.
+func (*ShardDown) Kind() MsgType { return MsgShardDown }
+
+func (m *ShardDown) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Round))
+	w.TensorList(m.Model)
+}
+
+func (m *ShardDown) decode(r *wire.Reader) {
+	m.Round = int(r.Uvarint())
+	m.Model = r.TensorList()
+}
+
+// PartialUp carries one shard's folded round aggregate upstream: the
+// un-normalised weighted sum Σ wᵢuᵢ (plain sessions) or the per-tensor
+// ring sums of the shard's cancelled masked updates (secure
+// aggregation), plus the summed FedAvg weight and the shard's round
+// accounting. Partial sums always travel exactly — f64 tensors or raw
+// 64-bit ring words — regardless of the negotiated codec, because the
+// root's fold must be bit-identical to a flat aggregation of the same
+// fleet. Count 0 reports a shard round that failed (e.g. too few
+// responders): the root drops the shard for the round instead of the
+// session.
+type PartialUp struct {
+	Round int
+	// Sum is the plain weighted sum (nil in secure-aggregation mode).
+	Sum []*tensor.Tensor
+	// Levels are the shard's ring sums (nil in plain mode). Within the
+	// shard the pairwise masks have already cancelled (or been
+	// reconciled), so these compose additively in ℤ/2⁶⁴ at the root.
+	Levels []*wire.U64Tensor
+	// ScaleBits is the fixed-point precision of Levels.
+	ScaleBits uint8
+	// Weight is the shard's summed FedAvg weight (integer-valued in
+	// masked mode).
+	Weight float64
+	// Count is the number of client updates folded into the partial.
+	Count uint64
+	// Shard round accounting, folded into the root's RoundStats.
+	Sampled       uint64
+	Dropped       uint64
+	Quarantined   uint64
+	LateDiscarded uint64
+	Reconciled    uint64
+}
+
+// Kind implements Message.
+func (*PartialUp) Kind() MsgType { return MsgPartialUp }
+
+func (m *PartialUp) encode(w *wire.Writer) {
+	w.Uvarint(uint64(m.Round))
+	w.ExactTensorList(m.Sum)
+	w.U64TensorList(m.Levels)
+	w.Uvarint(uint64(m.ScaleBits))
+	w.Float64(m.Weight)
+	w.Uvarint(m.Count)
+	w.Uvarint(m.Sampled)
+	w.Uvarint(m.Dropped)
+	w.Uvarint(m.Quarantined)
+	w.Uvarint(m.LateDiscarded)
+	w.Uvarint(m.Reconciled)
+}
+
+func (m *PartialUp) decode(r *wire.Reader) {
+	m.Round = int(r.Uvarint())
+	m.Sum = r.ExactTensorList()
+	m.Levels = r.U64TensorList()
+	m.ScaleBits = uint8(r.Uvarint())
+	m.Weight = r.Float64()
+	m.Count = r.Uvarint()
+	m.Sampled = r.Uvarint()
+	m.Dropped = r.Uvarint()
+	m.Quarantined = r.Uvarint()
+	m.LateDiscarded = r.Uvarint()
+	m.Reconciled = r.Uvarint()
+}
+
+// CodecSwitch retunes the session's tensor codec mid-session (adaptive
+// per-round codec downgrade): every message after it — in both
+// directions — uses the new codec. The server only switches a client
+// whose Attest.Cap covers the target, and only between rounds; a
+// straggler's in-flight update encoded under the old codec will fail to
+// decode and quarantines the straggler, which the engine already
+// tolerates.
+type CodecSwitch struct {
+	Codec wire.Codec
+}
+
+// Kind implements Message.
+func (*CodecSwitch) Kind() MsgType { return MsgCodecSwitch }
+
+func (m *CodecSwitch) encode(w *wire.Writer) { w.Uvarint(uint64(m.Codec)) }
+func (m *CodecSwitch) decode(r *wire.Reader) { m.Codec = wire.Codec(r.Uvarint()) }
+
 // EncodeMessage serialises a message to a framed-payload byte slice
 // with the uncompressed f64 tensor codec.
 func EncodeMessage(m Message) []byte { return EncodeMessageCodec(m, wire.CodecF64) }
@@ -448,6 +569,12 @@ func DecodeMessageCodec(mt MsgType, payload []byte, codec wire.Codec) (Message, 
 		m = &MaskRecon{}
 	case MsgMaskShares:
 		m = &MaskShares{}
+	case MsgShardDown:
+		m = &ShardDown{}
+	case MsgPartialUp:
+		m = &PartialUp{}
+	case MsgCodecSwitch:
+		m = &CodecSwitch{}
 	default:
 		return nil, fmt.Errorf("fl: unknown message type %d", mt)
 	}

@@ -1,0 +1,208 @@
+package fl
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/secagg"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// Tests for the PR 4 policy surfaces: the count-capped secure-
+// aggregation release floor (ServerConfig.MinRelease), the adaptive
+// per-round codec downgrade (ServerConfig.AdaptiveCodec), and the
+// interaction of quarantine probation with cohort sampling.
+
+// TestSecAggMinReleaseFloor: a masked round whose folded cohort is
+// smaller than MinRelease never publishes its aggregate — the session
+// fails with ErrCohortTooSmall and the state stays untouched.
+func TestSecAggMinReleaseFloor(t *testing.T) {
+	build := func() []*testTrainer {
+		return []*testTrainer{
+			newTestTrainer("a", false, 2),
+			newTestTrainer("b", false, 4),
+			newTestTrainer("c", false, 6),
+		}
+	}
+
+	state := newState(1)
+	srv := NewServer(state, ServerConfig{Rounds: 1, SecAgg: true, MinRelease: 4})
+	_, err := runSession(t, srv, build())
+	if !errors.Is(err, secagg.ErrCohortTooSmall) {
+		t.Fatalf("err = %v, want ErrCohortTooSmall", err)
+	}
+	if state[0].Data[0] != 1 {
+		t.Fatalf("state mutated to %v despite a refused release", state[0].Data[0])
+	}
+
+	// At exactly the floor the round releases normally.
+	okState := newState(1)
+	okSrv := NewServer(okState, ServerConfig{Rounds: 1, SecAgg: true, MinRelease: 3})
+	if _, err := runSession(t, okSrv, build()); err != nil {
+		t.Fatal(err)
+	}
+	if okState[0].Data[0] != 5 { // 1 + mean(2,4,6)
+		t.Fatalf("state = %v, want 5", okState[0].Data[0])
+	}
+}
+
+// TestAdaptiveCodecDowngrade: with AdaptiveCodec set the session opens
+// at f64 and, once the applied update norm falls below the threshold,
+// every client whose cap allows it is switched to q8 — while a client
+// capped at f64 keeps the exact protocol to the end.
+func TestAdaptiveCodecDowngrade(t *testing.T) {
+	capped := newTestTrainer("capped", false, 0.25)
+	roomy := newTestTrainer("roomy", false, 0.25)
+	roomy.maxCodec = wire.CodecQ8
+
+	state := newState(0)
+	// The constant 0.25 update has norm 0.5 over the 2×2 tensor; any
+	// threshold above it triggers the switch after round 0.
+	srv := NewServer(state, ServerConfig{Rounds: 3, Codec: wire.CodecQ8, AdaptiveCodec: 10})
+	clients, err := runSession(t, srv, []*testTrainer{capped, roomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := clients[0].NegotiatedCodec; got != wire.CodecF64 {
+		t.Fatalf("capped client ended on %s, want f64", got)
+	}
+	if clients[0].CodecSwitches != 0 {
+		t.Fatalf("capped client saw %d switches, want 0", clients[0].CodecSwitches)
+	}
+	if got := clients[1].NegotiatedCodec; got != wire.CodecQ8 {
+		t.Fatalf("roomy client ended on %s, want q8", got)
+	}
+	if clients[1].CodecSwitches != 1 {
+		t.Fatalf("roomy client saw %d switches, want 1", clients[1].CodecSwitches)
+	}
+	// Every round folded both updates; the q8 rounds quantise the
+	// constant tensors exactly, so the model still lands on the exact
+	// value.
+	for r, st := range srv.Trace() {
+		if st.Responded != 2 {
+			t.Fatalf("round %d responded %d, want 2", r, st.Responded)
+		}
+	}
+	if got := state[0].Data[0]; got != 0.75 {
+		t.Fatalf("state = %v, want 0.75", got)
+	}
+}
+
+// TestAdaptiveCodecHoldsAboveThreshold: updates whose norm stays above
+// the threshold never trigger the downgrade.
+func TestAdaptiveCodecHoldsAboveThreshold(t *testing.T) {
+	tr := newTestTrainer("big-updates", false, 8)
+	tr.maxCodec = wire.CodecQ8
+	srv := NewServer(newState(0), ServerConfig{Rounds: 2, AdaptiveCodec: 0.01})
+	clients, err := runSession(t, srv, []*testTrainer{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clients[0].CodecSwitches != 0 || clients[0].NegotiatedCodec != wire.CodecF64 {
+		t.Fatalf("client switched to %s after %d switches, want none",
+			clients[0].NegotiatedCodec, clients[0].CodecSwitches)
+	}
+}
+
+// TestProbationReadmissionSampling: a client re-admitted after its
+// probation window must be eligible for the very next sample draw —
+// even when sampling is cohort-limited — and its failure round must
+// not leak a roster slot to later rounds.
+func TestProbationReadmissionSampling(t *testing.T) {
+	flaky := newTestTrainer("flaky", false, 2)
+	flaky.failOnRound = 0 // fails round 0 only, healthy afterwards
+	steady1 := newTestTrainer("steady1", false, 2)
+	steady2 := newTestTrainer("steady2", false, 2)
+
+	var sampledPerRound [][]string
+	srv := NewServer(newState(0), ServerConfig{
+		Rounds:           4,
+		QuarantineRounds: 1,
+		// SampleCount equal to the full fleet: the draw must include
+		// every eligible client, so the sampled list is exactly the
+		// eligibility set — cohort-limited sampling still draws from
+		// re-admitted clients because sample() clamps to the live set.
+		SampleCount: 3,
+		Hooks: Hooks{
+			RoundStarted: func(_ int, sampled []string) {
+				sampledPerRound = append(sampledPerRound, append([]string(nil), sampled...))
+			},
+		},
+	})
+	if _, err := runSession(t, srv, []*testTrainer{flaky, steady1, steady2}); err != nil {
+		t.Fatal(err)
+	}
+
+	contains := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	// Round 0: flaky sampled, fails, goes on probation for 1 round.
+	if !contains(sampledPerRound[0], "flaky") {
+		t.Fatalf("round 0 sample %v misses flaky", sampledPerRound[0])
+	}
+	// Round 1: on probation — excluded from the draw.
+	if contains(sampledPerRound[1], "flaky") {
+		t.Fatalf("round 1 sample %v includes a client on probation", sampledPerRound[1])
+	}
+	// Round 2: probation over — MUST be in the very next draw.
+	if !contains(sampledPerRound[2], "flaky") {
+		t.Fatalf("round 2 sample %v misses the re-admitted client", sampledPerRound[2])
+	}
+	trace := srv.Trace()
+	wantSampled := []int{3, 2, 3, 3}
+	wantResponded := []int{2, 2, 3, 3}
+	for r := range trace {
+		if trace[r].Sampled != wantSampled[r] || trace[r].Responded != wantResponded[r] {
+			t.Fatalf("round %d stats = %+v, want sampled %d responded %d",
+				r, trace[r], wantSampled[r], wantResponded[r])
+		}
+	}
+}
+
+// TestRepeatedFailureReQuarantine: a chronically failing client is
+// re-quarantined on every re-admission — sampled, failing, benched, in
+// a steady cycle — without ever shrinking the roster for the healthy
+// cohort or leaking a slot.
+func TestRepeatedFailureReQuarantine(t *testing.T) {
+	chronic := &alwaysFailTrainer{newTestTrainer("chronic", false, 1)}
+	steady := newTestTrainer("steady", false, 2)
+
+	var sampledPerRound [][]string
+	srv := NewServer(newState(0), ServerConfig{
+		Rounds:           6,
+		QuarantineRounds: 1,
+		Hooks: Hooks{
+			RoundStarted: func(_ int, sampled []string) {
+				sampledPerRound = append(sampledPerRound, append([]string(nil), sampled...))
+			},
+		},
+	})
+	serverErr, _, _, wg := startSession(srv, []Trainer{steady, chronic})
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	trace := srv.Trace()
+	for r := 0; r < 6; r++ {
+		// Even rounds: chronic is eligible, sampled, fails, re-benched.
+		// Odd rounds: chronic sits out; the roster holds exactly the
+		// steady client — no slot leaks in either direction.
+		wantSampled, wantQuarantined := 2, 1
+		if r%2 == 1 {
+			wantSampled, wantQuarantined = 1, 0
+		}
+		if trace[r].Sampled != wantSampled || trace[r].Quarantined != wantQuarantined || trace[r].Responded != 1 {
+			t.Fatalf("round %d stats = %+v, want sampled %d quarantined %d responded 1",
+				r, trace[r], wantSampled, wantQuarantined)
+		}
+		if got := len(sampledPerRound[r]); got != wantSampled {
+			t.Fatalf("round %d drew %d clients, want %d", r, got, wantSampled)
+		}
+	}
+}

@@ -24,6 +24,11 @@ var (
 	// complete: a surviving cohort member failed to reveal its round
 	// seeds with the dropped clients, leaving the folded sum masked.
 	ErrSecAggRecon = errors.New("fl: secure-aggregation mask reconciliation failed")
+	// ErrPartialProtected is returned when a hierarchical edge in
+	// secure-aggregation mode is given a protecting planner: sealed
+	// halves aggregate inside the root's enclave, which a shard partial
+	// cannot carry.
+	ErrPartialProtected = errors.New("fl: hierarchical secure-aggregation partials cannot carry protected tensors")
 )
 
 // runSecAggRound executes one secure-aggregation FL cycle. It mirrors
@@ -32,11 +37,13 @@ var (
 // sealed half of each update is aggregated inside the enclave, and a
 // round that drops stragglers runs a reconciliation phase where the
 // survivors reveal their round-scoped pair seeds with the dropped
-// clients so the unpaired mask residue can be subtracted.
-func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan arrival) error {
+// clients so the unpaired mask residue can be subtracted. In partial
+// mode the cancelled ring sums are returned instead of being
+// dequantised and applied.
+func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan arrival) (*Partial, error) {
 	alive := live(sessions, round)
 	if len(alive) < s.cfg.MinClients {
-		return fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
+		return nil, fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
 	}
 	sampled := s.sample(alive)
 
@@ -70,9 +77,13 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 		}
 	}
 	hasProtected := len(protIdx) > 0
+	if hasProtected && s.cfg.Partials {
+		s.closeRound(stats)
+		return nil, ErrPartialProtected
+	}
 	if hasProtected && s.cfg.Enclave == nil {
 		s.closeRound(stats)
-		return ErrSecAggNeedsEnclave
+		return nil, ErrSecAggNeedsEnclave
 	}
 	if hasProtected {
 		shapes := make([][]int, len(protIdx))
@@ -81,7 +92,7 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 		}
 		if err := s.cfg.Enclave.Begin(round, protIdx, shapes); err != nil {
 			s.closeRound(stats)
-			return fmt.Errorf("fl: enclave round begin: %w", err)
+			return nil, fmt.Errorf("fl: enclave round begin: %w", err)
 		}
 	}
 	finished := false
@@ -181,7 +192,15 @@ collect:
 		err := fmt.Errorf("%w: %d of %d sampled clients responded, need %d%s",
 			ErrNotEnoughClients, msum.Count(), stats.Sampled, s.cfg.MinClients, detail)
 		s.closeRound(stats)
-		return err
+		return nil, err
+	}
+	if s.cfg.MinRelease > 0 && msum.Count() < s.cfg.MinRelease {
+		// Below the release floor the aggregate approaches an individual
+		// update; the round fails before anything is dequantised. The
+		// enclave enforces the same floor independently at Finish.
+		err := fmt.Errorf("%w: %d of %d required for release", secagg.ErrCohortTooSmall, msum.Count(), s.cfg.MinRelease)
+		s.closeRound(stats)
+		return nil, err
 	}
 
 	// Every cohort member that did not fold — straggler, quarantined or
@@ -197,21 +216,31 @@ collect:
 	if len(unfolded) > 0 {
 		if err := s.reconcileMasks(round, unfolded, folded, msum, arrivals, &stats, &reasons); err != nil {
 			s.closeRound(stats)
-			return err
+			return nil, err
 		}
 		stats.Reconciled = len(unfolded)
+	}
+
+	if s.cfg.Partials {
+		// Hierarchical edge: the shard's masks have cancelled (or been
+		// reconciled), so the ring sums are clean partials that compose
+		// additively in ℤ/2⁶⁴ at the root — which dequantises exactly
+		// once over the whole fleet.
+		s.closeRound(stats)
+		return &Partial{Round: round, Levels: msum.Levels(), ScaleBits: s.cfg.SecAggScaleBits,
+			Weight: msum.Weight(), Count: msum.Count(), Stats: stats}, nil
 	}
 
 	mean, err := msum.Mean()
 	if err != nil {
 		s.closeRound(stats)
-		return err
+		return nil, err
 	}
 	if hasProtected {
 		encMean, err := s.cfg.Enclave.Finish(round, msum.Count())
 		if err != nil {
 			s.closeRound(stats)
-			return fmt.Errorf("fl: enclave round finish: %w", err)
+			return nil, fmt.Errorf("fl: enclave round finish: %w", err)
 		}
 		finished = true
 		for k, id := range protIdx {
@@ -221,7 +250,7 @@ collect:
 	stats.UpdateNorm = UpdateNorm(mean)
 	ApplyUpdate(s.state, mean, 1.0)
 	s.closeRound(stats)
-	return nil
+	return nil, nil
 }
 
 // protTensors selects the protected tensors in index order.

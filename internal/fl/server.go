@@ -88,6 +88,41 @@ type ServerConfig struct {
 	// masked layout stays uniform across the cohort.
 	Enclave *secagg.Enclave
 
+	// MinRelease, in secure-aggregation sessions, is the release floor:
+	// a round whose folded cohort is smaller than this never publishes
+	// its aggregate (ErrCohortTooSmall) — an aggregate over a tiny
+	// cohort approaches an individual update, defeating the masking.
+	// The same floor is armed inside the aggregation enclave when one
+	// is configured, so the sealed half is refused independently of the
+	// untrusted engine. 0 disables (MinClients still applies).
+	MinRelease int
+
+	// AdaptiveCodec, when positive, enables the per-round adaptive
+	// codec downgrade: the session opens at the exact f64 codec (the
+	// configured Codec offer is overridden) and once a round's applied
+	// UpdateNorm falls below this threshold the server switches every
+	// capable client (Attest.Cap ≥ q8) to the q8 codec for the rest of
+	// the session — early rounds keep full precision while updates are
+	// large, late rounds ship 8× smaller broadcasts once training has
+	// settled. The switch happens between rounds via CodecSwitch; a
+	// straggler racing it with an old-codec update fails to decode and
+	// is quarantined, which the engine already tolerates. Ignored in
+	// hierarchical partial mode (edges never observe the update norm —
+	// the root does).
+	AdaptiveCodec float64
+
+	// Partials turns the server into a hierarchical edge aggregator:
+	// StepRound returns the round's un-normalised partial aggregate
+	// (plain weighted sum, or cancelled ring sums under SecAgg) instead
+	// of applying the weighted mean to the server state. The caller
+	// forwards the partial upstream (internal/hier) where partials from
+	// every shard compose exactly. Protection plans are still honoured
+	// in plain mode (the edge unseals and folds protected halves like a
+	// flat trusted server); under SecAgg a protecting planner is
+	// rejected — sealed aggregation needs the root's enclave, which a
+	// shard partial cannot carry.
+	Partials bool
+
 	// QuarantineRounds, when positive, turns quarantine for training
 	// and protocol failures into probation: the client is excluded from
 	// sampling for that many subsequent rounds, then becomes eligible
@@ -158,6 +193,34 @@ type RoundStats struct {
 	WeightTotal float64
 	// UpdateNorm is the L2 norm of the applied aggregate update.
 	UpdateNorm float64
+	// Shards counts the edge partials folded into the round's aggregate
+	// in a hierarchical session (internal/hier); 0 in flat sessions. In
+	// a root's trace Sampled/Responded/Dropped/… are fleet-wide totals
+	// summed over the shard accounting each PartialUp carries.
+	Shards int
+}
+
+// Partial is one round's un-normalised aggregate, produced by a server
+// in hierarchical partial mode (ServerConfig.Partials) and forwarded
+// upstream as a PartialUp frame. Exactly one of Sum (plain) or Levels
+// (secure aggregation) is set.
+type Partial struct {
+	Round int
+	// Sum is Σ wᵢuᵢ over the shard's folded updates.
+	Sum []*tensor.Tensor
+	// Levels are the shard's ring sums with all pairwise masks
+	// cancelled or reconciled (nil at protected positions — always
+	// absent in partial mode).
+	Levels []*wire.U64Tensor
+	// ScaleBits is the fixed-point precision of Levels.
+	ScaleBits int
+	// Weight is the shard's summed FedAvg weight.
+	Weight float64
+	// Count is the number of folded client updates.
+	Count int
+	// Stats is the shard's round accounting, forwarded for root-side
+	// bookkeeping.
+	Stats RoundStats
 }
 
 // Server drives an FL training session over a set of client connections:
@@ -169,6 +232,18 @@ type Server struct {
 	state []*tensor.Tensor
 	rng   *mrand.Rand
 	trace []RoundStats
+
+	// Session lifecycle (Open → StepRound* → Close/Abort). Run drives
+	// the whole sequence; hierarchical edges step rounds under upstream
+	// control.
+	sessions []*session
+	arrivals chan arrival
+	done     chan struct{}
+	readers  sync.WaitGroup
+	opened   bool
+	shut     bool
+	// adapted latches the one-shot adaptive codec downgrade.
+	adapted bool
 }
 
 // NewServer creates a server owning the given initial global model state
@@ -198,6 +273,21 @@ func NewServer(state []*tensor.Tensor, cfg ServerConfig) *Server {
 	if cfg.SecAggScaleBits <= 0 || cfg.SecAggScaleBits > secagg.MaxScaleBits {
 		cfg.SecAggScaleBits = secagg.DefaultScaleBits
 	}
+	if cfg.MinRelease < 0 {
+		cfg.MinRelease = 0
+	}
+	if cfg.Partials {
+		cfg.AdaptiveCodec = 0 // edges never observe the update norm
+	}
+	if cfg.AdaptiveCodec > 0 {
+		cfg.Codec = wire.CodecF64 // adaptive sessions open exact
+	}
+	if cfg.Enclave != nil && cfg.MinRelease > 0 {
+		// Arm the release floor inside the TA before any round begins,
+		// so the sealed half is refused below the floor no matter what
+		// the untrusted engine later claims.
+		cfg.Enclave.SetMinRelease(cfg.MinRelease)
+	}
 	return &Server{cfg: cfg, state: state, rng: mrand.New(mrand.NewSource(cfg.SampleSeed))}
 }
 
@@ -216,6 +306,9 @@ type session struct {
 	hasTEE  bool
 	channel *tz.Channel
 	codec   wire.Codec
+	// cap is the client's true maximum codec (≥ codec); the adaptive
+	// downgrade may move codec up to it mid-session.
+	cap wire.Codec
 	// maskPub is the client's pairwise-masking public key (SecAgg).
 	maskPub []byte
 	// enclaveChannel marks a trusted channel held inside cfg.Enclave
@@ -255,6 +348,29 @@ const MaxExampleWeight = 1 << 20
 // client connections, then closes them with a Done carrying the final
 // model. It returns the number of selected clients.
 func (s *Server) Run(conns []Conn) (int, error) {
+	n, err := s.Open(conns)
+	if err != nil {
+		return n, err
+	}
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if _, err := s.StepRound(round); err != nil {
+			s.Abort()
+			return n, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+	}
+	return n, s.Close(nil)
+}
+
+// Open performs selection over the given client connections and starts
+// the session's per-connection readers. It returns the number of
+// selected clients; on error no session is open. Most callers use Run —
+// Open/StepRound/Close expose the round lifecycle to callers that pace
+// rounds externally, such as hierarchical edge aggregators driven by
+// their root.
+func (s *Server) Open(conns []Conn) (int, error) {
+	if s.opened {
+		return 0, errors.New("fl: session already open")
+	}
 	if s.cfg.RequireTEE && s.cfg.Verifier == nil {
 		return 0, errors.New("fl: RequireTEE set but no Verifier configured")
 	}
@@ -286,54 +402,131 @@ func (s *Server) Run(conns []Conn) (int, error) {
 	// One reader per session feeds a shared arrival channel so a
 	// straggler's late reply can surface (and be discarded) during any
 	// later round instead of desynchronising the protocol.
-	arrivals := make(chan arrival, len(sessions))
-	done := make(chan struct{})
-	var readers sync.WaitGroup
+	s.sessions = sessions
+	s.arrivals = make(chan arrival, len(sessions))
+	s.done = make(chan struct{})
 	for _, sess := range sessions {
-		readers.Add(1)
+		s.readers.Add(1)
 		go func(sess *session) {
-			defer readers.Done()
-			readLoop(sess, arrivals, done)
+			defer s.readers.Done()
+			readLoop(sess, s.arrivals, s.done)
 		}(sess)
 	}
-	shutdown := func() {
-		close(done)
-		for _, sess := range sessions {
-			_ = sess.conn.Close()
-		}
-		readers.Wait()
-	}
+	s.opened = true
+	return len(sessions), nil
+}
 
-	for round := 0; round < s.cfg.Rounds; round++ {
-		var err error
-		if s.cfg.SecAgg {
-			err = s.runSecAggRound(round, sessions, arrivals)
-		} else {
-			err = s.runRound(round, sessions, arrivals)
-		}
-		if err != nil {
-			shutdown()
-			return len(sessions), fmt.Errorf("fl: round %d: %w", round, err)
-		}
+// StepRound executes one FL cycle over the open session. In the default
+// mode the round's weighted-mean update is applied to the server state
+// and StepRound returns (nil, nil); in hierarchical partial mode
+// (ServerConfig.Partials) the state is left untouched and the round's
+// partial aggregate is returned for upstream forwarding. Rounds must be
+// stepped with strictly increasing indices.
+func (s *Server) StepRound(round int) (*Partial, error) {
+	if !s.opened || s.shut {
+		return nil, errors.New("fl: StepRound outside an open session")
 	}
+	var p *Partial
+	var err error
+	if s.cfg.SecAgg {
+		p, err = s.runSecAggRound(round, s.sessions, s.arrivals)
+	} else {
+		p, err = s.runRound(round, s.sessions, s.arrivals)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.maybeAdaptCodec()
+	return p, nil
+}
 
-	// Best effort: a client that died after contributing does not fail
-	// the completed session. The final model is encoded once per codec
-	// and the shared frame broadcast, like ModelDown.
+// Close ends the open session: every non-quarantined client receives a
+// Done carrying the final model (the server's state when final is nil),
+// encoded once per negotiated codec and broadcast, then the connections
+// are torn down. Best effort: a client that died after contributing
+// does not fail the completed session.
+func (s *Server) Close(final []*tensor.Tensor) error {
+	if !s.opened || s.shut {
+		return nil
+	}
+	if final == nil {
+		final = s.state
+	}
 	finalFrames := make(map[wire.Codec][]byte)
-	for _, sess := range sessions {
+	for _, sess := range s.sessions {
 		if sess.quarantined {
 			continue
 		}
 		payload, ok := finalFrames[sess.codec]
 		if !ok {
-			payload = EncodeMessageCodec(&Done{Final: s.state}, sess.codec)
+			payload = EncodeMessageCodec(&Done{Final: final}, sess.codec)
 			finalFrames[sess.codec] = payload
 		}
 		_ = sess.conn.SendFrame(MsgDone, payload)
 	}
-	shutdown()
-	return len(sessions), nil
+	s.shutdown()
+	return nil
+}
+
+// Abort tears the open session down without a final-model broadcast
+// (failed rounds, upstream loss at a hierarchical edge). Safe to call
+// on an unopened or already-closed session.
+func (s *Server) Abort() { s.shutdown() }
+
+func (s *Server) shutdown() {
+	if !s.opened || s.shut {
+		return
+	}
+	s.shut = true
+	close(s.done)
+	for _, sess := range s.sessions {
+		_ = sess.conn.Close()
+	}
+	s.readers.Wait()
+}
+
+// SetState adopts new global model values in place (hierarchical edges
+// take the root's model each round). Shapes must match the
+// construction-time state.
+func (s *Server) SetState(model []*tensor.Tensor) error {
+	if len(model) != len(s.state) {
+		return fmt.Errorf("fl: model has %d tensors, state has %d", len(model), len(s.state))
+	}
+	for i, t := range model {
+		if t == nil || !t.SameShape(s.state[i]) {
+			return fmt.Errorf("fl: model tensor %d does not match state shape %v", i, s.state[i].Shape)
+		}
+	}
+	for i, t := range model {
+		copy(s.state[i].Data, t.Data)
+	}
+	return nil
+}
+
+// maybeAdaptCodec runs the one-shot adaptive downgrade after a round
+// closes: once the applied update norm falls below the threshold, every
+// capable client is switched to q8 for the rest of the session.
+func (s *Server) maybeAdaptCodec() {
+	if s.cfg.AdaptiveCodec <= 0 || s.adapted || len(s.trace) == 0 {
+		return
+	}
+	last := s.trace[len(s.trace)-1]
+	if last.UpdateNorm <= 0 || last.UpdateNorm >= s.cfg.AdaptiveCodec {
+		return
+	}
+	s.adapted = true
+	for _, sess := range s.sessions {
+		if sess.quarantined || sess.codec >= wire.CodecQ8 || sess.cap < wire.CodecQ8 {
+			continue
+		}
+		// Best effort: a client we cannot reach keeps its old codec and
+		// will be quarantined by the next round's distribution anyway.
+		if err := sess.conn.Send(&CodecSwitch{Codec: wire.CodecQ8}); err != nil {
+			continue
+		}
+		sess.codec = wire.CodecQ8
+		sess.conn.SetCodec(wire.CodecQ8)
+	}
 }
 
 // readLoop pumps one connection into the shared arrival channel until
@@ -468,6 +661,9 @@ func (s *Server) selectOne(conn Conn) *session {
 		s.reject(conn, fmt.Sprintf("codec %s exceeds offered %s", att.Codec, s.cfg.Codec))
 		return nil
 	}
+	if !att.Cap.Valid() {
+		att.Cap = att.Codec // an unknown claimed cap is no cap at all
+	}
 	if s.cfg.RequireTEE {
 		if !att.HasTEE {
 			s.reject(conn, "device has no TEE")
@@ -488,7 +684,7 @@ func (s *Server) selectOne(conn Conn) *session {
 			return nil
 		}
 	}
-	sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE, codec: att.Codec, maskPub: att.MaskPub}
+	sess := &session{conn: conn, device: att.DeviceID, hasTEE: att.HasTEE, codec: att.Codec, cap: att.Cap, maskPub: att.MaskPub}
 	if att.HasTEE && len(att.ClientPub) > 0 {
 		if enclaved {
 			if err := s.cfg.Enclave.Establish(offerID, att.DeviceID, att.ClientPub); err != nil {
@@ -595,11 +791,12 @@ func (s *Server) quarantineAt(sess *session, round int, probationable bool, reas
 
 // runRound executes one FL cycle: sample a cohort, distribute the model,
 // fold updates as they arrive (streaming FedAvg), and close the round at
-// the deadline with whoever responded.
-func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arrival) error {
+// the deadline with whoever responded. In partial mode the aggregate is
+// returned un-normalised instead of being applied.
+func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arrival) (*Partial, error) {
 	alive := live(sessions, round)
 	if len(alive) < s.cfg.MinClients {
-		return fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
+		return nil, fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
 	}
 	sampled := s.sample(alive)
 
@@ -711,17 +908,24 @@ collect:
 		err := fmt.Errorf("%w: %d of %d sampled clients responded, need %d%s",
 			ErrNotEnoughClients, agg.Count(), stats.Sampled, s.cfg.MinClients, detail)
 		s.closeRound(stats)
-		return err
+		return nil, err
+	}
+	if s.cfg.Partials {
+		// Hierarchical edge: hand the raw weighted sum upstream; the
+		// root normalises once over the whole fleet, so the hierarchy's
+		// arithmetic composes exactly.
+		s.closeRound(stats)
+		return &Partial{Round: round, Sum: agg.Sum(), Weight: agg.Weight(), Count: agg.Count(), Stats: stats}, nil
 	}
 	mean, err := agg.Mean()
 	if err != nil {
 		s.closeRound(stats)
-		return err
+		return nil, err
 	}
 	stats.UpdateNorm = UpdateNorm(mean)
 	ApplyUpdate(s.state, mean, 1.0)
 	s.closeRound(stats)
-	return nil
+	return nil, nil
 }
 
 func (s *Server) closeRound(stats RoundStats) {

@@ -101,6 +101,29 @@ type Scenario struct {
 	// the engine: failed clients sit out that many rounds instead of
 	// being excluded for the session.
 	QuarantineRounds int
+	// Shards, when > 1, runs the scenario through the hierarchical
+	// aggregation tier (internal/hier): the fleet is partitioned into
+	// that many contiguous shards, each served by an edge aggregator
+	// running the full round protocol, and the root folds one partial
+	// per shard per round. Client indices, device names, profiles, and
+	// weights are assigned exactly as in the flat run of the same
+	// scenario, so a full-participation hierarchical trace is
+	// bit-identical to the flat trace (asserted by the hier scenarios).
+	// Sampling, MinClients, and Deadline apply per shard. SecAgg
+	// composes (shard-scoped mask rosters); Protect does not (sealed
+	// aggregation needs the root's enclave).
+	Shards int
+	// MinShards is the root's per-round partial floor in hierarchical
+	// scenarios: rounds succeed while at least this many shards
+	// contribute. 0 requires every shard.
+	MinShards int
+	// ShardStragglers / ShardFailures, when non-empty (length must
+	// equal Shards), give each shard its own straggler/failure
+	// fraction, overriding the fleet-wide fractions — heterogeneous
+	// edge profiles (a congested cell, a flaky region) for hierarchy
+	// scenarios. Assignment stays seed-deterministic per shard.
+	ShardStragglers []float64
+	ShardFailures   []float64
 	// Seed drives every random choice in the scenario.
 	Seed int64
 	// Model is the initial global model; a small two-tensor model is
@@ -190,6 +213,47 @@ func (sc *Scenario) Validate() error {
 	if len(sc.Protect) > 0 && sc.NoTEEFraction > 0 {
 		return errors.New("flsim: protected tensors need a full-TEE fleet (NoTEEFraction must be 0)")
 	}
+	if sc.Shards < 0 || sc.Shards > sc.Clients {
+		return fmt.Errorf("flsim: %d shards for %d clients", sc.Shards, sc.Clients)
+	}
+	if sc.Shards > 1 {
+		if len(sc.Protect) > 0 && sc.SecAgg {
+			return errors.New("flsim: hierarchical secure aggregation cannot protect tensors (the sealed path needs the root's enclave)")
+		}
+		if sc.MinShards < 0 || sc.MinShards > sc.Shards {
+			return fmt.Errorf("flsim: MinShards %d outside [0,%d]", sc.MinShards, sc.Shards)
+		}
+		if sc.MinShards == 0 {
+			sc.MinShards = sc.Shards
+		}
+		checkFractions := func(name string, fs []float64) error {
+			if len(fs) == 0 {
+				return nil
+			}
+			if len(fs) != sc.Shards {
+				return fmt.Errorf("flsim: %s covers %d shards, scenario has %d", name, len(fs), sc.Shards)
+			}
+			for _, f := range fs {
+				if f < 0 || f > 1 {
+					return fmt.Errorf("flsim: %s fractions must be within [0,1]", name)
+				}
+			}
+			return nil
+		}
+		if err := checkFractions("ShardStragglers", sc.ShardStragglers); err != nil {
+			return err
+		}
+		if err := checkFractions("ShardFailures", sc.ShardFailures); err != nil {
+			return err
+		}
+		for _, f := range sc.ShardStragglers {
+			if f > 0 && sc.Deadline <= 0 {
+				return errors.New("flsim: ShardStragglers needs a Deadline")
+			}
+		}
+	} else if len(sc.ShardStragglers) > 0 || len(sc.ShardFailures) > 0 {
+		return errors.New("flsim: per-shard fractions need Shards > 1")
+	}
 	return nil
 }
 
@@ -252,9 +316,9 @@ type simClient struct {
 	seed    int64
 	failed  bool
 
-	channel *tz.Channel            // trusted I/O path, when the device has a TEE
-	mask    *secagg.ClientSession  // masking state in secagg sessions
-	cohort  []secagg.Peer          // roster of the round in flight
+	channel *tz.Channel           // trusted I/O path, when the device has a TEE
+	mask    *secagg.ClientSession // masking state in secagg sessions
+	cohort  []secagg.Peer         // roster of the round in flight
 	round   int
 }
 
@@ -402,6 +466,34 @@ type staticProtect map[int]bool
 // PlanRound implements fl.RoundPlanner.
 func (p staticProtect) PlanRound(int) (map[int]bool, []byte) { return p, nil }
 
+// buildClient provisions one simulated client — TEE device, TA install,
+// verifier registration — and returns it with the server side of its
+// transport pipe. Shared by the flat and hierarchical harnesses.
+func buildClient(i int, profile Profile, shapes [][]int, seed int64, verifier *tz.Verifier) (*simClient, fl.Conn, error) {
+	serverConn, clientConn := fl.Pipe()
+	c := &simClient{
+		index:   i,
+		profile: profile,
+		conn:    clientConn,
+		shapes:  shapes,
+		seed:    seed,
+	}
+	if !profile.NoTEE {
+		c.dev = tz.NewDevice(profile.Device)
+		c.app = &simTA{uuid: tz.NameUUID("flsim-ta")}
+		if err := c.dev.Install(c.app); err != nil {
+			return nil, nil, fmt.Errorf("flsim: installing TA on %s: %w", profile.Device, err)
+		}
+		verifier.RegisterDevice(c.dev.Identity().ID(), c.dev.Identity().RootKey())
+		m, err := c.dev.Measurement(c.app.UUID())
+		if err != nil {
+			return nil, nil, fmt.Errorf("flsim: measuring TA on %s: %w", profile.Device, err)
+		}
+		verifier.AllowMeasurement(m)
+	}
+	return c, serverConn, nil
+}
+
 // Run executes the scenario and returns its trace. The trace and final
 // model are identical across runs of the same scenario — including
 // under SecAgg, where the pairwise masks differ between runs but cancel
@@ -411,6 +503,10 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, err
 	}
 	profiles := assignProfiles(&sc)
+	if sc.Shards > 1 {
+		overrideShardProfiles(&sc, profiles)
+		return runHier(sc, profiles)
+	}
 	clk := simclock.NewVirtual(time.Unix(0, 0))
 	start := clk.Now()
 
@@ -440,29 +536,12 @@ func Run(sc Scenario) (*Result, error) {
 		shapes[i] = t.Shape
 	}
 	for i := range clients {
-		serverConn, clientConn := fl.Pipe()
-		serverConns[i] = serverConn
-		c := &simClient{
-			index:   i,
-			profile: profiles[i],
-			conn:    clientConn,
-			shapes:  shapes,
-			seed:    sc.Seed,
-		}
-		if !profiles[i].NoTEE {
-			c.dev = tz.NewDevice(profiles[i].Device)
-			c.app = &simTA{uuid: tz.NameUUID("flsim-ta")}
-			if err := c.dev.Install(c.app); err != nil {
-				return nil, fmt.Errorf("flsim: installing TA on %s: %w", profiles[i].Device, err)
-			}
-			verifier.RegisterDevice(c.dev.Identity().ID(), c.dev.Identity().RootKey())
-			m, err := c.dev.Measurement(c.app.UUID())
-			if err != nil {
-				return nil, fmt.Errorf("flsim: measuring TA on %s: %w", profiles[i].Device, err)
-			}
-			verifier.AllowMeasurement(m)
+		c, serverConn, err := buildClient(i, profiles[i], shapes, sc.Seed, verifier)
+		if err != nil {
+			return nil, err
 		}
 		clients[i] = c
+		serverConns[i] = serverConn
 	}
 
 	// The harness rides the engine hooks (all fired from the round

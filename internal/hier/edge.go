@@ -1,0 +1,203 @@
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/secagg"
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// EdgeConfig configures one edge aggregator.
+type EdgeConfig struct {
+	// Name identifies the edge to the root (shard identity; the root
+	// turns away duplicates).
+	Name string
+	// MaxCodec caps the upstream codec negotiation with the root. The
+	// zero value pins the exact f64 model broadcast.
+	MaxCodec wire.Codec
+	// Server configures the shard's round engine — sampling, deadlines,
+	// quarantine, codec offered to the shard's own clients, protection
+	// planner. Partials is forced on; Rounds is ignored (the root paces
+	// rounds); SecAgg and SecAggScaleBits are adopted from the root's
+	// enrolment challenge so the whole hierarchy quantises identically.
+	Server fl.ServerConfig
+}
+
+// Edge is one shard aggregator: downstream it is a complete FL server
+// for its clients (selection, sampling, deadlines, quarantine, secagg
+// masking with a shard-scoped roster); upstream it behaves like a
+// client of the root, adopting each round's global model and answering
+// with its shard's partial aggregate.
+type Edge struct {
+	cfg   EdgeConfig
+	state []*tensor.Tensor
+	srv   *fl.Server
+
+	// Selected is the number of shard clients that passed selection.
+	Selected int
+	// Rounds counts shard rounds stepped under root control.
+	Rounds int
+	// RejectedReason is set when the root refused this edge.
+	RejectedReason string
+}
+
+// NewEdge creates an edge aggregator owning the given model-shaped
+// state (values are overwritten by the root's broadcast each round).
+func NewEdge(state []*tensor.Tensor, cfg EdgeConfig) *Edge {
+	if cfg.Name == "" {
+		cfg.Name = "edge"
+	}
+	return &Edge{cfg: cfg, state: state}
+}
+
+// Trace returns the shard engine's per-round statistics.
+func (e *Edge) Trace() []fl.RoundStats {
+	if e.srv == nil {
+		return nil
+	}
+	return e.srv.Trace()
+}
+
+// Run participates in a hierarchical session: enrol with the root over
+// upstream, select the shard's clients, then serve rounds — adopt each
+// ShardDown model, run the shard round, forward the partial — until
+// the root sends Done (forwarded to the shard's clients) or Reject.
+func (e *Edge) Run(upstream fl.Conn, clients []fl.Conn) error {
+	defer upstream.Close()
+	msg, err := upstream.Recv()
+	if err != nil {
+		return fmt.Errorf("hier: awaiting enrolment challenge: %w", err)
+	}
+	ch, ok := msg.(*fl.Challenge)
+	if !ok {
+		if rej, isRej := msg.(*fl.Reject); isRej {
+			e.RejectedReason = rej.Reason
+			return nil
+		}
+		return fmt.Errorf("hier: expected Challenge, got %T", msg)
+	}
+	codec := ch.Codec
+	if codec > e.cfg.MaxCodec {
+		codec = e.cfg.MaxCodec
+	}
+	if err := upstream.Send(&fl.Attest{DeviceID: e.cfg.Name, Codec: codec, Cap: e.cfg.MaxCodec}); err != nil {
+		return fmt.Errorf("hier: enrolling: %w", err)
+	}
+	upstream.SetCodec(codec)
+
+	// The shard engine adopts the hierarchy-wide aggregation mode from
+	// the enrolment challenge and always runs in partial mode.
+	scfg := e.cfg.Server
+	scfg.Partials = true
+	scfg.SecAgg = ch.SecAgg
+	if ch.SecAgg {
+		scfg.SecAggScaleBits = int(ch.ScaleBits)
+	}
+	e.srv = fl.NewServer(e.state, scfg)
+
+	n, err := e.srv.Open(clients)
+	e.Selected = n
+	if err != nil {
+		// The shard cannot serve: tell the root and leave — the root
+		// degrades to the remaining shards.
+		_ = upstream.Send(&fl.ErrorMsg{Text: fmt.Sprintf("shard selection failed: %v", err)})
+		return fmt.Errorf("hier: shard selection: %w", err)
+	}
+	defer e.srv.Abort()
+
+	for {
+		msg, err := upstream.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("hier: root closed mid-session: %w", err)
+			}
+			return fmt.Errorf("hier: receiving from root: %w", err)
+		}
+		switch m := msg.(type) {
+		case *fl.Reject:
+			e.RejectedReason = m.Reason
+			return nil
+		case *fl.Done:
+			// Forward the fleet's final model to the shard's clients.
+			return e.srv.Close(m.Final)
+		case *fl.ShardDown:
+			if err := e.serveRound(upstream, m); err != nil {
+				return err
+			}
+		case *fl.ErrorMsg:
+			return fmt.Errorf("hier: root error: %s", m.Text)
+		default:
+			return fmt.Errorf("hier: unexpected message %T from root", msg)
+		}
+	}
+}
+
+// serveRound adopts the round's global model, runs the shard round,
+// and forwards the partial (or an empty partial when the shard round
+// failed — the shard stays enrolled and may recover as clients come
+// off probation).
+func (e *Edge) serveRound(upstream fl.Conn, m *fl.ShardDown) error {
+	if err := e.srv.SetState(m.Model); err != nil {
+		_ = upstream.Send(&fl.ErrorMsg{Text: err.Error()})
+		return fmt.Errorf("hier: adopting round %d model: %w", m.Round, err)
+	}
+	partial, err := e.srv.StepRound(m.Round)
+	e.Rounds++
+	if err != nil {
+		if errors.Is(err, fl.ErrNotEnoughClients) || errors.Is(err, fl.ErrSecAggRecon) || errors.Is(err, secagg.ErrCohortTooSmall) {
+			// A degraded shard round: report it and stay in the session.
+			up := &fl.PartialUp{Round: m.Round}
+			if st := e.lastStats(m.Round); st != nil {
+				fillShardStats(up, *st)
+			}
+			if sendErr := upstream.Send(up); sendErr != nil {
+				return fmt.Errorf("hier: reporting failed shard round %d: %w", m.Round, sendErr)
+			}
+			return nil
+		}
+		_ = upstream.Send(&fl.ErrorMsg{Text: err.Error()})
+		return fmt.Errorf("hier: shard round %d: %w", m.Round, err)
+	}
+	up := &fl.PartialUp{
+		Round:     partial.Round,
+		Sum:       partial.Sum,
+		Levels:    partial.Levels,
+		ScaleBits: uint8(partial.ScaleBits),
+		Weight:    partial.Weight,
+		Count:     uint64(partial.Count),
+	}
+	fillShardStats(up, partial.Stats)
+	if err := upstream.Send(up); err != nil {
+		return fmt.Errorf("hier: forwarding round %d partial: %w", partial.Round, err)
+	}
+	return nil
+}
+
+// lastStats returns the shard engine's stats for the given round, if
+// the round got far enough to record any.
+func (e *Edge) lastStats(round int) *fl.RoundStats {
+	trace := e.srv.Trace()
+	for i := len(trace) - 1; i >= 0; i-- {
+		if trace[i].Round == round {
+			return &trace[i]
+		}
+	}
+	return nil
+}
+
+// fillShardStats copies the shard round accounting onto the wire.
+func fillShardStats(up *fl.PartialUp, st fl.RoundStats) {
+	up.Sampled = uint64(st.Sampled)
+	up.Dropped = uint64(st.Dropped)
+	up.Quarantined = uint64(st.Quarantined)
+	up.LateDiscarded = uint64(st.LateDiscarded)
+	up.Reconciled = uint64(st.Reconciled)
+}
+
+// ShardState returns the edge's current model state (the last adopted
+// global model); exposed for tests and tooling.
+func (e *Edge) ShardState() []*tensor.Tensor { return e.state }

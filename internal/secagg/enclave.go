@@ -16,6 +16,11 @@ var (
 	ErrUnknownOffer  = errors.New("secagg: unknown channel offer")
 	ErrRoundMismatch = errors.New("secagg: enclave round state mismatch")
 	ErrAlreadyFolded = errors.New("secagg: device already folded this round")
+	// ErrCohortTooSmall rejects an aggregate release below the
+	// configured cohort floor: a "sum" over one or two updates is
+	// barely an aggregate at all, so the count-capped release policy
+	// refuses to publish it.
+	ErrCohortTooSmall = errors.New("secagg: cohort below release floor")
 )
 
 // DefaultEnclaveMemory sizes the aggregation enclave: server-grade TEEs
@@ -74,6 +79,11 @@ type aggState struct {
 	offers    map[uint64]*tz.ChannelOffer
 	channels  map[string]*tz.Channel
 	rounds    map[int]*enclaveRound
+	// minRelease is the count-capped release policy: Finish refuses to
+	// publish an aggregate folded from fewer updates. The floor lives
+	// in TA state and can only ever be raised, so the untrusted server
+	// cannot loosen the policy after arming it.
+	minRelease int
 }
 
 // enclaveRound is one round's in-enclave accumulator.
@@ -96,6 +106,7 @@ const (
 	cmdFold
 	cmdFinish
 	cmdAbort
+	cmdSetFloor
 )
 
 type offerResp struct {
@@ -274,6 +285,11 @@ func (*aggTA) Invoke(env *tz.TAEnv, state any, cmd uint32, req any) (any, error)
 		if er.count == 0 {
 			return nil, errors.New("secagg: enclave aggregating zero updates")
 		}
+		if er.count < st.minRelease {
+			// The accumulator is kept: the server may fold more updates
+			// and retry, but nothing below the floor ever crosses back.
+			return nil, fmt.Errorf("%w: enclave folded %d updates, release floor is %d", ErrCohortTooSmall, er.count, st.minRelease)
+		}
 		mean := make([]*tensor.Tensor, len(er.sum))
 		inv := 1 / er.weight
 		for k, s := range er.sum {
@@ -287,6 +303,12 @@ func (*aggTA) Invoke(env *tz.TAEnv, state any, cmd uint32, req any) (any, error)
 			releaseRound(env, st, round, er)
 		}
 		return nil, nil
+	case cmdSetFloor:
+		floor := req.(int)
+		if floor > st.minRelease {
+			st.minRelease = floor
+		}
+		return st.minRelease, nil
 	default:
 		return nil, fmt.Errorf("secagg: unknown enclave command %d", cmd)
 	}
@@ -398,6 +420,19 @@ func (e *Enclave) Finish(round int, count int) ([]*tensor.Tensor, error) {
 // Abort discards a round's accumulator (failed rounds).
 func (e *Enclave) Abort(round int) {
 	_, _ = e.invoke(cmdAbort, round)
+}
+
+// SetMinRelease arms the count-capped release policy: Finish refuses to
+// publish an aggregate folded from fewer than floor updates
+// (ErrCohortTooSmall). The floor is monotonic — a later call can raise
+// it but never lower it, so once armed the policy outlives any
+// misbehaviour of the untrusted server. It returns the effective floor.
+func (e *Enclave) SetMinRelease(floor int) int {
+	resp, err := e.invoke(cmdSetFloor, floor)
+	if err != nil {
+		return 0
+	}
+	return resp.(int)
 }
 
 // Close tears down the enclave session.

@@ -143,6 +143,25 @@ func (m *MaskedSum) ApplySeedMask(seed [32]byte, sign int) {
 	streamMask(seed, sign, active)
 }
 
+// Levels returns the ring sums as level tensors aligned with the
+// reference model (nil at protected positions) — the shard partial a
+// hierarchical edge forwards upstream once its masks have cancelled
+// (full fold) or been reconciled. The level slices alias the
+// accumulator: callers hand them to the wire encoder and discard the
+// MaskedSum, so no copy is made.
+func (m *MaskedSum) Levels() []*wire.U64Tensor {
+	out := make([]*wire.U64Tensor, len(m.ref))
+	for i, on := range m.active {
+		if !on {
+			continue
+		}
+		shape := make([]int, len(m.ref[i].Shape))
+		copy(shape, m.ref[i].Shape)
+		out[i] = &wire.U64Tensor{Shape: shape, Levels: m.sum[i]}
+	}
+	return out
+}
+
 // Count returns the number of folded updates.
 func (m *MaskedSum) Count() int { return m.count }
 

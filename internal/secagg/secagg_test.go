@@ -1,6 +1,7 @@
 package secagg
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -447,6 +448,73 @@ func TestEnclaveRejectsBadFolds(t *testing.T) {
 	}
 	enc.Abort(4)
 	enc.Abort(2) // aborting an unknown round is a no-op
+	if got := enc.Device().SecureMemory().InUse(); got != 0 {
+		t.Fatalf("secure memory leaked: %d", got)
+	}
+}
+
+// TestEnclaveMinReleaseFloor: the count-capped release policy lives in
+// TA state — Finish refuses to publish below the floor, the floor can
+// only be raised, and an under-floor round's accumulator survives so
+// further folds can still reach the floor.
+func TestEnclaveMinReleaseFloor(t *testing.T) {
+	enc, err := NewEnclave("agg-floor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Close()
+	if got := enc.SetMinRelease(3); got != 3 {
+		t.Fatalf("floor = %d, want 3", got)
+	}
+	// The floor is monotonic: an attempt to loosen it is ignored.
+	if got := enc.SetMinRelease(1); got != 3 {
+		t.Fatalf("floor lowered to %d — the policy must be monotonic", got)
+	}
+
+	const round = 0
+	idx := []int{0}
+	shapes := [][]int{{2}}
+	seal := func(i int) []byte {
+		offerID, pub, err := enc.NewOffer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientOffer, err := tz.NewChannelOffer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := clientOffer.Establish(pub, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Establish(offerID, fmt.Sprintf("f%d", i), clientOffer.Public); err != nil {
+			t.Fatal(err)
+		}
+		return ch.Seal(wire.EncodeSealedUpdate(idx, []*tensor.Tensor{tensor.Full(0.5, 2)}))
+	}
+	if err := enc.Begin(round, idx, shapes); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := enc.Fold(fmt.Sprintf("f%d", i), round, seal(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := enc.Finish(round, 2); !errors.Is(err, ErrCohortTooSmall) {
+		t.Fatalf("Finish below the floor = %v, want ErrCohortTooSmall", err)
+	}
+	// The refused round is still open: one more fold reaches the floor
+	// and the aggregate releases.
+	if err := enc.Fold("f2", round, seal(2), 1); err != nil {
+		t.Fatal(err)
+	}
+	mean, err := enc.Finish(round, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean[0].Data[0] != 0.5 {
+		t.Fatalf("mean = %v, want 0.5", mean[0].Data[0])
+	}
 	if got := enc.Device().SecureMemory().InUse(); got != 0 {
 		t.Fatalf("secure memory leaked: %d", got)
 	}

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/tensor"
+)
+
+// TestExactTensorListIgnoresCodec: partial-sum tensors round-trip bit
+// for bit under every negotiated codec — the exact encoding must not
+// inherit the session's lossy compression.
+func TestExactTensorListIgnoresCodec(t *testing.T) {
+	ts := []*tensor.Tensor{
+		tensor.FromSlice([]float64{1.0 / 3, -2.718281828, 1e-300, 42}, 2, 2),
+		nil,
+		tensor.FromSlice([]float64{0.1, 0.2, 0.3}, 3),
+	}
+	for _, codec := range []Codec{CodecF64, CodecF32, CodecQ8} {
+		w := NewWriter()
+		w.Codec = codec
+		w.ExactTensorList(ts)
+		if w.Codec != codec {
+			t.Fatalf("codec %s: writer codec clobbered to %s", codec, w.Codec)
+		}
+		r := NewReader(w.Bytes())
+		r.Codec = codec
+		got := r.ExactTensorList()
+		if err := r.Err(); err != nil {
+			t.Fatalf("codec %s: decode: %v", codec, err)
+		}
+		if r.Codec != codec {
+			t.Fatalf("codec %s: reader codec clobbered to %s", codec, r.Codec)
+		}
+		if len(got) != len(ts) {
+			t.Fatalf("codec %s: got %d tensors, want %d", codec, len(got), len(ts))
+		}
+		for i, want := range ts {
+			if want == nil {
+				if got[i] != nil {
+					t.Fatalf("codec %s: tensor %d should be nil", codec, i)
+				}
+				continue
+			}
+			for j, v := range want.Data {
+				if got[i].Data[j] != v {
+					t.Fatalf("codec %s: tensor %d elem %d = %v, want %v (exact)", codec, i, j, got[i].Data[j], v)
+				}
+			}
+		}
+	}
+}
+
+// TestExactTensorMatchesF64Encoding: under CodecF64 the exact encoding
+// is byte-identical to the regular tensor encoding, so pre-hierarchy
+// decoders could read it.
+func TestExactTensorMatchesF64Encoding(t *testing.T) {
+	ts := tensor.FromSlice([]float64{1, 2, 3.5}, 3)
+	a, b := NewWriter(), NewWriter()
+	a.ExactTensor(ts)
+	b.Tensor(ts)
+	if string(a.Bytes()) != string(b.Bytes()) {
+		t.Fatal("exact encoding diverges from the f64 tensor encoding")
+	}
+}
