@@ -8,6 +8,7 @@
 #   make bench-fleet  fixed-benchtime fleet benchmarks -> bench/fleet.txt
 #   make bench-secagg secagg privacy-ladder benchmarks -> bench/secagg.txt
 #   make bench-hier   hierarchical fan-in benchmarks   -> bench/hier.txt
+#   make bench-async  async buffered-federation benchmarks -> bench/async.txt
 #   make bench-smoke  every benchmark once, small cases only (CI)
 #   make check        build + vet + test + fuzz regression (CI gate)
 #
@@ -15,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg bench-hier bench-smoke check
+.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg bench-hier bench-async bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -65,6 +66,15 @@ bench-hier:
 	@mkdir -p bench
 	$(GO) test -run xxx -bench 'BenchmarkHierRound' -benchtime=1x -benchmem -timeout 60m . > bench/hier.txt; \
 	status=$$?; cat bench/hier.txt; exit $$status
+
+# Async buffered-federation benchmark: lockstep-deterministic fleets at
+# 64/256 clients, 8 buffered applications each. The async soak and
+# edge-case tests themselves run under the race detector via `make
+# test` (part of `check`).
+bench-async:
+	@mkdir -p bench
+	$(GO) test -run xxx -bench 'BenchmarkAsyncRound' -benchtime=1x -benchmem -timeout 60m . > bench/async.txt; \
+	status=$$?; cat bench/async.txt; exit $$status
 
 # CI benchmark smoke: run every benchmark exactly once with the heavy
 # cases gated behind -short, so bench code can neither rot uncompiled

@@ -120,6 +120,57 @@ func BenchmarkFleetRound(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncRound measures the asynchronous buffered-federation
+// engine: a lockstep-deterministic fleet where every client pushes the
+// moment its (virtual-clock) training timer fires, and the server folds
+// each update staleness-discounted and applies the buffer every
+// K = clients/4 folds, for 8 model versions per iteration. Devices are
+// plain (no TEE) as in BenchmarkFleetRound, so the number isolates the
+// async fan-in path: bounded-channel arrivals, per-push fold + re-arm,
+// buffered application. MB/s counts logical model-down + update-up
+// traffic per fold on the same axis as the synchronous benchmark.
+// EXPERIMENTS.md records a reference run.
+func BenchmarkAsyncRound(b *testing.B) {
+	const versions = 8
+	for _, clients := range []int{64, 256} {
+		if testing.Short() && clients > 64 {
+			continue // CI bench smoke: compile-and-run, smallest case only
+		}
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			goal := clients / 4
+			model := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU)
+			params := 0
+			for _, t := range model.StateDict() {
+				params += t.Size()
+			}
+			b.SetBytes(int64(2 * versions * goal * params * 8)) // model down + update up, per fold
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				state := gradsec.NewLeNet5(rand.New(rand.NewSource(7)), gradsec.ActReLU).StateDict()
+				b.StartTimer()
+				res, err := gradsec.RunFleetAsync(gradsec.AsyncFleetScenario{
+					Scenario: gradsec.FleetScenario{
+						Clients:       clients,
+						Rounds:        versions,
+						MinClients:    1,
+						NoTEEFraction: 1.0,
+						Seed:          int64(i + 1),
+						Model:         state,
+					},
+					GoalUpdates: goal,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Folds != versions*goal {
+					b.Fatalf("session folded %d updates, want %d", res.Folds, versions*goal)
+				}
+			}
+		})
+	}
+}
+
 // benchModel builds the LeNet-5 flat state used by the fan-in
 // benchmarks.
 func benchModel() []*tensor.Tensor {

@@ -4,6 +4,11 @@
 // and drives -rounds FL cycles of the LeNet-5-mini model with the given
 // protection plan.
 //
+// With -async the session is asynchronous buffered federation
+// (FedBuff-style): clients train and push on their own cadence, the
+// server folds updates staleness-discounted into a buffer and applies
+// it every -goal-updates folds; -rounds counts those applications.
+//
 // With -edges N the binary runs as a hierarchical aggregation root
 // instead: it waits for N fledge edge-aggregator connections, broadcasts
 // the model once per round, and folds one partial aggregate per shard —
@@ -48,6 +53,11 @@ func main() {
 	adaptiveCodec := flag.Float64("adaptive-codec", 0, "adaptive codec downgrade: open the session at f64 and switch capable clients to q8 once the round update norm falls below this threshold (0 = off; flat mode only)")
 	edges := flag.Int("edges", 0, "hierarchical root mode: wait for this many fledge edge aggregators instead of clients (0 = flat server)")
 	minShards := flag.Int("min-shards", 0, "root mode: shard partials required per round (0 = all edges)")
+	async := flag.Bool("async", false, "asynchronous buffered federation: clients push whenever ready; -rounds counts buffered model applications instead of synchronous cycles")
+	goalUpdates := flag.Int("goal-updates", 0, "async: buffer goal K — apply the staleness-weighted aggregate once this many updates fold (0 = -min-clients)")
+	maxStaleness := flag.Int("max-staleness", 0, "async: discard updates trained on a model more than this many versions old (0 = fold any staleness, discounted)")
+	asyncBuffer := flag.Int("async-buffer", 0, "async: arrival fan-in capacity before backpressure reaches the transports (0 = 2x goal)")
+	pushInterval := flag.Duration("push-interval", 0, "async: per-device fold rate limit; faster pushes are discarded as duplicates (0 = unlimited)")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*codecName)
@@ -56,8 +66,14 @@ func main() {
 	}
 
 	if *edges > 0 {
+		if *async {
+			log.Fatal("-async is a flat-server mode (incompatible with -edges)")
+		}
 		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale)
 		return
+	}
+	if *async && *secAgg {
+		log.Fatal("-async aggregates plaintext updates (incompatible with -secagg)")
 	}
 
 	var protect []int
@@ -108,6 +124,9 @@ func main() {
 		}
 		mode += ")"
 	}
+	if *async {
+		mode = "asynchronous buffered aggregation"
+	}
 	fmt.Printf("flserver listening on %s; waiting for %d clients (plan %s, codec %s, %s)\n",
 		l.Addr(), *clients, planDesc, codec, mode)
 
@@ -137,23 +156,39 @@ func main() {
 		QuarantineRounds: *quarantineRounds,
 		MinRelease:       *minRelease,
 		AdaptiveCodec:    *adaptiveCodec,
+		Async: fl.AsyncConfig{
+			Enabled:         *async,
+			GoalUpdates:     *goalUpdates,
+			MaxStaleness:    *maxStaleness,
+			Buffer:          *asyncBuffer,
+			MinPushInterval: *pushInterval,
+		},
 		Hooks: fl.Hooks{
 			ClientQuarantined: func(device string, reason error) {
 				fmt.Printf("quarantined %s: %v\n", device, reason)
 			},
+			ClientProbationed: func(device string, reason error) {
+				fmt.Printf("probationed %s: %v\n", device, reason)
+			},
 			RoundClosed: func(st fl.RoundStats) {
-				fmt.Printf("round %d: sampled %d, responded %d, dropped %d, quarantined %d, reconciled %d, |update| %.4f\n",
-					st.Round, st.Sampled, st.Responded, st.Dropped, st.Quarantined, st.Reconciled, st.UpdateNorm)
+				fmt.Printf("round %d: sampled %d, responded %d, dropped %d, probation %d, quarantined %d, reconciled %d, |update| %.4f\n",
+					st.Round, st.Sampled, st.Responded, st.Dropped, st.Probation, st.Quarantined, st.Reconciled, st.UpdateNorm)
 			},
 		},
 	})
-	selected, err := srv.Run(conns)
+	run := srv.Run
+	unit := "rounds"
+	if *async {
+		run = srv.RunAsync
+		unit = "model versions"
+	}
+	selected, err := run(conns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "session failed: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("session complete: %d clients, %d rounds, %d parameter tensors aggregated\n",
-		selected, *rounds, len(srv.State()))
+	fmt.Printf("session complete: %d clients, %d %s, %d parameter tensors aggregated\n",
+		selected, *rounds, unit, len(srv.State()))
 }
 
 // runRoot drives the hierarchical root: N edge aggregators instead of

@@ -1,0 +1,67 @@
+// Command async replays the same seeded fleet under both pacing modes
+// and prints the comparison the asynchronous tier exists for. The fleet
+// has 8 clients, two of them stragglers that need 100ms of training
+// against the fast clients' 10ms. Synchronous rounds wait a 1s deadline
+// for the stragglers and then drop them — every responder idles out the
+// remainder of every round. The asynchronous session has no barrier:
+// each client pushes the moment it finishes, the server folds each
+// update discounted by its staleness (1/√(1+s) model versions behind)
+// and applies the buffer every K folds. Same fleet, same seed, both
+// traces deterministic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/gradsec/gradsec"
+)
+
+func main() {
+	base := gradsec.FleetScenario{
+		Clients:           8,
+		Rounds:            6,
+		MinClients:        1,
+		StragglerFraction: 0.25,
+		Deadline:          time.Second,
+		PositiveDeltas:    true, // monotone norm growth → comparable across modes
+		Seed:              42,
+	}
+
+	fmt.Printf("fleet: %d clients (%.0f%% stragglers), seed %d\n\n",
+		base.Clients, base.StragglerFraction*100, base.Seed)
+
+	sync, err := gradsec.RunFleet(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Same fleet, no barrier: 12 buffered applications of K=6 updates.
+	async, err := gradsec.RunFleetAsync(gradsec.AsyncFleetScenario{
+		Scenario:    base,
+		Versions:    12,
+		GoalUpdates: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("mode   rounds/versions  |model|   fleet idle  virtual time")
+	fmt.Printf("sync   %15d  %7.3f  %10v  %12v\n",
+		len(sync.Trace), gradsec.UpdateNorm(sync.Final), sync.Idle, sync.Elapsed)
+	fmt.Printf("async  %15d  %7.3f  %10v  %12v\n\n",
+		len(async.Trace), gradsec.UpdateNorm(async.Final), async.Idle, async.Elapsed)
+
+	fmt.Printf("async pushes: %d folded, %d over-stale, %d rate-limited/duplicate\n",
+		async.Folds, async.Stale, async.Duplicates)
+	fmt.Println("\nper-version async trace (staleness-weighted folds):")
+	fmt.Println("version  folds  |update|")
+	for _, st := range async.Trace {
+		fmt.Printf("%7d  %5d  %8.4f\n", st.Round, st.Responded, st.UpdateNorm)
+	}
+
+	fmt.Println("\nthe synchronous run dropped the stragglers at every deadline;")
+	fmt.Println("the async run folded them, reached a higher model norm, and")
+	fmt.Println("spent zero virtual seconds of fleet idle doing it.")
+}

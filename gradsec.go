@@ -78,6 +78,18 @@
 // shard-scoped mask graphs — so the hierarchical aggregate is
 // bit-identical to flat FedAvg over the same fleet.
 //
+// Asynchronous buffered federation (AsyncFleetScenario, flserver
+// -async) removes the round barrier entirely: clients pull the current
+// model and push updates whenever ready, the server folds each update
+// into a buffer discounted by its staleness (1/√(1+s) versions behind)
+// and applies the buffer every K folds, bumping the model version. A
+// bounded arrival channel pushes backpressure to the transports, a
+// per-device rate limit stops fast devices flooding the buffer, and
+// duplicate pushes strike a health budget (probation, then
+// quarantine). RunFleetAsync replays the same seeded fleet as RunFleet
+// without the barrier, so the two pacing modes are directly
+// comparable: same stragglers, zero fleet-idle time.
+//
 // Run `go run ./examples/fleet` for a full scenario walk-through,
 // `go run ./examples/secagg` for the secure-aggregation proof,
 // `go run ./examples/hier` for the flat-vs-hierarchy identity and
@@ -98,6 +110,7 @@ import (
 	"github.com/gradsec/gradsec/internal/flsim"
 	"github.com/gradsec/gradsec/internal/nn"
 	"github.com/gradsec/gradsec/internal/simclock"
+	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
 	"github.com/gradsec/gradsec/internal/wire"
 )
@@ -141,11 +154,24 @@ type (
 	// FleetResult is a completed simulation: selection outcome, trace,
 	// and final model.
 	FleetResult = flsim.Result
+	// AsyncFleetScenario replays a seeded fleet through asynchronous
+	// buffered federation instead of synchronous rounds.
+	AsyncFleetScenario = flsim.AsyncScenario
+	// AsyncFleetResult is a completed asynchronous simulation: one
+	// trace entry per applied model version, plus push accounting.
+	AsyncFleetResult = flsim.AsyncResult
 	// Codec selects the negotiated tensor wire encoding for fleet
 	// traffic: CodecF64 (exact), CodecF32 (4 B/elem), CodecQ8
 	// (1 B/elem, error ≤ range/255 per tensor).
 	Codec = wire.Codec
+	// Tensor is a dense float64 tensor — model parameters and updates.
+	Tensor = tensor.Tensor
 )
+
+// UpdateNorm returns the L2 norm of a flat model state or update — the
+// metric the adaptive codec threshold and the sync-vs-async pacing
+// comparison use.
+func UpdateNorm(update []*Tensor) float64 { return fl.UpdateNorm(update) }
 
 // Tensor wire codecs, in increasing compression order.
 const (
@@ -212,3 +238,9 @@ func Pi3BCostModel() simclock.CostModel { return simclock.Pi3B() }
 // given scenario, deterministically: identical scenarios yield identical
 // traces and final models.
 func RunFleet(sc FleetScenario) (*FleetResult, error) { return flsim.Run(sc) }
+
+// RunFleetAsync simulates an asynchronous buffered-federation session
+// over the same seeded fleet RunFleet would build, deterministically:
+// clients push on their own per-device cadence, the server folds
+// staleness-discounted updates and applies every GoalUpdates folds.
+func RunFleetAsync(sc AsyncFleetScenario) (*AsyncFleetResult, error) { return flsim.RunAsync(sc) }

@@ -115,3 +115,42 @@ func TestFacadeFleet(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeAsyncFleet drives the asynchronous buffered-federation
+// simulator through the public API and checks the trace is reproducible
+// and every buffered application folded exactly GoalUpdates updates.
+func TestFacadeAsyncFleet(t *testing.T) {
+	scenario := gradsec.AsyncFleetScenario{
+		Scenario: gradsec.FleetScenario{
+			Clients:           16,
+			Rounds:            4,
+			MinClients:        1,
+			StragglerFraction: 0.25,
+			Deadline:          time.Second,
+			Seed:              11,
+		},
+		GoalUpdates: 8,
+	}
+	first, err := gradsec.RunFleetAsync(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := gradsec.RunFleetAsync(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Trace) != 4 {
+		t.Fatalf("trace has %d versions", len(first.Trace))
+	}
+	if !reflect.DeepEqual(first.Trace, second.Trace) {
+		t.Fatalf("async traces differ:\n%+v\n%+v", first.Trace, second.Trace)
+	}
+	for _, st := range first.Trace {
+		if st.Responded != 8 {
+			t.Fatalf("version stats = %+v, want 8 folds", st)
+		}
+	}
+	if first.Idle != 0 {
+		t.Fatalf("async idle = %v, want 0 (no round barrier)", first.Idle)
+	}
+}

@@ -187,6 +187,13 @@ func (c *Client) Run() error {
 			c.conn.SetCodec(m.Codec)
 			c.NegotiatedCodec = m.Codec
 			c.CodecSwitches++
+			// Ack the switch so the server flips its receive codec only
+			// after every frame this client wrote pre-switch (old codec)
+			// has been consumed — the FIFO ordering rule on CodecSwitch
+			// in messages.go. The ack's payload is codec-independent.
+			if err := c.conn.Send(&CodecSwitch{Codec: m.Codec}); err != nil {
+				return fmt.Errorf("fl: acking codec switch: %w", err)
+			}
 		case *ErrorMsg:
 			return fmt.Errorf("fl: server error: %s", m.Text)
 		default:
@@ -236,7 +243,9 @@ func (c *Client) handleModelDown(m *ModelDown) error {
 			return fmt.Errorf("fl: sending masked update: %w", err)
 		}
 	} else {
-		up := &GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd, Examples: examples}
+		// Version echoes the model version this update was trained
+		// against; the async server derives staleness from it.
+		up := &GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd, Examples: examples, Version: m.Version}
 		if err := c.conn.Send(up); err != nil {
 			return fmt.Errorf("fl: sending update: %w", err)
 		}

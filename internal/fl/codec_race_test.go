@@ -1,0 +1,212 @@
+package fl
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/simclock"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// runCodecSwitchRace drives the adaptive-downgrade race against a
+// straggling-but-healthy client over the given pair of transports:
+//
+//   - round 0: the fast client responds (tiny update → the norm falls
+//     below the adaptive threshold), the straggler blocks in training,
+//     and the deadline drops it. Closing the round emits CodecSwitch to
+//     both q8-capable clients.
+//   - the straggler is then released: its round-0 GradUp — encoded in
+//     the pre-switch f64 codec — is already in flight when the server
+//     has switched its send side to q8. The server's receive side must
+//     keep decoding f64 until the straggler's CodecSwitch ack arrives,
+//     so the stale update decodes cleanly and is discarded as late
+//     (never a decode failure, never a quarantine).
+//   - round 1: the straggler answers in q8 and folds normally.
+//
+// Regression: the server used to flip both codec directions the moment
+// it emitted CodecSwitch, so the racing f64 frame was decoded as q8 —
+// a transport error that permanently quarantined a healthy device.
+func runCodecSwitchRace(t *testing.T, fastConns, slowConns func() (server, client Conn)) {
+	t.Helper()
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	events := make(chan engineEvent, 64)
+
+	fast := newTestTrainer("fast", false, 0.25)
+	slow := newGateTrainer("slow", 0.75, 0)
+	state := newState(0)
+	srv := NewServer(state, ServerConfig{
+		Rounds: 2, MinClients: 1, RoundDeadline: time.Second,
+		AdaptiveCodec: 10, QuarantineRounds: 2,
+		Clock: clk, Hooks: eventHooks(events),
+	})
+
+	fastSrv, fastCli := fastConns()
+	slowSrv, slowCli := slowConns()
+	clients := []*Client{NewClient(fastCli, fast), NewClient(slowCli, slow)}
+	clientErrs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range clients {
+		clients[i].MaxCodec = wire.CodecQ8
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clientErrs[i] = clients[i].Run()
+		}(i)
+	}
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Run([]Conn{fastSrv, slowSrv})
+		serverErr <- err
+	}()
+
+	// Round 0: fast folds, slow blocks; fire the deadline.
+	waitEvent(t, events, "folded")
+	clk.Advance(time.Second)
+	closed := waitEvent(t, events, "closed")
+	if closed.stats.Responded != 1 || closed.stats.Dropped != 1 {
+		t.Fatalf("round 0 stats = %+v", closed.stats)
+	}
+
+	// Round 1 has started, so the CodecSwitch is on the wire while the
+	// straggler still owes its f64 round-0 update. Release it: the stale
+	// update must decode and be discarded — then it answers round 1 in
+	// the new codec.
+	waitEvent(t, events, "started")
+	slow.release(0)
+	closed = waitEvent(t, events, "closed")
+	if closed.stats.Responded != 2 || closed.stats.LateDiscarded != 1 {
+		t.Fatalf("round 1 stats = %+v, want 2 responders and 1 late discard", closed.stats)
+	}
+
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for r, st := range srv.Trace() {
+		if st.Quarantined != 0 || st.Probation != 0 {
+			t.Fatalf("round %d stats = %+v: the healthy straggler was benched", r, st)
+		}
+	}
+	for i, c := range clients {
+		if c.CodecSwitches != 1 || c.NegotiatedCodec != wire.CodecQ8 {
+			t.Fatalf("client %d ended on %s after %d switches, want q8 after 1", i, c.NegotiatedCodec, c.CodecSwitches)
+		}
+	}
+	if clients[1].Rounds != 2 {
+		t.Fatalf("straggler trained %d rounds, want 2 (survived the downgrade)", clients[1].Rounds)
+	}
+	// Round 0 applied fast's +0.25 alone; round 1 mean(0.25, 0.75) =
+	// +0.5. Both values are q8-exact.
+	if got := state[0].Data[0]; got != 0.75 {
+		t.Fatalf("state = %v, want 0.75", got)
+	}
+}
+
+// TestCodecSwitchRaceStragglerSurvives runs the downgrade race over
+// in-memory pipes.
+func TestCodecSwitchRaceStragglerSurvives(t *testing.T) {
+	pipe := func() (Conn, Conn) { return Pipe() }
+	runCodecSwitchRace(t, pipe, pipe)
+}
+
+// TestCodecSwitchRaceTCP runs the same race over real loopback TCP —
+// the transport where an in-flight old-codec frame is genuinely
+// buffered in the kernel when the switch is emitted.
+func TestCodecSwitchRaceTCP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tcp := func() (Conn, Conn) {
+		type dialRes struct {
+			conn Conn
+			err  error
+		}
+		dialed := make(chan dialRes, 1)
+		go func() {
+			c, err := Dial(l.Addr())
+			dialed <- dialRes{c, err}
+		}()
+		server, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := <-dialed
+		if d.err != nil {
+			t.Fatal(d.err)
+		}
+		return server, d.conn
+	}
+	runCodecSwitchRace(t, tcp, tcp)
+}
+
+// TestSampleCohortsInvariantToProbation: the per-round sample draw
+// consumes a full-roster permutation no matter how many clients are
+// live, so a probation excursion must not shift any later round's
+// cohort.
+//
+// Regression: sampling used to permute only the live subset, so one
+// probationed round changed the RNG consumption and every cohort after
+// it diverged from the healthy run of the same seed.
+func TestSampleCohortsInvariantToProbation(t *testing.T) {
+	run := func(failDevice string) ([][]string, error) {
+		var cohorts [][]string
+		srv := NewServer(newState(0), ServerConfig{
+			Rounds: 6, SampleCount: 2, SampleSeed: 11, QuarantineRounds: 1,
+			Hooks: Hooks{RoundStarted: func(_ int, sampled []string) {
+				cohorts = append(cohorts, append([]string(nil), sampled...))
+			}},
+		})
+		trainers := make([]Trainer, 4)
+		for i := range trainers {
+			tr := newTestTrainer([]string{"c0", "c1", "c2", "c3"}[i], false, float64(i+1))
+			if tr.id == failDevice {
+				tr.failOnRound = 0
+			}
+			trainers[i] = tr
+		}
+		serverErr, _, _, wg := startSession(srv, trainers)
+		err := <-serverErr
+		wg.Wait()
+		return cohorts, err
+	}
+
+	healthy, err := run("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healthy) != 6 {
+		t.Fatalf("healthy run sampled %d rounds, want 6", len(healthy))
+	}
+	// Fail a device the healthy run sampled in round 0: sampling is
+	// seed-deterministic, so the rerun samples it there too and benches
+	// it for round 1.
+	failer := healthy[0][0]
+	benched, err := run(failer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(benched[0], healthy[0]) {
+		t.Fatalf("round 0 cohorts diverged before any failure: %v vs %v", benched[0], healthy[0])
+	}
+	for _, d := range benched[1] {
+		if d == failer {
+			t.Fatalf("round 1 sampled %s while on probation", failer)
+		}
+	}
+	// From re-admission on, the live set matches the healthy run again —
+	// and so must every cohort.
+	for r := 2; r < 6; r++ {
+		if !reflect.DeepEqual(benched[r], healthy[r]) {
+			t.Fatalf("round %d cohort %v diverged from healthy %v after probation ended", r, benched[r], healthy[r])
+		}
+	}
+}

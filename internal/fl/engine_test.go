@@ -49,7 +49,7 @@ func (g *gateTrainer) TrainRound(round int, plain []*tensor.Tensor, sealed []byt
 
 // engineEvent is one hook firing, serialised for test assertions.
 type engineEvent struct {
-	kind    string // "started", "folded", "quarantined", "closed"
+	kind    string // "started", "folded", "quarantined", "probation", "closed"
 	round   int
 	device  string
 	sampled []string
@@ -66,6 +66,9 @@ func eventHooks(events chan engineEvent) Hooks {
 		},
 		ClientQuarantined: func(device string, reason error) {
 			events <- engineEvent{kind: "quarantined", device: device}
+		},
+		ClientProbationed: func(device string, reason error) {
+			events <- engineEvent{kind: "probation", device: device}
 		},
 		RoundClosed: func(stats RoundStats) {
 			events <- engineEvent{kind: "closed", round: stats.Round, stats: stats}
@@ -321,8 +324,9 @@ func TestQuarantineProbationReadmission(t *testing.T) {
 	if len(trace) != 4 {
 		t.Fatalf("trace has %d rounds", len(trace))
 	}
-	// Round 0: both sampled, flaky fails and goes on probation.
-	if trace[0].Sampled != 2 || trace[0].Responded != 1 || trace[0].Quarantined != 1 {
+	// Round 0: both sampled, flaky fails and goes on probation — booked
+	// under Probation, not Quarantined (the exclusion is temporary).
+	if trace[0].Sampled != 2 || trace[0].Responded != 1 || trace[0].Probation != 1 || trace[0].Quarantined != 0 {
 		t.Fatalf("round 0 stats = %+v", trace[0])
 	}
 	// Round 1: flaky is on probation — not eligible for sampling.
@@ -331,7 +335,7 @@ func TestQuarantineProbationReadmission(t *testing.T) {
 	}
 	// Rounds 2-3: probation over, flaky re-admitted and responding.
 	for r := 2; r < 4; r++ {
-		if trace[r].Sampled != 2 || trace[r].Responded != 2 || trace[r].Quarantined != 0 {
+		if trace[r].Sampled != 2 || trace[r].Responded != 2 || trace[r].Quarantined != 0 || trace[r].Probation != 0 {
 			t.Fatalf("round %d stats = %+v", r, trace[r])
 		}
 	}
@@ -390,16 +394,19 @@ func TestProbationRepeatFailureRenews(t *testing.T) {
 		t.Fatal(err)
 	}
 	wg.Wait()
-	quarantines := 0
+	probations := 0
 	for _, st := range srv.Trace() {
-		quarantines += st.Quarantined
+		probations += st.Probation
 		if st.Responded != 1 {
 			t.Fatalf("stats = %+v, want only the good client folding", st)
 		}
+		if st.Quarantined != 0 {
+			t.Fatalf("stats = %+v, probation must not book a permanent quarantine", st)
+		}
 	}
 	// Rounds 0, 2, 4 sample the bad client (probation covers 1 and 3).
-	if quarantines != 3 {
-		t.Fatalf("bad client failed %d times, want 3", quarantines)
+	if probations != 3 {
+		t.Fatalf("bad client failed %d times, want 3", probations)
 	}
 	if got := state[0].Data[0]; got != 10 {
 		t.Fatalf("state = %v, want 10", got)

@@ -182,13 +182,18 @@ func (m *Reject) decode(r *wire.Reader) { m.Reason = r.String() }
 // sealed for the TA through the trusted I/O path. Plan carries the
 // round's protection plan blob. In secure-aggregation sessions Cohort
 // lists the round's sampled peers (device + mask public key) so every
-// member can derive its pairwise masks.
+// member can derive its pairwise masks. Version tags the model state the
+// tensors were taken from — in round-synchronous sessions it equals
+// Round, in asynchronous sessions it counts buffered applications — and
+// the client echoes it back in GradUp.Version so the server can compute
+// the update's staleness.
 type ModelDown struct {
-	Round  int
-	Plain  []*tensor.Tensor
-	Sealed []byte
-	Plan   []byte
-	Cohort []secagg.Peer
+	Round   int
+	Plain   []*tensor.Tensor
+	Sealed  []byte
+	Plan    []byte
+	Cohort  []secagg.Peer
+	Version uint64
 }
 
 // Kind implements Message.
@@ -204,6 +209,7 @@ func (m *ModelDown) encode(w *wire.Writer) {
 		w.String(p.Device)
 		w.Blob(p.Pub)
 	}
+	w.Uvarint(m.Version)
 }
 
 func (m *ModelDown) decode(r *wire.Reader) {
@@ -217,6 +223,9 @@ func (m *ModelDown) decode(r *wire.Reader) {
 	m.Cohort = decodeBoundedList(r, func(r *wire.Reader) secagg.Peer {
 		return secagg.Peer{Device: r.String(), Pub: r.Blob()}
 	})
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Version = r.Uvarint()
+	}
 }
 
 // decodeBoundedList reads a length-prefixed list of elements, each
@@ -250,12 +259,17 @@ func decodeBoundedList[T any](r *wire.Reader, elem func(*wire.Reader) T) []T {
 // quantisation levels, Plain nil) so the aggregator can fold levels
 // directly (Aggregator.AccumulateQ8) without materialising a per-client
 // float64 model. Tensors() converts on demand.
+// Version echoes the ModelDown.Version the update was trained against.
+// The asynchronous engine derives the update's staleness from it (the
+// difference against the current model version); the round-synchronous
+// engine ignores it.
 type GradUp struct {
 	Round    int
 	Plain    []*tensor.Tensor
 	Q8       []*wire.Q8Tensor
 	Sealed   []byte
 	Examples uint64
+	Version  uint64
 }
 
 // Kind implements Message.
@@ -286,6 +300,7 @@ func (m *GradUp) encode(w *wire.Writer) {
 	}
 	w.Blob(m.Sealed)
 	w.Uvarint(m.Examples)
+	w.Uvarint(m.Version)
 }
 
 func (m *GradUp) decode(r *wire.Reader) {
@@ -298,6 +313,9 @@ func (m *GradUp) decode(r *wire.Reader) {
 	m.Sealed = r.Blob()
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Examples = r.Uvarint()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Version = r.Uvarint()
 	}
 }
 
@@ -471,6 +489,10 @@ type PartialUp struct {
 	Quarantined   uint64
 	LateDiscarded uint64
 	Reconciled    uint64
+	// Probation counts the shard's clients placed on temporary probation
+	// this round (trailing field: absent on pre-probation peers, which
+	// folded probation into Quarantined).
+	Probation uint64
 }
 
 // Kind implements Message.
@@ -488,6 +510,7 @@ func (m *PartialUp) encode(w *wire.Writer) {
 	w.Uvarint(m.Quarantined)
 	w.Uvarint(m.LateDiscarded)
 	w.Uvarint(m.Reconciled)
+	w.Uvarint(m.Probation)
 }
 
 func (m *PartialUp) decode(r *wire.Reader) {
@@ -502,15 +525,34 @@ func (m *PartialUp) decode(r *wire.Reader) {
 	m.Quarantined = r.Uvarint()
 	m.LateDiscarded = r.Uvarint()
 	m.Reconciled = r.Uvarint()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Probation = r.Uvarint()
+	}
 }
 
 // CodecSwitch retunes the session's tensor codec mid-session (adaptive
-// per-round codec downgrade): every message after it — in both
-// directions — uses the new codec. The server only switches a client
-// whose Attest.Cap covers the target, and only between rounds; a
-// straggler's in-flight update encoded under the old codec will fail to
-// decode and quarantines the straggler, which the engine already
-// tolerates.
+// per-round codec downgrade). The ordering rule that keeps the switch
+// race-free on a full-duplex connection:
+//
+//   - Server → client: the server flips its *send* codec the moment the
+//     CodecSwitch is written, so everything after it on the downstream
+//     leg (including the very next ModelDown) is new-codec.
+//   - Client → server: on receipt the client flips both directions and
+//     echoes the CodecSwitch back as an ack. Frames the client wrote
+//     before the ack are old-codec, frames after it are new-codec.
+//   - The server flips its *receive* codec only when the ack arrives
+//     (in the connection's read loop, before the next frame is read).
+//     FIFO framing therefore guarantees every upstream frame decodes
+//     under the codec it was encoded with — a straggler's in-flight
+//     old-codec update that races the switch still decodes and is
+//     handled by the normal late/stale path instead of poisoning the
+//     stream.
+//
+// The server only switches a client whose Attest.Cap covers the target.
+// The CodecSwitch payload itself is codec-independent, so the ack
+// decodes correctly under either codec. Should a post-switch frame
+// nevertheless fail to decode, the failure surfaces as ErrDecode and is
+// probationable — never a silent permanent quarantine.
 type CodecSwitch struct {
 	Codec wire.Codec
 }

@@ -193,13 +193,13 @@ func TestRepeatedFailureReQuarantine(t *testing.T) {
 		// Even rounds: chronic is eligible, sampled, fails, re-benched.
 		// Odd rounds: chronic sits out; the roster holds exactly the
 		// steady client — no slot leaks in either direction.
-		wantSampled, wantQuarantined := 2, 1
+		wantSampled, wantProbation := 2, 1
 		if r%2 == 1 {
-			wantSampled, wantQuarantined = 1, 0
+			wantSampled, wantProbation = 1, 0
 		}
-		if trace[r].Sampled != wantSampled || trace[r].Quarantined != wantQuarantined || trace[r].Responded != 1 {
-			t.Fatalf("round %d stats = %+v, want sampled %d quarantined %d responded 1",
-				r, trace[r], wantSampled, wantQuarantined)
+		if trace[r].Sampled != wantSampled || trace[r].Probation != wantProbation || trace[r].Quarantined != 0 || trace[r].Responded != 1 {
+			t.Fatalf("round %d stats = %+v, want sampled %d probation %d responded 1",
+				r, trace[r], wantSampled, wantProbation)
 		}
 		if got := len(sampledPerRound[r]); got != wantSampled {
 			t.Fatalf("round %d drew %d clients, want %d", r, got, wantSampled)

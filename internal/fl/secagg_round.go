@@ -271,10 +271,14 @@ func (s *Server) handleSecAggArrival(round int, a arrival, pending, folded map[*
 	}
 	if a.err != nil {
 		delete(pending, sess)
-		s.quarantineAt(sess, round, false, fmt.Errorf("transport: %w", a.err), stats, reasons)
+		s.quarantineAt(sess, round, errors.Is(a.err, ErrDecode), fmt.Errorf("transport: %w", a.err), stats, reasons)
 		return
 	}
 	switch m := a.msg.(type) {
+	case *CodecSwitch:
+		// Ack of an adaptive downgrade; the receive codec already
+		// flipped in the read loop.
+		return
 	case *MaskedUp:
 		if m.Round < round {
 			stats.LateDiscarded++
@@ -382,10 +386,12 @@ func (s *Server) reconcileMasks(round int, unfolded []string, folded map[*sessio
 				if need[sess] {
 					return fmt.Errorf("%w: survivor %s lost before revealing shares: %v", ErrSecAggRecon, sess.device, a.err)
 				}
-				s.quarantineAt(sess, round, false, fmt.Errorf("transport: %w", a.err), stats, reasons)
+				s.quarantineAt(sess, round, errors.Is(a.err, ErrDecode), fmt.Errorf("transport: %w", a.err), stats, reasons)
 				continue
 			}
 			switch m := a.msg.(type) {
+			case *CodecSwitch:
+				continue // ack of an adaptive downgrade, handled in the read loop
 			case *MaskShares:
 				if m.Round != round || !need[sess] {
 					s.quarantineAt(sess, round, true, fmt.Errorf("unexpected mask shares for round %d", m.Round), stats, reasons)

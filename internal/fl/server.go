@@ -104,12 +104,23 @@ type ServerConfig struct {
 	// capable client (Attest.Cap ≥ q8) to the q8 codec for the rest of
 	// the session — early rounds keep full precision while updates are
 	// large, late rounds ship 8× smaller broadcasts once training has
-	// settled. The switch happens between rounds via CodecSwitch; a
-	// straggler racing it with an old-codec update fails to decode and
-	// is quarantined, which the engine already tolerates. Ignored in
+	// settled. The switch happens between rounds via CodecSwitch: the
+	// server flips its send codec immediately but keeps decoding the
+	// client's frames under the old codec until the client's CodecSwitch
+	// ack arrives, so a straggler racing the switch with an old-codec
+	// update still decodes and lands in the normal late/stale path (see
+	// the ordering rule on CodecSwitch in messages.go). Ignored in
 	// hierarchical partial mode (edges never observe the update norm —
 	// the root does).
 	AdaptiveCodec float64
+
+	// Async configures the asynchronous buffered-federation mode driven
+	// by RunAsync (FedBuff-style): no round barrier, clients push
+	// updates whenever ready and the server folds them into a
+	// staleness-weighted buffer applied every Async.GoalUpdates arrivals.
+	// Rounds then counts buffered applications (model versions) rather
+	// than synchronous cycles. Ignored by Run/StepRound.
+	Async AsyncConfig
 
 	// Partials turns the server into a hierarchical edge aggregator:
 	// StepRound returns the round's un-normalised partial aggregate
@@ -162,9 +173,21 @@ type Hooks struct {
 	// UpdateFolded fires after a client update is folded into the
 	// streaming aggregate.
 	UpdateFolded func(round int, device string)
+	// UpdatePushed fires in asynchronous sessions after every client
+	// push has been fully processed — folded (folded true) or discarded
+	// as stale, duplicate or rate-limited (folded false) — and before
+	// the reply model is sent. Never fires in round-synchronous
+	// sessions.
+	UpdatePushed func(version int, device string, folded bool)
 	// ClientQuarantined fires when a client is permanently excluded
-	// (training/protocol/transport failure — not straggling).
+	// (training/protocol/transport failure — not straggling). It does
+	// not fire for probation; see ClientProbationed.
 	ClientQuarantined func(device string, reason error)
+	// ClientProbationed fires when a client is placed on temporary
+	// probation under QuarantineRounds instead of being permanently
+	// excluded — the connection stays open and the client becomes
+	// eligible again after the window.
+	ClientProbationed func(device string, reason error)
 	// RoundClosed fires after the round's aggregate is applied (or the
 	// round failed).
 	RoundClosed func(stats RoundStats)
@@ -182,8 +205,16 @@ type RoundStats struct {
 	Dropped int
 	// Quarantined counts clients permanently excluded during the round.
 	Quarantined int
-	// LateDiscarded counts stale updates (earlier rounds) thrown away.
+	// Probation counts clients placed on temporary probation during the
+	// round (QuarantineRounds; unlike Quarantined they come back).
+	Probation int
+	// LateDiscarded counts stale updates thrown away: answers to
+	// earlier rounds in synchronous sessions, or pushes staler than
+	// Async.MaxStaleness in asynchronous ones.
 	LateDiscarded int
+	// Duplicates counts duplicate or rate-limited pushes discarded in
+	// asynchronous sessions; always 0 in round-synchronous ones.
+	Duplicates int
 	// Reconciled counts dropped cohort members whose unpaired masks
 	// were reconstructed from survivor shares (secure aggregation).
 	Reconciled int
@@ -281,6 +312,20 @@ func NewServer(state []*tensor.Tensor, cfg ServerConfig) *Server {
 	}
 	if cfg.AdaptiveCodec > 0 {
 		cfg.Codec = wire.CodecF64 // adaptive sessions open exact
+	}
+	if cfg.Async.Enabled {
+		if cfg.Async.GoalUpdates <= 0 {
+			cfg.Async.GoalUpdates = cfg.MinClients
+		}
+		if cfg.Async.Buffer <= 0 {
+			cfg.Async.Buffer = 2 * cfg.Async.GoalUpdates
+		}
+		if cfg.Async.MaxViolations <= 0 {
+			cfg.Async.MaxViolations = 3
+		}
+		if cfg.Async.Discount == nil {
+			cfg.Async.Discount = DefaultStalenessDiscount
+		}
 	}
 	if cfg.Enclave != nil && cfg.MinRelease > 0 {
 		// Arm the release floor inside the TA before any round begins,
@@ -401,9 +446,16 @@ func (s *Server) Open(conns []Conn) (int, error) {
 
 	// One reader per session feeds a shared arrival channel so a
 	// straggler's late reply can surface (and be discarded) during any
-	// later round instead of desynchronising the protocol.
+	// later round instead of desynchronising the protocol. In
+	// asynchronous mode the channel is the bounded fan-in buffer: when
+	// it fills, the per-connection readers block — backpressure
+	// propagates to the transports instead of growing server memory.
+	buffer := len(sessions)
+	if s.cfg.Async.Enabled && s.cfg.Async.Buffer < buffer {
+		buffer = s.cfg.Async.Buffer
+	}
 	s.sessions = sessions
-	s.arrivals = make(chan arrival, len(sessions))
+	s.arrivals = make(chan arrival, buffer)
 	s.done = make(chan struct{})
 	for _, sess := range sessions {
 		s.readers.Add(1)
@@ -524,22 +576,34 @@ func (s *Server) maybeAdaptCodec() {
 		if err := sess.conn.Send(&CodecSwitch{Codec: wire.CodecQ8}); err != nil {
 			continue
 		}
+		// Only the send side flips now; the receive side keeps decoding
+		// the old codec until the client's CodecSwitch ack arrives in the
+		// read loop, so an in-flight old-codec update (a straggler racing
+		// the switch) still decodes instead of poisoning the stream.
 		sess.codec = wire.CodecQ8
-		sess.conn.SetCodec(wire.CodecQ8)
+		sess.conn.SetSendCodec(wire.CodecQ8)
 	}
 }
 
 // readLoop pumps one connection into the shared arrival channel until
-// the connection fails or the session shuts down.
+// the connection fails or the session shuts down. Two cases are handled
+// here rather than in the round goroutine because they must act before
+// the *next* frame is read: a client's CodecSwitch ack flips the
+// receive codec (every later frame is new-codec — FIFO framing), and a
+// decode failure (ErrDecode) leaves the length-prefixed stream intact,
+// so the loop keeps reading instead of treating the connection as dead.
 func readLoop(sess *session, arrivals chan<- arrival, done <-chan struct{}) {
 	for {
 		msg, err := sess.conn.Recv()
+		if cs, ok := msg.(*CodecSwitch); ok && cs.Codec.Valid() {
+			sess.conn.SetRecvCodec(cs.Codec)
+		}
 		select {
 		case arrivals <- arrival{sess: sess, msg: msg, err: err}:
 		case <-done:
 			return
 		}
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrDecode) {
 			return
 		}
 	}
@@ -734,7 +798,13 @@ func live(sessions []*session, round int) []*session {
 }
 
 // sample draws the round's cohort from the live sessions using the
-// seeded RNG. Selection order is preserved.
+// seeded RNG. Selection order is preserved. The permutation is always
+// drawn over the full selected roster — never the live subset — so the
+// RNG consumes an identical number of draws every round and the cohort
+// sequence is invariant to quarantine/probation history: restricting a
+// uniform roster permutation to the live subset leaves a uniform
+// permutation of that subset, whose first k members are a uniform
+// k-subset.
 func (s *Server) sample(live []*session) []*session {
 	n := len(live)
 	k := n
@@ -747,17 +817,27 @@ func (s *Server) sample(live []*session) []*session {
 	if k < s.cfg.MinClients {
 		k = s.cfg.MinClients
 	}
+	perm := s.rng.Perm(len(s.sessions))
 	if k >= n {
-		// Keep the RNG stream advancing uniformly so later rounds stay
-		// reproducible regardless of intermediate cohort sizes.
-		s.rng.Perm(n)
 		return live
 	}
-	idx := s.rng.Perm(n)[:k]
+	liveSet := make(map[*session]bool, n)
+	for _, sess := range live {
+		liveSet[sess] = true
+	}
+	idx := make([]int, 0, k)
+	for _, i := range perm {
+		if liveSet[s.sessions[i]] {
+			idx = append(idx, i)
+			if len(idx) == k {
+				break
+			}
+		}
+	}
 	sort.Ints(idx)
 	out := make([]*session, 0, k)
 	for _, i := range idx {
-		out = append(out, live[i])
+		out = append(out, s.sessions[i])
 	}
 	return out
 }
@@ -776,14 +856,21 @@ func (s *Server) quarantineAt(sess *session, round int, probationable bool, reas
 	if sess.quarantined {
 		return
 	}
-	if probationable && s.cfg.QuarantineRounds > 0 {
-		sess.probationUntil = round + 1 + s.cfg.QuarantineRounds
-	} else {
-		sess.quarantined = true
-		_ = sess.conn.Close()
-	}
-	stats.Quarantined++
 	*reasons = append(*reasons, fmt.Sprintf("%s: %v", sess.device, reason))
+	if probationable && s.cfg.QuarantineRounds > 0 {
+		// Probation: the connection stays open and the client returns
+		// after the window — accounted and signalled separately from
+		// permanent loss.
+		sess.probationUntil = round + 1 + s.cfg.QuarantineRounds
+		stats.Probation++
+		if s.cfg.Hooks.ClientProbationed != nil {
+			s.cfg.Hooks.ClientProbationed(sess.device, reason)
+		}
+		return
+	}
+	sess.quarantined = true
+	_ = sess.conn.Close()
+	stats.Quarantined++
 	if s.cfg.Hooks.ClientQuarantined != nil {
 		s.cfg.Hooks.ClientQuarantined(sess.device, reason)
 	}
@@ -843,7 +930,7 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 			continue
 		}
 		if _, ok := shared[sess.codec]; !ok {
-			down := &ModelDown{Round: round, Plain: s.state, Plan: planBlob}
+			down := &ModelDown{Round: round, Plain: s.state, Plan: planBlob, Version: uint64(round)}
 			shared[sess.codec] = EncodeMessageCodec(down, sess.codec)
 		}
 	}
@@ -944,10 +1031,17 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 	}
 	if a.err != nil {
 		delete(pending, sess)
-		s.quarantineAt(sess, round, false, fmt.Errorf("transport: %w", a.err), stats, reasons)
+		// A frame that failed to decode is a client protocol fault on a
+		// still-usable connection (probationable); anything else means
+		// the transport is gone (permanent).
+		s.quarantineAt(sess, round, errors.Is(a.err, ErrDecode), fmt.Errorf("transport: %w", a.err), stats, reasons)
 		return
 	}
 	switch m := a.msg.(type) {
+	case *CodecSwitch:
+		// The client's ack of an adaptive downgrade; the receive codec
+		// already flipped in the read loop. Nothing to fold.
+		return
 	case *GradUp:
 		if m.Round < round {
 			// A straggler's answer to an earlier round: discard, but keep
@@ -1003,7 +1097,7 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 // protected tensors into the sealed path when the client has a trusted
 // channel.
 func (s *Server) buildModelDown(round int, sess *session, protected map[int]bool, planBlob []byte) (*ModelDown, error) {
-	down := &ModelDown{Round: round, Plan: planBlob}
+	down := &ModelDown{Round: round, Plan: planBlob, Version: uint64(round)}
 	down.Plain = make([]*tensor.Tensor, len(s.state))
 	var secretIdx []int
 	var secretTs []*tensor.Tensor

@@ -26,12 +26,24 @@ type Conn interface {
 	// senders share one buffer across many connections.
 	SendFrame(mt MsgType, payload []byte) error
 	// Recv blocks for the next message. It returns io.EOF after the peer
-	// closes.
+	// closes. A frame that arrives intact but fails to decode is
+	// reported wrapped in ErrDecode; the stream's length-prefixed
+	// framing survives such a failure, so Recv may be called again.
 	Recv() (Message, error)
 	// SetCodec installs the tensor codec negotiated during the handshake
 	// for all subsequent Send/SendFrame/Recv. Connections start at the
-	// uncompressed CodecF64.
+	// uncompressed CodecF64. Equivalent to SetSendCodec + SetRecvCodec.
 	SetCodec(c wire.Codec)
+	// SetSendCodec switches only the encoding codec for subsequent
+	// Send/SendFrame calls, leaving Recv untouched. An adaptive server
+	// flips its send side the moment it issues a CodecSwitch…
+	SetSendCodec(c wire.Codec)
+	// SetRecvCodec switches only the decoding codec for subsequent Recv
+	// calls. …and flips its receive side only when the client's
+	// CodecSwitch ack arrives, so in-flight frames encoded under the old
+	// codec still decode correctly (see the CodecSwitch ordering rule in
+	// messages.go).
+	SetRecvCodec(c wire.Codec)
 	// Close releases the connection; it is safe to call twice.
 	Close() error
 }
@@ -48,6 +60,24 @@ type DeadlineConn interface {
 // ErrConnClosed is returned by Send after Close.
 var ErrConnClosed = errors.New("fl: connection closed")
 
+// ErrDecode marks a Recv failure where the frame arrived intact but its
+// payload would not decode (codec mismatch, malformed message). Unlike
+// transport errors the connection is still usable — framing is length-
+// prefixed — so the engine treats these as client protocol faults
+// (probationable) rather than a lost transport (permanent).
+var ErrDecode = errors.New("fl: frame decode failed")
+
+// decodeFrame decodes one received frame, tagging failures with
+// ErrDecode so callers can distinguish a poisoned payload from a dead
+// transport.
+func decodeFrame(mt MsgType, payload []byte, codec wire.Codec) (Message, error) {
+	m, err := DecodeMessageCodec(mt, payload, codec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return m, nil
+}
+
 // maxReadScratch caps the per-connection receive buffer retained across
 // frames (larger payloads are read fine, just not kept).
 const maxReadScratch = 8 << 20
@@ -60,7 +90,8 @@ type pipeConn struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 	peerDone  <-chan struct{}
-	codec     atomic.Uint32
+	sendCodec atomic.Uint32
+	recvCodec atomic.Uint32
 }
 
 type frame struct {
@@ -80,13 +111,20 @@ func Pipe() (Conn, Conn) {
 }
 
 // SetCodec implements Conn.
-func (c *pipeConn) SetCodec(codec wire.Codec) { c.codec.Store(uint32(codec)) }
+func (c *pipeConn) SetCodec(codec wire.Codec) {
+	c.sendCodec.Store(uint32(codec))
+	c.recvCodec.Store(uint32(codec))
+}
 
-func (c *pipeConn) getCodec() wire.Codec { return wire.Codec(c.codec.Load()) }
+// SetSendCodec implements Conn.
+func (c *pipeConn) SetSendCodec(codec wire.Codec) { c.sendCodec.Store(uint32(codec)) }
+
+// SetRecvCodec implements Conn.
+func (c *pipeConn) SetRecvCodec(codec wire.Codec) { c.recvCodec.Store(uint32(codec)) }
 
 // Send implements Conn.
 func (c *pipeConn) Send(m Message) error {
-	return c.SendFrame(m.Kind(), EncodeMessageCodec(m, c.getCodec()))
+	return c.SendFrame(m.Kind(), EncodeMessageCodec(m, wire.Codec(c.sendCodec.Load())))
 }
 
 // SendFrame implements Conn. The payload travels by reference: the
@@ -118,12 +156,12 @@ func (c *pipeConn) Recv() (Message, error) {
 	case <-c.closed:
 		return nil, io.EOF
 	case f := <-c.recv:
-		return DecodeMessageCodec(f.mt, f.payload, c.getCodec())
+		return decodeFrame(f.mt, f.payload, wire.Codec(c.recvCodec.Load()))
 	case <-c.peerDone:
 		// Drain anything already queued before reporting EOF.
 		select {
 		case f := <-c.recv:
-			return DecodeMessageCodec(f.mt, f.payload, c.getCodec())
+			return decodeFrame(f.mt, f.payload, wire.Codec(c.recvCodec.Load()))
 		default:
 			return nil, io.EOF
 		}
@@ -144,7 +182,8 @@ type tcpConn struct {
 	nc        net.Conn
 	writeMu   sync.Mutex
 	closeOnce sync.Once
-	codec     atomic.Uint32
+	sendCodec atomic.Uint32
+	recvCodec atomic.Uint32
 	readTO    atomic.Int64 // read timeout, ns; 0 = none
 	writeTO   atomic.Int64 // write timeout, ns; 0 = none
 	readBuf   []byte       // frame scratch, owned by the single Recv caller
@@ -164,9 +203,16 @@ func Dial(addr string) (Conn, error) {
 }
 
 // SetCodec implements Conn.
-func (c *tcpConn) SetCodec(codec wire.Codec) { c.codec.Store(uint32(codec)) }
+func (c *tcpConn) SetCodec(codec wire.Codec) {
+	c.sendCodec.Store(uint32(codec))
+	c.recvCodec.Store(uint32(codec))
+}
 
-func (c *tcpConn) getCodec() wire.Codec { return wire.Codec(c.codec.Load()) }
+// SetSendCodec implements Conn.
+func (c *tcpConn) SetSendCodec(codec wire.Codec) { c.sendCodec.Store(uint32(codec)) }
+
+// SetRecvCodec implements Conn.
+func (c *tcpConn) SetRecvCodec(codec wire.Codec) { c.recvCodec.Store(uint32(codec)) }
 
 // SetReadTimeout implements DeadlineConn.
 func (c *tcpConn) SetReadTimeout(d time.Duration) { c.readTO.Store(int64(d)) }
@@ -188,7 +234,7 @@ func (c *tcpConn) armWriteDeadline() {
 func (c *tcpConn) Send(m Message) error {
 	w := wire.GetWriter()
 	w.BeginFrame(byte(m.Kind()))
-	w.Codec = c.getCodec()
+	w.Codec = wire.Codec(c.sendCodec.Load())
 	m.encode(w)
 	buf, err := w.Frame()
 	if err == nil {
@@ -241,7 +287,7 @@ func (c *tcpConn) Recv() (Message, error) {
 	if cap(payload) > cap(c.readBuf) && cap(payload) <= maxReadScratch {
 		c.readBuf = payload
 	}
-	return DecodeMessageCodec(MsgType(mt), payload, c.getCodec())
+	return decodeFrame(MsgType(mt), payload, wire.Codec(c.recvCodec.Load()))
 }
 
 // Close implements Conn.

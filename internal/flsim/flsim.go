@@ -124,6 +124,11 @@ type Scenario struct {
 	// scenarios. Assignment stays seed-deterministic per shard.
 	ShardStragglers []float64
 	ShardFailures   []float64
+	// PositiveDeltas draws simulated updates from (0, 1] instead of
+	// [-1, 1): every fold strictly grows the model norm, so runs of the
+	// same fleet under different pacing (sync vs async) can be compared
+	// by the virtual time each takes to push the norm past a target.
+	PositiveDeltas bool
 	// Seed drives every random choice in the scenario.
 	Seed int64
 	// Model is the initial global model; a small two-tensor model is
@@ -151,6 +156,12 @@ type Result struct {
 	Quarantined []string
 	// Elapsed is the total virtual time consumed by deadline waits.
 	Elapsed time.Duration
+	// Idle is the virtual fleet-idle time implied by the trace: in a
+	// synchronous round that waited out its deadline (Dropped > 0),
+	// every on-time responder sat idle from its fold to the deadline —
+	// accounted here as Deadline per responder. Async sessions have no
+	// round barrier, so their Idle is 0.
+	Idle time.Duration
 	// EnclaveSMCs counts world switches of the aggregation enclave
 	// (0 when the scenario ran without one).
 	EnclaveSMCs int64
@@ -170,6 +181,28 @@ func splitmix64(x uint64) uint64 {
 func dyadicDelta(seed int64, client, round int) float64 {
 	h := splitmix64(uint64(seed)*0x100000001b3 ^ uint64(client)<<20 ^ uint64(round))
 	return float64(int64(h%512)-256) / 256
+}
+
+// posDyadicDelta is the PositiveDeltas variant: a multiple of 1/256 in
+// (0, 1], so every fold strictly grows the model norm while sums stay
+// exact in float64.
+func posDyadicDelta(seed int64, client, round int) float64 {
+	h := splitmix64(uint64(seed)*0x100000001b3 ^ uint64(client)<<20 ^ uint64(round))
+	return float64(h%256+1) / 256
+}
+
+// idleFromTrace derives the fleet-idle accounting for a synchronous
+// trace: every round that waited out the deadline (some sampled client
+// dropped) held each on-time responder at the barrier for up to the
+// full deadline after its fold.
+func idleFromTrace(trace []fl.RoundStats, deadline time.Duration) time.Duration {
+	var idle time.Duration
+	for _, st := range trace {
+		if st.Dropped > 0 {
+			idle += deadline * time.Duration(st.Responded)
+		}
+	}
+	return idle
 }
 
 // Validate checks scenario consistency and applies defaults.
@@ -312,9 +345,10 @@ type simClient struct {
 	conn    fl.Conn
 	dev     *tz.Device // nil for no-TEE devices
 	app     *simTA
-	shapes  [][]int
-	seed    int64
-	failed  bool
+	shapes   [][]int
+	seed     int64
+	positive bool // PositiveDeltas scenarios draw from posDyadicDelta
+	failed   bool
 
 	channel *tz.Channel           // trusted I/O path, when the device has a TEE
 	mask    *secagg.ClientSession // masking state in secagg sessions
@@ -408,6 +442,9 @@ func (c *simClient) run() {
 // masked, splitting protected tensors onto the sealed path.
 func (c *simClient) answerRound(m *fl.ModelDown) error {
 	delta := dyadicDelta(c.seed, c.index, m.Round)
+	if c.positive {
+		delta = posDyadicDelta(c.seed, c.index, m.Round)
+	}
 	examples := uint64(max(c.profile.Examples, 0))
 
 	// Protected positions are those the server sealed away from the
@@ -445,7 +482,7 @@ func (c *simClient) answerRound(m *fl.ModelDown) error {
 	}
 
 	if c.mask == nil {
-		return c.conn.Send(&fl.GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd, Examples: examples})
+		return c.conn.Send(&fl.GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd, Examples: examples, Version: m.Version})
 	}
 	c.cohort = m.Cohort
 	c.round = m.Round
@@ -540,6 +577,7 @@ func Run(sc Scenario) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.positive = sc.PositiveDeltas
 		clients[i] = c
 		serverConns[i] = serverConn
 	}
@@ -580,6 +618,13 @@ func Run(sc Scenario) (*Result, error) {
 			}
 		},
 		ClientQuarantined: func(device string, _ error) {
+			quarantined = append(quarantined, device)
+			wait.outstanding--
+			if wait.outstanding == 0 && wait.stragglers > 0 {
+				clk.Advance(sc.Deadline)
+			}
+		},
+		ClientProbationed: func(device string, _ error) {
 			quarantined = append(quarantined, device)
 			wait.outstanding--
 			if wait.outstanding == 0 && wait.stragglers > 0 {
@@ -627,6 +672,7 @@ func Run(sc Scenario) (*Result, error) {
 		Profiles:    profiles,
 		Quarantined: quarantined,
 		Elapsed:     clk.Now().Sub(start),
+		Idle:        idleFromTrace(srv.Trace(), sc.Deadline),
 	}
 	if enclave != nil {
 		res.EnclaveSMCs = enclave.Device().SMCCount()

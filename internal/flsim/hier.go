@@ -145,6 +145,12 @@ func runHier(sc Scenario, profiles []Profile) (*Result, error) {
 			mu.Unlock()
 			wait.drained()
 		},
+		ClientProbationed: func(device string, _ error) {
+			mu.Lock()
+			quarantined = append(quarantined, device)
+			mu.Unlock()
+			wait.drained()
+		},
 	}
 
 	edges := make([]*hier.Edge, sc.Shards)
@@ -158,6 +164,7 @@ func runHier(sc Scenario, profiles []Profile) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			c.positive = sc.PositiveDeltas
 			byDevice[c.profile.Device] = c
 			clientConns = append(clientConns, serverConn)
 			fleet.Add(1)
@@ -224,6 +231,7 @@ func runHier(sc Scenario, profiles []Profile) (*Result, error) {
 		Profiles:    profiles,
 		Quarantined: quarantined,
 		Elapsed:     clk.Now().Sub(start),
+		Idle:        idleFromTrace(root.Trace(), sc.Deadline),
 	}
 	return res, runErr
 }

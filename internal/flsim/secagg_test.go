@@ -221,7 +221,7 @@ func TestQuarantineProbationScenario(t *testing.T) {
 	for r, st := range res.Trace {
 		wantSampled := 12 - failedAt(r-1) // last round's failers are on probation
 		wantResponded := wantSampled - failedAt(r)
-		if st.Sampled != wantSampled || st.Responded != wantResponded || st.Quarantined != failedAt(r) {
+		if st.Sampled != wantSampled || st.Responded != wantResponded || st.Probation != failedAt(r) || st.Quarantined != 0 {
 			t.Fatalf("round %d stats = %+v, want sampled %d responded %d", r, st, wantSampled, wantResponded)
 		}
 	}

@@ -196,6 +196,7 @@ func fillShardStats(up *fl.PartialUp, st fl.RoundStats) {
 	up.Quarantined = uint64(st.Quarantined)
 	up.LateDiscarded = uint64(st.LateDiscarded)
 	up.Reconciled = uint64(st.Reconciled)
+	up.Probation = uint64(st.Probation)
 }
 
 // ShardState returns the edge's current model state (the last adopted

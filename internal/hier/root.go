@@ -469,6 +469,7 @@ func (r *Root) handleArrival(round int, a edgeArrival, pending map[*edgeSess]boo
 		stats.Quarantined += int(m.Quarantined)
 		stats.LateDiscarded += int(m.LateDiscarded)
 		stats.Reconciled += int(m.Reconciled)
+		stats.Probation += int(m.Probation)
 		if m.Count == 0 {
 			*reasons = append(*reasons, fmt.Sprintf("%s: empty partial (shard round failed)", sess.name))
 			return

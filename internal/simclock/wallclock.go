@@ -139,3 +139,18 @@ func (v *Virtual) Waiters() int {
 	defer v.mu.Unlock()
 	return len(v.timers)
 }
+
+// NextAt returns the earliest armed timer's fire time. Harnesses that
+// drive event-at-a-time simulations (the flsim async lockstep) pair it
+// with Set to advance exactly to the next scheduled event. ok is false
+// when no timer is armed.
+func (v *Virtual) NextAt() (at time.Time, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, vt := range v.timers {
+		if !ok || vt.at.Before(at) {
+			at, ok = vt.at, true
+		}
+	}
+	return at, ok
+}
