@@ -9,6 +9,7 @@
 #   make bench-secagg secagg privacy-ladder benchmarks -> bench/secagg.txt
 #   make bench-hier   hierarchical fan-in benchmarks   -> bench/hier.txt
 #   make bench-async  async buffered-federation benchmarks -> bench/async.txt
+#   make bench-recover journal-replay vs re-attest benchmarks -> bench/recover.txt
 #   make bench-smoke  every benchmark once, small cases only (CI)
 #   make check        build + vet + test + fuzz regression (CI gate)
 #
@@ -16,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg bench-hier bench-async bench-smoke check
+.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg bench-hier bench-async bench-recover bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -33,7 +34,7 @@ test:
 # corpora and the entry point documented for CI. Real fuzzing is
 # `go test -fuzz FuzzReadFrame ./internal/wire` etc.
 fuzz-check:
-	$(GO) test -run 'Fuzz' ./internal/wire ./internal/fl
+	$(GO) test -run 'Fuzz' ./internal/wire ./internal/fl ./internal/journal
 
 # BenchmarkSecAggRound's 1024-client masked rounds exceed go test's
 # default 10m timeout (mask expansion is O(cohort² · model)).
@@ -75,6 +76,14 @@ bench-async:
 	@mkdir -p bench
 	$(GO) test -run xxx -bench 'BenchmarkAsyncRound' -benchtime=1x -benchmem -timeout 60m . > bench/async.txt; \
 	status=$$?; cat bench/async.txt; exit $$status
+
+# Crash-recovery benchmark: journal replay (time-to-resume) vs the
+# per-device re-attestation a journal-less restart pays, at 256/1024
+# clients.
+bench-recover:
+	@mkdir -p bench
+	$(GO) test -run xxx -bench 'BenchmarkRecover' -benchtime=20x -benchmem . > bench/recover.txt; \
+	status=$$?; cat bench/recover.txt; exit $$status
 
 # CI benchmark smoke: run every benchmark exactly once with the heavy
 # cases gated behind -short, so bench code can neither rot uncompiled

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"github.com/gradsec/gradsec/internal/core"
 	"github.com/gradsec/gradsec/internal/dataset"
@@ -31,6 +32,8 @@ func main() {
 	name := flag.String("name", "pi-client", "device name")
 	seed := flag.Int64("seed", 1, "local data seed")
 	codecName := flag.String("codec", "q8", "highest tensor wire codec accepted from the server's offer: f64, f32, or q8")
+	retries := flag.Int("retry", 1, "total connection attempts with jittered exponential backoff (1 = no retry)")
+	retryMax := flag.Duration("retry-max", 8*time.Second, "backoff cap between connection attempts")
 	flag.Parse()
 
 	maxCodec, err := wire.ParseCodec(*codecName)
@@ -56,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	conn, err := fl.Dial(*addr)
+	conn, err := fl.DialRetry(*addr, fl.RetryConfig{Attempts: *retries, Max: *retryMax})
 	if err != nil {
 		log.Fatal(err)
 	}

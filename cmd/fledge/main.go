@@ -49,6 +49,8 @@ func main() {
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-operation transport deadline (0 = none)")
 	quarantineRounds := flag.Int("quarantine-rounds", 0, "probation window for failed shard clients in rounds (0 = permanent exclusion)")
 	minRelease := flag.Int("min-release", 0, "shard-level secure-aggregation release floor: a shard partial folding fewer updates is never forwarded (0 = no floor)")
+	retries := flag.Int("retry", 1, "total upstream connection attempts with jittered exponential backoff (1 = no retry)")
+	retryMax := flag.Duration("retry-max", 8*time.Second, "backoff cap between upstream connection attempts")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*codecName)
@@ -77,7 +79,7 @@ func main() {
 		fmt.Printf("shard client %d connected\n", len(conns))
 	}
 
-	up, err := fl.Dial(*upstream)
+	up, err := fl.DialRetry(*upstream, fl.RetryConfig{Attempts: *retries, Max: *retryMax})
 	if err != nil {
 		log.Fatal(err)
 	}

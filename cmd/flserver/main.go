@@ -9,6 +9,12 @@
 // server folds updates staleness-discounted into a buffer and applies
 // it every -goal-updates folds; -rounds counts those applications.
 //
+// With -journal the server writes a checksummed round journal; after a
+// crash, restarting with -recover replays the committed rounds and
+// resumes the session bit-identically with the reconnecting fleet.
+// -aggregation trimmed-mean/median swaps FedAvg for a Byzantine-robust
+// aggregator (see -trim for the trimmed-mean tail fraction).
+//
 // With -edges N the binary runs as a hierarchical aggregation root
 // instead: it waits for N fledge edge-aggregator connections, broadcasts
 // the model once per round, and folds one partial aggregate per shard —
@@ -29,6 +35,7 @@ import (
 	"github.com/gradsec/gradsec/internal/core"
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/hier"
+	"github.com/gradsec/gradsec/internal/journal"
 	"github.com/gradsec/gradsec/internal/nn"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -58,18 +65,35 @@ func main() {
 	maxStaleness := flag.Int("max-staleness", 0, "async: discard updates trained on a model more than this many versions old (0 = fold any staleness, discounted)")
 	asyncBuffer := flag.Int("async-buffer", 0, "async: arrival fan-in capacity before backpressure reaches the transports (0 = 2x goal)")
 	pushInterval := flag.Duration("push-interval", 0, "async: per-device fold rate limit; faster pushes are discarded as duplicates (0 = unlimited)")
+	journalPath := flag.String("journal", "", "write-ahead round journal for crash durability (empty = none)")
+	recoverRun := flag.Bool("recover", false, "resume a crashed session from -journal: replay committed rounds, then continue with the reconnecting fleet")
+	aggName := flag.String("aggregation", "fedavg", "round aggregation: fedavg, trimmed-mean, or median (the robust modes are incompatible with -secagg)")
+	trim := flag.Float64("trim", 0.1, "per-tail trim fraction for -aggregation trimmed-mean, in (0, 0.5)")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*codecName)
 	if err != nil {
 		log.Fatal(err)
 	}
+	aggMethod, err := fl.ParseAggMethod(*aggName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if aggMethod != fl.AggFedAvg && *secAgg {
+		log.Fatal("-aggregation trimmed-mean/median needs per-client updates (incompatible with -secagg)")
+	}
+	if *recoverRun && *journalPath == "" {
+		log.Fatal("-recover needs the crashed session's -journal")
+	}
 
 	if *edges > 0 {
 		if *async {
 			log.Fatal("-async is a flat-server mode (incompatible with -edges)")
 		}
-		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale)
+		if aggMethod != fl.AggFedAvg {
+			log.Fatal("-aggregation trimmed-mean/median is a flat-server mode (incompatible with -edges)")
+		}
+		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale, *journalPath, *recoverRun)
 		return
 	}
 	if *async && *secAgg {
@@ -111,6 +135,14 @@ func main() {
 		defer enclave.Close()
 	}
 
+	jnl, err := openJournal(*journalPath, *recoverRun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jnl != nil {
+		defer jnl.Close()
+	}
+
 	l, err := fl.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -127,6 +159,9 @@ func main() {
 	if *async {
 		mode = "asynchronous buffered aggregation"
 	}
+	if aggMethod != fl.AggFedAvg {
+		mode = fmt.Sprintf("Byzantine-robust aggregation (%s)", aggMethod)
+	}
 	fmt.Printf("flserver listening on %s; waiting for %d clients (plan %s, codec %s, %s)\n",
 		l.Addr(), *clients, planDesc, codec, mode)
 
@@ -140,7 +175,7 @@ func main() {
 		fmt.Printf("client %d connected\n", len(conns))
 	}
 
-	srv := fl.NewServer(global.StateDict(), fl.ServerConfig{
+	cfg := fl.ServerConfig{
 		Rounds:           *rounds,
 		Planner:          planner,
 		MinClients:       *minClients,
@@ -156,6 +191,9 @@ func main() {
 		QuarantineRounds: *quarantineRounds,
 		MinRelease:       *minRelease,
 		AdaptiveCodec:    *adaptiveCodec,
+		Journal:          jnl,
+		Aggregation:      aggMethod,
+		TrimFraction:     *trim,
 		Async: fl.AsyncConfig{
 			Enabled:         *async,
 			GoalUpdates:     *goalUpdates,
@@ -175,7 +213,17 @@ func main() {
 					st.Round, st.Sampled, st.Responded, st.Dropped, st.Probation, st.Quarantined, st.Reconciled, st.UpdateNorm)
 			},
 		},
-	})
+	}
+	var srv *fl.Server
+	if *recoverRun {
+		srv, err = fl.Recover(*journalPath, global.StateDict(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered session from %s: resuming at round %d\n", *journalPath, srv.NextRound())
+	} else {
+		srv = fl.NewServer(global.StateDict(), cfg)
+	}
 	run := srv.Run
 	unit := "rounds"
 	if *async {
@@ -191,10 +239,29 @@ func main() {
 		selected, *rounds, unit, len(srv.State()))
 }
 
+// openJournal opens the write-ahead journal: created fresh for a new
+// session, reopened for appending when resuming a crashed one.
+func openJournal(path string, resume bool) (*journal.Journal, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if resume {
+		return journal.Append(path)
+	}
+	return journal.Create(path)
+}
+
 // runRoot drives the hierarchical root: N edge aggregators instead of
 // N clients, one partial fold per shard per round.
-func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale int) {
+func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale int, journalPath string, recoverRun bool) {
 	global := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU)
+	jnl, err := openJournal(journalPath, recoverRun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jnl != nil {
+		defer jnl.Close()
+	}
 	l, err := fl.Listen(addr)
 	if err != nil {
 		log.Fatal(err)
@@ -215,7 +282,7 @@ func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadlin
 		conns = append(conns, c)
 		fmt.Printf("edge %d connected\n", len(conns))
 	}
-	root := hier.NewRoot(global.StateDict(), hier.RootConfig{
+	rootCfg := hier.RootConfig{
 		Rounds:          rounds,
 		MinShards:       minShards,
 		ShardDeadline:   shardDeadline,
@@ -224,6 +291,7 @@ func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadlin
 		SecAggScaleBits: secAggScale,
 		MinRelease:      minRelease,
 		IOTimeout:       ioTimeout,
+		Journal:         jnl,
 		Hooks: hier.Hooks{
 			ShardDropped: func(shard string, reason error) {
 				fmt.Printf("dropped edge %s: %v\n", shard, reason)
@@ -233,7 +301,17 @@ func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadlin
 					st.Round, st.Shards, st.Sampled, st.Responded, st.Dropped, st.Reconciled, st.UpdateNorm)
 			},
 		},
-	})
+	}
+	var root *hier.Root
+	if recoverRun {
+		root, err = hier.RecoverRoot(journalPath, global.StateDict(), rootCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered root session from %s\n", journalPath)
+	} else {
+		root = hier.NewRoot(global.StateDict(), rootCfg)
+	}
 	enrolled, err := root.Run(conns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "session failed: %v\n", err)

@@ -1,0 +1,44 @@
+package attack
+
+import "github.com/gradsec/gradsec/internal/tensor"
+
+// Model-poisoning adversaries for the Byzantine-robustness evaluation:
+// transformations a compromised client applies to its honest update
+// before pushing it. Both keep dyadic-rational updates dyadic (integer
+// and power-of-two factors only), so deterministic simulations can
+// assert aggregate values exactly.
+
+// SignFlip negates every coordinate in place and scales it by gamma —
+// the classic sign-flipping attack: the poisoner pushes the fleet
+// exactly opposite to the honest descent direction, amplified so a
+// minority of attackers outweighs the honest majority under plain
+// averaging. gamma <= 0 defaults to 1 (pure flip).
+func SignFlip(update []*tensor.Tensor, gamma float64) {
+	if gamma <= 0 {
+		gamma = 1
+	}
+	for _, t := range update {
+		if t == nil {
+			continue
+		}
+		for i, v := range t.Data {
+			t.Data[i] = -gamma * v
+		}
+	}
+}
+
+// ScalePoison multiplies every coordinate in place by gamma — the
+// scaled-poisoning (model replacement) attack: the update keeps the
+// honest direction but with inflated magnitude, dragging the plain
+// average far past the honest optimum while staying inconspicuous in
+// direction-based detectors.
+func ScalePoison(update []*tensor.Tensor, gamma float64) {
+	for _, t := range update {
+		if t == nil {
+			continue
+		}
+		for i, v := range t.Data {
+			t.Data[i] = gamma * v
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gradsec/gradsec/internal/journal"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
 )
@@ -105,7 +106,13 @@ func (s *Server) RunAsync(conns []Conn) (int, error) {
 	if s.cfg.SecAgg || s.cfg.Partials {
 		return 0, errors.New("fl: asynchronous mode does not compose with SecAgg or Partials")
 	}
-	n, err := s.Open(conns)
+	open := s.Open
+	if s.Resumable() {
+		// Journal-recovered session: rejoin the roster and continue at
+		// the first unwatermarked version.
+		open = s.Resume
+	}
+	n, err := open(conns)
 	if err != nil {
 		return n, err
 	}
@@ -131,10 +138,10 @@ func (s *Server) runAsync() error {
 		clients[sess] = &asyncClient{}
 	}
 
-	version := 0
+	version := s.nextRound // 0 fresh; the first unwatermarked version after recovery
 	frames := make(map[wire.Codec][]byte) // current version, per codec
 	agg := NewAggregator(s.state)
-	stats := RoundStats{Round: 0, Sampled: len(s.sessions)}
+	stats := RoundStats{Round: version, Sampled: len(s.sessions)}
 	var reasons []string
 
 	s.asyncRoundStarted(version)
@@ -164,7 +171,7 @@ func (s *Server) runAsync() error {
 
 	for version < s.cfg.Rounds {
 		if err := s.asyncCheckLiveness(clients, &reasons); err != nil {
-			s.closeRound(stats)
+			s.closeRound(stats, false, nil)
 			return err
 		}
 		a := <-s.arrivals
@@ -251,12 +258,12 @@ func (s *Server) runAsync() error {
 				stats.WeightTotal = agg.Weight()
 				mean, err := agg.Mean()
 				if err != nil {
-					s.closeRound(stats)
+					s.closeRound(stats, false, nil)
 					return err
 				}
 				stats.UpdateNorm = UpdateNorm(mean)
 				ApplyUpdate(s.state, mean, 1.0)
-				s.closeRound(stats)
+				s.closeRound(stats, true, mean)
 				version++
 				if version >= s.cfg.Rounds {
 					break
@@ -285,9 +292,10 @@ func (s *Server) runAsync() error {
 	return s.asyncDrain(clients)
 }
 
-// asyncRoundStarted fires the RoundStarted hook with the devices
-// eligible at the given version.
+// asyncRoundStarted journals the version boundary and fires the
+// RoundStarted hook with the devices eligible at the given version.
 func (s *Server) asyncRoundStarted(version int) {
+	s.journalAppend(&journal.Record{Type: journal.RecRoundOpen, Round: version})
 	if s.cfg.Hooks.RoundStarted == nil {
 		return
 	}

@@ -1,0 +1,112 @@
+package fl
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/secagg"
+)
+
+// TestEnclaveChannelsReleasedOnAbort: an enclave-backed protected
+// session that dies mid-round must not leak TA state — the per-device
+// trusted channels, any unconsumed offers, and the round accumulator's
+// secure memory are all released by the abort, and the same devices can
+// re-establish on the same enclave in a later session.
+func TestEnclaveChannelsReleasedOnAbort(t *testing.T) {
+	enclave, err := secagg.NewEnclave("leak-agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Close()
+
+	build := func() []*testTrainer {
+		return []*testTrainer{
+			newTestTrainer("tee-a", true, 2),
+			newTestTrainer("tee-b", true, 6),
+		}
+	}
+	trainers := build()
+	liveChannels := 0
+	cfg := ServerConfig{
+		Rounds: 3, RequireTEE: true, Verifier: setupVerifier(trainers...),
+		Planner: staticPlanner{0: true}, SecAgg: true, Enclave: enclave,
+		Hooks: Hooks{UpdateFolded: func(round int, _ string) {
+			if round == 1 {
+				// Snapshot before the "crash" so the post-abort zero
+				// provably released something.
+				liveChannels = enclave.ChannelCount()
+				panic(crashSentinel{round})
+			}
+		}},
+	}
+	srv := NewServer(newState(5, 50), cfg)
+	runUntilCrash(t, srv, trainers)
+
+	if liveChannels != 2 {
+		t.Fatalf("mid-session enclave held %d channels, want 2", liveChannels)
+	}
+	if got := enclave.ChannelCount(); got != 0 {
+		t.Fatalf("abort leaked %d enclave channels", got)
+	}
+	if got := enclave.OfferCount(); got != 0 {
+		t.Fatalf("abort leaked %d enclave channel offers", got)
+	}
+	if got := enclave.Device().SecureMemory().InUse(); got != 0 {
+		t.Fatalf("abort leaked %d bytes of enclave secure memory (round accumulator)", got)
+	}
+
+	// The released names must be free for a later session on the same
+	// enclave process — establishment would fail if the abort had kept
+	// the old channels.
+	again := build()
+	cfg2 := ServerConfig{
+		Rounds: 1, RequireTEE: true, Verifier: setupVerifier(again...),
+		Planner: staticPlanner{0: true}, SecAgg: true, Enclave: enclave,
+	}
+	srv2 := NewServer(newState(5, 50), cfg2)
+	if _, err := runSession(t, srv2, again); err != nil {
+		t.Fatalf("re-establishment after abort: %v", err)
+	}
+	if got := enclave.ChannelCount(); got != 0 {
+		t.Fatalf("clean close leaked %d enclave channels", got)
+	}
+	if got := enclave.Device().SecureMemory().InUse(); got != 0 {
+		t.Fatalf("clean close leaked %d bytes of enclave secure memory", got)
+	}
+}
+
+// TestEnclaveCohortFloorBlocksRelease: with the count-capped release
+// policy armed above the cohort size, the enclave refuses to publish
+// the aggregate (ErrCohortTooSmall), the round fails — and the failed
+// session still tears down without leaking channels or the blocked
+// round's accumulator.
+func TestEnclaveCohortFloorBlocksRelease(t *testing.T) {
+	enclave, err := secagg.NewEnclave("floor-agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Close()
+
+	trainers := []*testTrainer{
+		newTestTrainer("tee-a", true, 2),
+		newTestTrainer("tee-b", true, 6),
+	}
+	srv := NewServer(newState(5, 50), ServerConfig{
+		Rounds: 2, RequireTEE: true, Verifier: setupVerifier(trainers...),
+		Planner: staticPlanner{0: true}, SecAgg: true, Enclave: enclave,
+		MinRelease: 3, // two devices can never satisfy the floor
+	})
+	_, err = runSession(t, srv, trainers)
+	if !errors.Is(err, secagg.ErrCohortTooSmall) {
+		t.Fatalf("err = %v, want ErrCohortTooSmall", err)
+	}
+	if got := enclave.ChannelCount(); got != 0 {
+		t.Fatalf("failed session leaked %d enclave channels", got)
+	}
+	if got := enclave.OfferCount(); got != 0 {
+		t.Fatalf("failed session leaked %d enclave channel offers", got)
+	}
+	if got := enclave.Device().SecureMemory().InUse(); got != 0 {
+		t.Fatalf("blocked release leaked %d bytes of enclave secure memory", got)
+	}
+}

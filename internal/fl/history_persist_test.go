@@ -1,0 +1,243 @@
+package fl
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/journal"
+)
+
+// startClients wires fresh pipes for the trainers and runs each client
+// on its own goroutine. Client errors are swallowed rather than failing
+// the session — a rejected or quarantined client's error is the point
+// of these tests.
+func startClients(trainers []*testTrainer) (serverConns []Conn, clients []*Client, wait func()) {
+	serverConns = make([]Conn, len(trainers))
+	clients = make([]*Client, len(trainers))
+	var wg sync.WaitGroup
+	for i, tr := range trainers {
+		sc, cc := Pipe()
+		serverConns[i] = sc
+		clients[i] = NewClient(cc, tr)
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); _ = clients[i].Run() }(i)
+	}
+	return serverConns, clients, wg.Wait
+}
+
+// TestQuarantinePersistsAcrossSessions: a device quarantined in one
+// session of a server stays excluded when the same name reconnects to a
+// later session of that server — standing is durable state, not round
+// state.
+func TestQuarantinePersistsAcrossSessions(t *testing.T) {
+	srv := NewServer(newState(0), ServerConfig{Rounds: 2, MinClients: 1})
+	bad := newTestTrainer("bad", false, 8)
+	bad.failOnRound = 0 // QuarantineRounds is 0: permanent exclusion
+	conns, _, wait := startClients([]*testTrainer{newTestTrainer("good", false, 2), bad})
+	if _, err := srv.Run(conns); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	if got := srv.Trace()[0].Quarantined; got != 1 {
+		t.Fatalf("round 0 quarantined %d, want 1", got)
+	}
+
+	// Session 2 on the same server: selection still runs, and the
+	// quarantined name must be turned away at the door.
+	conns2, clients2, wait2 := startClients([]*testTrainer{
+		newTestTrainer("good", false, 2), newTestTrainer("bad", false, 8),
+	})
+	n, err := srv.Run(conns2)
+	if err != nil {
+		t.Fatalf("second session: %v", err)
+	}
+	wait2()
+	if n != 1 {
+		t.Fatalf("second session selected %d clients, want 1", n)
+	}
+	if got := clients2[1].RejectedReason; !strings.Contains(got, "quarantined in an earlier session") {
+		t.Fatalf("readmitted device rejection = %q", got)
+	}
+	if clients2[0].RejectedReason != "" {
+		t.Fatalf("clean device rejected: %q", clients2[0].RejectedReason)
+	}
+}
+
+// TestProbationWindowSpansSessions: an unserved probation window booked
+// in one session is still honoured when the device reconnects to the
+// next — the window is measured in global rounds, so closing and
+// reopening the session cannot launder a misbehaving device back in
+// early.
+func TestProbationWindowSpansSessions(t *testing.T) {
+	srv := NewServer(newState(0), ServerConfig{Rounds: 6, MinClients: 1, QuarantineRounds: 3})
+	flaky := newTestTrainer("flaky", false, 4)
+	flaky.failOnRound = 0 // probation until round 4
+	conns, _, wait := startClients([]*testTrainer{newTestTrainer("steady", false, 2), flaky})
+	if _, err := srv.Open(conns); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if _, err := srv.StepRound(r); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	if err := srv.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	trace := srv.Trace()
+	if trace[0].Sampled != 2 || trace[0].Probation != 1 || trace[0].Quarantined != 0 {
+		t.Fatalf("round 0 stats = %+v, want a probation booking", trace[0])
+	}
+	if trace[1].Sampled != 1 {
+		t.Fatalf("round 1 sampled %d, want the steady client alone", trace[1].Sampled)
+	}
+
+	// Session 2 picks the round clock up mid-window: rounds 2–3 still
+	// exclude the flaky device, round 4 re-admits it.
+	conns2, _, wait2 := startClients([]*testTrainer{
+		newTestTrainer("steady", false, 2), newTestTrainer("flaky", false, 4),
+	})
+	if _, err := srv.Open(conns2); err != nil {
+		t.Fatalf("second session: %v", err)
+	}
+	for r := 2; r < 6; r++ {
+		if _, err := srv.StepRound(r); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	if err := srv.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	wait2()
+	trace = srv.Trace()
+	for r := 2; r < 4; r++ {
+		if trace[r].Sampled != 1 {
+			t.Fatalf("round %d sampled %d, probation window not honoured across sessions", r, trace[r].Sampled)
+		}
+	}
+	for r := 4; r < 6; r++ {
+		if trace[r].Sampled != 2 || trace[r].Responded != 2 {
+			t.Fatalf("round %d stats = %+v, served window must re-admit", r, trace[r])
+		}
+	}
+}
+
+// TestRecoverRejectsPreCrashQuarantine: a quarantine committed before a
+// crash survives journal recovery — the device is matched against the
+// journaled roster at resume and refused, and the resumed session
+// closes on the surviving fleet alone.
+func TestRecoverRejectsPreCrashQuarantine(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "quarantine.journal")
+	j, err := journal.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServerConfig{Rounds: 3, MinClients: 1}
+	ccfg := cfg
+	ccfg.Journal = j
+	ccfg.Hooks = Hooks{RoundStarted: func(round int, _ []string) {
+		if round == 1 {
+			panic(crashSentinel{round})
+		}
+	}}
+	bad := newTestTrainer("bad", false, 8)
+	bad.failOnRound = 0 // quarantined in round 0, which commits
+	srv := NewServer(newState(0), ccfg)
+	runUntilCrash(t, srv, []*testTrainer{newTestTrainer("good", false, 2), bad})
+	_ = j.Close()
+
+	j2, err := journal.Append(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Journal = j2
+	srv2, err := Recover(jpath, newState(0), rcfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	conns, clients, wait := startClients([]*testTrainer{
+		newTestTrainer("good", false, 2), newTestTrainer("bad", false, 8),
+	})
+	if _, err := srv2.Run(conns); err != nil {
+		t.Fatalf("resumed session: %v", err)
+	}
+	wait()
+	_ = j2.Close()
+	if got := clients[1].RejectedReason; !strings.Contains(got, "quarantined before the crash") {
+		t.Fatalf("pre-crash quarantine rejection = %q", got)
+	}
+	// Round 0 folded only good's +2 (bad failed); rounds 1–2 are good
+	// alone: the recovered model must show exactly three +2 steps.
+	if got := srv2.State()[0].Data[0]; got != 6 {
+		t.Fatalf("recovered final state %v, want 6", got)
+	}
+	if got := len(srv2.Trace()); got != 3 {
+		t.Fatalf("recovered trace has %d rounds, want 3", got)
+	}
+}
+
+// TestRecoverRestoresProbationWindow: a probation window committed
+// before a crash is restored by recovery — the device resumes its
+// connection but stays ineligible until the journaled round, then
+// rejoins the cohort.
+func TestRecoverRestoresProbationWindow(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "probation.journal")
+	j, err := journal.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServerConfig{Rounds: 6, MinClients: 1, QuarantineRounds: 3}
+	ccfg := cfg
+	ccfg.Journal = j
+	ccfg.Hooks = Hooks{RoundStarted: func(round int, _ []string) {
+		if round == 2 {
+			panic(crashSentinel{round})
+		}
+	}}
+	flaky := newTestTrainer("flaky", false, 4)
+	flaky.failOnRound = 0 // probation until round 4, committed with round 0
+	srv := NewServer(newState(0), ccfg)
+	runUntilCrash(t, srv, []*testTrainer{newTestTrainer("steady", false, 2), flaky})
+	_ = j.Close()
+
+	j2, err := journal.Append(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Journal = j2
+	srv2, err := Recover(jpath, newState(0), rcfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	conns, _, wait := startClients([]*testTrainer{
+		newTestTrainer("steady", false, 2), newTestTrainer("flaky", false, 4),
+	})
+	if _, err := srv2.Run(conns); err != nil {
+		t.Fatalf("resumed session: %v", err)
+	}
+	wait()
+	_ = j2.Close()
+	trace := srv2.Trace()
+	if len(trace) != 6 {
+		t.Fatalf("trace has %d rounds, want 6", len(trace))
+	}
+	for r := 2; r < 4; r++ {
+		if trace[r].Sampled != 1 {
+			t.Fatalf("round %d sampled %d, probation window not restored by recovery", r, trace[r].Sampled)
+		}
+	}
+	for r := 4; r < 6; r++ {
+		if trace[r].Sampled != 2 || trace[r].Responded != 2 {
+			t.Fatalf("round %d stats = %+v, served window must re-admit", r, trace[r])
+		}
+	}
+	// Rounds 0–3 folded steady's +2 alone; rounds 4–5 fold mean(2,4)=3.
+	if got := srv2.State()[0].Data[0]; got != 14 {
+		t.Fatalf("recovered final state %v, want 14", got)
+	}
+}

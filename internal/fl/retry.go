@@ -1,0 +1,95 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryConfig governs DialRetry's backoff schedule. The zero value
+// means a single attempt with no waiting — identical to Dial.
+type RetryConfig struct {
+	// Attempts is the total number of dial attempts, including the
+	// first. Values below 1 are treated as 1.
+	Attempts int
+
+	// Base is the delay before the first retry; each subsequent delay
+	// doubles until it reaches Max. Defaults to 250ms when Attempts > 1.
+	Base time.Duration
+
+	// Max caps the exponential growth. Defaults to 8s.
+	Max time.Duration
+
+	// Jitter is the fraction of each delay drawn uniformly at random
+	// and added on top, decorrelating a fleet of clients that all lost
+	// the same server at the same moment. 0.2 means "up to +20%".
+	// Negative disables jitter; 0 defaults to 0.2.
+	Jitter float64
+
+	// Seed seeds the jitter RNG. 0 seeds from the wall clock, which is
+	// what production wants; tests pin it for reproducible schedules.
+	Seed int64
+
+	// Sleep and Dial are test seams; nil means time.Sleep and Dial.
+	Sleep func(time.Duration)
+	Dial  func(addr string) (Conn, error)
+}
+
+func (cfg *RetryConfig) fill() {
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+	if cfg.Base <= 0 {
+		cfg.Base = 250 * time.Millisecond
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 8 * time.Second
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = Dial
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+}
+
+// DialRetry connects to an FL server at addr, retrying transient dial
+// failures with jittered exponential backoff. A device fleet rebooting
+// after a server crash all reconnect through this path: the backoff
+// keeps the recovering server from being flattened by a synchronized
+// thundering herd, and the jitter spreads the herd out. It returns the
+// last dial error once the attempt budget is spent.
+func DialRetry(addr string, cfg RetryConfig) (Conn, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	delay := cfg.Base
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		conn, err := cfg.Dial(addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if attempt >= cfg.Attempts {
+			break
+		}
+		wait := delay
+		if cfg.Jitter > 0 {
+			wait += time.Duration(rng.Float64() * cfg.Jitter * float64(delay))
+		}
+		cfg.Sleep(wait)
+		if delay < cfg.Max {
+			delay *= 2
+			if delay > cfg.Max {
+				delay = cfg.Max
+			}
+		}
+	}
+	return nil, fmt.Errorf("fl: dialing %s: %d attempts exhausted: %w", addr, cfg.Attempts, lastErr)
+}

@@ -1,0 +1,124 @@
+package fl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDialRetrySucceedsAfterFailures: the dialer fails twice, then
+// connects; DialRetry slept a doubled backoff before each retry.
+func TestDialRetrySucceedsAfterFailures(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	s, c := Pipe()
+	defer s.Close()
+	conn, err := DialRetry("test:1", RetryConfig{
+		Attempts: 5,
+		Base:     100 * time.Millisecond,
+		Max:      time.Second,
+		Jitter:   -1, // exact schedule
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		Dial: func(string) (Conn, error) {
+			calls++
+			if calls < 3 {
+				return nil, errors.New("connection refused")
+			}
+			return c, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	if conn != c {
+		t.Fatal("returned a different conn")
+	}
+	if calls != 3 {
+		t.Fatalf("dialed %d times, want 3", calls)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+	conn.Close()
+}
+
+// TestDialRetryExhaustsBudget: every attempt fails; the final error
+// names the address, the budget, and wraps the last dial error.
+func TestDialRetryExhaustsBudget(t *testing.T) {
+	sentinel := errors.New("no route to host")
+	calls := 0
+	_, err := DialRetry("test:2", RetryConfig{
+		Attempts: 3,
+		Jitter:   -1,
+		Sleep:    func(time.Duration) {},
+		Dial:     func(string) (Conn, error) { calls++; return nil, sentinel },
+	})
+	if err == nil {
+		t.Fatal("want an error after the budget is spent")
+	}
+	if calls != 3 {
+		t.Fatalf("dialed %d times, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the last dial error", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error %v does not report the budget", err)
+	}
+}
+
+// TestDialRetryBackoffCapAndJitter: delays double up to Max and never
+// beyond; with a pinned seed, jitter adds at most the configured
+// fraction and the schedule is reproducible.
+func TestDialRetryBackoffCapAndJitter(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		_, _ = DialRetry("test:3", RetryConfig{
+			Attempts: 6,
+			Base:     100 * time.Millisecond,
+			Max:      400 * time.Millisecond,
+			Jitter:   0.5,
+			Seed:     42,
+			Sleep:    func(d time.Duration) { slept = append(slept, d) },
+			Dial:     func(string) (Conn, error) { return nil, errors.New("down") },
+		})
+		return slept
+	}
+	first := run()
+	if len(first) != 5 {
+		t.Fatalf("slept %d times, want 5", len(first))
+	}
+	bases := []time.Duration{100, 200, 400, 400, 400}
+	for i, base := range bases {
+		lo, hi := base*time.Millisecond, base*time.Millisecond*3/2
+		if first[i] < lo || first[i] > hi {
+			t.Fatalf("backoff %d = %v, want within [%v, %v]", i, first[i], lo, hi)
+		}
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("pinned seed gave divergent schedules: %v vs %v", first, second)
+		}
+	}
+}
+
+// TestDialRetrySingleAttemptDefault: the zero config dials exactly once
+// and never sleeps — drop-in for Dial.
+func TestDialRetrySingleAttemptDefault(t *testing.T) {
+	calls := 0
+	_, err := DialRetry("test:4", RetryConfig{
+		Sleep: func(time.Duration) { t.Fatal("single attempt must not sleep") },
+		Dial:  func(string) (Conn, error) { calls++; return nil, errors.New("down") },
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("calls=%d err=%v, want one failed attempt", calls, err)
+	}
+}

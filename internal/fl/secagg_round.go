@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gradsec/gradsec/internal/journal"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -78,11 +79,11 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 	}
 	hasProtected := len(protIdx) > 0
 	if hasProtected && s.cfg.Partials {
-		s.closeRound(stats)
+		s.closeRound(stats, false, nil)
 		return nil, ErrPartialProtected
 	}
 	if hasProtected && s.cfg.Enclave == nil {
-		s.closeRound(stats)
+		s.closeRound(stats, false, nil)
 		return nil, ErrSecAggNeedsEnclave
 	}
 	if hasProtected {
@@ -91,7 +92,7 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 			shapes[k] = s.state[id].Shape
 		}
 		if err := s.cfg.Enclave.Begin(round, protIdx, shapes); err != nil {
-			s.closeRound(stats)
+			s.closeRound(stats, false, nil)
 			return nil, fmt.Errorf("fl: enclave round begin: %w", err)
 		}
 	}
@@ -191,7 +192,7 @@ collect:
 		}
 		err := fmt.Errorf("%w: %d of %d sampled clients responded, need %d%s",
 			ErrNotEnoughClients, msum.Count(), stats.Sampled, s.cfg.MinClients, detail)
-		s.closeRound(stats)
+		s.closeRound(stats, false, nil)
 		return nil, err
 	}
 	if s.cfg.MinRelease > 0 && msum.Count() < s.cfg.MinRelease {
@@ -199,7 +200,7 @@ collect:
 		// update; the round fails before anything is dequantised. The
 		// enclave enforces the same floor independently at Finish.
 		err := fmt.Errorf("%w: %d of %d required for release", secagg.ErrCohortTooSmall, msum.Count(), s.cfg.MinRelease)
-		s.closeRound(stats)
+		s.closeRound(stats, false, nil)
 		return nil, err
 	}
 
@@ -215,7 +216,7 @@ collect:
 	sort.Strings(unfolded)
 	if len(unfolded) > 0 {
 		if err := s.reconcileMasks(round, unfolded, folded, msum, arrivals, &stats, &reasons); err != nil {
-			s.closeRound(stats)
+			s.closeRound(stats, false, nil)
 			return nil, err
 		}
 		stats.Reconciled = len(unfolded)
@@ -226,20 +227,20 @@ collect:
 		// reconciled), so the ring sums are clean partials that compose
 		// additively in ℤ/2⁶⁴ at the root — which dequantises exactly
 		// once over the whole fleet.
-		s.closeRound(stats)
+		s.closeRound(stats, true, nil)
 		return &Partial{Round: round, Levels: msum.Levels(), ScaleBits: s.cfg.SecAggScaleBits,
 			Weight: msum.Weight(), Count: msum.Count(), Stats: stats}, nil
 	}
 
 	mean, err := msum.Mean()
 	if err != nil {
-		s.closeRound(stats)
+		s.closeRound(stats, false, nil)
 		return nil, err
 	}
 	if hasProtected {
 		encMean, err := s.cfg.Enclave.Finish(round, msum.Count())
 		if err != nil {
-			s.closeRound(stats)
+			s.closeRound(stats, false, nil)
 			return nil, fmt.Errorf("fl: enclave round finish: %w", err)
 		}
 		finished = true
@@ -249,7 +250,7 @@ collect:
 	}
 	stats.UpdateNorm = UpdateNorm(mean)
 	ApplyUpdate(s.state, mean, 1.0)
-	s.closeRound(stats)
+	s.closeRound(stats, true, mean)
 	return nil, nil
 }
 
@@ -300,6 +301,7 @@ func (s *Server) handleSecAggArrival(round int, a arrival, pending, folded map[*
 		}
 		delete(pending, sess)
 		folded[sess] = true
+		s.journalAppend(&journal.Record{Type: journal.RecFold, Round: round, Device: sess.device})
 		if s.cfg.Hooks.UpdateFolded != nil {
 			s.cfg.Hooks.UpdateFolded(round, sess.device)
 		}

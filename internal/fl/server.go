@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gradsec/gradsec/internal/journal"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
@@ -96,6 +97,26 @@ type ServerConfig struct {
 	// is configured, so the sealed half is refused independently of the
 	// untrusted engine. 0 disables (MinClients still applies).
 	MinRelease int
+
+	// Aggregation selects the round aggregation strategy. The default,
+	// AggFedAvg, streams the weighted mean; AggTrimmedMean and
+	// AggMedian are the Byzantine-robust strategies (see robust.go).
+	// Robust strategies need plaintext per-client updates, so they are
+	// mutually exclusive with SecAgg, Partials and Async — Open rejects
+	// the combinations with a configuration error.
+	Aggregation AggMethod
+	// TrimFraction is the per-tail trim for AggTrimmedMean: the
+	// ⌈TrimFraction·n⌉ largest and smallest values of every coordinate
+	// are discarded before averaging. Must be in (0, 0.5).
+	TrimFraction float64
+
+	// Journal, when set, makes the session crash-durable: roster
+	// admissions, quarantine/probation transitions, release-floor
+	// raises and round opens/folds/closes are written through it, and
+	// Recover rebuilds a resumable server from the log after a crash.
+	// Appends are best-effort (an I/O error never fails a round); check
+	// Journal.Err when durability must be verified.
+	Journal *journal.Journal
 
 	// AdaptiveCodec, when positive, enables the per-round adaptive
 	// codec downgrade: the session opens at the exact f64 codec (the
@@ -275,6 +296,30 @@ type Server struct {
 	shut     bool
 	// adapted latches the one-shot adaptive codec downgrade.
 	adapted bool
+
+	// history carries quarantine/probation decisions across sessions
+	// of one server (Open/Close/Open) and across process restarts
+	// (journal recovery): a device quarantined in an earlier session
+	// stays excluded, and an unserved probation window is still
+	// honoured when the device reconnects.
+	history map[string]*deviceHistory
+	// nextRound is the first round Run will execute: 0 for a fresh
+	// server, one past the last committed round for a recovered one.
+	nextRound int
+	// roster, on a journal-recovered server, holds the crashed
+	// session's admissions in selection order; Resume rebuilds
+	// s.sessions in exactly this order so sampling draws line up.
+	roster []*journal.Record
+	// resuming switches selectOne into resumption mode: devices are
+	// matched against the journaled roster instead of being verified
+	// from scratch.
+	resuming bool
+}
+
+// deviceHistory is a device's durable standing across sessions.
+type deviceHistory struct {
+	quarantined    bool
+	probationUntil int
 }
 
 // NewServer creates a server owning the given initial global model state
@@ -333,7 +378,12 @@ func NewServer(state []*tensor.Tensor, cfg ServerConfig) *Server {
 		// the untrusted engine later claims.
 		cfg.Enclave.SetMinRelease(cfg.MinRelease)
 	}
-	return &Server{cfg: cfg, state: state, rng: mrand.New(mrand.NewSource(cfg.SampleSeed))}
+	return &Server{
+		cfg:     cfg,
+		state:   state,
+		rng:     mrand.New(mrand.NewSource(cfg.SampleSeed)),
+		history: make(map[string]*deviceHistory),
+	}
 }
 
 // State returns the current global model parameters.
@@ -391,13 +441,20 @@ const MaxExampleWeight = 1 << 20
 
 // Run executes selection followed by cfg.Rounds FL cycles over the given
 // client connections, then closes them with a Done carrying the final
-// model. It returns the number of selected clients.
+// model. It returns the number of selected clients. On a
+// journal-recovered server (Recover) the connections rejoin the crashed
+// session via Resume and Run continues from the first uncommitted
+// round.
 func (s *Server) Run(conns []Conn) (int, error) {
-	n, err := s.Open(conns)
+	open := s.Open
+	if s.Resumable() {
+		open = s.Resume
+	}
+	n, err := open(conns)
 	if err != nil {
 		return n, err
 	}
-	for round := 0; round < s.cfg.Rounds; round++ {
+	for round := s.nextRound; round < s.cfg.Rounds; round++ {
 		if _, err := s.StepRound(round); err != nil {
 			s.Abort()
 			return n, fmt.Errorf("fl: round %d: %w", round, err)
@@ -419,7 +476,25 @@ func (s *Server) Open(conns []Conn) (int, error) {
 	if s.cfg.RequireTEE && s.cfg.Verifier == nil {
 		return 0, errors.New("fl: RequireTEE set but no Verifier configured")
 	}
+	if err := s.validateAggregation(); err != nil {
+		return 0, err
+	}
 	sessions := s.selectClients(conns)
+	// Standing from earlier sessions of this server carries over: a
+	// quarantined device stays out, an unserved probation window is
+	// restored.
+	kept := sessions[:0]
+	for _, sess := range sessions {
+		if h := s.history[sess.device]; h != nil {
+			if h.quarantined {
+				s.reject(sess.conn, "device quarantined in an earlier session")
+				continue
+			}
+			sess.probationUntil = h.probationUntil
+		}
+		kept = append(kept, sess)
+	}
+	sessions = kept
 	if s.cfg.SecAgg {
 		// Pairwise masking keys a mask to each device name: a duplicate
 		// name would make two clients derive colliding pair signs, so
@@ -454,6 +529,7 @@ func (s *Server) Open(conns []Conn) (int, error) {
 	if s.cfg.Async.Enabled && s.cfg.Async.Buffer < buffer {
 		buffer = s.cfg.Async.Buffer
 	}
+	s.journalSessionOpen(sessions)
 	s.sessions = sessions
 	s.arrivals = make(chan arrival, buffer)
 	s.done = make(chan struct{})
@@ -465,7 +541,62 @@ func (s *Server) Open(conns []Conn) (int, error) {
 		}(sess)
 	}
 	s.opened = true
+	s.shut = false
 	return len(sessions), nil
+}
+
+// journalSessionOpen writes the session fingerprint and the roster, in
+// selection order, through the journal. The order is load-bearing:
+// cohort sampling permutes roster indices, so recovery must rebuild the
+// roster in exactly this order.
+func (s *Server) journalSessionOpen(sessions []*session) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	var flags uint64
+	if s.cfg.SecAgg {
+		flags |= journal.FlagSecAgg
+	}
+	if s.cfg.Partials {
+		flags |= journal.FlagPartials
+	}
+	if s.cfg.Async.Enabled {
+		flags |= journal.FlagAsync
+	}
+	if s.cfg.RequireTEE {
+		flags |= journal.FlagRequireTEE
+	}
+	s.journalAppend(&journal.Record{
+		Type:   journal.RecSession,
+		Flags:  flags,
+		Seed:   s.cfg.SampleSeed,
+		Rounds: s.cfg.Rounds,
+		Scale:  s.cfg.SecAggScaleBits,
+		Floor:  s.cfg.MinRelease,
+	})
+	for _, sess := range sessions {
+		s.journalAppend(&journal.Record{
+			Type:    journal.RecRoster,
+			Device:  sess.device,
+			Codec:   uint8(sess.codec),
+			Cap:     uint8(sess.cap),
+			HasTEE:  sess.hasTEE,
+			MaskPub: sess.maskPub,
+		})
+	}
+	if s.cfg.MinRelease > 0 {
+		s.journalAppend(&journal.Record{Type: journal.RecFloor, Floor: s.cfg.MinRelease})
+	}
+	_ = s.cfg.Journal.Sync()
+}
+
+// journalAppend writes one record when a journal is configured.
+// Best-effort by design: durability failures surface via Journal.Err,
+// not by failing training rounds.
+func (s *Server) journalAppend(rec *journal.Record) {
+	if s.cfg.Journal != nil {
+		_ = s.cfg.Journal.Append(rec)
+	}
 }
 
 // StepRound executes one FL cycle over the open session. In the default
@@ -478,12 +609,19 @@ func (s *Server) StepRound(round int) (*Partial, error) {
 	if !s.opened || s.shut {
 		return nil, errors.New("fl: StepRound outside an open session")
 	}
+	// Write-ahead: mark the round in flight. Records between this open
+	// and the round's close commit atomically at the close; a crash
+	// leaves them uncommitted and recovery re-runs the round.
+	s.journalAppend(&journal.Record{Type: journal.RecRoundOpen, Round: round})
 	var p *Partial
 	var err error
 	if s.cfg.SecAgg {
 		p, err = s.runSecAggRound(round, s.sessions, s.arrivals)
 	} else {
 		p, err = s.runRound(round, s.sessions, s.arrivals)
+	}
+	if round+1 > s.nextRound {
+		s.nextRound = round + 1
 	}
 	if err != nil {
 		return nil, err
@@ -531,10 +669,28 @@ func (s *Server) shutdown() {
 	}
 	s.shut = true
 	close(s.done)
+	var enclaved []string
 	for _, sess := range s.sessions {
 		_ = sess.conn.Close()
+		if sess.enclaveChannel {
+			enclaved = append(enclaved, sess.device)
+		}
 	}
 	s.readers.Wait()
+	// Release the per-device trusted channels held inside the enclave:
+	// they are session state, and leaving them registered after an
+	// abort leaks TA memory for the life of the process (and blocks the
+	// devices from re-establishing in a later session).
+	if len(enclaved) > 0 && s.cfg.Enclave != nil {
+		s.cfg.Enclave.ReleaseChannels(enclaved)
+	}
+	// The server itself outlives the session: quarantine/probation
+	// history is retained (see history) and Open may be called again.
+	s.opened = false
+	s.sessions = nil
+	if s.cfg.Journal != nil {
+		_ = s.cfg.Journal.Sync()
+	}
 }
 
 // SetState adopts new global model values in place (hierarchical edges
@@ -728,7 +884,27 @@ func (s *Server) selectOne(conn Conn) *session {
 	if !att.Cap.Valid() {
 		att.Cap = att.Codec // an unknown claimed cap is no cap at all
 	}
-	if s.cfg.RequireTEE {
+	if s.resuming {
+		// Resumption: the device must be a member of the journaled
+		// roster — its admission (including attestation) was already
+		// journaled by the crashed process, so it rejoins without
+		// re-attesting. The trust model is explicit: the journal is as
+		// trusted as the server host that wrote it. Unknown devices and
+		// devices the crashed session quarantined are turned away.
+		ent := s.rosterEntry(att.DeviceID)
+		if ent == nil {
+			s.reject(conn, "device is not a member of the resumed session")
+			return nil
+		}
+		if h := s.history[att.DeviceID]; h != nil && h.quarantined {
+			s.reject(conn, "device was quarantined before the crash")
+			return nil
+		}
+		if s.cfg.RequireTEE && !att.HasTEE {
+			s.reject(conn, "device has no TEE")
+			return nil
+		}
+	} else if s.cfg.RequireTEE {
 		if !att.HasTEE {
 			s.reject(conn, "device has no TEE")
 			return nil
@@ -862,6 +1038,8 @@ func (s *Server) quarantineAt(sess *session, round int, probationable bool, reas
 		// after the window — accounted and signalled separately from
 		// permanent loss.
 		sess.probationUntil = round + 1 + s.cfg.QuarantineRounds
+		s.noteHistory(sess.device).probationUntil = sess.probationUntil
+		s.journalAppend(&journal.Record{Type: journal.RecProbation, Device: sess.device, Until: sess.probationUntil})
 		stats.Probation++
 		if s.cfg.Hooks.ClientProbationed != nil {
 			s.cfg.Hooks.ClientProbationed(sess.device, reason)
@@ -869,11 +1047,23 @@ func (s *Server) quarantineAt(sess *session, round int, probationable bool, reas
 		return
 	}
 	sess.quarantined = true
+	s.noteHistory(sess.device).quarantined = true
+	s.journalAppend(&journal.Record{Type: journal.RecQuarantine, Device: sess.device})
 	_ = sess.conn.Close()
 	stats.Quarantined++
 	if s.cfg.Hooks.ClientQuarantined != nil {
 		s.cfg.Hooks.ClientQuarantined(sess.device, reason)
 	}
+}
+
+// noteHistory returns (creating if needed) a device's durable standing.
+func (s *Server) noteHistory(device string) *deviceHistory {
+	h := s.history[device]
+	if h == nil {
+		h = &deviceHistory{}
+		s.history[device] = h
+	}
+	return h
 }
 
 // runRound executes one FL cycle: sample a cohort, distribute the model,
@@ -965,7 +1155,7 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 		pending[sess] = true
 	}
 
-	agg := NewAggregator(s.state)
+	agg := s.newAggregator()
 collect:
 	for len(pending) > 0 {
 		select {
@@ -994,37 +1184,92 @@ collect:
 		}
 		err := fmt.Errorf("%w: %d of %d sampled clients responded, need %d%s",
 			ErrNotEnoughClients, agg.Count(), stats.Sampled, s.cfg.MinClients, detail)
-		s.closeRound(stats)
+		s.closeRound(stats, false, nil)
 		return nil, err
 	}
 	if s.cfg.Partials {
 		// Hierarchical edge: hand the raw weighted sum upstream; the
 		// root normalises once over the whole fleet, so the hierarchy's
 		// arithmetic composes exactly.
-		s.closeRound(stats)
+		s.closeRound(stats, true, nil)
 		return &Partial{Round: round, Sum: agg.Sum(), Weight: agg.Weight(), Count: agg.Count(), Stats: stats}, nil
 	}
 	mean, err := agg.Mean()
 	if err != nil {
-		s.closeRound(stats)
+		s.closeRound(stats, false, nil)
 		return nil, err
 	}
 	stats.UpdateNorm = UpdateNorm(mean)
 	ApplyUpdate(s.state, mean, 1.0)
-	s.closeRound(stats)
+	s.closeRound(stats, true, mean)
 	return nil, nil
 }
 
-func (s *Server) closeRound(stats RoundStats) {
+// closeRound commits a round: the journal close record (carrying the
+// applied mean update for successful flat rounds, so recovery replays
+// the model bit-identically without re-training), the trace entry, and
+// the observer hook — in that order, so a crash inside a hook still
+// finds the round committed on disk. Asynchronous sessions commit
+// model versions as watermarks instead: they burn no sampling draws on
+// replay.
+func (s *Server) closeRound(stats RoundStats, ok bool, applied []*tensor.Tensor) {
+	if s.cfg.Journal != nil {
+		typ := journal.RecRoundClose
+		if s.cfg.Async.Enabled {
+			typ = journal.RecWatermark
+		}
+		s.journalAppend(&journal.Record{
+			Type:   typ,
+			Round:  stats.Round,
+			OK:     ok,
+			Stats:  toJournalStats(stats),
+			Update: applied,
+		})
+		_ = s.cfg.Journal.Sync()
+	}
 	s.trace = append(s.trace, stats)
 	if s.cfg.Hooks.RoundClosed != nil {
 		s.cfg.Hooks.RoundClosed(stats)
 	}
 }
 
+func toJournalStats(st RoundStats) journal.Stats {
+	return journal.Stats{
+		Round:         st.Round,
+		Sampled:       st.Sampled,
+		Responded:     st.Responded,
+		Dropped:       st.Dropped,
+		Quarantined:   st.Quarantined,
+		Probation:     st.Probation,
+		LateDiscarded: st.LateDiscarded,
+		Duplicates:    st.Duplicates,
+		Reconciled:    st.Reconciled,
+		WeightTotal:   st.WeightTotal,
+		UpdateNorm:    st.UpdateNorm,
+		Shards:        st.Shards,
+	}
+}
+
+func fromJournalStats(st journal.Stats) RoundStats {
+	return RoundStats{
+		Round:         st.Round,
+		Sampled:       st.Sampled,
+		Responded:     st.Responded,
+		Dropped:       st.Dropped,
+		Quarantined:   st.Quarantined,
+		Probation:     st.Probation,
+		LateDiscarded: st.LateDiscarded,
+		Duplicates:    st.Duplicates,
+		Reconciled:    st.Reconciled,
+		WeightTotal:   st.WeightTotal,
+		UpdateNorm:    st.UpdateNorm,
+		Shards:        st.Shards,
+	}
+}
+
 // handleArrival routes one client message during a round: fold a valid
 // update, discard stale ones, quarantine on failure.
-func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, agg *Aggregator, stats *RoundStats, reasons *[]string) {
+func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, agg UpdateAggregator, stats *RoundStats, reasons *[]string) {
 	sess := a.sess
 	if sess.quarantined {
 		return // residue from an already-closed connection
@@ -1081,6 +1326,7 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 			return
 		}
 		delete(pending, sess)
+		s.journalAppend(&journal.Record{Type: journal.RecFold, Round: round, Device: sess.device})
 		if s.cfg.Hooks.UpdateFolded != nil {
 			s.cfg.Hooks.UpdateFolded(round, sess.device)
 		}

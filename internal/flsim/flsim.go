@@ -22,7 +22,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gradsec/gradsec/internal/attack"
 	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/journal"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
@@ -49,6 +51,15 @@ type Profile struct {
 	// Examples is the client's simulated local-example count; when
 	// positive it rides GradUp and weights the server's FedAvg.
 	Examples int
+	// Poison marks a Byzantine client: "signflip" negates-and-scales
+	// its honest update before pushing, "scale" inflates it. Empty is
+	// honest.
+	Poison string
+	// DropRound, when ≥ 0, makes the client sever its connection
+	// mid-session the first time it is addressed in a round ≥
+	// DropRound — a device going dark, not a protocol fault. The
+	// engine quarantines it on the transport error.
+	DropRound int
 }
 
 // Scenario parameterises a simulated fleet session.
@@ -129,6 +140,29 @@ type Scenario struct {
 	// same fleet under different pacing (sync vs async) can be compared
 	// by the virtual time each takes to push the norm past a target.
 	PositiveDeltas bool
+	// PoisonFraction of the fleet is Byzantine: compromised clients
+	// transform their honest update (PoisonMode) before pushing.
+	// Poisoners are drawn disjoint from stragglers and failers — an
+	// attacker wants its update folded.
+	PoisonFraction float64
+	// PoisonMode picks the transformation: "signflip" (default) pushes
+	// -γ× the honest update, "scale" pushes +γ×.
+	PoisonMode string
+	// PoisonGamma is the attack amplification γ; 0 defaults to 4
+	// (dyadic, so poisoned updates stay exactly summable).
+	PoisonGamma float64
+	// Aggregation selects the server's aggregation strategy ("fedavg",
+	// "trimmed-mean", "median"; see fl.ParseAggMethod). Robust methods
+	// are how a scenario survives PoisonFraction > 0.
+	Aggregation string
+	// TrimFraction parameterises "trimmed-mean".
+	TrimFraction float64
+	// DisconnectFraction of the fleet goes dark mid-session: those
+	// clients close their connections when addressed in a round ≥
+	// DisconnectRound. Disjoint from the other roles.
+	DisconnectFraction float64
+	// DisconnectRound is the round the disconnecting clients drop at.
+	DisconnectRound int
 	// Seed drives every random choice in the scenario.
 	Seed int64
 	// Model is the initial global model; a small two-tensor model is
@@ -218,8 +252,25 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.StragglerFraction < 0 || sc.StragglerFraction > 1 ||
 		sc.FailureFraction < 0 || sc.FailureFraction > 1 ||
-		sc.NoTEEFraction < 0 || sc.NoTEEFraction > 1 {
+		sc.NoTEEFraction < 0 || sc.NoTEEFraction > 1 ||
+		sc.PoisonFraction < 0 || sc.PoisonFraction > 1 ||
+		sc.DisconnectFraction < 0 || sc.DisconnectFraction > 1 {
 		return errors.New("flsim: fractions must be within [0,1]")
+	}
+	if sc.PoisonFraction > 0 {
+		switch sc.PoisonMode {
+		case "":
+			sc.PoisonMode = "signflip"
+		case "signflip", "scale":
+		default:
+			return fmt.Errorf("flsim: unknown poison mode %q", sc.PoisonMode)
+		}
+		if sc.PoisonGamma == 0 {
+			sc.PoisonGamma = 4
+		}
+	}
+	if _, err := fl.ParseAggMethod(sc.Aggregation); err != nil {
+		return err
 	}
 	if sc.StragglerFraction > 0 && sc.Deadline <= 0 {
 		return errors.New("flsim: StragglerFraction needs a Deadline")
@@ -309,6 +360,7 @@ func assignProfiles(sc *Scenario) []Profile {
 		profiles[i] = Profile{
 			Device:    fmt.Sprintf("sim-%04d", i),
 			FailRound: -1,
+			DropRound: -1,
 		}
 		if sc.WeightedExamples {
 			h := splitmix64(uint64(sc.Seed)*0x9e3779b9 ^ uint64(i)<<24 ^ 0x5eed)
@@ -320,6 +372,26 @@ func assignProfiles(sc *Scenario) []Profile {
 	}
 	for k := stragglers; k < stragglers+failers; k++ {
 		profiles[order[k]].FailRound = rng.Intn(sc.Rounds)
+	}
+	// Poisoners follow stragglers and failers in the shuffle — disjoint
+	// roles, because an attacker wants its update folded every round.
+	poisoners := int(float64(n)*sc.PoisonFraction + 0.5)
+	if stragglers+failers+poisoners > n {
+		poisoners = n - stragglers - failers
+	}
+	for k := stragglers + failers; k < stragglers+failers+poisoners; k++ {
+		profiles[order[k]].Poison = sc.PoisonMode
+	}
+	// Disconnectors are next in the shuffle: a client that goes dark
+	// mid-session (connection severed, engine quarantines on the
+	// transport error).
+	taken := stragglers + failers + poisoners
+	drops := int(float64(n)*sc.DisconnectFraction + 0.5)
+	if taken+drops > n {
+		drops = n - taken
+	}
+	for k := taken; k < taken+drops; k++ {
+		profiles[order[k]].DropRound = sc.DisconnectRound
 	}
 	// No-TEE devices are drawn from the back of the shuffle, keeping the
 	// role disjoint from stragglers/failers while fractions sum to ≤ 1.
@@ -347,7 +419,8 @@ type simClient struct {
 	app     *simTA
 	shapes   [][]int
 	seed     int64
-	positive bool // PositiveDeltas scenarios draw from posDyadicDelta
+	positive bool    // PositiveDeltas scenarios draw from posDyadicDelta
+	gamma    float64 // poison amplification for Byzantine profiles
 	failed   bool
 
 	channel *tz.Channel           // trusted I/O path, when the device has a TEE
@@ -410,6 +483,9 @@ func (c *simClient) run() {
 		case *fl.Reject, *fl.Done:
 			return
 		case *fl.ModelDown:
+			if c.profile.DropRound >= 0 && m.Round >= c.profile.DropRound {
+				return // goes dark: the deferred Close severs the pipe
+			}
 			if c.profile.Straggler {
 				continue // never answers inside the deadline
 			}
@@ -475,6 +551,16 @@ func (c *simClient) answerRound(m *fl.ModelDown) error {
 		} else {
 			plainUpd[i] = upd
 		}
+	}
+	// Byzantine clients transform the honest update before it leaves
+	// the device — the server sees a well-formed push.
+	switch c.profile.Poison {
+	case "signflip":
+		attack.SignFlip(plainUpd, c.gamma)
+		attack.SignFlip(protTs, c.gamma)
+	case "scale":
+		attack.ScalePoison(plainUpd, c.gamma)
+		attack.ScalePoison(protTs, c.gamma)
 	}
 	var sealedUpd []byte
 	if len(protIdx) > 0 {
@@ -544,6 +630,27 @@ func Run(sc Scenario) (*Result, error) {
 		overrideShardProfiles(&sc, profiles)
 		return runHier(sc, profiles)
 	}
+	return runFlat(sc, profiles, flatOpts{})
+}
+
+// flatOpts are the fault-injection hooks of the flat harness: a
+// write-ahead journal for the engine, a crash trigger, and a journal
+// path to recover from. Zero opts run the scenario plainly.
+type flatOpts struct {
+	// journal, when set, is handed to the engine (write-through WAL).
+	journal *journal.Journal
+	// recoverPath, when non-empty, rebuilds the server with fl.Recover
+	// from that journal instead of opening a fresh session; the fleet
+	// then rejoins via Resume.
+	recoverPath string
+	// crash, when set, panics out of the engine's round goroutine at
+	// the configured point; runFlat recovers the panic, aborts the
+	// session, and returns ErrSimCrash.
+	crash *CrashSpec
+}
+
+// runFlat executes a validated flat scenario over the given profiles.
+func runFlat(sc Scenario, profiles []Profile, opt flatOpts) (*Result, error) {
 	clk := simclock.NewVirtual(time.Unix(0, 0))
 	start := clk.Now()
 
@@ -578,6 +685,7 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, err
 		}
 		c.positive = sc.PositiveDeltas
+		c.gamma = sc.PoisonGamma
 		clients[i] = c
 		serverConns[i] = serverConn
 	}
@@ -633,7 +741,12 @@ func Run(sc Scenario) (*Result, error) {
 		},
 	}
 
-	srv := fl.NewServer(sc.Model, fl.ServerConfig{
+	if opt.crash != nil {
+		hooks = installCrash(hooks, *opt.crash)
+	}
+
+	aggMethod, _ := fl.ParseAggMethod(sc.Aggregation) // validated
+	cfg := fl.ServerConfig{
 		Rounds:           sc.Rounds,
 		MinClients:       sc.MinClients,
 		SampleCount:      sc.SampleCount,
@@ -645,11 +758,27 @@ func Run(sc Scenario) (*Result, error) {
 		SecAgg:           sc.SecAgg,
 		Enclave:          enclave,
 		QuarantineRounds: sc.QuarantineRounds,
+		Aggregation:      aggMethod,
+		TrimFraction:     sc.TrimFraction,
 		Verifier:         verifier,
 		Planner:          planner,
 		Clock:            clk,
 		Hooks:            hooks,
-	})
+		Journal:          opt.journal,
+	}
+	var srv *fl.Server
+	if opt.recoverPath != "" {
+		var err error
+		srv, err = fl.Recover(opt.recoverPath, sc.Model, cfg)
+		if err != nil {
+			for _, conn := range serverConns {
+				_ = conn.Close()
+			}
+			return nil, err
+		}
+	} else {
+		srv = fl.NewServer(sc.Model, cfg)
+	}
 
 	var fleet sync.WaitGroup
 	for _, c := range clients {
@@ -659,7 +788,12 @@ func Run(sc Scenario) (*Result, error) {
 			c.run()
 		}(c)
 	}
-	selected, runErr := srv.Run(serverConns)
+	selected, runErr := runOrCrash(srv, serverConns)
+	// A run that failed before selection (config validation) never
+	// touched the conns; close them so the fleet unblocks.
+	for _, conn := range serverConns {
+		_ = conn.Close()
+	}
 	fleet.Wait()
 
 	sort.Strings(quarantined) // arrival order within a round can race; the set cannot

@@ -97,9 +97,21 @@ func (e *Edge) Run(upstream fl.Conn, clients []fl.Conn) error {
 	if ch.SecAgg {
 		scfg.SecAggScaleBits = int(ch.ScaleBits)
 	}
-	e.srv = fl.NewServer(e.state, scfg)
-
-	n, err := e.srv.Open(clients)
+	var n int
+	if e.srv != nil && e.srv.Resumable() {
+		// Journal-recovered shard (RecoverEdge): the engine already
+		// holds the roster and round position. The root's announced
+		// mode must match what the journal was validated against.
+		if scfg.SecAgg != e.cfg.Server.SecAgg || (scfg.SecAgg && scfg.SecAggScaleBits != e.cfg.Server.SecAggScaleBits) {
+			_ = upstream.Send(&fl.ErrorMsg{Text: "recovered shard mode does not match root challenge"})
+			return fmt.Errorf("hier: recovered shard ran %v/%d, root announces %v/%d",
+				e.cfg.Server.SecAgg, e.cfg.Server.SecAggScaleBits, scfg.SecAgg, scfg.SecAggScaleBits)
+		}
+		n, err = e.srv.Resume(clients)
+	} else {
+		e.srv = fl.NewServer(e.state, scfg)
+		n, err = e.srv.Open(clients)
+	}
 	e.Selected = n
 	if err != nil {
 		// The shard cannot serve: tell the root and leave — the root

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/journal"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
@@ -59,6 +60,19 @@ type RootConfig struct {
 	// Clock supplies wall time for shard deadlines. Defaults to the
 	// real clock; flsim injects a virtual one.
 	Clock simclock.WallClock
+	// Journal, when set, receives the root's write-ahead records —
+	// enrolments, round opens, and committed closes carrying the
+	// applied fleet mean — so a crashed root recovers with RecoverRoot
+	// to the same model and round, bit for bit.
+	Journal *journal.Journal
+	// Rejoin, when set, is polled at the start of every round for edge
+	// connections re-entering the session (a recovered edge redialling
+	// after a crash). Each returned connection runs the ordinary
+	// enrolment handshake; a name already live in the session is turned
+	// away. The callback runs on the root's round goroutine and may
+	// block — in simulations that is what makes rejoin timing
+	// deterministic.
+	Rejoin func(round int) []fl.Conn
 	// Hooks observe the root lifecycle; all callbacks fire from the
 	// root's round goroutine.
 	Hooks Hooks
@@ -88,6 +102,17 @@ type Root struct {
 	cfg   RootConfig
 	state []*tensor.Tensor
 	trace []fl.RoundStats
+
+	// Session state lives on the struct (not Run's stack) so Abort can
+	// tear a crashed-and-recovered harness down from outside Run.
+	sessions  []*edgeSess
+	arrivals  chan edgeArrival
+	done      chan struct{}
+	readers   sync.WaitGroup
+	opened    bool
+	shut      bool
+	nextRound int
+	recovered bool
 }
 
 // NewRoot creates a root owning the given global model state (flat
@@ -138,7 +163,9 @@ type edgeArrival struct {
 
 // Run enrols the given edge connections and executes cfg.Rounds
 // hierarchical FL cycles, then closes the edges with a Done carrying
-// the final model. It returns the number of enrolled edges.
+// the final model. It returns the number of enrolled edges. A root
+// rebuilt by RecoverRoot starts at the first uncommitted round instead
+// of round 0.
 func (r *Root) Run(edges []fl.Conn) (int, error) {
 	sessions := r.enrol(edges)
 	if r.cfg.MinShards == 0 {
@@ -152,45 +179,28 @@ func (r *Root) Run(edges []fl.Conn) (int, error) {
 		}
 		return len(sessions), fmt.Errorf("%w: %d of %d enrolled", ErrNotEnoughShards, len(sessions), r.cfg.MinShards)
 	}
+	r.journalSessionOpen(sessions)
 
-	arrivals := make(chan edgeArrival, len(sessions))
-	done := make(chan struct{})
-	var readers sync.WaitGroup
+	r.sessions = sessions
+	r.arrivals = make(chan edgeArrival, len(sessions))
+	r.done = make(chan struct{})
 	for _, sess := range sessions {
-		readers.Add(1)
-		go func(sess *edgeSess) {
-			defer readers.Done()
-			for {
-				msg, err := sess.conn.Recv()
-				select {
-				case arrivals <- edgeArrival{sess: sess, msg: msg, err: err}:
-				case <-done:
-					return
-				}
-				if err != nil {
-					return
-				}
-			}
-		}(sess)
+		r.startReader(sess)
 	}
-	shutdown := func() {
-		close(done)
-		for _, sess := range sessions {
-			_ = sess.conn.Close()
-		}
-		readers.Wait()
-	}
+	r.opened = true
+	r.shut = false
 
-	for round := 0; round < r.cfg.Rounds; round++ {
-		if err := r.runRound(round, sessions, arrivals); err != nil {
-			shutdown()
+	for round := r.nextRound; round < r.cfg.Rounds; round++ {
+		r.admitRejoins(round)
+		if err := r.runRound(round, r.arrivals); err != nil {
+			r.shutdown()
 			return len(sessions), fmt.Errorf("hier: round %d: %w", round, err)
 		}
 	}
 
 	// Encode-once final broadcast, mirroring the flat engine.
 	finalFrames := make(map[wire.Codec][]byte)
-	for _, sess := range sessions {
+	for _, sess := range r.sessions {
 		if sess.dead {
 			continue
 		}
@@ -201,8 +211,113 @@ func (r *Root) Run(edges []fl.Conn) (int, error) {
 		}
 		_ = sess.conn.SendFrame(fl.MsgDone, payload)
 	}
-	shutdown()
+	r.shutdown()
 	return len(sessions), nil
+}
+
+// startReader spawns the read loop for one enrolled edge.
+func (r *Root) startReader(sess *edgeSess) {
+	r.readers.Add(1)
+	go func() {
+		defer r.readers.Done()
+		for {
+			msg, err := sess.conn.Recv()
+			select {
+			case r.arrivals <- edgeArrival{sess: sess, msg: msg, err: err}:
+			case <-r.done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Abort tears the session down without a final broadcast: connections
+// close, readers drain, the journal is flushed. Used by crash harnesses
+// after recovering a panic out of Run.
+func (r *Root) Abort() { r.shutdown() }
+
+func (r *Root) shutdown() {
+	if !r.opened || r.shut {
+		return
+	}
+	r.shut = true
+	close(r.done)
+	for _, sess := range r.sessions {
+		_ = sess.conn.Close()
+	}
+	r.readers.Wait()
+	if r.cfg.Journal != nil {
+		_ = r.cfg.Journal.Sync()
+	}
+	r.opened = false
+}
+
+// journalAppend writes one record through the configured journal; a
+// no-op without one.
+func (r *Root) journalAppend(rec *journal.Record) {
+	if r.cfg.Journal != nil {
+		_ = r.cfg.Journal.Append(rec)
+	}
+}
+
+// journalSessionOpen writes the session fingerprint and the enrolled
+// shard roster. A recovered root continues its old journal and does
+// not re-fingerprint.
+func (r *Root) journalSessionOpen(sessions []*edgeSess) {
+	if r.cfg.Journal == nil || r.recovered {
+		return
+	}
+	var flags uint64
+	scale := 0
+	if r.cfg.SecAgg {
+		flags |= journal.FlagSecAgg
+		scale = r.cfg.SecAggScaleBits
+	}
+	r.journalAppend(&journal.Record{
+		Type:   journal.RecSession,
+		Flags:  flags,
+		Rounds: r.cfg.Rounds,
+		Scale:  scale,
+		Floor:  r.cfg.MinRelease,
+	})
+	for _, sess := range sessions {
+		r.journalAppend(&journal.Record{Type: journal.RecRoster, Device: sess.name, Codec: uint8(sess.codec)})
+	}
+	_ = r.cfg.Journal.Sync()
+}
+
+// admitRejoins enrols connections from the Rejoin callback into the
+// running session — the path a crashed-and-recovered edge takes back
+// in. A name still live in the session is turned away; the dead
+// session it replaces stays dead, so stale arrivals from its old read
+// loop keep filtering out by session identity.
+func (r *Root) admitRejoins(round int) {
+	if r.cfg.Rejoin == nil {
+		return
+	}
+	for _, conn := range r.cfg.Rejoin(round) {
+		sess := r.enrolOne(conn)
+		if sess == nil {
+			continue
+		}
+		dup := false
+		for _, s := range r.sessions {
+			if !s.dead && s.name == sess.name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			r.reject(sess.conn, fmt.Sprintf("edge %q is already enrolled", sess.name))
+			continue
+		}
+		r.journalAppend(&journal.Record{Type: journal.RecRoster, Device: sess.name, Codec: uint8(sess.codec)})
+		r.sessions = append(r.sessions, sess)
+		r.startReader(sess)
+	}
 }
 
 // enrol runs the enrolment handshake with every edge in parallel,
@@ -310,15 +425,21 @@ type roundAccum struct {
 }
 
 // runRound executes one hierarchical FL cycle.
-func (r *Root) runRound(round int, sessions []*edgeSess, arrivals <-chan edgeArrival) error {
+func (r *Root) runRound(round int, arrivals <-chan edgeArrival) error {
 	var live []*edgeSess
-	for _, sess := range sessions {
+	for _, sess := range r.sessions {
 		if !sess.dead {
 			live = append(live, sess)
 		}
 	}
 	if len(live) < r.cfg.MinShards {
 		return fmt.Errorf("%w: %d live shards, need %d", ErrNotEnoughShards, len(live), r.cfg.MinShards)
+	}
+	// Write-ahead: the round is in flight; records before its close
+	// stay uncommitted if the root dies, and recovery re-runs it.
+	r.journalAppend(&journal.Record{Type: journal.RecRoundOpen, Round: round})
+	if round+1 > r.nextRound {
+		r.nextRound = round + 1
 	}
 
 	stats := fl.RoundStats{Round: round}
@@ -385,7 +506,7 @@ collect:
 		}
 		err := fmt.Errorf("%w: %d shard partials folded (%d updates), need %d shards%s",
 			ErrNotEnoughShards, acc.shards, acc.count, r.cfg.MinShards, detail)
-		r.closeRound(stats)
+		r.closeRound(stats, false, nil)
 		return err
 	}
 	if r.cfg.SecAgg && r.cfg.MinRelease > 0 && acc.count < r.cfg.MinRelease {
@@ -393,14 +514,14 @@ collect:
 		// approaches an individual shard's (or client's) update; refuse
 		// to dequantise it, mirroring the flat engine's policy.
 		err := fmt.Errorf("%w: %d of %d required for release", secagg.ErrCohortTooSmall, acc.count, r.cfg.MinRelease)
-		r.closeRound(stats)
+		r.closeRound(stats, false, nil)
 		return err
 	}
 
 	mean := r.mean(acc)
 	stats.UpdateNorm = fl.UpdateNorm(mean)
 	fl.ApplyUpdate(r.state, mean, 1.0)
-	r.closeRound(stats)
+	r.closeRound(stats, true, mean)
 	return nil
 }
 
@@ -427,10 +548,40 @@ func (r *Root) mean(acc *roundAccum) []*tensor.Tensor {
 	return out
 }
 
-func (r *Root) closeRound(stats fl.RoundStats) {
+// closeRound commits the round: journal close record (with the applied
+// fleet mean for successful rounds), trace, observer hook — in that
+// order, so a crash inside a hook still finds the round durable.
+func (r *Root) closeRound(stats fl.RoundStats, ok bool, applied []*tensor.Tensor) {
+	if r.cfg.Journal != nil {
+		r.journalAppend(&journal.Record{
+			Type:   journal.RecRoundClose,
+			Round:  stats.Round,
+			OK:     ok,
+			Stats:  rootJournalStats(stats),
+			Update: applied,
+		})
+		_ = r.cfg.Journal.Sync()
+	}
 	r.trace = append(r.trace, stats)
 	if r.cfg.Hooks.RoundClosed != nil {
 		r.cfg.Hooks.RoundClosed(stats)
+	}
+}
+
+func rootJournalStats(st fl.RoundStats) journal.Stats {
+	return journal.Stats{
+		Round:         st.Round,
+		Sampled:       st.Sampled,
+		Responded:     st.Responded,
+		Dropped:       st.Dropped,
+		Quarantined:   st.Quarantined,
+		Probation:     st.Probation,
+		LateDiscarded: st.LateDiscarded,
+		Duplicates:    st.Duplicates,
+		Reconciled:    st.Reconciled,
+		WeightTotal:   st.WeightTotal,
+		UpdateNorm:    st.UpdateNorm,
+		Shards:        st.Shards,
 	}
 }
 

@@ -107,6 +107,9 @@ const (
 	cmdFinish
 	cmdAbort
 	cmdSetFloor
+	cmdRelease
+	cmdChannelCount
+	cmdOfferCount
 )
 
 type offerResp struct {
@@ -309,6 +312,15 @@ func (*aggTA) Invoke(env *tz.TAEnv, state any, cmd uint32, req any) (any, error)
 			st.minRelease = floor
 		}
 		return st.minRelease, nil
+	case cmdRelease:
+		for _, device := range req.([]string) {
+			delete(st.channels, device)
+		}
+		return nil, nil
+	case cmdChannelCount:
+		return len(st.channels), nil
+	case cmdOfferCount:
+		return len(st.offers), nil
 	default:
 		return nil, fmt.Errorf("secagg: unknown enclave command %d", cmd)
 	}
@@ -429,6 +441,35 @@ func (e *Enclave) Abort(round int) {
 // misbehaviour of the untrusted server. It returns the effective floor.
 func (e *Enclave) SetMinRelease(floor int) int {
 	resp, err := e.invoke(cmdSetFloor, floor)
+	if err != nil {
+		return 0
+	}
+	return resp.(int)
+}
+
+// ReleaseChannels drops the per-device trusted channels the enclave
+// holds for the given devices. Channels are session state: the engine
+// releases them when a session closes or aborts, so the TA does not
+// accumulate channel keys for the life of the process (and so the same
+// devices can re-establish in a later session).
+func (e *Enclave) ReleaseChannels(devices []string) {
+	_, _ = e.invoke(cmdRelease, devices)
+}
+
+// ChannelCount reports the number of per-device trusted channels the
+// enclave currently holds — leak accounting for tests and operators.
+func (e *Enclave) ChannelCount() int {
+	resp, err := e.invoke(cmdChannelCount, nil)
+	if err != nil {
+		return 0
+	}
+	return resp.(int)
+}
+
+// OfferCount reports the number of un-established channel offers the
+// enclave currently holds.
+func (e *Enclave) OfferCount() int {
+	resp, err := e.invoke(cmdOfferCount, nil)
 	if err != nil {
 		return 0
 	}

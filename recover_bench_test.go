@@ -1,0 +1,136 @@
+package gradsec_test
+
+// BenchmarkRecover quantifies the crash-durability trade the round
+// journal buys: resuming a session from its journal (decode + replay +
+// RNG fast-forward, no network, no attestation) versus the work a
+// journal-less restart cannot avoid — re-attesting every device in the
+// fleet. EXPERIMENTS.md records a reference run.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/journal"
+	"github.com/gradsec/gradsec/internal/tensor"
+	"github.com/gradsec/gradsec/internal/tz"
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// benchTA is the minimal trusted application installed on the
+// re-attestation fleet: attestation measures UUID and version, so the
+// body can be empty.
+type benchTA struct{ uuid tz.UUID }
+
+func (t *benchTA) UUID() tz.UUID                                  { return t.uuid }
+func (t *benchTA) Version() string                                { return "bench-1" }
+func (t *benchTA) OpenSession(*tz.TAEnv) (any, error)             { return nil, nil }
+func (t *benchTA) Invoke(*tz.TAEnv, any, uint32, any) (any, error) { return nil, nil }
+func (t *benchTA) CloseSession(*tz.TAEnv, any)                    {}
+
+// writeRecoverJournal synthesises a committed journal: an n-device
+// roster and `committed` closed rounds, each carrying a LeNet-5-sized
+// model update — the shape of the log a crashed session of that fleet
+// leaves behind.
+func writeRecoverJournal(b *testing.B, path string, n, committed, totalRounds int) {
+	b.Helper()
+	j, err := journal.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	must := func(rec *journal.Record) {
+		if err := j.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	must(&journal.Record{Type: journal.RecSession, Seed: 1, Rounds: totalRounds})
+	for i := 0; i < n; i++ {
+		must(&journal.Record{
+			Type:   journal.RecRoster,
+			Device: fmt.Sprintf("dev-%05d", i),
+			Codec:  uint8(wire.CodecF64),
+			Cap:    uint8(wire.CodecF64),
+		})
+	}
+	model := benchModel()
+	update := make([]*tensor.Tensor, len(model))
+	for i, t := range model {
+		update[i] = tensor.Full(1.0/256, t.Shape...)
+	}
+	for r := 0; r < committed; r++ {
+		must(&journal.Record{Type: journal.RecRoundOpen, Round: r})
+		must(&journal.Record{
+			Type: journal.RecRoundClose, Round: r, OK: true,
+			Stats:  journal.Stats{Round: r, Sampled: n, Responded: n, WeightTotal: float64(n)},
+			Update: update,
+		})
+	}
+	if err := j.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRecover: "replay" is the journalled path — rebuild a crashed
+// server's state bit-identically from its log; "reattest" is the floor
+// a journal-less restart pays instead: one fresh quote verification per
+// fleet device before any round can run. EXPERIMENTS.md records the
+// ratio at 256 and 1024 clients.
+func BenchmarkRecover(b *testing.B) {
+	const committed, totalRounds = 5, 6
+	for _, clients := range []int{256, 1024} {
+		if testing.Short() && clients > 256 {
+			continue // CI bench smoke: smallest case only
+		}
+		b.Run(fmt.Sprintf("replay/clients=%d", clients), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "bench.journal")
+			writeRecoverJournal(b, path, clients, committed, totalRounds)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				state := benchModel()
+				b.StartTimer()
+				srv, err := fl.Recover(path, state, fl.ServerConfig{Rounds: totalRounds, SampleSeed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if srv.NextRound() != committed {
+					b.Fatalf("recovered to round %d, want %d", srv.NextRound(), committed)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reattest/clients=%d", clients), func(b *testing.B) {
+			uuid := tz.NameUUID("bench-trainer-ta")
+			v := tz.NewVerifier()
+			devs := make([]*tz.Device, clients)
+			for i := range devs {
+				devs[i] = tz.NewDevice(fmt.Sprintf("dev-%05d", i))
+				if err := devs[i].Install(&benchTA{uuid: uuid}); err != nil {
+					b.Fatal(err)
+				}
+				v.RegisterDevice(devs[i].Identity().ID(), devs[i].Identity().RootKey())
+				m, err := devs[i].Measurement(uuid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v.AllowMeasurement(m)
+			}
+			nonce := []byte("recover-bench-nonce")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, d := range devs {
+					q, err := d.Attest(uuid, nonce)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := v.Verify(q, nonce); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
