@@ -10,14 +10,16 @@
 #   make bench-hier   hierarchical fan-in benchmarks   -> bench/hier.txt
 #   make bench-async  async buffered-federation benchmarks -> bench/async.txt
 #   make bench-recover journal-replay vs re-attest benchmarks -> bench/recover.txt
+#   make bench-obs    telemetry-overhead benchmarks (off vs on) -> bench/obs.txt
 #   make bench-smoke  every benchmark once, small cases only (CI)
-#   make check        build + vet + test + fuzz regression (CI gate)
+#   make smoke-telemetry run the observability example end to end
+#   make check        build + vet + test + fuzz regression + telemetry smoke (CI gate)
 #
 # Benchmark artefacts land in the git-ignored bench/ directory.
 
 GO ?= go
 
-.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg bench-hier bench-async bench-recover bench-smoke check
+.PHONY: build vet test fuzz-check bench bench-fleet bench-secagg bench-hier bench-async bench-recover bench-obs bench-smoke smoke-telemetry check
 
 build:
 	$(GO) build ./...
@@ -50,7 +52,13 @@ bench-fleet:
 	$(GO) test -run xxx -bench 'BenchmarkFleetRound' -benchtime=2x -benchmem . > bench/fleet.txt; \
 	status=$$?; cat bench/fleet.txt; exit $$status
 
-check: build vet test fuzz-check
+# The telemetry example doubles as the observability smoke test: it
+# runs a metered fleet, serves the admin listener, and scrapes its own
+# /metrics and /healthz — failing loudly if the exposition is empty.
+smoke-telemetry:
+	$(GO) run ./examples/telemetry
+
+check: build vet test fuzz-check smoke-telemetry
 
 # Privacy-ladder benchmark: plain vs masked vs enclave aggregation at
 # 64/256/1024 clients. Pairwise masking is O(cohort² · model) in mask
@@ -76,6 +84,15 @@ bench-async:
 	@mkdir -p bench
 	$(GO) test -run xxx -bench 'BenchmarkAsyncRound' -benchtime=1x -benchmem -timeout 60m . > bench/async.txt; \
 	status=$$?; cat bench/async.txt; exit $$status
+
+# Telemetry-overhead benchmark: the same stub-client round with
+# observability disabled (nil instruments, must cost zero extra
+# allocations) and enabled (registry + span sink). The reference pair
+# lives in EXPERIMENTS.md.
+bench-obs:
+	@mkdir -p bench
+	$(GO) test -run xxx -bench 'BenchmarkObsRound' -benchtime=5x -benchmem . > bench/obs.txt; \
+	status=$$?; cat bench/obs.txt; exit $$status
 
 # Crash-recovery benchmark: journal replay (time-to-resume) vs the
 # per-device re-attestation a journal-less restart pays, at 256/1024

@@ -20,6 +20,7 @@ import (
 	"github.com/gradsec/gradsec"
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/hier"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/repro"
 	"github.com/gradsec/gradsec/internal/tensor"
 )
@@ -181,8 +182,10 @@ func benchModel() []*tensor.Tensor {
 // clients that answer every ModelDown with one precomputed GradUp
 // frame. The stubs spend no cycles on training or encoding, so the
 // measured work is the server's own fan-in: `fleet` model
-// distributions, `fleet` update decodes, `fleet` folds.
-func runFlatStubRound(b *testing.B, fleet int, state []*tensor.Tensor) {
+// distributions, `fleet` update decodes, `fleet` folds. cfg carries
+// optional engine settings (telemetry, deadlines); Rounds is forced
+// to 1.
+func runFlatStubRound(b *testing.B, fleet int, state []*tensor.Tensor, cfg fl.ServerConfig) {
 	b.Helper()
 	upd := make([]*tensor.Tensor, len(state))
 	for i, t := range state {
@@ -225,11 +228,54 @@ func runFlatStubRound(b *testing.B, fleet int, state []*tensor.Tensor) {
 			}
 		}(i, client)
 	}
-	srv := fl.NewServer(state, fl.ServerConfig{Rounds: 1})
+	cfg.Rounds = 1
+	srv := fl.NewServer(state, cfg)
 	if _, err := srv.Run(conns); err != nil {
 		b.Fatal(err)
 	}
 	wg.Wait()
+}
+
+// BenchmarkObsRound isolates the telemetry tax on the server's round
+// fan-in: the flat stub-client round of BenchmarkHierRound, run with
+// observability disabled (the shipped default — ServerConfig.Metrics
+// and Spans nil, every instrument call a nil-receiver no-op) and
+// enabled (a live registry plus a JSONL span sink writing to
+// io.Discard). Compare the two cases with -benchmem: the disabled
+// case must cost zero extra allocations over a build without the
+// subsystem. EXPERIMENTS.md records a reference pair.
+func BenchmarkObsRound(b *testing.B) {
+	const fleet = 256
+	cases := []struct {
+		name string
+		cfg  func() fl.ServerConfig
+	}{
+		{name: "obs=off", cfg: func() fl.ServerConfig { return fl.ServerConfig{} }},
+		{name: "obs=on", cfg: func() fl.ServerConfig {
+			return fl.ServerConfig{
+				Metrics: obs.NewRegistry(),
+				Spans:   obs.NewTraceSink(io.Discard, nil),
+			}
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			model := benchModel()
+			params := 0
+			for _, t := range model {
+				params += t.Size()
+			}
+			b.SetBytes(int64(2 * fleet * params * 8)) // model down + update up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				state := benchModel()
+				cfg := tc.cfg()
+				b.StartTimer()
+				runFlatStubRound(b, fleet, state, cfg)
+			}
+		})
+	}
 }
 
 // runHierStubRound drives one hierarchical FL round against `shards`
@@ -331,7 +377,7 @@ func BenchmarkHierRound(b *testing.B) {
 					state := benchModel()
 					b.StartTimer()
 					if shards == 0 {
-						runFlatStubRound(b, fleet, state)
+						runFlatStubRound(b, fleet, state, fl.ServerConfig{})
 					} else {
 						runHierStubRound(b, fleet, shards, state)
 					}

@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/gradsec/gradsec/internal/core"
 	"github.com/gradsec/gradsec/internal/dataset"
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -34,6 +36,7 @@ func main() {
 	codecName := flag.String("codec", "q8", "highest tensor wire codec accepted from the server's offer: f64, f32, or q8")
 	retries := flag.Int("retry", 1, "total connection attempts with jittered exponential backoff (1 = no retry)")
 	retryMax := flag.Duration("retry-max", 8*time.Second, "backoff cap between connection attempts")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /healthz and /debug/pprof for on-device debugging (empty = off)")
 	flag.Parse()
 
 	maxCodec, err := wire.ParseCodec(*codecName)
@@ -59,6 +62,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The device's admin surface is pprof and liveness only — a client
+	// has no metrics registry; its traffic is accounted server-side.
+	var sessionDone atomic.Bool
+	if *adminAddr != "" {
+		admin, err := obs.ServeAdmin(*adminAddr, nil, func() obs.Health {
+			return obs.Health{Open: !sessionDone.Load()}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer admin.Close()
+		fmt.Printf("admin listening on %s (/healthz, /debug/pprof)\n", admin.Addr())
+	}
+
 	conn, err := fl.DialRetry(*addr, fl.RetryConfig{Attempts: *retries, Max: *retryMax})
 	if err != nil {
 		log.Fatal(err)
@@ -67,7 +84,9 @@ func main() {
 
 	client := fl.NewClient(conn, core.NewGradSecClient(*name, trainer))
 	client.MaxCodec = maxCodec
-	if err := client.Run(); err != nil {
+	err = client.Run()
+	sessionDone.Store(true)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if client.RejectedReason != "" {

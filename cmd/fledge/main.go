@@ -26,11 +26,15 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/hier"
 	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/wire"
 )
 
@@ -51,6 +55,8 @@ func main() {
 	minRelease := flag.Int("min-release", 0, "shard-level secure-aggregation release floor: a shard partial folding fewer updates is never forwarded (0 = no floor)")
 	retries := flag.Int("retry", 1, "total upstream connection attempts with jittered exponential backoff (1 = no retry)")
 	retryMax := flag.Duration("retry-max", 8*time.Second, "backoff cap between upstream connection attempts")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics (Prometheus), /healthz, and /debug/pprof (empty = off)")
+	spansPath := flag.String("spans", "", "export shard round spans as JSONL to this file (empty = off)")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*codecName)
@@ -62,6 +68,46 @@ func main() {
 		log.Fatal(err)
 	}
 
+	tel, err := obs.OpenTelemetry(*adminAddr, *spansPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeTelemetry(tel)
+
+	// The model template mirrors the root's: shapes are what matter,
+	// values are overwritten by the root's broadcast each round.
+	template := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU).StateDict()
+	edge := hier.NewEdge(template, hier.EdgeConfig{
+		Name:     *name,
+		MaxCodec: maxCodec,
+		Server: fl.ServerConfig{
+			MinClients:       *minClients,
+			SampleFraction:   *sampleFraction,
+			SampleCount:      *sampleCount,
+			SampleSeed:       *seed,
+			RoundDeadline:    *deadline,
+			Codec:            codec,
+			IOTimeout:        *ioTimeout,
+			QuarantineRounds: *quarantineRounds,
+			MinRelease:       *minRelease,
+			Metrics:          tel.Metrics,
+			Spans:            tel.Spans,
+			Hooks: fl.Hooks{
+				ClientQuarantined: func(device string, reason error) {
+					fmt.Printf("quarantined %s: %v\n", device, reason)
+				},
+				RoundClosed: func(st fl.RoundStats) {
+					fmt.Printf("shard round %d: sampled %d, responded %d, dropped %d, reconciled %d\n",
+						st.Round, st.Sampled, st.Responded, st.Dropped, st.Reconciled)
+				},
+			},
+		},
+	})
+	if bound, err := tel.Serve(*adminAddr, edge.Health); err != nil {
+		log.Fatal(err)
+	} else if bound != "" {
+		fmt.Printf("admin listening on %s (/metrics, /healthz, /debug/pprof)\n", bound)
+	}
 	l, err := fl.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -85,34 +131,14 @@ func main() {
 	}
 	fmt.Printf("enrolling with root at %s\n", *upstream)
 
-	// The model template mirrors the root's: shapes are what matter,
-	// values are overwritten by the root's broadcast each round.
-	template := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU).StateDict()
-	edge := hier.NewEdge(template, hier.EdgeConfig{
-		Name:     *name,
-		MaxCodec: maxCodec,
-		Server: fl.ServerConfig{
-			MinClients:       *minClients,
-			SampleFraction:   *sampleFraction,
-			SampleCount:      *sampleCount,
-			SampleSeed:       *seed,
-			RoundDeadline:    *deadline,
-			Codec:            codec,
-			IOTimeout:        *ioTimeout,
-			QuarantineRounds: *quarantineRounds,
-			MinRelease:       *minRelease,
-			Hooks: fl.Hooks{
-				ClientQuarantined: func(device string, reason error) {
-					fmt.Printf("quarantined %s: %v\n", device, reason)
-				},
-				RoundClosed: func(st fl.RoundStats) {
-					fmt.Printf("shard round %d: sampled %d, responded %d, dropped %d, reconciled %d\n",
-						st.Round, st.Sampled, st.Responded, st.Dropped, st.Reconciled)
-				},
-			},
-		},
-	})
+	var interrupted atomic.Bool
+	abortOnSignal(&interrupted, edge, conns)
 	if err := edge.Run(up, conns); err != nil {
+		if interrupted.Load() {
+			closeTelemetry(tel)
+			fmt.Printf("edge interrupted: %d shard rounds served, telemetry flushed\n", edge.Rounds)
+			return
+		}
 		fmt.Fprintf(os.Stderr, "edge session failed: %v\n", err)
 		os.Exit(1)
 	}
@@ -122,4 +148,31 @@ func main() {
 	}
 	fmt.Printf("%s: %d shard clients served across %d rounds; partials forwarded upstream\n",
 		*name, edge.Selected, edge.Rounds)
+}
+
+// abortOnSignal arranges a graceful shutdown: the first SIGINT/SIGTERM
+// closes the upstream and every shard connection, unwinding Run through
+// its ordinary transport-failure path on its own goroutine. A second
+// signal falls back to the runtime's default (kill).
+func abortOnSignal(interrupted *atomic.Bool, edge *hier.Edge, conns []fl.Conn) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		signal.Stop(sig)
+		interrupted.Store(true)
+		fmt.Fprintf(os.Stderr, "received %s: aborting edge session\n", s)
+		edge.Abort()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+}
+
+// closeTelemetry flushes the telemetry surfaces, reporting a failed
+// span export. Safe to call more than once.
+func closeTelemetry(tel *obs.Telemetry) {
+	if err := tel.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "span export: %v\n", err)
+	}
 }

@@ -28,8 +28,11 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/gradsec/gradsec/internal/core"
@@ -37,6 +40,7 @@ import (
 	"github.com/gradsec/gradsec/internal/hier"
 	"github.com/gradsec/gradsec/internal/journal"
 	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/wire"
 )
@@ -69,6 +73,8 @@ func main() {
 	recoverRun := flag.Bool("recover", false, "resume a crashed session from -journal: replay committed rounds, then continue with the reconnecting fleet")
 	aggName := flag.String("aggregation", "fedavg", "round aggregation: fedavg, trimmed-mean, or median (the robust modes are incompatible with -secagg)")
 	trim := flag.Float64("trim", 0.1, "per-tail trim fraction for -aggregation trimmed-mean, in (0, 0.5)")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics (Prometheus), /healthz, and /debug/pprof (empty = off)")
+	spansPath := flag.String("spans", "", "export round spans as JSONL to this file (empty = off)")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*codecName)
@@ -93,7 +99,7 @@ func main() {
 		if aggMethod != fl.AggFedAvg {
 			log.Fatal("-aggregation trimmed-mean/median is a flat-server mode (incompatible with -edges)")
 		}
-		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale, *journalPath, *recoverRun)
+		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale, *journalPath, *recoverRun, *adminAddr, *spansPath)
 		return
 	}
 	if *async && *secAgg {
@@ -142,6 +148,19 @@ func main() {
 	if jnl != nil {
 		defer jnl.Close()
 	}
+
+	tel, err := obs.OpenTelemetry(*adminAddr, *spansPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeTelemetry(tel)
+	var srvHolder atomic.Pointer[fl.Server]
+	serveAdmin(tel, *adminAddr, func() obs.Health {
+		if s := srvHolder.Load(); s != nil {
+			return s.Health()
+		}
+		return obs.Health{}
+	})
 
 	l, err := fl.Listen(*addr)
 	if err != nil {
@@ -194,6 +213,8 @@ func main() {
 		Journal:          jnl,
 		Aggregation:      aggMethod,
 		TrimFraction:     *trim,
+		Metrics:          tel.Metrics,
+		Spans:            tel.Spans,
 		Async: fl.AsyncConfig{
 			Enabled:         *async,
 			GoalUpdates:     *goalUpdates,
@@ -224,6 +245,9 @@ func main() {
 	} else {
 		srv = fl.NewServer(global.StateDict(), cfg)
 	}
+	srvHolder.Store(srv)
+	var interrupted atomic.Bool
+	abortOnSignal(&interrupted, conns)
 	run := srv.Run
 	unit := "rounds"
 	if *async {
@@ -231,12 +255,62 @@ func main() {
 		unit = "model versions"
 	}
 	selected, err := run(conns)
+	if interrupted.Load() {
+		// Graceful shutdown: the engine already tore the session down
+		// through its transport-failure path (committing the journal
+		// close records); flush the remaining durability surfaces and
+		// report what completed.
+		if jnl != nil {
+			_ = jnl.Sync()
+		}
+		closeTelemetry(tel)
+		fmt.Printf("session interrupted: %d %s committed, telemetry flushed\n", len(srv.Trace()), unit)
+		return
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "session failed: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("session complete: %d clients, %d %s, %d parameter tensors aggregated\n",
 		selected, *rounds, unit, len(srv.State()))
+}
+
+// abortOnSignal arranges a graceful shutdown: the first SIGINT/SIGTERM
+// closes every session connection, which unwinds the engine through its
+// ordinary transport-failure path on its own goroutine — no
+// cross-goroutine access to session state. A second signal falls back
+// to the runtime's default (kill).
+func abortOnSignal(interrupted *atomic.Bool, conns []fl.Conn) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		signal.Stop(sig)
+		interrupted.Store(true)
+		fmt.Fprintf(os.Stderr, "received %s: aborting session\n", s)
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+}
+
+// serveAdmin starts the admin HTTP listener when an address is set.
+func serveAdmin(tel *obs.Telemetry, addr string, health func() obs.Health) {
+	bound, err := tel.Serve(addr, health)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if bound != "" {
+		fmt.Printf("admin listening on %s (/metrics, /healthz, /debug/pprof)\n", bound)
+	}
+}
+
+// closeTelemetry flushes the telemetry surfaces, reporting a failed
+// span export. Safe to call more than once.
+func closeTelemetry(tel *obs.Telemetry) {
+	if err := tel.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "span export: %v\n", err)
+	}
 }
 
 // openJournal opens the write-ahead journal: created fresh for a new
@@ -253,7 +327,7 @@ func openJournal(path string, resume bool) (*journal.Journal, error) {
 
 // runRoot drives the hierarchical root: N edge aggregators instead of
 // N clients, one partial fold per shard per round.
-func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale int, journalPath string, recoverRun bool) {
+func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale int, journalPath string, recoverRun bool, adminAddr, spansPath string) {
 	global := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU)
 	jnl, err := openJournal(journalPath, recoverRun)
 	if err != nil {
@@ -262,6 +336,27 @@ func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadlin
 	if jnl != nil {
 		defer jnl.Close()
 	}
+	tel, err := obs.OpenTelemetry(adminAddr, spansPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeTelemetry(tel)
+	var rootHolder atomic.Pointer[hier.Root]
+	serveAdmin(tel, adminAddr, func() obs.Health {
+		r := rootHolder.Load()
+		if r == nil {
+			return obs.Health{Rounds: rounds}
+		}
+		trace := r.Trace()
+		h := obs.Health{Open: len(trace) < rounds, Rounds: rounds, Roster: edges}
+		if n := len(trace); n > 0 {
+			h.Round = trace[n-1].Round + 1
+		}
+		if jnl != nil {
+			h.JournalLag = int(jnl.Pending())
+		}
+		return h
+	})
 	l, err := fl.Listen(addr)
 	if err != nil {
 		log.Fatal(err)
@@ -292,6 +387,8 @@ func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadlin
 		MinRelease:      minRelease,
 		IOTimeout:       ioTimeout,
 		Journal:         jnl,
+		Metrics:         tel.Metrics,
+		Spans:           tel.Spans,
 		Hooks: hier.Hooks{
 			ShardDropped: func(shard string, reason error) {
 				fmt.Printf("dropped edge %s: %v\n", shard, reason)
@@ -312,7 +409,18 @@ func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadlin
 	} else {
 		root = hier.NewRoot(global.StateDict(), rootCfg)
 	}
+	rootHolder.Store(root)
+	var interrupted atomic.Bool
+	abortOnSignal(&interrupted, conns)
 	enrolled, err := root.Run(conns)
+	if interrupted.Load() {
+		if jnl != nil {
+			_ = jnl.Sync()
+		}
+		closeTelemetry(tel)
+		fmt.Printf("session interrupted: %d rounds committed, telemetry flushed\n", len(root.Trace()))
+		return
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "session failed: %v\n", err)
 		os.Exit(1)

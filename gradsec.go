@@ -105,10 +105,13 @@ package gradsec
 import (
 	"math/rand"
 
+	"io"
+
 	"github.com/gradsec/gradsec/internal/core"
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/flsim"
 	"github.com/gradsec/gradsec/internal/nn"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
@@ -167,6 +170,33 @@ type (
 	// Tensor is a dense float64 tensor — model parameters and updates.
 	Tensor = tensor.Tensor
 )
+
+// Re-exported observability types: the fleet telemetry registry and
+// its admin HTTP surface (FleetScenario.Metrics / FleetScenario.Spans
+// accept them; see docs/METRICS.md for the metric families).
+type (
+	// Metrics is a process-wide telemetry registry of counters, gauges,
+	// and mergeable histograms with Prometheus text exposition.
+	Metrics = obs.Registry
+	// AdminServer is the admin HTTP listener: /metrics, /healthz, and
+	// /debug/pprof.
+	AdminServer = obs.Admin
+	// Health is the /healthz payload summarising a running session.
+	Health = obs.Health
+)
+
+// NewMetrics creates an empty telemetry registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// ServeAdmin starts the admin HTTP listener on addr, exporting reg at
+// /metrics. Both reg and health may be nil.
+func ServeAdmin(addr string, reg *Metrics, health func() Health) (*AdminServer, error) {
+	return obs.ServeAdmin(addr, reg, health)
+}
+
+// WriteMetrics writes the registry's current state as Prometheus text
+// exposition.
+func WriteMetrics(w io.Writer, reg *Metrics) error { return obs.WritePrometheus(w, reg) }
 
 // UpdateNorm returns the L2 norm of a flat model state or update — the
 // metric the adaptive codec threshold and the sync-vs-async pacing

@@ -1,0 +1,118 @@
+package fl
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/gradsec/gradsec/internal/obs"
+)
+
+// TestAdminScrapeMidSession is the end-to-end acceptance check for the
+// admin surface: while a session is running, a plain HTTP GET against
+// /metrics (what Prometheus does) returns text exposition carrying the
+// round counters, phase histograms, and wire byte totals, and /healthz
+// reports the session open at the right round.
+func TestAdminScrapeMidSession(t *testing.T) {
+	trainers := []Trainer{
+		newTestTrainer("a", false, 1),
+		newTestTrainer("b", false, 2),
+		newTestTrainer("c", false, 3),
+	}
+	reg := obs.NewRegistry()
+
+	// The hook runs on the round goroutine, so the scrape below is
+	// genuinely mid-session: rounds still to go, connections open.
+	var adminURL string
+	type scrape struct{ metrics, health string }
+	scraped := make(chan scrape, 1)
+	cfg := ServerConfig{
+		Rounds:     4,
+		MinClients: 3,
+		Metrics:    reg,
+		Hooks: Hooks{
+			RoundClosed: func(st RoundStats) {
+				if st.Round != 1 {
+					return
+				}
+				scraped <- scrape{
+					metrics: httpGetBody(t, adminURL+"/metrics"),
+					health:  httpGetBody(t, adminURL+"/healthz"),
+				}
+			},
+		},
+	}
+	srv := NewServer(newState(0), cfg)
+	admin, err := obs.ServeAdmin("127.0.0.1:0", reg, srv.Health)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	adminURL = "http://" + admin.Addr()
+
+	serverErr, _, _, wg := startSession(srv, trainers)
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	got := <-scraped
+	if !strings.Contains(got.health, `"open":true`) {
+		t.Errorf("mid-session /healthz does not report the session open: %s", got.health)
+	}
+	// Two rounds closed at scrape time (rounds 0 and 1).
+	if v := sampleValue(t, got.metrics, `gradsec_rounds_total{mode="sync",result="ok"}`); v != 2 {
+		t.Errorf("mid-session rounds_total{ok} = %v, want 2", v)
+	}
+	// The end-to-end round observation lands after the RoundClosed hook
+	// returns, so at scrape time only round 0's is visible.
+	if v := sampleValue(t, got.metrics, `gradsec_phase_ns_count{phase="round"}`); v != 1 {
+		t.Errorf("mid-session phase_ns_count{round} = %v, want 1", v)
+	}
+	for _, dir := range []string{"up", "down"} {
+		if v := sampleValue(t, got.metrics, fmt.Sprintf("gradsec_wire_bytes_total{direction=%q}", dir)); v <= 0 {
+			t.Errorf("mid-session wire_bytes_total{%s} = %v, want > 0", dir, v)
+		}
+	}
+	if !strings.Contains(got.metrics, "# TYPE gradsec_phase_ns histogram") {
+		t.Error("phase histogram family missing from exposition")
+	}
+}
+
+// httpGetBody fetches a URL, failing the test on any error.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", url, resp.Status)
+	}
+	return string(body)
+}
+
+// sampleValue extracts the value of one exposition sample by its full
+// name-plus-labels prefix.
+func sampleValue(t *testing.T, exposition, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("bad sample line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %q not found in exposition:\n%s", sample, exposition)
+	return 0
+}

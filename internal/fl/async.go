@@ -138,13 +138,15 @@ func (s *Server) runAsync() error {
 		clients[sess] = &asyncClient{}
 	}
 
-	version := s.nextRound // 0 fresh; the first unwatermarked version after recovery
+	version := s.nextRound                // 0 fresh; the first unwatermarked version after recovery
 	frames := make(map[wire.Codec][]byte) // current version, per codec
 	agg := NewAggregator(s.state)
 	stats := RoundStats{Round: version, Sampled: len(s.sessions)}
 	var reasons []string
 
 	s.asyncRoundStarted(version)
+	// One span per buffered version window (async has no sync phases).
+	verSpan := s.ob.spanStart("version", version)
 
 	// Initial distribution: every selected client gets version 0,
 	// encoded once per negotiated codec, sent in parallel.
@@ -175,6 +177,7 @@ func (s *Server) runAsync() error {
 			return err
 		}
 		a := <-s.arrivals
+		pushStart := s.ob.now()
 		sess := a.sess
 		if sess.quarantined {
 			continue // residue from an already-closed connection
@@ -199,6 +202,7 @@ func (s *Server) runAsync() error {
 					s.cfg.Hooks.UpdatePushed(version, sess.device, false)
 				}
 				if ac.strikes >= cfg.MaxViolations {
+					s.ob.observeStrikes(ac.strikes)
 					s.quarantineAt(sess, version, true, fmt.Errorf("%d consecutive duplicate pushes", ac.strikes), &stats, &reasons)
 				}
 				continue
@@ -212,6 +216,7 @@ func (s *Server) runAsync() error {
 				continue
 			}
 			staleness := version - int(m.Version)
+			s.ob.observeStaleness(staleness)
 			now := s.cfg.Clock.Now()
 			folded := false
 			switch {
@@ -264,6 +269,7 @@ func (s *Server) runAsync() error {
 				stats.UpdateNorm = UpdateNorm(mean)
 				ApplyUpdate(s.state, mean, 1.0)
 				s.closeRound(stats, true, mean)
+				verSpan.End()
 				version++
 				if version >= s.cfg.Rounds {
 					break
@@ -273,6 +279,7 @@ func (s *Server) runAsync() error {
 				reasons = nil
 				frames = make(map[wire.Codec][]byte)
 				s.asyncRoundStarted(version)
+				verSpan = s.ob.spanStart("version", version)
 				// Devices whose probation window just elapsed rejoin here:
 				// they hold no model (their last interaction was a failure),
 				// so hand them the fresh version.
@@ -281,6 +288,7 @@ func (s *Server) runAsync() error {
 			// Re-arm the pusher with the current model — fresh if its fold
 			// just triggered the application.
 			s.asyncReply(sess, ac, version, frames, &stats, &reasons)
+			s.ob.observePush(pushStart)
 		case *ErrorMsg:
 			ac.awaiting = false
 			s.quarantineAt(sess, version, true, fmt.Errorf("client error: %s", m.Text), &stats, &reasons)
@@ -415,6 +423,14 @@ func (s *Server) asyncSendDone(sess *session, ac *asyncClient) {
 // the reply to their final push. The wait for in-flight trainers is
 // bounded by RoundDeadline when one is configured.
 func (s *Server) asyncDrain(clients map[*session]*asyncClient) error {
+	// Drain-time failures go through the same quarantine path as
+	// mid-session ones, so the ClientQuarantined hook, the journal
+	// record and the device history all still happen — a device that
+	// dies while we wait for its last push must not silently vanish.
+	// The accounting lands in a local stats block: the final version's
+	// trace entry is already committed.
+	var drainStats RoundStats
+	var drainReasons []string
 	outstanding := 0
 	for _, sess := range s.sessions {
 		ac := clients[sess]
@@ -446,8 +462,7 @@ func (s *Server) asyncDrain(clients map[*session]*asyncClient) error {
 					ac.awaiting = false
 					outstanding--
 				}
-				sess.quarantined = true
-				_ = sess.conn.Close()
+				s.quarantineAt(sess, s.cfg.Rounds, false, fmt.Errorf("transport during drain: %w", a.err), &drainStats, &drainReasons)
 				continue
 			}
 			if !ac.awaiting {

@@ -1,0 +1,258 @@
+package fl
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// hookRecorder counts hook firings by name, from any goroutine.
+type hookRecorder struct {
+	mu    sync.Mutex
+	fired map[string]int
+}
+
+func newHookRecorder() *hookRecorder {
+	return &hookRecorder{fired: make(map[string]int)}
+}
+
+func (h *hookRecorder) note(name string) {
+	h.mu.Lock()
+	h.fired[name]++
+	h.mu.Unlock()
+}
+
+func (h *hookRecorder) count(name string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fired[name]
+}
+
+func (h *hookRecorder) hooks() Hooks {
+	return Hooks{
+		RoundStarted:      func(int, []string) { h.note("RoundStarted") },
+		UpdateFolded:      func(int, string) { h.note("UpdateFolded") },
+		UpdatePushed:      func(int, string, bool) { h.note("UpdatePushed") },
+		ClientQuarantined: func(string, error) { h.note("ClientQuarantined") },
+		ClientProbationed: func(string, error) { h.note("ClientProbationed") },
+		RoundClosed:       func(RoundStats) { h.note("RoundClosed") },
+	}
+}
+
+// TestHookParitySyncVsAsync: the two session modes surface the same
+// lifecycle through the same hooks. Each case runs a fleet with one
+// failing device and asserts exactly the expected hook set fires —
+// UpdatePushed is the one deliberate asymmetry (async only), and
+// probation replaces quarantine under QuarantineRounds in both modes.
+func TestHookParitySyncVsAsync(t *testing.T) {
+	cases := []struct {
+		name             string
+		async            bool
+		quarantineRounds int
+		want             []string // hooks that must fire at least once
+		never            []string // hooks that must not fire
+	}{
+		{
+			name:  "sync quarantine",
+			want:  []string{"RoundStarted", "UpdateFolded", "ClientQuarantined", "RoundClosed"},
+			never: []string{"UpdatePushed", "ClientProbationed"},
+		},
+		{
+			name:             "sync probation",
+			quarantineRounds: 1,
+			want:             []string{"RoundStarted", "UpdateFolded", "ClientProbationed", "RoundClosed"},
+			never:            []string{"UpdatePushed", "ClientQuarantined"},
+		},
+		{
+			name:  "async quarantine",
+			async: true,
+			want:  []string{"RoundStarted", "UpdateFolded", "UpdatePushed", "ClientQuarantined", "RoundClosed"},
+			never: []string{"ClientProbationed"},
+		},
+		{
+			name:             "async probation",
+			async:            true,
+			quarantineRounds: 1,
+			want:             []string{"RoundStarted", "UpdateFolded", "UpdatePushed", "ClientProbationed", "RoundClosed"},
+			never:            []string{"ClientQuarantined"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := newHookRecorder()
+			if tc.async {
+				runAsyncParityFleet(t, rec, tc.quarantineRounds)
+			} else {
+				runSyncParityFleet(t, rec, tc.quarantineRounds)
+			}
+			for _, name := range tc.want {
+				if rec.count(name) == 0 {
+					t.Errorf("%s never fired (fired: %v)", name, rec.fired)
+				}
+			}
+			for _, name := range tc.never {
+				if n := rec.count(name); n != 0 {
+					t.Errorf("%s fired %d times, want 0", name, n)
+				}
+			}
+		})
+	}
+}
+
+// runSyncParityFleet drives a synchronous fleet with one device that
+// fails training at round 1.
+func runSyncParityFleet(t *testing.T, rec *hookRecorder, quarantineRounds int) {
+	t.Helper()
+	bad := newTestTrainer("bad", false, 1)
+	bad.failOnRound = 1
+	trainers := []Trainer{
+		newTestTrainer("a", false, 1),
+		newTestTrainer("b", false, 2),
+		bad,
+	}
+	srv := NewServer(newState(0), ServerConfig{
+		Rounds:           3,
+		MinClients:       1,
+		QuarantineRounds: quarantineRounds,
+		Hooks:            rec.hooks(),
+	})
+	serverErr, _, _, wg := startSession(srv, trainers)
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// runAsyncParityFleet drives an asynchronous session with hand-driven
+// peers so the failure ordering is deterministic: bad reports a client
+// error after the initial broadcast, then a pushes the session to its
+// version goal.
+func runAsyncParityFleet(t *testing.T, rec *hookRecorder, quarantineRounds int) {
+	t.Helper()
+	benched := make(chan struct{}, 1)
+	hooks := rec.hooks()
+	hooks.ClientQuarantined = func(string, error) {
+		rec.note("ClientQuarantined")
+		benched <- struct{}{}
+	}
+	hooks.ClientProbationed = func(string, error) {
+		rec.note("ClientProbationed")
+		benched <- struct{}{}
+	}
+	srv := NewServer(newState(0), ServerConfig{
+		Rounds:           2,
+		MinClients:       2,
+		QuarantineRounds: quarantineRounds,
+		Hooks:            hooks,
+		Async:            AsyncConfig{Enabled: true, GoalUpdates: 1},
+	})
+	connA, peerA := Pipe()
+	connB, peerB := Pipe()
+	connBad, peerBad := Pipe()
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.RunAsync([]Conn{connA, connB, connBad})
+		serverErr <- err
+	}()
+	a := dialAsyncPeer(t, "a", peerA)
+	b := dialAsyncPeer(t, "b", peerB)
+	bad := dialAsyncPeer(t, "bad", peerBad)
+	ma := a.recvModel()
+	mb := b.recvModel()
+	_ = bad.recvModel()
+
+	// bad reports a training failure; wait for the bench hook so its
+	// standing is settled before the session advances.
+	if err := peerBad.Send(&ErrorMsg{Text: "injected failure"}); err != nil {
+		t.Fatal(err)
+	}
+	<-benched
+
+	// a's pushes close both version windows; b's single (possibly
+	// stale-folded) push is absorbed by whichever window or drain state
+	// it lands in. Every surviving peer then receives Done.
+	a.push(ma, 0.5)
+	ma2 := a.recvModel()
+	a.push(ma2, 0.5)
+	b.push(mb, 0.25)
+	a.recvDone()
+	b.recvDone()
+	if quarantineRounds > 0 {
+		bad.recvDone() // probation keeps the connection open
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	_ = peerA.Close()
+	_ = peerB.Close()
+	_ = peerBad.Close()
+}
+
+// TestAsyncDrainQuarantineHook: a device whose connection dies while
+// the server drains the final version goes through the full quarantine
+// path — hook, journal, history — instead of silently vanishing.
+// Regression test for the drain path short-circuiting quarantineAt.
+func TestAsyncDrainQuarantineHook(t *testing.T) {
+	rec := newHookRecorder()
+	var quarantinedDev string
+	var reasonText string
+	var mu sync.Mutex
+	hooks := rec.hooks()
+	hooks.ClientQuarantined = func(device string, reason error) {
+		rec.note("ClientQuarantined")
+		mu.Lock()
+		quarantinedDev = device
+		reasonText = reason.Error()
+		mu.Unlock()
+	}
+	// The final version's close marks the start of the drain: only a
+	// failure after this point exercises the drain path.
+	closed := make(chan struct{}, 1)
+	hooks.RoundClosed = func(RoundStats) {
+		rec.note("RoundClosed")
+		closed <- struct{}{}
+	}
+	srv := NewServer(newState(0), ServerConfig{
+		Rounds:     1,
+		MinClients: 2,
+		Hooks:      hooks,
+		Async:      AsyncConfig{Enabled: true, GoalUpdates: 1},
+	})
+	connA, peerA := Pipe()
+	connB, peerB := Pipe()
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.RunAsync([]Conn{connA, connB})
+		serverErr <- err
+	}()
+	a := dialAsyncPeer(t, "a", peerA)
+	b := dialAsyncPeer(t, "b", peerB)
+	ma := a.recvModel()
+	_ = b.recvModel()
+
+	// a's push reaches the goal and ends the session; b dies while the
+	// server waits out the drain for its outstanding push.
+	a.push(ma, 0.5)
+	<-closed
+	_ = peerB.Close()
+
+	a.recvDone()
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	if rec.count("ClientQuarantined") != 1 {
+		t.Fatalf("ClientQuarantined fired %d times, want 1", rec.count("ClientQuarantined"))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if quarantinedDev != "b" {
+		t.Fatalf("quarantined %q, want b", quarantinedDev)
+	}
+	if !strings.Contains(reasonText, "drain") {
+		t.Fatalf("quarantine reason %q does not mention the drain", reasonText)
+	}
+	// The history must record the loss like any other quarantine.
+	if h := srv.history["b"]; h == nil || !h.quarantined {
+		t.Fatal("device history does not record the drain-time quarantine")
+	}
+}

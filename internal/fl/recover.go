@@ -3,6 +3,7 @@ package fl
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/gradsec/gradsec/internal/journal"
 	"github.com/gradsec/gradsec/internal/tensor"
@@ -33,6 +34,12 @@ var (
 // The returned server is not yet serving: call Resume (or Run, which
 // resumes automatically) with the rejoining client connections.
 func Recover(path string, state []*tensor.Tensor, cfg ServerConfig) (*Server, error) {
+	// Replay duration is real I/O plus model reconstruction, so it is
+	// measured on the wall clock regardless of any simulated cfg.Clock.
+	var replayStart time.Time
+	if cfg.Metrics != nil {
+		replayStart = time.Now()
+	}
 	recs, err := journal.Replay(path)
 	if err != nil {
 		return nil, err
@@ -116,6 +123,10 @@ func Recover(path string, state []*tensor.Tensor, cfg ServerConfig) (*Server, er
 	// used, and the cohort sequence continues unchanged.
 	for i := 0; i < st.Draws; i++ {
 		s.rng.Perm(len(s.roster))
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Histogram("gradsec_journal_ns", "journal I/O latency in nanoseconds", "op", "replay").
+			Observe(time.Since(replayStart).Nanoseconds())
 	}
 	return s, nil
 }
@@ -230,10 +241,10 @@ type deadConn struct{}
 
 var errDeadConn = errors.New("fl: device did not rejoin the resumed session")
 
-func (deadConn) Send(Message) error                { return errDeadConn }
-func (deadConn) SendFrame(MsgType, []byte) error   { return errDeadConn }
-func (deadConn) Recv() (Message, error)            { return nil, errDeadConn }
-func (deadConn) SetCodec(wire.Codec)               {}
-func (deadConn) SetSendCodec(wire.Codec)           {}
-func (deadConn) SetRecvCodec(wire.Codec)           {}
-func (deadConn) Close() error                      { return nil }
+func (deadConn) Send(Message) error              { return errDeadConn }
+func (deadConn) SendFrame(MsgType, []byte) error { return errDeadConn }
+func (deadConn) Recv() (Message, error)          { return nil, errDeadConn }
+func (deadConn) SetCodec(wire.Codec)             {}
+func (deadConn) SetSendCodec(wire.Codec)         {}
+func (deadConn) SetRecvCodec(wire.Codec)         {}
+func (deadConn) Close() error                    { return nil }

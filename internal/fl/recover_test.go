@@ -304,8 +304,8 @@ func TestRecoverConfigMismatch(t *testing.T) {
 	j.Close()
 
 	bad := []ServerConfig{
-		{Rounds: 3, MinClients: 2, SampleSeed: 12},             // wrong seed
-		{Rounds: 9, MinClients: 2, SampleSeed: 11},             // wrong horizon
+		{Rounds: 3, MinClients: 2, SampleSeed: 12},               // wrong seed
+		{Rounds: 9, MinClients: 2, SampleSeed: 11},               // wrong horizon
 		{Rounds: 3, MinClients: 2, SampleSeed: 11, SecAgg: true}, // wrong mode
 	}
 	for i, cfg := range bad {

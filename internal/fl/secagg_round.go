@@ -46,6 +46,9 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 	if len(alive) < s.cfg.MinClients {
 		return nil, fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
 	}
+	ptRound := s.ob.startPhase("round", round)
+	defer ptRound.end()
+	ptSample := s.ob.startPhase("sample", round)
 	sampled := s.sample(alive)
 
 	stats := RoundStats{Round: round, Sampled: len(sampled)}
@@ -133,6 +136,8 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 			}
 		}
 	}
+	ptSample.end()
+	ptBroadcast := s.ob.startPhase("broadcast", round)
 	sendErrs := make([]error, len(sampled))
 	var sends sync.WaitGroup
 	for i, sess := range sampled {
@@ -152,6 +157,7 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 		}(i, sess)
 	}
 	sends.Wait()
+	ptBroadcast.end()
 
 	pending := make(map[*session]bool, len(sampled))
 	for i, sess := range sampled {
@@ -163,7 +169,9 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 	}
 
 	msum := secagg.NewMaskedSum(s.state, protectedMap, s.cfg.SecAggScaleBits)
+	s.ob.instrumentMaskedSum(msum)
 	folded := make(map[*session]bool, len(sampled))
+	ptCollect := s.ob.startPhase("collect", round)
 collect:
 	for len(pending) > 0 {
 		select {
@@ -181,6 +189,7 @@ collect:
 			}
 		}
 	}
+	ptCollect.end()
 	stats.Dropped = len(pending)
 	stats.Responded = msum.Count()
 	stats.WeightTotal = msum.Weight()
@@ -215,7 +224,10 @@ collect:
 	}
 	sort.Strings(unfolded)
 	if len(unfolded) > 0 {
-		if err := s.reconcileMasks(round, unfolded, folded, msum, arrivals, &stats, &reasons); err != nil {
+		ptRecon := s.ob.startPhase("reconcile", round)
+		err := s.reconcileMasks(round, unfolded, folded, msum, arrivals, &stats, &reasons)
+		ptRecon.end()
+		if err != nil {
 			s.closeRound(stats, false, nil)
 			return nil, err
 		}
@@ -232,6 +244,8 @@ collect:
 			Weight: msum.Weight(), Count: msum.Count(), Stats: stats}, nil
 	}
 
+	ptClose := s.ob.startPhase("close", round)
+	defer ptClose.end()
 	mean, err := msum.Mean()
 	if err != nil {
 		s.closeRound(stats, false, nil)

@@ -9,9 +9,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gradsec/gradsec/internal/journal"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
@@ -184,6 +186,17 @@ type ServerConfig struct {
 	// Hooks receive engine lifecycle events; all callbacks fire from the
 	// server's round goroutine, in order.
 	Hooks Hooks
+
+	// Metrics, when set, receives engine telemetry: round counters,
+	// per-phase latency histograms, wire byte/frame totals, quarantine
+	// and staleness accounting. Families are shared — many servers (or
+	// a root and its edges) may feed one registry. nil disables metrics
+	// at zero hot-path cost.
+	Metrics *obs.Registry
+	// Spans, when set, receives one JSONL span per round and per phase,
+	// timed on Clock — under a virtual clock the span stream is
+	// bit-reproducible. nil disables tracing.
+	Spans *obs.TraceSink
 }
 
 // Hooks observe the round engine. Any field may be nil.
@@ -250,6 +263,15 @@ type RoundStats struct {
 	// a root's trace Sampled/Responded/Dropped/… are fleet-wide totals
 	// summed over the shard accounting each PartialUp carries.
 	Shards int
+	// BytesUp and BytesDown are the round's wire traffic (client→server
+	// and server→client, frame headers included), measured between round
+	// commits when ServerConfig.Metrics is set; 0 with metrics disabled.
+	// They are observability, not protocol state: the journal does not
+	// carry them (its Stats decode is strict about trailing bytes, so
+	// extending it would orphan every pre-existing journal), and a
+	// recovered trace therefore reports 0 for replayed rounds.
+	BytesUp   uint64
+	BytesDown uint64
 }
 
 // Partial is one round's un-normalised aggregate, produced by a server
@@ -283,7 +305,25 @@ type Server struct {
 	cfg   ServerConfig
 	state []*tensor.Tensor
 	rng   *mrand.Rand
-	trace []RoundStats
+	// trace is appended by the round goroutine under traceMu; Trace()
+	// copies under the same lock so callers can never alias (or race
+	// with) an active session's append.
+	traceMu sync.Mutex
+	trace   []RoundStats
+
+	// ob is the telemetry state, nil when observability is disabled
+	// (every use is nil-guarded — the zero-cost off switch).
+	ob *serverObs
+
+	// health is the lock-free session summary served by /healthz;
+	// updated by the round goroutine, read by admin HTTP goroutines.
+	health struct {
+		open        atomic.Bool
+		round       atomic.Int64
+		roster      atomic.Int64
+		quarantined atomic.Int64
+		probation   atomic.Int64
+	}
 
 	// Session lifecycle (Open → StepRound* → Close/Abort). Run drives
 	// the whole sequence; hierarchical edges step rounds under upstream
@@ -378,20 +418,52 @@ func NewServer(state []*tensor.Tensor, cfg ServerConfig) *Server {
 		// the untrusted engine later claims.
 		cfg.Enclave.SetMinRelease(cfg.MinRelease)
 	}
+	if cfg.Journal != nil && cfg.Metrics != nil {
+		cfg.Journal.Instrument(
+			cfg.Metrics.Histogram("gradsec_journal_ns", "journal I/O latency in nanoseconds", "op", "append"),
+			cfg.Metrics.Histogram("gradsec_journal_ns", "journal I/O latency in nanoseconds", "op", "sync"),
+		)
+	}
 	return &Server{
 		cfg:     cfg,
 		state:   state,
 		rng:     mrand.New(mrand.NewSource(cfg.SampleSeed)),
 		history: make(map[string]*deviceHistory),
+		ob:      newServerObs(&cfg),
 	}
 }
 
 // State returns the current global model parameters.
 func (s *Server) State() []*tensor.Tensor { return s.state }
 
-// Trace returns per-round statistics for the completed (or aborted)
-// session, in round order.
-func (s *Server) Trace() []RoundStats { return s.trace }
+// Trace returns per-round statistics, in round order, as a defensive
+// copy: it is safe to call (and keep) while a session is still running
+// — the engine's appends can neither race with nor retroactively mutate
+// the returned slice.
+func (s *Server) Trace() []RoundStats {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	out := make([]RoundStats, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// Health returns a lock-free snapshot of the session state for the
+// admin /healthz surface: safe to call from any goroutine at any time.
+func (s *Server) Health() obs.Health {
+	h := obs.Health{
+		Open:        s.health.open.Load(),
+		Round:       int(s.health.round.Load()),
+		Rounds:      s.cfg.Rounds,
+		Roster:      int(s.health.roster.Load()),
+		Quarantined: int(s.health.quarantined.Load()),
+		Probation:   int(s.health.probation.Load()),
+	}
+	if s.cfg.Journal != nil {
+		h.JournalLag = int(s.cfg.Journal.Pending())
+	}
+	return h
+}
 
 // session is the server's per-client state. Mutable fields are owned by
 // the round goroutine.
@@ -542,6 +614,12 @@ func (s *Server) Open(conns []Conn) (int, error) {
 	}
 	s.opened = true
 	s.shut = false
+	// Selection handshakes are session setup, not round traffic: rebase
+	// the meter so round 0's byte deltas start clean.
+	s.ob.resetMeterBase()
+	s.health.open.Store(true)
+	s.health.roster.Store(int64(len(sessions)))
+	s.health.round.Store(int64(s.nextRound))
 	return len(sessions), nil
 }
 
@@ -686,6 +764,7 @@ func (s *Server) shutdown() {
 	}
 	// The server itself outlives the session: quarantine/probation
 	// history is retained (see history) and Open may be called again.
+	s.health.open.Store(false)
 	s.opened = false
 	s.sessions = nil
 	if s.cfg.Journal != nil {
@@ -807,6 +886,7 @@ func (s *Server) selectClients(conns []Conn) []*session {
 // IOTimeout; afterwards only writes stay bounded, since reads are paced
 // by the round deadline.
 func (s *Server) selectOne(conn Conn) *session {
+	SetMeter(conn, s.ob.wireMeter())
 	dc, hasDeadlines := conn.(DeadlineConn)
 	if hasDeadlines && s.cfg.IOTimeout > 0 {
 		dc.SetReadTimeout(s.cfg.IOTimeout)
@@ -1041,6 +1121,7 @@ func (s *Server) quarantineAt(sess *session, round int, probationable bool, reas
 		s.noteHistory(sess.device).probationUntil = sess.probationUntil
 		s.journalAppend(&journal.Record{Type: journal.RecProbation, Device: sess.device, Until: sess.probationUntil})
 		stats.Probation++
+		s.health.probation.Add(1)
 		if s.cfg.Hooks.ClientProbationed != nil {
 			s.cfg.Hooks.ClientProbationed(sess.device, reason)
 		}
@@ -1051,6 +1132,7 @@ func (s *Server) quarantineAt(sess *session, round int, probationable bool, reas
 	s.journalAppend(&journal.Record{Type: journal.RecQuarantine, Device: sess.device})
 	_ = sess.conn.Close()
 	stats.Quarantined++
+	s.health.quarantined.Add(1)
 	if s.cfg.Hooks.ClientQuarantined != nil {
 		s.cfg.Hooks.ClientQuarantined(sess.device, reason)
 	}
@@ -1075,6 +1157,8 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 	if len(alive) < s.cfg.MinClients {
 		return nil, fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
 	}
+	ptRound := s.ob.startPhase("round", round)
+	ptSample := s.ob.startPhase("sample", round)
 	sampled := s.sample(alive)
 
 	stats := RoundStats{Round: round, Sampled: len(sampled)}
@@ -1125,8 +1209,11 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 		}
 	}
 
+	ptSample.end()
+
 	// Distribute the model to the cohort in parallel: shared frames for
 	// the broadcast group, per-client sealing for the rest.
+	ptBroadcast := s.ob.startPhase("broadcast", round)
 	sendErrs := make([]error, len(sampled))
 	var sends sync.WaitGroup
 	for i, sess := range sampled {
@@ -1145,6 +1232,7 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 		}(i, sess)
 	}
 	sends.Wait()
+	ptBroadcast.end()
 
 	pending := make(map[*session]bool, len(sampled))
 	for i, sess := range sampled {
@@ -1156,6 +1244,7 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 	}
 
 	agg := s.newAggregator()
+	ptCollect := s.ob.startPhase("collect", round)
 collect:
 	for len(pending) > 0 {
 		select {
@@ -1173,10 +1262,14 @@ collect:
 			}
 		}
 	}
+	ptCollect.end()
 	stats.Dropped = len(pending)
 	stats.Responded = agg.Count()
 	stats.WeightTotal = agg.Weight()
 
+	ptClose := s.ob.startPhase("close", round)
+	defer ptRound.end()
+	defer ptClose.end()
 	if agg.Count() < s.cfg.MinClients {
 		detail := ""
 		if len(reasons) > 0 {
@@ -1213,6 +1306,9 @@ collect:
 // model versions as watermarks instead: they burn no sampling draws on
 // replay.
 func (s *Server) closeRound(stats RoundStats, ok bool, applied []*tensor.Tensor) {
+	// Stamp the round's wire byte deltas into stats and fold it into the
+	// counters first, so the trace entry below carries BytesUp/BytesDown.
+	s.ob.noteClose(&stats, ok)
 	if s.cfg.Journal != nil {
 		typ := journal.RecRoundClose
 		if s.cfg.Async.Enabled {
@@ -1227,7 +1323,10 @@ func (s *Server) closeRound(stats RoundStats, ok bool, applied []*tensor.Tensor)
 		})
 		_ = s.cfg.Journal.Sync()
 	}
+	s.traceMu.Lock()
 	s.trace = append(s.trace, stats)
+	s.traceMu.Unlock()
+	s.health.round.Store(int64(stats.Round + 1))
 	if s.cfg.Hooks.RoundClosed != nil {
 		s.cfg.Hooks.RoundClosed(stats)
 	}

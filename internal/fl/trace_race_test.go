@@ -1,0 +1,60 @@
+package fl
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceConcurrentWithSession: Trace is documented safe to call
+// while the session runs (an admin health endpoint polls it); it must
+// return a consistent snapshot, not alias the slice the round
+// goroutine is appending to. Run with -race (make test) to catch the
+// regression this guards against.
+func TestTraceConcurrentWithSession(t *testing.T) {
+	trainers := []Trainer{
+		newTestTrainer("a", false, 1),
+		newTestTrainer("b", false, 2),
+		newTestTrainer("c", false, 3),
+	}
+	srv := NewServer(newState(0), ServerConfig{Rounds: 8, MinClients: 3})
+
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			seen := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				trace := srv.Trace()
+				if len(trace) < seen {
+					t.Errorf("trace shrank from %d to %d rounds", seen, len(trace))
+					return
+				}
+				seen = len(trace)
+				for _, st := range trace {
+					_ = st.UpdateNorm // touch the entries: the copy must be stable
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	serverErr, _, _, wg := startSession(srv, trainers)
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(stop)
+	pollers.Wait()
+
+	if got := len(srv.Trace()); got != 8 {
+		t.Fatalf("final trace has %d rounds, want 8", got)
+	}
+}

@@ -67,6 +67,23 @@ var ErrConnClosed = errors.New("fl: connection closed")
 // (probationable) rather than a lost transport (permanent).
 var ErrDecode = errors.New("fl: frame decode failed")
 
+// meteredConn is the optional interface transports implement to accept
+// a wire.Meter for byte/frame accounting. Meters attach per connection
+// but are typically shared session-wide.
+type meteredConn interface {
+	setMeter(m *wire.Meter)
+}
+
+// SetMeter attaches a traffic meter to a connection. Transports that do
+// not support metering (external Conn implementations, recovery
+// placeholders) silently ignore it — metering is observability, never a
+// protocol requirement. A nil meter detaches.
+func SetMeter(c Conn, m *wire.Meter) {
+	if mc, ok := c.(meteredConn); ok {
+		mc.setMeter(m)
+	}
+}
+
 // decodeFrame decodes one received frame, tagging failures with
 // ErrDecode so callers can distinguish a poisoned payload from a dead
 // transport.
@@ -92,6 +109,7 @@ type pipeConn struct {
 	peerDone  <-chan struct{}
 	sendCodec atomic.Uint32
 	recvCodec atomic.Uint32
+	meter     atomic.Pointer[wire.Meter]
 }
 
 type frame struct {
@@ -122,6 +140,9 @@ func (c *pipeConn) SetSendCodec(codec wire.Codec) { c.sendCodec.Store(uint32(cod
 // SetRecvCodec implements Conn.
 func (c *pipeConn) SetRecvCodec(codec wire.Codec) { c.recvCodec.Store(uint32(codec)) }
 
+// setMeter implements meteredConn.
+func (c *pipeConn) setMeter(m *wire.Meter) { c.meter.Store(m) }
+
 // Send implements Conn.
 func (c *pipeConn) Send(m Message) error {
 	return c.SendFrame(m.Kind(), EncodeMessageCodec(m, wire.Codec(c.sendCodec.Load())))
@@ -146,8 +167,21 @@ func (c *pipeConn) SendFrame(mt MsgType, payload []byte) error {
 	case <-c.peerDone:
 		return ErrConnClosed
 	case c.send <- frame{mt: mt, payload: payload}:
+		if m := c.meter.Load(); m != nil {
+			// 5 = header parity with the TCP framing (1 type + 4 length).
+			m.CountTx(wire.Codec(c.sendCodec.Load()), 5+len(payload))
+		}
 		return nil
 	}
+}
+
+// recvFrame decodes one frame, metering it first.
+func (c *pipeConn) recvFrame(f frame) (Message, error) {
+	codec := wire.Codec(c.recvCodec.Load())
+	if m := c.meter.Load(); m != nil {
+		m.CountRx(codec, 5+len(f.payload))
+	}
+	return decodeFrame(f.mt, f.payload, codec)
 }
 
 // Recv implements Conn.
@@ -156,12 +190,12 @@ func (c *pipeConn) Recv() (Message, error) {
 	case <-c.closed:
 		return nil, io.EOF
 	case f := <-c.recv:
-		return decodeFrame(f.mt, f.payload, wire.Codec(c.recvCodec.Load()))
+		return c.recvFrame(f)
 	case <-c.peerDone:
 		// Drain anything already queued before reporting EOF.
 		select {
 		case f := <-c.recv:
-			return decodeFrame(f.mt, f.payload, wire.Codec(c.recvCodec.Load()))
+			return c.recvFrame(f)
 		default:
 			return nil, io.EOF
 		}
@@ -186,7 +220,8 @@ type tcpConn struct {
 	recvCodec atomic.Uint32
 	readTO    atomic.Int64 // read timeout, ns; 0 = none
 	writeTO   atomic.Int64 // write timeout, ns; 0 = none
-	readBuf   []byte       // frame scratch, owned by the single Recv caller
+	meter     atomic.Pointer[wire.Meter]
+	readBuf   []byte // frame scratch, owned by the single Recv caller
 }
 
 // NewNetConn wraps an established net.Conn (TCP or otherwise). The
@@ -213,6 +248,9 @@ func (c *tcpConn) SetSendCodec(codec wire.Codec) { c.sendCodec.Store(uint32(code
 
 // SetRecvCodec implements Conn.
 func (c *tcpConn) SetRecvCodec(codec wire.Codec) { c.recvCodec.Store(uint32(codec)) }
+
+// setMeter implements meteredConn.
+func (c *tcpConn) setMeter(m *wire.Meter) { c.meter.Store(m) }
 
 // SetReadTimeout implements DeadlineConn.
 func (c *tcpConn) SetReadTimeout(d time.Duration) { c.readTO.Store(int64(d)) }
@@ -244,6 +282,8 @@ func (c *tcpConn) Send(m Message) error {
 		c.writeMu.Unlock()
 		if err != nil {
 			err = fmt.Errorf("wire: writing frame: %w", err)
+		} else if mtr := c.meter.Load(); mtr != nil {
+			mtr.CountTx(w.Codec, len(buf))
 		}
 	}
 	wire.PutWriter(w)
@@ -267,6 +307,9 @@ func (c *tcpConn) SendFrame(mt MsgType, payload []byte) error {
 	if _, err := bufs.WriteTo(c.nc); err != nil {
 		return fmt.Errorf("wire: writing frame: %w", err)
 	}
+	if m := c.meter.Load(); m != nil {
+		m.CountTx(wire.Codec(c.sendCodec.Load()), 5+len(payload))
+	}
 	return nil
 }
 
@@ -287,7 +330,11 @@ func (c *tcpConn) Recv() (Message, error) {
 	if cap(payload) > cap(c.readBuf) && cap(payload) <= maxReadScratch {
 		c.readBuf = payload
 	}
-	return decodeFrame(MsgType(mt), payload, wire.Codec(c.recvCodec.Load()))
+	codec := wire.Codec(c.recvCodec.Load())
+	if m := c.meter.Load(); m != nil {
+		m.CountRx(codec, 5+len(payload))
+	}
+	return decodeFrame(MsgType(mt), payload, codec)
 }
 
 // Close implements Conn.

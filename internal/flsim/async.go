@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 )
@@ -241,6 +242,8 @@ func RunAsync(sc AsyncScenario) (*AsyncResult, error) {
 		SampleSeed: sc.Seed,
 		Codec:      sc.Codec,
 		Clock:      clk,
+		Metrics:    sc.Metrics,
+		Spans:      obs.NewTraceSink(sc.Spans, clk),
 		Async: fl.AsyncConfig{
 			Enabled:         true,
 			GoalUpdates:     sc.GoalUpdates,

@@ -17,6 +17,7 @@ package flsim
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"github.com/gradsec/gradsec/internal/attack"
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/journal"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
@@ -170,6 +172,15 @@ type Scenario struct {
 	Model []*tensor.Tensor
 	// Planner forwards a protection plan to the engine (default: none).
 	Planner fl.RoundPlanner
+	// Metrics, when set, receives the engine's fleet telemetry: the
+	// flat server's registry, or the root's in hierarchical scenarios.
+	// Metrics never feed back into the protocol, so traces are
+	// unchanged by enabling them.
+	Metrics *obs.Registry
+	// Spans, when set, receives round spans as JSONL timed on the
+	// simulation's virtual clock: two runs of the same scenario write
+	// byte-identical span streams (asserted by the determinism tests).
+	Spans io.Writer
 }
 
 // Result is a completed (or aborted) simulation.
@@ -412,11 +423,11 @@ func (t *simTA) CloseSession(*tz.TAEnv, any)                     {}
 
 // simClient is one in-memory fleet member.
 type simClient struct {
-	index   int
-	profile Profile
-	conn    fl.Conn
-	dev     *tz.Device // nil for no-TEE devices
-	app     *simTA
+	index    int
+	profile  Profile
+	conn     fl.Conn
+	dev      *tz.Device // nil for no-TEE devices
+	app      *simTA
 	shapes   [][]int
 	seed     int64
 	positive bool    // PositiveDeltas scenarios draw from posDyadicDelta
@@ -765,6 +776,8 @@ func runFlat(sc Scenario, profiles []Profile, opt flatOpts) (*Result, error) {
 		Clock:            clk,
 		Hooks:            hooks,
 		Journal:          opt.journal,
+		Metrics:          sc.Metrics,
+		Spans:            obs.NewTraceSink(sc.Spans, clk),
 	}
 	var srv *fl.Server
 	if opt.recoverPath != "" {

@@ -9,6 +9,7 @@ import (
 
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/hier"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
@@ -213,6 +214,8 @@ func runHier(sc Scenario, profiles []Profile) (*Result, error) {
 		SecAgg:    sc.SecAgg,
 		Codec:     sc.Codec,
 		Clock:     clk,
+		Metrics:   sc.Metrics,
+		Spans:     obs.NewTraceSink(sc.Spans, clk),
 	})
 	_, runErr := root.Run(edgeConns)
 	fleet.Wait()

@@ -1,0 +1,181 @@
+package flsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/obs"
+)
+
+func obsScenario() Scenario {
+	return Scenario{
+		Clients:           32,
+		Rounds:            4,
+		MinClients:        4,
+		SampleFraction:    0.5,
+		Deadline:          2 * time.Second,
+		StragglerFraction: 0.20,
+		Seed:              42,
+	}
+}
+
+// TestSpansDeterministicAndNonPerturbing: enabling span export must not
+// change the trace (telemetry never feeds back into the protocol), and
+// two runs of the same scenario must write byte-identical JSONL —
+// spans are timed on the virtual clock, not the wall clock.
+func TestSpansDeterministicAndNonPerturbing(t *testing.T) {
+	plain, err := Run(obsScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bufA, bufB bytes.Buffer
+	scA := obsScenario()
+	scA.Spans = &bufA
+	a, err := Run(scA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scB := obsScenario()
+	scB.Spans = &bufB
+	if _, err := Run(scB); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(a.Trace, plain.Trace) {
+		t.Fatalf("span export perturbed the trace:\n  plain: %+v\n  spans: %+v", plain.Trace, a.Trace)
+	}
+	if bufA.Len() == 0 {
+		t.Fatal("span export wrote nothing")
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("span streams differ between identical runs:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+
+	// Every line is a well-formed span record on the expected schema.
+	lines := strings.Split(strings.TrimRight(bufA.String(), "\n"), "\n")
+	rounds := 0
+	for _, line := range lines {
+		var rec struct {
+			Span    string `json:"span"`
+			Round   int    `json:"round"`
+			StartUS int64  `json:"start_us"`
+			DurUS   int64  `json:"dur_us"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		if rec.Span == "" || rec.StartUS < 0 || rec.DurUS < 0 {
+			t.Fatalf("implausible span record %q", line)
+		}
+		if rec.Span == "round" {
+			rounds++
+		}
+	}
+	if rounds != 4 {
+		t.Fatalf("got %d round spans, want 4", rounds)
+	}
+}
+
+// TestMetricsDeterministicAndAccounted: a metrics-enabled run reports
+// the same trace as a plain run (modulo the byte counters only a meter
+// can fill), and the registry's round and byte totals agree with the
+// trace.
+func TestMetricsDeterministicAndAccounted(t *testing.T) {
+	plain, err := Run(obsScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	sc := obsScenario()
+	sc.Metrics = reg
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var upTotal, downTotal uint64
+	stripped := make([]fl.RoundStats, len(res.Trace))
+	for i, st := range res.Trace {
+		if st.BytesUp == 0 || st.BytesDown == 0 {
+			t.Fatalf("round %d has no wire accounting: %+v", st.Round, st)
+		}
+		upTotal += st.BytesUp
+		downTotal += st.BytesDown
+		st.BytesUp, st.BytesDown = 0, 0
+		stripped[i] = st
+	}
+	if !reflect.DeepEqual(stripped, plain.Trace) {
+		t.Fatalf("metrics perturbed the trace:\n  plain:   %+v\n  metrics: %+v", plain.Trace, stripped)
+	}
+
+	if got := reg.Counter("gradsec_rounds_total", "", "mode", "sync", "result", "ok").Value(); got != uint64(len(res.Trace)) {
+		t.Fatalf("rounds_total{ok} = %d, want %d", got, len(res.Trace))
+	}
+	if got := reg.Counter("gradsec_wire_bytes_total", "", "direction", "up").Value(); got != upTotal {
+		t.Fatalf("wire_bytes_total{up} = %d, trace sums to %d", got, upTotal)
+	}
+	if got := reg.Counter("gradsec_wire_bytes_total", "", "direction", "down").Value(); got != downTotal {
+		t.Fatalf("wire_bytes_total{down} = %d, trace sums to %d", got, downTotal)
+	}
+	for _, phase := range []string{"sample", "broadcast", "collect", "close", "round"} {
+		if got := reg.Histogram("gradsec_phase_ns", "", "phase", phase).Count(); got != uint64(len(res.Trace)) {
+			t.Fatalf("phase_ns{%s} count = %d, want %d", phase, got, len(res.Trace))
+		}
+	}
+}
+
+// TestHierMetricsAndSpans: the hierarchical tier reports root fan-in
+// telemetry and deterministic spans on the same virtual clock.
+func TestHierMetricsAndSpans(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{
+			Clients:    24,
+			Rounds:     3,
+			MinClients: 2,
+			Shards:     4,
+			Seed:       9,
+		}
+	}
+	plain, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bufA, bufB bytes.Buffer
+	reg := obs.NewRegistry()
+	scA := base()
+	scA.Metrics = reg
+	scA.Spans = &bufA
+	res, err := Run(scA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scB := base()
+	scB.Spans = &bufB
+	if _, err := Run(scB); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(res.Trace, plain.Trace) {
+		t.Fatalf("hier telemetry perturbed the trace:\n  plain: %+v\n  obs:   %+v", plain.Trace, res.Trace)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("hier span streams differ between identical runs:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+	if got := reg.Counter("gradsec_hier_rounds_total", "", "result", "ok").Value(); got != 3 {
+		t.Fatalf("hier_rounds_total{ok} = %d, want 3", got)
+	}
+	if got := reg.Histogram("gradsec_hier_fanin_ns", "").Count(); got != 3 {
+		t.Fatalf("hier_fanin_ns count = %d, want 3", got)
+	}
+	if got := reg.Histogram("gradsec_hier_partial_ns", "").Count(); got != 3*4 {
+		t.Fatalf("hier_partial_ns count = %d, want %d", got, 3*4)
+	}
+}

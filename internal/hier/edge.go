@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/gradsec/gradsec/internal/fl"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -37,6 +39,13 @@ type Edge struct {
 	state []*tensor.Tensor
 	srv   *fl.Server
 
+	// mu guards upstream, aborted, and the srv pointer itself: Run
+	// registers the upstream connection and builds the shard engine,
+	// Abort and Health may run on any goroutine.
+	mu       sync.Mutex
+	upstream fl.Conn
+	aborted  bool
+
 	// Selected is the number of shard clients that passed selection.
 	Selected int
 	// Rounds counts shard rounds stepped under root control.
@@ -62,12 +71,47 @@ func (e *Edge) Trace() []fl.RoundStats {
 	return e.srv.Trace()
 }
 
+// Abort tears a running edge down from outside Run, e.g. a signal
+// handler: the upstream connection closes, Run's receive loop surfaces
+// the transport error and unwinds through its own deferred shard-engine
+// teardown on the Run goroutine. Safe to call from any goroutine, at
+// any time — calling it before Run makes Run return immediately.
+func (e *Edge) Abort() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.aborted = true
+	if e.upstream != nil {
+		_ = e.upstream.Close()
+	}
+}
+
+// Health summarises the shard engine for an admin /healthz probe.
+// Safe to call from any goroutine; before the engine exists it reports
+// a zero Health.
+func (e *Edge) Health() obs.Health {
+	e.mu.Lock()
+	srv := e.srv
+	e.mu.Unlock()
+	if srv == nil {
+		return obs.Health{}
+	}
+	return srv.Health()
+}
+
 // Run participates in a hierarchical session: enrol with the root over
 // upstream, select the shard's clients, then serve rounds — adopt each
 // ShardDown model, run the shard round, forward the partial — until
 // the root sends Done (forwarded to the shard's clients) or Reject.
 func (e *Edge) Run(upstream fl.Conn, clients []fl.Conn) error {
 	defer upstream.Close()
+	e.mu.Lock()
+	e.upstream = upstream
+	aborted := e.aborted
+	e.mu.Unlock()
+	if aborted {
+		_ = upstream.Close()
+		return errors.New("hier: edge aborted")
+	}
 	msg, err := upstream.Recv()
 	if err != nil {
 		return fmt.Errorf("hier: awaiting enrolment challenge: %w", err)
@@ -109,8 +153,11 @@ func (e *Edge) Run(upstream fl.Conn, clients []fl.Conn) error {
 		}
 		n, err = e.srv.Resume(clients)
 	} else {
-		e.srv = fl.NewServer(e.state, scfg)
-		n, err = e.srv.Open(clients)
+		srv := fl.NewServer(e.state, scfg)
+		e.mu.Lock()
+		e.srv = srv
+		e.mu.Unlock()
+		n, err = srv.Open(clients)
 	}
 	e.Selected = n
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"github.com/gradsec/gradsec/internal/fl"
 	"github.com/gradsec/gradsec/internal/journal"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
@@ -76,6 +77,12 @@ type RootConfig struct {
 	// Hooks observe the root lifecycle; all callbacks fire from the
 	// root's round goroutine.
 	Hooks Hooks
+	// Metrics, when set, receives the root's fleet telemetry: round
+	// counters, fan-in duration, and per-shard partial latency. Nil
+	// disables metrics with no hot-path cost.
+	Metrics *obs.Registry
+	// Spans, when set, receives root round spans timed on Clock.
+	Spans *obs.TraceSink
 }
 
 // Hooks observe the hierarchy root. Any field may be nil.
@@ -101,7 +108,12 @@ type Hooks struct {
 type Root struct {
 	cfg   RootConfig
 	state []*tensor.Tensor
-	trace []fl.RoundStats
+	ob    *rootObs
+
+	// traceMu guards trace: the round goroutine appends, Trace (callable
+	// from any goroutine, e.g. an admin health handler) copies.
+	traceMu sync.Mutex
+	trace   []fl.RoundStats
 
 	// Session state lives on the struct (not Run's stack) so Abort can
 	// tear a crashed-and-recovered harness down from outside Run.
@@ -133,17 +145,100 @@ func NewRoot(state []*tensor.Tensor, cfg RootConfig) *Root {
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real()
 	}
-	return &Root{cfg: cfg, state: state}
+	return &Root{cfg: cfg, state: state, ob: newRootObs(&cfg)}
 }
 
 // State returns the current global model parameters.
 func (r *Root) State() []*tensor.Tensor { return r.state }
 
-// Trace returns per-round statistics for the completed (or aborted)
-// session, in round order. Sampled/Responded/Dropped/… are fleet-wide
+// Trace returns a copy of the per-round statistics for the session so
+// far, in round order. Sampled/Responded/Dropped/… are fleet-wide
 // sums over the shard accounting carried by each PartialUp; Shards
-// counts the partials folded.
-func (r *Root) Trace() []fl.RoundStats { return r.trace }
+// counts the partials folded. Safe to call from any goroutine while
+// the session is running.
+func (r *Root) Trace() []fl.RoundStats {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	out := make([]fl.RoundStats, len(r.trace))
+	copy(out, r.trace)
+	return out
+}
+
+// rootObs holds the root's pre-resolved telemetry handles; nil when
+// observability is disabled, and every method is nil-receiver-safe.
+type rootObs struct {
+	clock simclock.WallClock
+	spans *obs.TraceSink
+
+	roundsOK     *obs.Counter
+	roundsFailed *obs.Counter
+	fanIn        *obs.Histogram
+	partial      *obs.Histogram
+
+	// bcastAt is the current round's broadcast completion instant;
+	// owned by the round goroutine.
+	bcastAt time.Time
+}
+
+func newRootObs(cfg *RootConfig) *rootObs {
+	if cfg.Metrics == nil && cfg.Spans == nil {
+		return nil
+	}
+	r := cfg.Metrics // nil registry hands out nil (no-op) instruments
+	return &rootObs{
+		clock:        cfg.Clock,
+		spans:        cfg.Spans,
+		roundsOK:     r.Counter("gradsec_hier_rounds_total", "hierarchical rounds closed at the root by result", "result", "ok"),
+		roundsFailed: r.Counter("gradsec_hier_rounds_total", "hierarchical rounds closed at the root by result", "result", "failed"),
+		fanIn:        r.Histogram("gradsec_hier_fanin_ns", "root fan-in latency (broadcast end to collect end) in nanoseconds"),
+		partial:      r.Histogram("gradsec_hier_partial_ns", "per-shard partial latency from broadcast end in nanoseconds"),
+	}
+}
+
+// startRound opens the root round span.
+func (o *rootObs) startRound(round int) *obs.Span {
+	if o == nil {
+		return nil
+	}
+	return o.spans.Start("hier_round", round)
+}
+
+// markBroadcast stamps the end of the shard broadcast — the origin for
+// fan-in and per-shard partial latency.
+func (o *rootObs) markBroadcast() {
+	if o == nil {
+		return
+	}
+	o.bcastAt = o.clock.Now()
+}
+
+// notePartial records one shard partial's latency since broadcast end.
+func (o *rootObs) notePartial() {
+	if o == nil {
+		return
+	}
+	o.partial.Observe(o.clock.Now().Sub(o.bcastAt).Nanoseconds())
+}
+
+// noteFanIn records the full fan-in duration for the round.
+func (o *rootObs) noteFanIn() {
+	if o == nil {
+		return
+	}
+	o.fanIn.Observe(o.clock.Now().Sub(o.bcastAt).Nanoseconds())
+}
+
+// noteClose counts the round by result.
+func (o *rootObs) noteClose(ok bool) {
+	if o == nil {
+		return
+	}
+	if ok {
+		o.roundsOK.Inc()
+	} else {
+		o.roundsFailed.Inc()
+	}
+}
 
 // edgeSess is the root's per-edge state, owned by the round goroutine.
 type edgeSess struct {
@@ -444,6 +539,8 @@ func (r *Root) runRound(round int, arrivals <-chan edgeArrival) error {
 
 	stats := fl.RoundStats{Round: round}
 	var reasons []string
+	roundSpan := r.ob.startRound(round)
+	defer roundSpan.End()
 
 	var deadlineC <-chan time.Time
 	if r.cfg.ShardDeadline > 0 {
@@ -477,6 +574,7 @@ func (r *Root) runRound(round int, arrivals <-chan edgeArrival) error {
 		}
 		pending[sess] = true
 	}
+	r.ob.markBroadcast()
 
 	acc := &roundAccum{}
 collect:
@@ -495,6 +593,7 @@ collect:
 			}
 		}
 	}
+	r.ob.noteFanIn()
 	stats.Shards = acc.shards
 	stats.Responded = acc.count
 	stats.WeightTotal = acc.weight
@@ -562,7 +661,10 @@ func (r *Root) closeRound(stats fl.RoundStats, ok bool, applied []*tensor.Tensor
 		})
 		_ = r.cfg.Journal.Sync()
 	}
+	r.ob.noteClose(ok)
+	r.traceMu.Lock()
 	r.trace = append(r.trace, stats)
+	r.traceMu.Unlock()
 	if r.cfg.Hooks.RoundClosed != nil {
 		r.cfg.Hooks.RoundClosed(stats)
 	}
@@ -630,6 +732,7 @@ func (r *Root) handleArrival(round int, a edgeArrival, pending map[*edgeSess]boo
 			*reasons = append(*reasons, fmt.Sprintf("%s: %v", sess.name, err))
 			return
 		}
+		r.ob.notePartial()
 		if r.cfg.Hooks.PartialFolded != nil {
 			r.cfg.Hooks.PartialFolded(round, sess.name)
 		}

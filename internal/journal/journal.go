@@ -33,7 +33,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
+	"time"
 
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
 )
@@ -181,10 +184,37 @@ var ErrBadMagic = errors.New("journal: bad magic")
 
 // Journal is an append-only record log backed by one file. Methods are
 // not safe for concurrent use; the engine appends from its round
-// goroutine only.
+// goroutine only. (Pending is the one exception: it is atomic so an
+// admin /healthz goroutine can read the journal lag live.)
 type Journal struct {
 	f   *os.File
 	err error
+
+	// pending counts records appended since the last successful Sync —
+	// the durability exposure if the process dies right now.
+	pending atomic.Int64
+
+	// appendNS/syncNS, when instrumented, receive per-call I/O latency
+	// in nanoseconds. These time real file I/O, so they use the real
+	// clock regardless of any simulated session clock.
+	appendNS *obs.Histogram
+	syncNS   *obs.Histogram
+}
+
+// Instrument attaches latency histograms to Append and Sync. Pass nil
+// to detach. Call before the journal is handed to the engine.
+func (j *Journal) Instrument(appendNS, syncNS *obs.Histogram) {
+	j.appendNS = appendNS
+	j.syncNS = syncNS
+}
+
+// Pending returns the number of records appended since the last
+// successful Sync. Safe to call from any goroutine.
+func (j *Journal) Pending() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.pending.Load()
 }
 
 // Create creates (or truncates) a journal file and writes the magic.
@@ -241,10 +271,18 @@ func (j *Journal) Append(rec *Record) error {
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	copy(buf[8:], payload)
+	var start time.Time
+	if j.appendNS != nil {
+		start = time.Now()
+	}
 	if _, err := j.f.Write(buf); err != nil {
 		j.err = fmt.Errorf("journal: append: %w", err)
 		return j.err
 	}
+	if j.appendNS != nil {
+		j.appendNS.Observe(time.Since(start).Nanoseconds())
+	}
+	j.pending.Add(1)
 	return nil
 }
 
@@ -253,10 +291,18 @@ func (j *Journal) Sync() error {
 	if j.err != nil {
 		return j.err
 	}
+	var start time.Time
+	if j.syncNS != nil {
+		start = time.Now()
+	}
 	if err := j.f.Sync(); err != nil {
 		j.err = fmt.Errorf("journal: sync: %w", err)
 		return j.err
 	}
+	if j.syncNS != nil {
+		j.syncNS.Observe(time.Since(start).Nanoseconds())
+	}
+	j.pending.Store(0)
 	return nil
 }
 

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health is the /healthz payload: a point-in-time summary of session
+// state assembled by the process hosting the admin listener.
+type Health struct {
+	// Open reports whether a federation session is currently running.
+	Open bool `json:"open"`
+	// Round is the current round (sync) or model version (async).
+	Round int `json:"round"`
+	// Rounds is the configured total, 0 when unbounded/unknown.
+	Rounds int `json:"rounds,omitempty"`
+	// Roster is the number of admitted devices.
+	Roster int `json:"roster"`
+	// Quarantined and Probation count excluded and probationed devices.
+	Quarantined int `json:"quarantined"`
+	Probation   int `json:"probation"`
+	// JournalLag is the number of journal records appended since the
+	// last fsync — durability exposure if the process dies now.
+	JournalLag int `json:"journal_lag"`
+}
+
+// Admin is a running admin HTTP listener serving Prometheus metrics at
+// /metrics, liveness at /healthz, and the runtime profiler under
+// /debug/pprof/. It binds its own mux — never http.DefaultServeMux —
+// so importing callers cannot accidentally expose these handlers on an
+// application listener.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin endpoint on addr (e.g. "127.0.0.1:9090",
+// ":0" for an ephemeral port). reg may be nil (metrics export is then
+// empty) and health may be nil (healthz reports a zero Health). The
+// listener runs until Close.
+func ServeAdmin(addr string, reg *Registry, health func() Health) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var h Health
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &Admin{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (a *Admin) Close() error { return a.srv.Close() }

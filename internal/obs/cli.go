@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Telemetry bundles the optional observability surfaces a CLI process
+// wires from its -admin and -spans flags: the metrics registry exported
+// by the admin listener and the JSONL span export. Each field is nil
+// when the corresponding flag is off, so the engines it is handed to
+// run their zero-cost disabled paths.
+type Telemetry struct {
+	// Metrics is the process registry, nil unless an admin address was
+	// given — pass it straight into ServerConfig.Metrics and friends.
+	Metrics *Registry
+	// Spans is the span export sink, nil unless a span path was given.
+	Spans *TraceSink
+
+	admin    *Admin
+	spanFile *os.File
+	closed   atomic.Bool
+}
+
+// OpenTelemetry prepares the surfaces selected by the flags. Empty
+// strings disable the corresponding surface; spans are timed on the
+// wall clock.
+func OpenTelemetry(adminAddr, spansPath string) (*Telemetry, error) {
+	t := &Telemetry{}
+	if adminAddr != "" {
+		t.Metrics = NewRegistry()
+	}
+	if spansPath != "" {
+		f, err := os.Create(spansPath)
+		if err != nil {
+			return nil, err
+		}
+		t.spanFile = f
+		t.Spans = NewTraceSink(f, nil)
+	}
+	return t, nil
+}
+
+// Serve starts the admin HTTP listener when addr is non-empty and
+// returns the bound address ("" when disabled). The health callback
+// may be nil.
+func (t *Telemetry) Serve(addr string, health func() Health) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	a, err := ServeAdmin(addr, t.Metrics, health)
+	if err != nil {
+		return "", err
+	}
+	t.admin = a
+	return a.Addr(), nil
+}
+
+// Close stops the admin listener and flushes the span export,
+// returning the first span-write error encountered during the
+// session, if any. Safe to call more than once; later calls are
+// no-ops returning nil.
+func (t *Telemetry) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	if t.admin != nil {
+		_ = t.admin.Close()
+	}
+	var err error
+	if t.spanFile != nil {
+		err = t.Spans.Err()
+		if cerr := t.spanFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

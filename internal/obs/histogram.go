@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout. Values 0..linearMax-1 get one bucket each
+// (exact small-value resolution — staleness counts, strike counts,
+// shard sizes). Above that, each power-of-two octave is split into
+// subCount sub-buckets, giving a worst-case relative error of 1/subCount
+// (12.5%) across the full int64 range — enough to rank nanosecond
+// latencies from microseconds to minutes in a fixed 528-slot array.
+const (
+	linearMax  = 64 // values < linearMax are exact
+	subBits    = 3
+	subCount   = 1 << subBits // sub-buckets per octave
+	linearBits = 6            // log2(linearMax)
+	numBuckets = linearMax + (63-linearBits+1)*subCount
+)
+
+// Histogram is a fixed-size log-bucketed histogram of non-negative
+// int64 samples. Observe is lock-free (two atomic adds and an atomic
+// increment); histograms with the same layout merge by bucket-wise
+// addition, so per-shard histograms can be folded into a fleet-wide
+// one. A nil Histogram discards observations and reports zeros.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a sample to its bucket index. Negative samples clamp
+// into bucket 0 with the zeros.
+func bucketOf(v int64) int {
+	if v < linearMax {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= linearBits
+	sub := (uint64(v) >> (uint(exp) - subBits)) & (subCount - 1)
+	return linearMax + (exp-linearBits)*subCount + int(sub)
+}
+
+// bucketUpper returns the largest sample value that lands in bucket b —
+// the inclusive upper bound Quantile reports.
+func bucketUpper(b int) int64 {
+	if b < linearMax {
+		return int64(b)
+	}
+	rel := b - linearMax
+	exp := uint(linearBits + rel/subCount)
+	sub := uint64(rel % subCount)
+	base := uint64(1) << exp
+	upper := base + (sub+1)<<(exp-subBits) - 1
+	if upper > uint64(1<<63-1) {
+		return 1<<63 - 1
+	}
+	return int64(upper)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Merge folds o's buckets into h. Both histograms share the fixed
+// layout, so the merge is exact: quantiles of the merged histogram
+// equal quantiles of the concatenated sample streams (up to bucket
+// resolution). A nil receiver or operand is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// sample (0 < q <= 1), i.e. an inclusive upper estimate with the
+// layout's relative error. The rank convention is ceil(q·n) over the
+// sorted samples, so for any sample set, Quantile(q) equals the bucket
+// upper bound of the true q-quantile element — the property the oracle
+// test checks exactly. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if float64(rank) < q*float64(n) { // ceil
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// snapshot copies the bucket counts for export.
+func (h *Histogram) snapshot() (counts [numBuckets]uint64, count uint64, sum int64) {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.count.Load(), h.sum.Load()
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oracleQuantile mirrors Histogram.Quantile's rank convention
+// (ceil(q·n), 1-based) against the true sorted samples, then maps the
+// chosen sample through the bucket layout — the histogram must agree
+// exactly, since both pick the same rank and the same bucket bounds.
+func oracleQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return bucketUpper(bucketOf(sorted[rank-1]))
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every representable value must land in a bucket whose bounds
+	// contain it, and bucket indices must be monotone in the value.
+	vals := []int64{0, 1, 2, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 7}
+	prev := -1
+	for _, v := range vals {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+		up := bucketUpper(b)
+		if v > up {
+			t.Fatalf("value %d above its bucket upper bound %d (bucket %d)", v, up, b)
+		}
+		if b > 0 && v <= bucketUpper(b-1) {
+			t.Fatalf("value %d also fits bucket %d (upper %d)", v, b-1, bucketUpper(b-1))
+		}
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+}
+
+func TestHistogramQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	quantiles := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		h := NewHistogram()
+		samples := make([]int64, n)
+		for i := range samples {
+			// Mix scales: small exact-region values, mid-range, huge.
+			switch rng.Intn(3) {
+			case 0:
+				samples[i] = int64(rng.Intn(linearMax))
+			case 1:
+				samples[i] = rng.Int63n(1 << 20)
+			default:
+				samples[i] = rng.Int63()
+			}
+			h.Observe(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			got := h.Quantile(q)
+			want := oracleQuantile(samples, q)
+			if got != want {
+				t.Fatalf("trial %d n=%d q=%g: histogram %d, oracle %d", trial, n, q, got, want)
+			}
+		}
+		var sum int64
+		for _, v := range samples {
+			sum += v
+		}
+		if h.Count() != uint64(n) || h.Sum() != sum {
+			t.Fatalf("count/sum mismatch: %d/%d vs %d/%d", h.Count(), h.Sum(), n, sum)
+		}
+	}
+}
+
+func TestHistogramMergeVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a, b := NewHistogram(), NewHistogram()
+		var all []int64
+		for i := 0; i < 100+rng.Intn(200); i++ {
+			v := rng.Int63n(1 << 30)
+			all = append(all, v)
+			if i%2 == 0 {
+				a.Observe(v)
+			} else {
+				b.Observe(v)
+			}
+		}
+		a.Merge(b)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+			if got, want := a.Quantile(q), oracleQuantile(all, q); got != want {
+				t.Fatalf("trial %d q=%g: merged %d, oracle %d", trial, q, got, want)
+			}
+		}
+		if a.Count() != uint64(len(all)) {
+			t.Fatalf("merged count %d, want %d", a.Count(), len(all))
+		}
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.Merge(NewHistogram())
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must report zeros")
+	}
+	e := NewHistogram()
+	if e.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	e.Merge(nil) // must not panic
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Above the exact region the bucket upper bound overshoots the true
+	// value by at most 1/subCount.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := linearMax + rng.Int63n(1<<50)
+		up := bucketUpper(bucketOf(v))
+		if up < v {
+			t.Fatalf("upper bound %d below sample %d", up, v)
+		}
+		if float64(up-v) > float64(v)/subCount+1 {
+			t.Fatalf("relative error too large: v=%d upper=%d", v, up)
+		}
+	}
+}

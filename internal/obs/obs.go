@@ -1,0 +1,264 @@
+// Package obs is the fleet telemetry subsystem: cheap atomic counters
+// and gauges, log-bucketed latency/size histograms (mergeable, with
+// quantile queries), a Registry of labeled metric families exportable
+// in Prometheus text exposition, and span-based round tracing written
+// as JSONL and timed on an injected simclock.WallClock so simulated
+// traces stay deterministic.
+//
+// The package is engineered around one invariant: a *disabled* registry
+// costs nothing on the hot path. Every instrument method is nil-safe —
+// a nil *Counter, *Gauge, *Histogram, *TraceSink or *Span is a no-op —
+// and a nil *Registry hands out nil instruments, so instrumented code
+// resolves its handles once at construction and pays a single
+// predictable branch per event when observability is off. No
+// allocation, no time source read, no atomic write.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil Counter discards every operation.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to
+// use; a nil Gauge discards every operation.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current gauge reading (0 on a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Kind discriminates metric families.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// family is one named metric family: a kind, a help string, a label-key
+// schema, and one instrument per distinct label-value tuple.
+type family struct {
+	name      string
+	help      string
+	kind      Kind
+	labelKeys []string
+
+	mu      sync.Mutex
+	metrics map[string]*instrument // keyed by joined label values
+}
+
+// instrument is one (family, label values) cell.
+type instrument struct {
+	labelVals []string
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+}
+
+// Registry holds labeled metric families. A nil Registry is the
+// disabled registry: every getter returns nil, which the instruments
+// treat as a no-op — the zero-cost off switch.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelPairs splits a flat "key, value, key, value, …" argument list.
+// An odd trailing key is dropped rather than panicking: instrumentation
+// must never take the process down.
+func labelPairs(kv []string) (keys, vals []string) {
+	n := len(kv) / 2
+	if n == 0 {
+		return nil, nil
+	}
+	keys = make([]string, n)
+	vals = make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = kv[2*i]
+		vals[i] = kv[2*i+1]
+	}
+	return keys, vals
+}
+
+const labelSep = "\x1f"
+
+func joinVals(vals []string) string {
+	out := ""
+	for i, v := range vals {
+		if i > 0 {
+			out += labelSep
+		}
+		out += v
+	}
+	return out
+}
+
+// get resolves (creating on first use) the instrument cell for a
+// family and label tuple. The family's kind and label keys are fixed by
+// the first registration; later calls with a conflicting schema get a
+// detached instrument that is never exported, so a programming error
+// degrades to a silent metric rather than a crash.
+func (r *Registry) get(name, help string, kind Kind, kv []string) *instrument {
+	keys, vals := labelPairs(kv)
+	r.mu.Lock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, labelKeys: keys, metrics: make(map[string]*instrument)}
+		r.families[name] = f
+	}
+	r.mu.Unlock()
+	if f.kind != kind || len(f.labelKeys) != len(keys) {
+		return newInstrument(kind, vals) // schema conflict: detached cell
+	}
+	key := joinVals(vals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	inst := f.metrics[key]
+	if inst == nil {
+		inst = newInstrument(kind, vals)
+		f.metrics[key] = inst
+	}
+	return inst
+}
+
+func newInstrument(kind Kind, vals []string) *instrument {
+	inst := &instrument{labelVals: vals}
+	switch kind {
+	case KindCounter:
+		inst.counter = &Counter{}
+	case KindGauge:
+		inst.gauge = &Gauge{}
+	case KindHistogram:
+		inst.hist = NewHistogram()
+	}
+	return inst
+}
+
+// Counter returns the counter for the given family name and label
+// tuple, registering the family on first use. Labels are flat
+// "key, value" pairs; the same name and values always return the same
+// instance. A nil Registry returns nil (a no-op counter).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, help, KindCounter, labels).counter
+}
+
+// Gauge returns the gauge for the given family name and label tuple.
+// A nil Registry returns nil (a no-op gauge).
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, help, KindGauge, labels).gauge
+}
+
+// Histogram returns the histogram for the given family name and label
+// tuple. A nil Registry returns nil (a no-op histogram).
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, help, KindHistogram, labels).hist
+}
+
+// snapshotFamilies returns the families sorted by name and, within each,
+// the instruments sorted by label values — the deterministic iteration
+// order the exporters use.
+func (r *Registry) snapshotFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedInstruments returns a family's cells in label-value order.
+func (f *family) sortedInstruments() []*instrument {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.metrics))
+	for k := range f.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*instrument, len(keys))
+	for i, k := range keys {
+		out[i] = f.metrics[k]
+	}
+	f.mu.Unlock()
+	return out
+}

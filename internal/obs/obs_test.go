@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/simclock"
+)
+
+func TestRegistryIdentityAndNil(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("rounds_total", "rounds", "mode", "sync")
+	c2 := r.Counter("rounds_total", "rounds", "mode", "sync")
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c3 := r.Counter("rounds_total", "rounds", "mode", "async")
+	if c1 == c3 {
+		t.Fatal("different label values must return distinct counters")
+	}
+	c1.Inc()
+	c1.Add(2)
+	if c1.Value() != 3 || c3.Value() != 0 {
+		t.Fatalf("counter values wrong: %d, %d", c1.Value(), c3.Value())
+	}
+	g := r.Gauge("roster", "roster size")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge value %d, want 7", g.Value())
+	}
+
+	var nr *Registry
+	nc := nr.Counter("x", "x")
+	nc.Inc() // nil-safe
+	ng := nr.Gauge("x", "x")
+	ng.Set(1)
+	nh := nr.Histogram("x", "x")
+	nh.Observe(1)
+	if nc != nil || ng != nil || nh != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+}
+
+// parseExposition parses Prometheus text format into sample name+labels
+// → value, validating the line grammar as it goes.
+func parseExposition(t *testing.T, text string) map[string]int64 {
+	t.Helper()
+	out := make(map[string]int64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			t.Fatalf("non-integer sample value in %q: %v", line, err)
+		}
+		if strings.Contains(key, "{") && !strings.HasSuffix(key, "}") {
+			t.Fatalf("unterminated label set in %q", line)
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		out[key] = v
+	}
+	return out
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fl_rounds_total", "rounds closed", "result", "ok").Add(5)
+	r.Counter("fl_rounds_total", "rounds closed", "result", "failed").Add(1)
+	r.Gauge("fl_roster", "roster size").Set(12)
+	h := r.Histogram("fl_phase_ns", "phase latency", "phase", "broadcast")
+	for _, v := range []int64{10, 100, 1000, 100000} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples := parseExposition(t, text)
+
+	if samples[`fl_rounds_total{result="ok"}`] != 5 {
+		t.Fatalf("ok counter missing/wrong in:\n%s", text)
+	}
+	if samples[`fl_rounds_total{result="failed"}`] != 1 {
+		t.Fatalf("failed counter missing/wrong in:\n%s", text)
+	}
+	if samples[`fl_roster`] != 12 {
+		t.Fatalf("gauge missing/wrong in:\n%s", text)
+	}
+	if samples[`fl_phase_ns_count{phase="broadcast"}`] != 4 {
+		t.Fatalf("histogram count wrong in:\n%s", text)
+	}
+	if samples[`fl_phase_ns_sum{phase="broadcast"}`] != 101110 {
+		t.Fatalf("histogram sum wrong in:\n%s", text)
+	}
+	if samples[`fl_phase_ns_bucket{phase="broadcast",le="+Inf"}`] != 4 {
+		t.Fatalf("+Inf bucket wrong in:\n%s", text)
+	}
+	if samples[`fl_phase_ns_bucket{phase="broadcast",le="63"}`] != 1 {
+		t.Fatalf("le=63 bucket wrong in:\n%s", text)
+	}
+	// Cumulative buckets must be monotone non-decreasing in le.
+	prev := int64(-1)
+	for _, le := range []string{"63", "127", "255", "511", "1023"} {
+		key := fmt.Sprintf("fl_phase_ns_bucket{phase=%q,le=%q}", "broadcast", le)
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s in:\n%s", key, text)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not monotone at le=%s", le)
+		}
+		prev = v
+	}
+	// TYPE lines present for each family.
+	for _, want := range []string{
+		"# TYPE fl_rounds_total counter",
+		"# TYPE fl_roster gauge",
+		"# TYPE fl_phase_ns histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestTraceSinkDeterministicOnVirtualClock(t *testing.T) {
+	run := func() string {
+		clk := simclock.NewVirtual(time.Unix(0, 0))
+		var buf bytes.Buffer
+		sink := NewTraceSink(&buf, clk)
+		for round := 0; round < 3; round++ {
+			sp := sink.Start("round", round)
+			p := sink.Start("broadcast", round)
+			clk.Advance(1500 * time.Microsecond)
+			p.End()
+			sp.End()
+		}
+		if sink.Err() != nil {
+			t.Fatal(sink.Err())
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("virtual-clock traces differ:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `{"span":"broadcast","round":1,"start_us":1500,"dur_us":1500}`) {
+		t.Fatalf("unexpected trace content:\n%s", a)
+	}
+	if got := strings.Count(a, "\n"); got != 6 {
+		t.Fatalf("want 6 JSONL lines, got %d", got)
+	}
+
+	// Nil sink and nil span are free no-ops.
+	var ns *TraceSink
+	ns.Start("x", 0).End()
+	if NewTraceSink(nil, nil) != nil {
+		t.Fatal("nil writer must yield nil sink")
+	}
+}
+
+func TestAdminEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "ups").Inc()
+	health := func() Health {
+		return Health{Open: true, Round: 3, Roster: 8, Quarantined: 1, JournalLag: 2}
+	}
+	a, err := ServeAdmin("127.0.0.1:0", r, health)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + a.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "up_total 1") {
+		t.Fatalf("metrics missing counter:\n%s", metrics)
+	}
+	healthz := get("/healthz")
+	for _, want := range []string{`"open":true`, `"round":3`, `"roster":8`, `"quarantined":1`, `"journal_lag":2`} {
+		if !strings.Contains(healthz, want) {
+			t.Fatalf("healthz missing %s: %s", want, healthz)
+		}
+	}
+	if pprofIdx := get("/debug/pprof/"); !strings.Contains(pprofIdx, "goroutine") {
+		t.Fatal("pprof index not served")
+	}
+}
+
+// TestDisabledInstrumentsZeroAlloc pins the subsystem's core contract:
+// with observability off, every instrument reference is nil and every
+// operation on it — the exact calls the engine hot paths make — is a
+// zero-allocation no-op. A regression here taxes every deployment that
+// never asked for telemetry.
+func TestDisabledInstrumentsZeroAlloc(t *testing.T) {
+	var (
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+		sink *TraceSink
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-1)
+		h.Observe(42)
+		span := sink.Start("round", 1)
+		span.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instruments allocate %.1f times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in Prometheus
+// text exposition format (version 0.0.4), deterministically ordered by
+// family name and label values. Histograms are coarsened to cumulative
+// power-of-two `le` boundaries — the internal sub-bucket resolution
+// stays available through Quantile, while the exposition stays small
+// enough to scrape from thousands of edges. A nil registry writes
+// nothing.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, inst := range f.sortedInstruments() {
+			if err := writeInstrument(w, f, inst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...} for the instrument, with extra
+// appended verbatim (used for the histogram `le` label). Returns ""
+// when there are no labels at all.
+func labelString(f *family, inst *instrument, extra string) string {
+	var sb strings.Builder
+	for i, k := range f.labelKeys {
+		if i >= len(inst.labelVals) {
+			break
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, inst.labelVals[i])
+	}
+	if extra != "" {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra)
+	}
+	if sb.Len() == 0 {
+		return ""
+	}
+	return "{" + sb.String() + "}"
+}
+
+func writeInstrument(w io.Writer, f *family, inst *instrument) error {
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f, inst, ""), inst.counter.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f, inst, ""), inst.gauge.Value())
+		return err
+	case KindHistogram:
+		return writeHistogram(w, f, inst)
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, f *family, inst *instrument) error {
+	counts, count, sum := inst.hist.snapshot()
+
+	// Fold the fine-grained buckets into cumulative counts at
+	// power-of-two boundaries: le = 2^k - 1 for k = linearBits..63.
+	// Emit boundaries up to the first one covering all samples, then
+	// +Inf; an empty histogram still emits the first boundary so the
+	// family parses as a histogram.
+	var cum uint64
+	bucket := 0
+	for k := linearBits; k <= 63; k++ {
+		upper := uint64(1)<<uint(k) - 1
+		for bucket < numBuckets && uint64(bucketUpper(bucket)) <= upper {
+			cum += counts[bucket]
+			bucket++
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(f, inst, fmt.Sprintf("le=%q", fmt.Sprint(upper))), cum); err != nil {
+			return err
+		}
+		if cum == count && k > linearBits {
+			break
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f, inst, `le="+Inf"`), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, labelString(f, inst, ""), sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f, inst, ""), count)
+	return err
+}

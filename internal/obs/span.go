@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/simclock"
+)
+
+// TraceSink writes round/phase spans as JSONL, one object per line:
+//
+//	{"span":"broadcast","round":3,"start_us":120,"dur_us":450}
+//
+// Timestamps come from the injected simclock.WallClock, so a sink built
+// on a flsim virtual clock produces bit-identical output across runs of
+// the same scenario. A nil TraceSink discards spans at zero cost.
+type TraceSink struct {
+	clock simclock.WallClock
+	epoch time.Time
+
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewTraceSink creates a sink writing JSONL spans to w, timed on clock
+// (simclock.Real() when nil). Returns nil when w is nil, so callers can
+// pass an optional writer straight through.
+func NewTraceSink(w io.Writer, clock simclock.WallClock) *TraceSink {
+	if w == nil {
+		return nil
+	}
+	if clock == nil {
+		clock = simclock.Real()
+	}
+	return &TraceSink{clock: clock, epoch: clock.Now(), w: w}
+}
+
+// Err returns the first write error the sink swallowed, if any.
+// Span export must never fail a round, so errors are sticky and
+// queryable rather than propagated.
+func (t *TraceSink) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is one in-flight timed region. Obtain via TraceSink.Start; a nil
+// Span (from a nil sink) makes Start/End free no-ops.
+type Span struct {
+	sink  *TraceSink
+	name  string
+	round int
+	start time.Time
+}
+
+// Start opens a span for a named phase of a round. End writes it.
+func (t *TraceSink) Start(name string, round int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{sink: t, name: name, round: round, start: t.clock.Now()}
+}
+
+// End closes the span and writes its JSONL record. Durations and start
+// offsets are microseconds relative to the sink's construction time,
+// which pins virtual-clock traces to a stable epoch.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.sink
+	now := t.clock.Now()
+	startUS := s.start.Sub(t.epoch).Microseconds()
+	durUS := now.Sub(s.start).Microseconds()
+	t.mu.Lock()
+	if t.err == nil {
+		_, err := fmt.Fprintf(t.w, "{\"span\":%q,\"round\":%d,\"start_us\":%d,\"dur_us\":%d}\n",
+			s.name, s.round, startUS, durUS)
+		if err != nil {
+			t.err = err
+		}
+	}
+	t.mu.Unlock()
+}

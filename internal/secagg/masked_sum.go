@@ -3,7 +3,9 @@ package secagg
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
 )
@@ -21,6 +23,18 @@ type MaskedSum struct {
 	sum    [][]uint64 // nil at inactive (protected) positions
 	weight float64
 	count  int
+
+	// expandNS, when attached, times seed-mask keystream expansion.
+	// CPU work measured on the real clock — it never feeds the trace
+	// sink, so simulated-time determinism is unaffected.
+	expandNS *obs.Histogram
+}
+
+// Instrument attaches a histogram timing ApplySeedMask's keystream
+// expansion. A nil histogram (or never calling Instrument) keeps the
+// path untimed.
+func (m *MaskedSum) Instrument(expandNS *obs.Histogram) {
+	m.expandNS = expandNS
 }
 
 // NewMaskedSum creates a masked aggregator for updates shaped like ref,
@@ -140,7 +154,14 @@ func (m *MaskedSum) ApplySeedMask(seed [32]byte, sign int) {
 			active = append(active, m.sum[i])
 		}
 	}
+	var start time.Time
+	if m.expandNS != nil {
+		start = time.Now()
+	}
 	streamMask(seed, sign, active)
+	if m.expandNS != nil {
+		m.expandNS.Observe(time.Since(start).Nanoseconds())
+	}
 }
 
 // Levels returns the ring sums as level tensors aligned with the

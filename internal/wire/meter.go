@@ -1,0 +1,73 @@
+package wire
+
+import "sync/atomic"
+
+// NumCodecs is the number of defined codecs — the length of the
+// per-codec dimension in MeterSnapshot.
+const NumCodecs = int(codecCount)
+
+// Meter counts wire traffic: bytes and frames per direction, with
+// frames broken out by the codec active when they were sent or
+// received. One Meter is typically shared by every connection of a
+// session, so its totals are the session's wire footprint; the FL
+// server snapshots it at round boundaries to derive per-round
+// RoundStats.BytesUp/BytesDown deltas.
+//
+// All methods are atomic and nil-safe: transports call Count* on the
+// hot send/receive path, and a nil Meter (observability disabled) costs
+// one predictable branch.
+type Meter struct {
+	txBytes atomic.Uint64
+	rxBytes atomic.Uint64
+
+	txFrames [NumCodecs]atomic.Uint64
+	rxFrames [NumCodecs]atomic.Uint64
+}
+
+// CountTx records an outbound frame of n wire bytes (header included)
+// sent under codec c.
+func (m *Meter) CountTx(c Codec, n int) {
+	if m == nil {
+		return
+	}
+	m.txBytes.Add(uint64(n))
+	if int(c) < NumCodecs {
+		m.txFrames[c].Add(1)
+	}
+}
+
+// CountRx records an inbound frame of n wire bytes received under
+// codec c.
+func (m *Meter) CountRx(c Codec, n int) {
+	if m == nil {
+		return
+	}
+	m.rxBytes.Add(uint64(n))
+	if int(c) < NumCodecs {
+		m.rxFrames[c].Add(1)
+	}
+}
+
+// MeterSnapshot is a point-in-time copy of a Meter's totals. Subtract
+// two snapshots field-wise for interval deltas.
+type MeterSnapshot struct {
+	TxBytes, RxBytes   uint64
+	TxFrames, RxFrames [NumCodecs]uint64
+}
+
+// Snapshot atomically-enough copies the current totals (each field is
+// individually atomic; the set is not a consistent cut, which is fine
+// for monotone counters). A nil Meter snapshots to zeros.
+func (m *Meter) Snapshot() MeterSnapshot {
+	var s MeterSnapshot
+	if m == nil {
+		return s
+	}
+	s.TxBytes = m.txBytes.Load()
+	s.RxBytes = m.rxBytes.Load()
+	for i := 0; i < NumCodecs; i++ {
+		s.TxFrames[i] = m.txFrames[i].Load()
+		s.RxFrames[i] = m.rxFrames[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMeterCounts(t *testing.T) {
+	m := &Meter{}
+	m.CountTx(CodecF64, 100)
+	m.CountTx(CodecQ8, 25)
+	m.CountRx(CodecF32, 60)
+	m.CountRx(Codec(200), 5) // out-of-range codec: bytes counted, frame dropped
+
+	s := m.Snapshot()
+	if s.TxBytes != 125 || s.RxBytes != 65 {
+		t.Fatalf("byte totals wrong: tx=%d rx=%d", s.TxBytes, s.RxBytes)
+	}
+	if s.TxFrames[CodecF64] != 1 || s.TxFrames[CodecQ8] != 1 || s.TxFrames[CodecF32] != 0 {
+		t.Fatalf("tx frame counts wrong: %v", s.TxFrames)
+	}
+	if s.RxFrames[CodecF32] != 1 {
+		t.Fatalf("rx frame counts wrong: %v", s.RxFrames)
+	}
+}
+
+func TestMeterNilAndConcurrent(t *testing.T) {
+	var nilM *Meter
+	nilM.CountTx(CodecF64, 10)
+	nilM.CountRx(CodecF64, 10)
+	if s := nilM.Snapshot(); s.TxBytes != 0 || s.RxBytes != 0 {
+		t.Fatal("nil meter must snapshot to zeros")
+	}
+
+	m := &Meter{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.CountTx(CodecF32, 3)
+				m.CountRx(CodecQ8, 7)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.TxBytes != 8*1000*3 || s.RxBytes != 8*1000*7 {
+		t.Fatalf("concurrent totals wrong: tx=%d rx=%d", s.TxBytes, s.RxBytes)
+	}
+	if s.TxFrames[CodecF32] != 8000 || s.RxFrames[CodecQ8] != 8000 {
+		t.Fatalf("concurrent frame counts wrong")
+	}
+}
