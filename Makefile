@@ -36,7 +36,7 @@ test:
 # corpora and the entry point documented for CI. Real fuzzing is
 # `go test -fuzz FuzzReadFrame ./internal/wire` etc.
 fuzz-check:
-	$(GO) test -run 'Fuzz' ./internal/wire ./internal/fl ./internal/journal
+	$(GO) test -run 'Fuzz' ./internal/wire ./internal/fl ./internal/journal ./internal/obs
 
 # BenchmarkSecAggRound's 1024-client masked rounds exceed go test's
 # default 10m timeout (mask expansion is O(cohort² · model)).
@@ -87,8 +87,9 @@ bench-async:
 
 # Telemetry-overhead benchmark: the same stub-client round with
 # observability disabled (nil instruments, must cost zero extra
-# allocations) and enabled (registry + span sink). The reference pair
-# lives in EXPERIMENTS.md.
+# allocations) and enabled (registry + span sink), plus the merged
+# path (BenchmarkObsRoundMerged — a root folding 16 shard snapshot
+# deltas per round). The reference pair lives in EXPERIMENTS.md.
 bench-obs:
 	@mkdir -p bench
 	$(GO) test -run xxx -bench 'BenchmarkObsRound' -benchtime=5x -benchmem . > bench/obs.txt; \

@@ -278,6 +278,42 @@ func BenchmarkObsRound(b *testing.B) {
 	}
 }
 
+// BenchmarkObsRoundMerged measures the root-side cost of the in-band
+// telemetry plane: per iteration, 16 shard registries each record one
+// round of engine activity, cut a delta snapshot, and the root decodes
+// and folds every snapshot into the fleet registry under tier/shard
+// labels — the exact work hier.Root does per round when every edge
+// piggybacks telemetry on its PartialUp. Compare ns/op and B/op
+// against one BenchmarkObsRound fan-in to size the telemetry tax.
+func BenchmarkObsRoundMerged(b *testing.B) {
+	const shards = 16
+	phases := []string{"sample", "broadcast", "collect", "close", "round"}
+	edges := make([]*obs.Registry, shards)
+	snaps := make([]*obs.Snapshotter, shards)
+	names := make([]string, shards)
+	for s := range edges {
+		edges[s] = obs.NewRegistry()
+		snaps[s] = obs.NewSnapshotter(edges[s])
+		names[s] = fmt.Sprintf("edge-%03d", s)
+	}
+	root := obs.NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < shards; s++ {
+			edges[s].Counter("gradsec_rounds_total", "rounds", "mode", "sync", "result", "ok").Inc()
+			for _, phase := range phases {
+				edges[s].Histogram("gradsec_phase_ns", "phase latency", "phase", phase).
+					ObserveEx(int64(1000*(s+1)+i), i)
+			}
+			snap, err := obs.DecodeSnapshot(snaps[s].Delta())
+			if err != nil {
+				b.Fatal(err)
+			}
+			root.MergeSnapshot(snap, "tier", "edge", "shard", names[s])
+		}
+	}
+}
+
 // runHierStubRound drives one hierarchical FL round against `shards`
 // stub edges, each representing fleet/shards clients through one
 // precomputed PartialUp frame. The measured work is the root's fan-in:

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -36,7 +37,12 @@ func main() {
 	codecName := flag.String("codec", "q8", "highest tensor wire codec accepted from the server's offer: f64, f32, or q8")
 	retries := flag.Int("retry", 1, "total connection attempts with jittered exponential backoff (1 = no retry)")
 	retryMax := flag.Duration("retry-max", 8*time.Second, "backoff cap between connection attempts")
-	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /healthz and /debug/pprof for on-device debugging (empty = off)")
+	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics, /healthz, and /debug/pprof for on-device debugging (empty = off)")
+	adminToken := flag.String("admin-token", "", "bearer token required on every admin request; mandatory for non-loopback -admin binds")
+	adminCert := flag.String("admin-cert", "", "PEM certificate serving the admin endpoint over TLS (needs -admin-key)")
+	adminKey := flag.String("admin-key", "", "PEM private key for -admin-cert")
+	telemetry := flag.Bool("telemetry", false, "meter device-side training (gradsec_client_*) and piggyback deltas on plaintext GradUps for server-side folding")
+	spansPath := flag.String("spans", "", "export device train spans as JSONL to this file (empty = off)")
 	flag.Parse()
 
 	maxCodec, err := wire.ParseCodec(*codecName)
@@ -62,18 +68,34 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The device's admin surface is pprof and liveness only — a client
-	// has no metrics registry; its traffic is accounted server-side.
+	// With -telemetry the device carries its own registry: scrapeable
+	// locally on the admin listener, and its deltas ride each plaintext
+	// GradUp upstream for the server to fold (if the operator opted in
+	// there with -client-telemetry).
+	var metrics *obs.Registry
+	if *telemetry {
+		metrics = obs.NewRegistry()
+	}
+	var spans *obs.TraceSink
+	if *spansPath != "" {
+		f, err := os.Create(*spansPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		spans = obs.NewTraceSink(f, nil)
+	}
 	var sessionDone atomic.Bool
 	if *adminAddr != "" {
-		admin, err := obs.ServeAdmin(*adminAddr, nil, func() obs.Health {
+		sec := obs.AdminSecurity{Token: *adminToken, CertFile: *adminCert, KeyFile: *adminKey}
+		admin, err := obs.ServeAdminSecure(*adminAddr, metrics, func() obs.Health {
 			return obs.Health{Open: !sessionDone.Load()}
-		})
+		}, sec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer admin.Close()
-		fmt.Printf("admin listening on %s (/healthz, /debug/pprof)\n", admin.Addr())
+		fmt.Printf("admin listening on %s (/metrics, /healthz, /debug/pprof)\n", admin.Addr())
 	}
 
 	conn, err := fl.DialRetry(*addr, fl.RetryConfig{Attempts: *retries, Max: *retryMax})
@@ -84,6 +106,8 @@ func main() {
 
 	client := fl.NewClient(conn, core.NewGradSecClient(*name, trainer))
 	client.MaxCodec = maxCodec
+	client.Metrics = metrics
+	client.Spans = spans
 	err = client.Run()
 	sessionDone.Store(true)
 	if err != nil {

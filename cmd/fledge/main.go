@@ -56,7 +56,11 @@ func main() {
 	retries := flag.Int("retry", 1, "total upstream connection attempts with jittered exponential backoff (1 = no retry)")
 	retryMax := flag.Duration("retry-max", 8*time.Second, "backoff cap between upstream connection attempts")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics (Prometheus), /healthz, and /debug/pprof (empty = off)")
+	adminToken := flag.String("admin-token", "", "bearer token required on every admin request; mandatory for non-loopback -admin binds")
+	adminCert := flag.String("admin-cert", "", "PEM certificate serving the admin endpoint over TLS (needs -admin-key)")
+	adminKey := flag.String("admin-key", "", "PEM private key for -admin-cert")
 	spansPath := flag.String("spans", "", "export shard round spans as JSONL to this file (empty = off)")
+	clientTelemetry := flag.Bool("client-telemetry", false, "fold device-side gradsec_client_* metrics riding plaintext GradUps into the shard registry (and onward to the root; needs -admin)")
 	flag.Parse()
 
 	codec, err := wire.ParseCodec(*codecName)
@@ -72,6 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tel.Security = obs.AdminSecurity{Token: *adminToken, CertFile: *adminCert, KeyFile: *adminKey}
 	defer closeTelemetry(tel)
 
 	// The model template mirrors the root's: shapes are what matter,
@@ -92,6 +97,7 @@ func main() {
 			MinRelease:       *minRelease,
 			Metrics:          tel.Metrics,
 			Spans:            tel.Spans,
+			ClientTelemetry:  *clientTelemetry,
 			Hooks: fl.Hooks{
 				ClientQuarantined: func(device string, reason error) {
 					fmt.Printf("quarantined %s: %v\n", device, reason)

@@ -74,8 +74,13 @@ func main() {
 	aggName := flag.String("aggregation", "fedavg", "round aggregation: fedavg, trimmed-mean, or median (the robust modes are incompatible with -secagg)")
 	trim := flag.Float64("trim", 0.1, "per-tail trim fraction for -aggregation trimmed-mean, in (0, 0.5)")
 	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics (Prometheus), /healthz, and /debug/pprof (empty = off)")
+	adminToken := flag.String("admin-token", "", "bearer token required on every admin request; mandatory for non-loopback -admin binds")
+	adminCert := flag.String("admin-cert", "", "PEM certificate serving the admin endpoint over TLS (needs -admin-key)")
+	adminKey := flag.String("admin-key", "", "PEM private key for -admin-cert")
 	spansPath := flag.String("spans", "", "export round spans as JSONL to this file (empty = off)")
+	clientTelemetry := flag.Bool("client-telemetry", false, "fold device-side gradsec_client_* metrics riding plaintext GradUps into the server registry (needs -admin)")
 	flag.Parse()
+	adminSec := obs.AdminSecurity{Token: *adminToken, CertFile: *adminCert, KeyFile: *adminKey}
 
 	codec, err := wire.ParseCodec(*codecName)
 	if err != nil {
@@ -99,7 +104,7 @@ func main() {
 		if aggMethod != fl.AggFedAvg {
 			log.Fatal("-aggregation trimmed-mean/median is a flat-server mode (incompatible with -edges)")
 		}
-		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale, *journalPath, *recoverRun, *adminAddr, *spansPath)
+		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale, *journalPath, *recoverRun, *adminAddr, *spansPath, adminSec)
 		return
 	}
 	if *async && *secAgg {
@@ -153,6 +158,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tel.Security = adminSec
 	defer closeTelemetry(tel)
 	var srvHolder atomic.Pointer[fl.Server]
 	serveAdmin(tel, *adminAddr, func() obs.Health {
@@ -215,6 +221,7 @@ func main() {
 		TrimFraction:     *trim,
 		Metrics:          tel.Metrics,
 		Spans:            tel.Spans,
+		ClientTelemetry:  *clientTelemetry,
 		Async: fl.AsyncConfig{
 			Enabled:         *async,
 			GoalUpdates:     *goalUpdates,
@@ -327,7 +334,7 @@ func openJournal(path string, resume bool) (*journal.Journal, error) {
 
 // runRoot drives the hierarchical root: N edge aggregators instead of
 // N clients, one partial fold per shard per round.
-func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale int, journalPath string, recoverRun bool, adminAddr, spansPath string) {
+func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale int, journalPath string, recoverRun bool, adminAddr, spansPath string, adminSec obs.AdminSecurity) {
 	global := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU)
 	jnl, err := openJournal(journalPath, recoverRun)
 	if err != nil {
@@ -340,6 +347,7 @@ func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadlin
 	if err != nil {
 		log.Fatal(err)
 	}
+	tel.Security = adminSec
 	defer closeTelemetry(tel)
 	var rootHolder atomic.Pointer[hier.Root]
 	serveAdmin(tel, adminAddr, func() obs.Health {

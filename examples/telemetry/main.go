@@ -4,9 +4,16 @@
 // port, and the program scrapes its own /metrics and /healthz exactly
 // as a Prometheus collector or load balancer would.
 //
+// A second phase shows the fleet-wide telemetry plane: a hierarchical
+// fleet runs with per-edge registries whose snapshot deltas ride each
+// PartialUp upstream, so the root's single /metrics endpoint answers
+// per-shard latency quantiles mid-session — no side-channel scrape
+// mesh into the edges.
+//
 // The same surface attaches to the real binaries with
 // `flserver -admin 127.0.0.1:9090 -spans rounds.jsonl` (and the
-// matching fledge/flclient flags).
+// matching fledge/flclient flags; add -admin-token for non-loopback
+// binds and -client-telemetry to fold device-side metrics).
 package main
 
 import (
@@ -99,6 +106,82 @@ func main() {
 			break
 		}
 		fmt.Printf("  %s\n", line)
+	}
+
+	fleetWide(model)
+}
+
+// fleetWide runs the hierarchical telemetry plane: four edges each keep
+// a private registry, its snapshot deltas ride the shard's PartialUp
+// frames, and the root folds them into fleet-wide families under
+// tier/shard labels. The root's admin endpoint is scraped mid-session —
+// the per-shard view converges without ever contacting an edge.
+func fleetWide(model *gradsec.Network) {
+	fleetReg := gradsec.NewMetrics()
+	scenario := gradsec.FleetScenario{
+		Clients:        16,
+		Rounds:         4,
+		Shards:         4,
+		MinClients:     2,
+		Seed:           42,
+		Model:          model.StateDict(),
+		Metrics:        fleetReg,
+		FleetTelemetry: true,
+	}
+	admin, err := gradsec.ServeAdmin("127.0.0.1:0", fleetReg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	url := "http://" + admin.Addr() + "/metrics"
+
+	resCh := make(chan *gradsec.FleetResult, 1)
+	go func() {
+		res, err := gradsec.RunFleet(scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resCh <- res
+	}()
+
+	// Poll the root's exposition while the session runs: as soon as the
+	// first shard partial folds, its telemetry is scrapeable fleet-wide.
+	var mid string
+	var res *gradsec.FleetResult
+	for res == nil {
+		select {
+		case res = <-resCh:
+		default:
+			if s := httpGet(url); mid == "" && strings.Contains(s, `tier="edge"`) {
+				mid = s
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if mid == "" {
+		// The virtual-clock fleet outran the poller; the final scrape
+		// shows the same fleet-wide families.
+		mid = httpGet(url)
+	}
+	fmt.Printf("\nfleet session (hierarchical): %d clients across %d shards, %d rounds closed\n",
+		res.Selected, scenario.Shards, len(res.Trace))
+	fmt.Println("\nmid-session scrape of the root /metrics (per-shard families, one endpoint):")
+	for sc := bufio.NewScanner(strings.NewReader(mid)); sc.Scan(); {
+		line := sc.Text()
+		if strings.HasPrefix(line, `gradsec_phase_ns_count{phase="round",tier="edge"`) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	fmt.Println("\nper-shard round latency (virtual), merged at the root:")
+	for s := 0; s < scenario.Shards; s++ {
+		shard := fmt.Sprintf("edge-%03d", s)
+		h := fleetReg.Histogram("gradsec_phase_ns", "", "phase", "round", "tier", "edge", "shard", shard)
+		if h.Count() == 0 {
+			log.Fatalf("fleet merge produced no %s round histogram", shard)
+		}
+		fmt.Printf("  %s: p50 %v  p99 %v  over %d rounds\n",
+			shard, time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)), h.Count())
 	}
 }
 

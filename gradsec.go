@@ -181,17 +181,43 @@ type (
 	// AdminServer is the admin HTTP listener: /metrics, /healthz, and
 	// /debug/pprof.
 	AdminServer = obs.Admin
+	// AdminSecurity carries the admin listener's bearer token and TLS
+	// key pair; non-loopback binds without a token are refused.
+	AdminSecurity = obs.AdminSecurity
 	// Health is the /healthz payload summarising a running session.
 	Health = obs.Health
+	// MetricsSnapshot is a registry's compact wire-portable state: the
+	// payload that rides the federation protocol for fleet-wide merging.
+	MetricsSnapshot = obs.Snapshot
+	// SpanSource names one JSONL span stream for StitchSpans.
+	SpanSource = obs.SpanSource
 )
 
 // NewMetrics creates an empty telemetry registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // ServeAdmin starts the admin HTTP listener on addr, exporting reg at
-// /metrics. Both reg and health may be nil.
+// /metrics. Both reg and health may be nil. Loopback binds only; use
+// ServeAdminSecure for anything reachable off-host.
 func ServeAdmin(addr string, reg *Metrics, health func() Health) (*AdminServer, error) {
 	return obs.ServeAdmin(addr, reg, health)
+}
+
+// ServeAdminSecure is ServeAdmin with bearer-token auth and optional
+// TLS; non-loopback binds are refused unless sec.Token is set.
+func ServeAdminSecure(addr string, reg *Metrics, health func() Health, sec AdminSecurity) (*AdminServer, error) {
+	return obs.ServeAdminSecure(addr, reg, health, sec)
+}
+
+// SnapshotMetrics captures a registry's current state as a compact,
+// wire-portable snapshot.
+func SnapshotMetrics(reg *Metrics) *MetricsSnapshot { return obs.TakeSnapshot(reg) }
+
+// StitchSpans merges per-tier JSONL span streams into one causal round
+// timeline ordered by virtual start time — the cross-tier trace view.
+// Deterministic inputs yield byte-identical output.
+func StitchSpans(w io.Writer, sources ...SpanSource) error {
+	return obs.StitchSpans(w, sources...)
 }
 
 // WriteMetrics writes the registry's current state as Prometheus text

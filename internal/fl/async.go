@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/gradsec/gradsec/internal/journal"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
 )
@@ -146,6 +147,9 @@ func (s *Server) runAsync() error {
 
 	s.asyncRoundStarted(version)
 	// One span per buffered version window (async has no sync phases).
+	// The version-scoped trace ID correlates this window's spans with
+	// the ModelDown frames cut from it across the fleet.
+	s.ob.setTrace(obs.RoundTrace(version))
 	verSpan := s.ob.spanStart("version", version)
 
 	// Initial distribution: every selected client gets version 0,
@@ -279,6 +283,7 @@ func (s *Server) runAsync() error {
 				reasons = nil
 				frames = make(map[wire.Codec][]byte)
 				s.asyncRoundStarted(version)
+				s.ob.setTrace(obs.RoundTrace(version))
 				verSpan = s.ob.spanStart("version", version)
 				// Devices whose probation window just elapsed rejoin here:
 				// they hold no model (their last interaction was a failure),
@@ -332,7 +337,7 @@ func (s *Server) asyncLive(version int) int {
 func (s *Server) asyncFrame(frames map[wire.Codec][]byte, version int, codec wire.Codec) []byte {
 	payload, ok := frames[codec]
 	if !ok {
-		down := &ModelDown{Round: version, Plain: s.state, Version: uint64(version)}
+		down := &ModelDown{Round: version, Plain: s.state, Version: uint64(version), Trace: obs.RoundTrace(version)}
 		payload = EncodeMessageCodec(down, codec)
 		frames[codec] = payload
 	}

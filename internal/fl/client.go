@@ -3,8 +3,11 @@ package fl
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/secagg"
+	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -61,6 +64,21 @@ type Client struct {
 	// measurements); the session is refused otherwise.
 	EnclaveVerifier *tz.Verifier
 
+	// Metrics, when non-nil, collects device-side training metrics
+	// (gradsec_client_* families) and — this is the opt-in — piggybacks
+	// a delta snapshot of the registry on every plaintext GradUp, so a
+	// ClientTelemetry-enabled server folds the device's view into the
+	// fleet-wide plane. Masked updates never carry telemetry: a SecAgg
+	// round reveals nothing per-device and the side channel would.
+	Metrics *obs.Registry
+	// Spans, when non-nil, receives device-side spans stamped with the
+	// round trace ID carried on ModelDown, correlating local training
+	// with the server's round timeline.
+	Spans *obs.TraceSink
+	// Clock drives the training histogram; defaults to the wall clock.
+	// Simulations share their virtual clock here.
+	Clock simclock.WallClock
+
 	// Rounds counts completed training cycles.
 	Rounds int
 	// Final holds the global model delivered with Done, if any.
@@ -86,6 +104,10 @@ type Client struct {
 	// probation and permanent quarantine), and if the server hangs up
 	// the failure is surfaced as the session error.
 	lastTrainErr error
+
+	// snap cuts per-round telemetry deltas from Metrics (lazily built so
+	// a zero-value Client stays telemetry-free).
+	snap *obs.Snapshotter
 }
 
 // NewClient pairs a connection with a trainer.
@@ -207,7 +229,22 @@ func (c *Client) Run() error {
 // failures are reported to the server and the client stays in the
 // protocol: under a probation policy it will be sampled again later.
 func (c *Client) handleModelDown(m *ModelDown) error {
+	// Stamp the server-minted round trace on every span this round emits
+	// so a cross-tier stitch joins this device's timeline to the fleet's.
+	c.Spans.SetTrace(m.Trace)
+	sp := c.Spans.Start("train", m.Round)
+	start := c.now()
 	plainUpd, sealedUpd, err := c.trainer.TrainRound(m.Round, m.Plain, m.Sealed, m.Plan)
+	if c.Metrics != nil {
+		c.Metrics.Histogram("gradsec_client_train_ns", "device-side local training latency in nanoseconds").
+			ObserveEx(c.now().Sub(start).Nanoseconds(), m.Round)
+		result := "ok"
+		if err != nil {
+			result = "failed"
+		}
+		c.Metrics.Counter("gradsec_client_rounds_total", "device-side training rounds by result", "result", result).Inc()
+	}
+	sp.End()
 	if err != nil {
 		c.lastTrainErr = fmt.Errorf("round %d: %w", m.Round, err)
 		if sendErr := c.conn.Send(&ErrorMsg{Text: err.Error()}); sendErr != nil {
@@ -245,7 +282,7 @@ func (c *Client) handleModelDown(m *ModelDown) error {
 	} else {
 		// Version echoes the model version this update was trained
 		// against; the async server derives staleness from it.
-		up := &GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd, Examples: examples, Version: m.Version}
+		up := &GradUp{Round: m.Round, Plain: plainUpd, Sealed: sealedUpd, Examples: examples, Version: m.Version, Telemetry: c.telemetryDelta()}
 		if err := c.conn.Send(up); err != nil {
 			return fmt.Errorf("fl: sending update: %w", err)
 		}
@@ -255,6 +292,29 @@ func (c *Client) handleModelDown(m *ModelDown) error {
 	// later hang-up should not be misattributed to it.
 	c.lastTrainErr = nil
 	return nil
+}
+
+// now reads the client's clock, defaulting to the wall clock.
+func (c *Client) now() (t time.Time) {
+	if c.Metrics == nil && c.Spans == nil {
+		return
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.Real()
+	}
+	return c.Clock.Now()
+}
+
+// telemetryDelta cuts the registry delta accumulated since the previous
+// upload; nil when telemetry is off or nothing changed.
+func (c *Client) telemetryDelta() []byte {
+	if c.Metrics == nil {
+		return nil
+	}
+	if c.snap == nil {
+		c.snap = obs.NewSnapshotter(c.Metrics)
+	}
+	return c.snap.Delta()
 }
 
 // handleMaskRecon reveals this client's round seeds with the dropped

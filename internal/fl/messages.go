@@ -194,6 +194,12 @@ type ModelDown struct {
 	Plan    []byte
 	Cohort  []secagg.Peer
 	Version uint64
+	// Trace is the round-scoped trace ID the serving tier stamps on its
+	// spans (minted at the hierarchy root, or by the flat server). The
+	// client adopts it for its own spans so a stitched timeline
+	// correlates all tiers of one round. Trailing field: absent (0) on
+	// pre-telemetry peers.
+	Trace uint64
 }
 
 // Kind implements Message.
@@ -210,6 +216,7 @@ func (m *ModelDown) encode(w *wire.Writer) {
 		w.Blob(p.Pub)
 	}
 	w.Uvarint(m.Version)
+	w.Uvarint(m.Trace)
 }
 
 func (m *ModelDown) decode(r *wire.Reader) {
@@ -225,6 +232,9 @@ func (m *ModelDown) decode(r *wire.Reader) {
 	})
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Version = r.Uvarint()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace = r.Uvarint()
 	}
 }
 
@@ -270,6 +280,12 @@ type GradUp struct {
 	Sealed   []byte
 	Examples uint64
 	Version  uint64
+	// Telemetry is an optional obs.Snapshot delta of the client's own
+	// metric registry (training step timing, SMC cost), folded into the
+	// server's fleet view when ServerConfig.ClientTelemetry is on.
+	// Trailing field: absent (empty) on pre-telemetry peers and when the
+	// client has no registry.
+	Telemetry []byte
 }
 
 // Kind implements Message.
@@ -301,6 +317,7 @@ func (m *GradUp) encode(w *wire.Writer) {
 	w.Blob(m.Sealed)
 	w.Uvarint(m.Examples)
 	w.Uvarint(m.Version)
+	w.Blob(m.Telemetry)
 }
 
 func (m *GradUp) decode(r *wire.Reader) {
@@ -316,6 +333,9 @@ func (m *GradUp) decode(r *wire.Reader) {
 	}
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Version = r.Uvarint()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Telemetry = r.Blob()
 	}
 }
 
@@ -443,6 +463,10 @@ func (m *MaskShares) decode(r *wire.Reader) {
 type ShardDown struct {
 	Round int
 	Model []*tensor.Tensor
+	// Trace is the root-minted round trace ID; the edge stamps it on its
+	// own spans and forwards it to clients via ModelDown.Trace. Trailing
+	// field: absent (0) on pre-telemetry peers.
+	Trace uint64
 }
 
 // Kind implements Message.
@@ -451,11 +475,15 @@ func (*ShardDown) Kind() MsgType { return MsgShardDown }
 func (m *ShardDown) encode(w *wire.Writer) {
 	w.Uvarint(uint64(m.Round))
 	w.TensorList(m.Model)
+	w.Uvarint(m.Trace)
 }
 
 func (m *ShardDown) decode(r *wire.Reader) {
 	m.Round = int(r.Uvarint())
 	m.Model = r.TensorList()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace = r.Uvarint()
+	}
 }
 
 // PartialUp carries one shard's folded round aggregate upstream: the
@@ -493,6 +521,13 @@ type PartialUp struct {
 	// this round (trailing field: absent on pre-probation peers, which
 	// folded probation into Quarantined).
 	Probation uint64
+	// Telemetry is an optional obs.Snapshot delta of the edge's metric
+	// registry, folded into the root's fleet-wide families under
+	// tier/shard labels. Trailing field: absent (empty) on pre-telemetry
+	// peers and when the edge runs without a registry. Degraded shard
+	// rounds (Count 0) still carry telemetry — a struggling shard is
+	// exactly the one whose latency distributions matter.
+	Telemetry []byte
 }
 
 // Kind implements Message.
@@ -511,6 +546,7 @@ func (m *PartialUp) encode(w *wire.Writer) {
 	w.Uvarint(m.LateDiscarded)
 	w.Uvarint(m.Reconciled)
 	w.Uvarint(m.Probation)
+	w.Blob(m.Telemetry)
 }
 
 func (m *PartialUp) decode(r *wire.Reader) {
@@ -527,6 +563,9 @@ func (m *PartialUp) decode(r *wire.Reader) {
 	m.Reconciled = r.Uvarint()
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Probation = r.Uvarint()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Telemetry = r.Blob()
 	}
 }
 

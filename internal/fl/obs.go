@@ -145,6 +145,7 @@ type phaseTimer struct {
 	o     *serverObs
 	h     *obs.Histogram
 	sp    *obs.Span
+	round int
 	start time.Time
 }
 
@@ -171,16 +172,27 @@ func (o *serverObs) startPhase(name string, round int) phaseTimer {
 	case "round":
 		h = o.phaseRound
 	}
-	return phaseTimer{o: o, h: h, sp: o.spans.Start(name, round), start: o.clock.Now()}
+	return phaseTimer{o: o, h: h, sp: o.spans.Start(name, round), round: round, start: o.clock.Now()}
 }
 
-// end closes the phase measurement.
+// end closes the phase measurement. The round lands as the bucket's
+// exemplar, so a latency spike in the exposition names the round that
+// caused it.
 func (t phaseTimer) end() {
 	if t.o == nil {
 		return
 	}
-	t.h.Observe(t.o.clock.Now().Sub(t.start).Nanoseconds())
+	t.h.ObserveEx(t.o.clock.Now().Sub(t.start).Nanoseconds(), t.round)
 	t.sp.End()
+}
+
+// setTrace stamps the round-scoped trace ID on spans started from now
+// on (0 clears it). Forwarded to the sink; nil-safe end to end.
+func (o *serverObs) setTrace(id uint64) {
+	if o == nil {
+		return
+	}
+	o.spans.SetTrace(id)
 }
 
 // now reads the observability clock; zero time when disabled.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/gradsec/gradsec/internal/journal"
+	"github.com/gradsec/gradsec/internal/obs"
 	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/wire"
@@ -46,6 +47,11 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 	if len(alive) < s.cfg.MinClients {
 		return nil, fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
 	}
+	s.curTrace = s.roundTrace
+	if s.curTrace == 0 {
+		s.curTrace = obs.RoundTrace(round)
+	}
+	s.ob.setTrace(s.curTrace)
 	ptRound := s.ob.startPhase("round", round)
 	defer ptRound.end()
 	ptSample := s.ob.startPhase("sample", round)
@@ -131,7 +137,7 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 	if !hasProtected {
 		for _, sess := range sampled {
 			if _, ok := shared[sess.codec]; !ok {
-				down := &ModelDown{Round: round, Plain: plain, Plan: planBlob, Cohort: cohort}
+				down := &ModelDown{Round: round, Plain: plain, Plan: planBlob, Cohort: cohort, Trace: s.curTrace}
 				shared[sess.codec] = EncodeMessageCodec(down, sess.codec)
 			}
 		}
@@ -150,7 +156,7 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 			}
 			sealed, err := s.cfg.Enclave.Seal(sess.device, sealedBlob)
 			if err == nil {
-				down := &ModelDown{Round: round, Plain: plain, Sealed: sealed, Plan: planBlob, Cohort: cohort}
+				down := &ModelDown{Round: round, Plain: plain, Sealed: sealed, Plan: planBlob, Cohort: cohort, Trace: s.curTrace}
 				err = sess.conn.Send(down)
 			}
 			sendErrs[i] = err

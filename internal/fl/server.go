@@ -197,6 +197,13 @@ type ServerConfig struct {
 	// timed on Clock — under a virtual clock the span stream is
 	// bit-reproducible. nil disables tracing.
 	Spans *obs.TraceSink
+	// ClientTelemetry opts the server into folding client-attached
+	// telemetry snapshots (GradUp trailing field) into Metrics under
+	// tier="client", shard=<device> labels. Off by default: accepting
+	// metric schemas from remote devices is a policy decision, and a
+	// metered run with it off stays byte-identical to pre-telemetry
+	// behaviour. Ignored when Metrics is nil.
+	ClientTelemetry bool
 }
 
 // Hooks observe the round engine. Any field may be nil.
@@ -336,6 +343,13 @@ type Server struct {
 	shut     bool
 	// adapted latches the one-shot adaptive codec downgrade.
 	adapted bool
+	// roundTrace, when non-zero, is the upstream-minted trace ID the
+	// next rounds carry (SetRoundTrace — hierarchical edges adopt the
+	// root's ID); 0 makes each round mint its own. curTrace is the ID
+	// the in-flight round actually stamps on spans and ModelDown. Both
+	// are owned by the round goroutine.
+	roundTrace uint64
+	curTrace   uint64
 
 	// history carries quarantine/probation decisions across sessions
 	// of one server (Open/Close/Open) and across process restarts
@@ -790,6 +804,16 @@ func (s *Server) SetState(model []*tensor.Tensor) error {
 	return nil
 }
 
+// SetRoundTrace adopts an upstream-minted round trace ID: the next
+// StepRound stamps it on its spans and forwards it to clients in
+// ModelDown.Trace, so a stitched timeline correlates the tiers of one
+// fleet round. 0 restores self-minting (obs.RoundTrace of the round
+// number). Call between rounds, from the goroutine driving StepRound —
+// hierarchical edges call it with ShardDown.Trace before each round.
+func (s *Server) SetRoundTrace(id uint64) {
+	s.roundTrace = id
+}
+
 // maybeAdaptCodec runs the one-shot adaptive downgrade after a round
 // closes: once the applied update norm falls below the threshold, every
 // capable client is switched to q8 for the rest of the session.
@@ -1157,6 +1181,13 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 	if len(alive) < s.cfg.MinClients {
 		return nil, fmt.Errorf("%w: %d live clients, need %d", ErrNotEnoughClients, len(alive), s.cfg.MinClients)
 	}
+	// Resolve the round's trace ID before the first span opens: adopted
+	// from upstream (hierarchical edge) or minted deterministically here.
+	s.curTrace = s.roundTrace
+	if s.curTrace == 0 {
+		s.curTrace = obs.RoundTrace(round)
+	}
+	s.ob.setTrace(s.curTrace)
 	ptRound := s.ob.startPhase("round", round)
 	ptSample := s.ob.startPhase("sample", round)
 	sampled := s.sample(alive)
@@ -1204,7 +1235,7 @@ func (s *Server) runRound(round int, sessions []*session, arrivals <-chan arriva
 			continue
 		}
 		if _, ok := shared[sess.codec]; !ok {
-			down := &ModelDown{Round: round, Plain: s.state, Plan: planBlob, Version: uint64(round)}
+			down := &ModelDown{Round: round, Plain: s.state, Plan: planBlob, Version: uint64(round), Trace: s.curTrace}
 			shared[sess.codec] = EncodeMessageCodec(down, sess.codec)
 		}
 	}
@@ -1425,6 +1456,7 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 			return
 		}
 		delete(pending, sess)
+		s.mergeClientTelemetry(sess.device, m.Telemetry)
 		s.journalAppend(&journal.Record{Type: journal.RecFold, Round: round, Device: sess.device})
 		if s.cfg.Hooks.UpdateFolded != nil {
 			s.cfg.Hooks.UpdateFolded(round, sess.device)
@@ -1438,11 +1470,26 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 	}
 }
 
+// mergeClientTelemetry folds a client-attached telemetry snapshot into
+// the server registry under client-tier provenance labels. Off unless
+// the server opted in; a snapshot that fails to decode is dropped
+// silently — telemetry must never fail a round.
+func (s *Server) mergeClientTelemetry(device string, blob []byte) {
+	if !s.cfg.ClientTelemetry || s.cfg.Metrics == nil || len(blob) == 0 {
+		return
+	}
+	snap, err := obs.DecodeSnapshot(blob)
+	if err != nil {
+		return
+	}
+	s.cfg.Metrics.MergeSnapshot(snap, "tier", "client", "shard", device)
+}
+
 // buildModelDown assembles one client's round message, splitting
 // protected tensors into the sealed path when the client has a trusted
 // channel.
 func (s *Server) buildModelDown(round int, sess *session, protected map[int]bool, planBlob []byte) (*ModelDown, error) {
-	down := &ModelDown{Round: round, Plan: planBlob, Version: uint64(round)}
+	down := &ModelDown{Round: round, Plan: planBlob, Version: uint64(round), Trace: s.curTrace}
 	down.Plain = make([]*tensor.Tensor, len(s.state))
 	var secretIdx []int
 	var secretTs []*tensor.Tensor

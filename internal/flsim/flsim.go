@@ -181,6 +181,19 @@ type Scenario struct {
 	// simulation's virtual clock: two runs of the same scenario write
 	// byte-identical span streams (asserted by the determinism tests).
 	Spans io.Writer
+	// FleetTelemetry, in hierarchical scenarios, gives every edge a
+	// private metrics registry whose per-round deltas ride upstream on
+	// each PartialUp and fold into Metrics at the root under
+	// tier/shard labels — the in-band telemetry plane. The per-edge
+	// registries are exposed on Result.EdgeMetrics so tests can
+	// reconcile the fleet view against its shards exactly. Telemetry
+	// never feeds back into the protocol, so traces are unchanged.
+	FleetTelemetry bool
+	// EdgeSpans, when non-nil with one writer per shard, receives each
+	// edge engine's span stream (JSONL on the shared virtual clock),
+	// stamped with the root-minted round trace IDs — the inputs to a
+	// cross-tier obs.StitchSpans timeline.
+	EdgeSpans []io.Writer
 }
 
 // Result is a completed (or aborted) simulation.
@@ -210,6 +223,9 @@ type Result struct {
 	// EnclaveSMCs counts world switches of the aggregation enclave
 	// (0 when the scenario ran without one).
 	EnclaveSMCs int64
+	// EdgeMetrics holds each edge's private registry in shard order when
+	// the scenario ran with FleetTelemetry; nil otherwise.
+	EdgeMetrics []*obs.Registry
 }
 
 // splitmix64 is a tiny deterministic mixer for per-client/per-round
@@ -341,6 +357,9 @@ func (sc *Scenario) Validate() error {
 		if err := checkFractions("ShardFailures", sc.ShardFailures); err != nil {
 			return err
 		}
+		if len(sc.EdgeSpans) > 0 && len(sc.EdgeSpans) != sc.Shards {
+			return fmt.Errorf("flsim: EdgeSpans covers %d shards, scenario has %d", len(sc.EdgeSpans), sc.Shards)
+		}
 		for _, f := range sc.ShardStragglers {
 			if f > 0 && sc.Deadline <= 0 {
 				return errors.New("flsim: ShardStragglers needs a Deadline")
@@ -348,6 +367,8 @@ func (sc *Scenario) Validate() error {
 		}
 	} else if len(sc.ShardStragglers) > 0 || len(sc.ShardFailures) > 0 {
 		return errors.New("flsim: per-shard fractions need Shards > 1")
+	} else if sc.FleetTelemetry || len(sc.EdgeSpans) > 0 {
+		return errors.New("flsim: fleet telemetry needs Shards > 1")
 	}
 	return nil
 }

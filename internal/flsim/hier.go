@@ -156,6 +156,10 @@ func runHier(sc Scenario, profiles []Profile) (*Result, error) {
 
 	edges := make([]*hier.Edge, sc.Shards)
 	edgeConns := make([]fl.Conn, sc.Shards)
+	var edgeMetrics []*obs.Registry
+	if sc.FleetTelemetry {
+		edgeMetrics = make([]*obs.Registry, sc.Shards)
+	}
 	var fleet sync.WaitGroup
 	for s := 0; s < sc.Shards; s++ {
 		lo, hi := shardRange(sc.Clients, sc.Shards, s)
@@ -180,23 +184,33 @@ func runHier(sc Scenario, profiles []Profile) (*Result, error) {
 		for i, t := range sc.Model {
 			edgeState[i] = tensor.New(t.Shape...)
 		}
+		scfg := fl.ServerConfig{
+			MinClients:       sc.MinClients,
+			SampleCount:      sc.SampleCount,
+			SampleFraction:   sc.SampleFraction,
+			SampleSeed:       sc.Seed + int64(s) + 1,
+			RoundDeadline:    sc.Deadline,
+			RequireTEE:       sc.RequireTEE,
+			Verifier:         verifier,
+			Codec:            sc.Codec,
+			QuarantineRounds: sc.QuarantineRounds,
+			Planner:          planner,
+			Clock:            clk,
+			Hooks:            hooks,
+		}
+		if sc.FleetTelemetry {
+			// A private per-shard registry: its deltas ride each PartialUp
+			// upstream and fold into sc.Metrics at the root.
+			edgeMetrics[s] = obs.NewRegistry()
+			scfg.Metrics = edgeMetrics[s]
+		}
+		if len(sc.EdgeSpans) > 0 {
+			scfg.Spans = obs.NewTraceSink(sc.EdgeSpans[s], clk)
+		}
 		edge := hier.NewEdge(edgeState, hier.EdgeConfig{
 			Name:     fmt.Sprintf("edge-%03d", s),
 			MaxCodec: sc.Codec,
-			Server: fl.ServerConfig{
-				MinClients:       sc.MinClients,
-				SampleCount:      sc.SampleCount,
-				SampleFraction:   sc.SampleFraction,
-				SampleSeed:       sc.Seed + int64(s) + 1,
-				RoundDeadline:    sc.Deadline,
-				RequireTEE:       sc.RequireTEE,
-				Verifier:         verifier,
-				Codec:            sc.Codec,
-				QuarantineRounds: sc.QuarantineRounds,
-				Planner:          planner,
-				Clock:            clk,
-				Hooks:            hooks,
-			},
+			Server:   scfg,
 		})
 		edges[s] = edge
 		rootSide, edgeSide := fl.Pipe()
@@ -235,6 +249,7 @@ func runHier(sc Scenario, profiles []Profile) (*Result, error) {
 		Quarantined: quarantined,
 		Elapsed:     clk.Now().Sub(start),
 		Idle:        idleFromTrace(root.Trace(), sc.Deadline),
+		EdgeMetrics: edgeMetrics,
 	}
 	return res, runErr
 }

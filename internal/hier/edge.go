@@ -46,6 +46,11 @@ type Edge struct {
 	upstream fl.Conn
 	aborted  bool
 
+	// snap cuts per-round telemetry deltas from the shard engine's
+	// registry for the upstream piggyback (lazily built; nil when the
+	// shard runs without metrics).
+	snap *obs.Snapshotter
+
 	// Selected is the number of shard clients that passed selection.
 	Selected int
 	// Rounds counts shard rounds stepped under root control.
@@ -200,6 +205,10 @@ func (e *Edge) Run(upstream fl.Conn, clients []fl.Conn) error {
 // failed — the shard stays enrolled and may recover as clients come
 // off probation).
 func (e *Edge) serveRound(upstream fl.Conn, m *fl.ShardDown) error {
+	// Adopt the root-minted trace before the shard round starts so every
+	// span this round emits — here and on this shard's clients — carries
+	// the fleet-wide correlation ID.
+	e.srv.SetRoundTrace(m.Trace)
 	if err := e.srv.SetState(m.Model); err != nil {
 		_ = upstream.Send(&fl.ErrorMsg{Text: err.Error()})
 		return fmt.Errorf("hier: adopting round %d model: %w", m.Round, err)
@@ -213,6 +222,9 @@ func (e *Edge) serveRound(upstream fl.Conn, m *fl.ShardDown) error {
 			if st := e.lastStats(m.Round); st != nil {
 				fillShardStats(up, *st)
 			}
+			// A degraded round still reports its telemetry: the failure's
+			// accounting is exactly what the fleet view must not lose.
+			up.Telemetry = e.telemetryDelta()
 			if sendErr := upstream.Send(up); sendErr != nil {
 				return fmt.Errorf("hier: reporting failed shard round %d: %w", m.Round, sendErr)
 			}
@@ -230,10 +242,25 @@ func (e *Edge) serveRound(upstream fl.Conn, m *fl.ShardDown) error {
 		Count:     uint64(partial.Count),
 	}
 	fillShardStats(up, partial.Stats)
+	up.Telemetry = e.telemetryDelta()
 	if err := upstream.Send(up); err != nil {
 		return fmt.Errorf("hier: forwarding round %d partial: %w", partial.Round, err)
 	}
 	return nil
+}
+
+// telemetryDelta cuts the shard registry's delta since the previous
+// upstream send; nil when the shard runs without metrics or nothing
+// changed. Taken after the round steps so the round's own observations
+// ride the partial they describe.
+func (e *Edge) telemetryDelta() []byte {
+	if e.cfg.Server.Metrics == nil {
+		return nil
+	}
+	if e.snap == nil {
+		e.snap = obs.NewSnapshotter(e.cfg.Server.Metrics)
+	}
+	return e.snap.Delta()
 }
 
 // lastStats returns the shard engine's stats for the given round, if

@@ -203,6 +203,15 @@ func (o *rootObs) startRound(round int) *obs.Span {
 	return o.spans.Start("hier_round", round)
 }
 
+// setTrace stamps the round-scoped trace ID on spans started from now
+// on; forwarded to the sink, nil-safe end to end.
+func (o *rootObs) setTrace(id uint64) {
+	if o == nil {
+		return
+	}
+	o.spans.SetTrace(id)
+}
+
 // markBroadcast stamps the end of the shard broadcast — the origin for
 // fan-in and per-shard partial latency.
 func (o *rootObs) markBroadcast() {
@@ -539,6 +548,11 @@ func (r *Root) runRound(round int, arrivals <-chan edgeArrival) error {
 
 	stats := fl.RoundStats{Round: round}
 	var reasons []string
+	// The root mints the fleet-wide trace ID for the round: it rides the
+	// ShardDown to every edge (and from there to every client), so spans
+	// emitted at any tier this round share one correlation ID.
+	trace := obs.RoundTrace(round)
+	r.ob.setTrace(trace)
 	roundSpan := r.ob.startRound(round)
 	defer roundSpan.End()
 
@@ -564,7 +578,7 @@ func (r *Root) runRound(round int, arrivals <-chan edgeArrival) error {
 	for _, sess := range live {
 		payload, ok := shared[sess.codec]
 		if !ok {
-			payload = fl.EncodeMessageCodec(&fl.ShardDown{Round: round, Model: r.state}, sess.codec)
+			payload = fl.EncodeMessageCodec(&fl.ShardDown{Round: round, Model: r.state, Trace: trace}, sess.codec)
 			shared[sess.codec] = payload
 		}
 		if err := sess.conn.SendFrame(fl.MsgShardDown, payload); err != nil {
@@ -723,6 +737,16 @@ func (r *Root) handleArrival(round int, a edgeArrival, pending map[*edgeSess]boo
 		stats.LateDiscarded += int(m.LateDiscarded)
 		stats.Reconciled += int(m.Reconciled)
 		stats.Probation += int(m.Probation)
+		// Fold the shard's telemetry delta into the fleet registry before
+		// the empty-partial check: a degraded shard round's accounting is
+		// exactly what the fleet view must not lose. Decode failures drop
+		// the blob, never the partial — telemetry must not perturb
+		// training.
+		if len(m.Telemetry) > 0 && r.cfg.Metrics != nil {
+			if snap, err := obs.DecodeSnapshot(m.Telemetry); err == nil {
+				r.cfg.Metrics.MergeSnapshot(snap, "tier", "edge", "shard", sess.name)
+			}
+		}
 		if m.Count == 0 {
 			*reasons = append(*reasons, fmt.Sprintf("%s: empty partial (shard round failed)", sess.name))
 			return

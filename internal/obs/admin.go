@@ -1,10 +1,15 @@
 package obs
 
 import (
+	"crypto/subtle"
+	"crypto/tls"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
@@ -37,14 +42,65 @@ type Admin struct {
 	srv *http.Server
 }
 
+// AdminSecurity configures authentication and transport security for
+// the admin listener. The zero value (no token, no TLS) is only
+// accepted for loopback binds: the surface exposes pprof and session
+// state, so a non-loopback bind without a bearer token is refused.
+type AdminSecurity struct {
+	// Token, when non-empty, requires `Authorization: Bearer <Token>`
+	// on every request (constant-time comparison).
+	Token string
+	// CertFile/KeyFile, when both non-empty, serve the endpoint over
+	// TLS with the given PEM certificate and key.
+	CertFile string
+	KeyFile  string
+}
+
+// ErrAdminExposed is returned when a non-loopback admin bind is
+// attempted without a bearer token.
+var ErrAdminExposed = errors.New("obs: refusing non-loopback admin bind without -admin-token")
+
+// loopbackAddr reports whether addr binds only a loopback interface.
+// A wildcard host (":9090") binds every interface and is not loopback.
+func loopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" {
+		return false
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
 // ServeAdmin starts the admin endpoint on addr (e.g. "127.0.0.1:9090",
-// ":0" for an ephemeral port). reg may be nil (metrics export is then
-// empty) and health may be nil (healthz reports a zero Health). The
-// listener runs until Close.
+// "127.0.0.1:0" for an ephemeral port). reg may be nil (metrics export
+// is then empty) and health may be nil (healthz reports a zero Health).
+// The listener runs until Close. Plain ServeAdmin carries no
+// credentials, so it only accepts loopback binds; use ServeAdminSecure
+// for anything reachable off-host.
 func ServeAdmin(addr string, reg *Registry, health func() Health) (*Admin, error) {
+	return ServeAdminSecure(addr, reg, health, AdminSecurity{})
+}
+
+// ServeAdminSecure is ServeAdmin with bearer-token auth and optional
+// TLS. Non-loopback binds are refused unless sec.Token is set.
+func ServeAdminSecure(addr string, reg *Registry, health func() Health, sec AdminSecurity) (*Admin, error) {
+	if sec.Token == "" && !loopbackAddr(addr) {
+		return nil, fmt.Errorf("%w (addr %q)", ErrAdminExposed, addr)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if sec.CertFile != "" || sec.KeyFile != "" {
+		cert, err := tls.LoadX509KeyPair(sec.CertFile, sec.KeyFile)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("obs: admin TLS: %w", err)
+		}
+		ln = tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -65,9 +121,28 @@ func ServeAdmin(addr string, reg *Registry, health func() Health) (*Admin, error
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	a := &Admin{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	var handler http.Handler = mux
+	if sec.Token != "" {
+		handler = bearerAuth(sec.Token, mux)
+	}
+	a := &Admin{ln: ln, srv: &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = a.srv.Serve(ln) }()
 	return a, nil
+}
+
+// bearerAuth rejects every request lacking the exact bearer token with
+// 401. The comparison is constant-time so the token cannot be probed
+// byte by byte through response timing.
+func bearerAuth(token string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="gradsec-admin"`)
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Addr returns the bound listen address (useful with ":0").

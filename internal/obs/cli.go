@@ -16,6 +16,9 @@ type Telemetry struct {
 	Metrics *Registry
 	// Spans is the span export sink, nil unless a span path was given.
 	Spans *TraceSink
+	// Security configures admin auth/TLS; set it (from -admin-token /
+	// -admin-cert / -admin-key flags) before calling Serve.
+	Security AdminSecurity
 
 	admin    *Admin
 	spanFile *os.File
@@ -48,7 +51,7 @@ func (t *Telemetry) Serve(addr string, health func() Health) (string, error) {
 	if addr == "" {
 		return "", nil
 	}
-	a, err := ServeAdmin(addr, t.Metrics, health)
+	a, err := ServeAdminSecure(addr, t.Metrics, health, t.Security)
 	if err != nil {
 		return "", err
 	}

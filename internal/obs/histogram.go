@@ -24,10 +24,22 @@ const (
 // increment); histograms with the same layout merge by bucket-wise
 // addition, so per-shard histograms can be folded into a fleet-wide
 // one. A nil Histogram discards observations and reports zeros.
+//
+// Each bucket optionally carries an exemplar — the value and round ID
+// of the most recent (highest-round) sample that landed in it — so an
+// operator looking at a latency spike in the exposition can jump
+// straight to the round that caused it.
 type Histogram struct {
 	counts [numBuckets]atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Int64
+	// exRound holds round+1 of the bucket's exemplar (0 = none) and
+	// exVal the exemplar's sample value. Best-effort: the pair is not
+	// updated atomically together, which can momentarily pair a value
+	// with a neighbouring round's ID under contention — acceptable for
+	// a debugging aid, and race-clean for the detector.
+	exRound [numBuckets]atomic.Uint64
+	exVal   [numBuckets]atomic.Int64
 }
 
 // NewHistogram creates an empty histogram.
@@ -74,6 +86,27 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// ObserveEx records one sample with a round-ID exemplar: the bucket
+// remembers the value and round of its most recent sample (by round
+// number), exposed in the Prometheus exposition. Costs two extra
+// atomic stores over Observe — still allocation-free.
+func (h *Histogram) ObserveEx(v int64, round int) {
+	if h == nil {
+		return
+	}
+	b := bucketOf(v)
+	h.counts[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if round >= 0 {
+		er := uint64(round) + 1
+		if h.exRound[b].Load() <= er {
+			h.exRound[b].Store(er)
+			h.exVal[b].Store(v)
+		}
+	}
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -93,18 +126,54 @@ func (h *Histogram) Sum() int64 {
 // Merge folds o's buckets into h. Both histograms share the fixed
 // layout, so the merge is exact: quantiles of the merged histogram
 // equal quantiles of the concatenated sample streams (up to bucket
-// resolution). A nil receiver or operand is a no-op.
+// resolution). The source is read through snapshot(), so merging from
+// a histogram that is concurrently being observed still preserves the
+// count == Σbuckets invariant in the destination (the merged-in total
+// is derived from the very bucket loads that were copied, never from a
+// separately-loaded counter that may have raced ahead). A nil receiver
+// or operand is a no-op.
 func (h *Histogram) Merge(o *Histogram) {
 	if h == nil || o == nil {
 		return
 	}
-	for i := range o.counts {
-		if n := o.counts[i].Load(); n != 0 {
-			h.counts[i].Add(n)
+	counts, count, sum := o.snapshot()
+	for i := range counts {
+		if counts[i] != 0 {
+			h.counts[i].Add(counts[i])
 		}
 	}
-	h.count.Add(o.count.Load())
-	h.sum.Add(o.sum.Load())
+	h.count.Add(count)
+	h.sum.Add(sum)
+	for i := range o.exRound {
+		if er := o.exRound[i].Load(); er != 0 && h.exRound[i].Load() <= er {
+			h.exVal[i].Store(o.exVal[i].Load())
+			h.exRound[i].Store(er)
+		}
+	}
+}
+
+// mergeRaw folds decoded sparse snapshot buckets into h — the
+// cross-process counterpart of Merge, used by Registry.MergeSnapshot.
+// count and sum are added as given (snapshot deltas keep them
+// consistent with the buckets); exemplars keep the newer round.
+func (h *Histogram) mergeRaw(idx []uint32, n []uint64, exRound []uint64, exVal []int64, count uint64, sum int64) {
+	if h == nil {
+		return
+	}
+	for i, b := range idx {
+		if int(b) >= numBuckets {
+			continue
+		}
+		if n[i] != 0 {
+			h.counts[b].Add(n[i])
+		}
+		if i < len(exRound) && exRound[i] != 0 && h.exRound[b].Load() <= exRound[i] {
+			h.exVal[b].Store(exVal[i])
+			h.exRound[b].Store(exRound[i])
+		}
+	}
+	h.count.Add(count)
+	h.sum.Add(sum)
 }
 
 // Quantile returns the upper bound of the bucket holding the q-quantile
@@ -146,13 +215,19 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return bucketUpper(numBuckets - 1)
 }
 
-// snapshot copies the bucket counts for export.
+// snapshot copies the bucket counts for export. The total is derived
+// from the copied buckets rather than the live count field, so the
+// snapshot's count always equals the sum of its buckets even while
+// observers are concurrently adding samples — the invariant quantile
+// rank math, exposition cumulative counts, and cross-process merges
+// all rely on. For a quiescent histogram it equals count.Load().
 func (h *Histogram) snapshot() (counts [numBuckets]uint64, count uint64, sum int64) {
 	if h == nil {
 		return
 	}
 	for i := range h.counts {
 		counts[i] = h.counts[i].Load()
+		count += counts[i]
 	}
-	return counts, h.count.Load(), h.sum.Load()
+	return counts, count, h.sum.Load()
 }

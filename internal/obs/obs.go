@@ -167,6 +167,13 @@ func joinVals(vals []string) string {
 // degrades to a silent metric rather than a crash.
 func (r *Registry) get(name, help string, kind Kind, kv []string) *instrument {
 	keys, vals := labelPairs(kv)
+	return r.getCell(name, help, kind, keys, vals)
+}
+
+// getCell is get with the label schema already split — the entry point
+// cross-process snapshot merging uses, since decoded snapshots carry
+// keys and values as separate slices.
+func (r *Registry) getCell(name, help string, kind Kind, keys, vals []string) *instrument {
 	r.mu.Lock()
 	f := r.families[name]
 	if f == nil {

@@ -49,13 +49,22 @@ func TestRegistryIdentityAndNil(t *testing.T) {
 }
 
 // parseExposition parses Prometheus text format into sample name+labels
-// → value, validating the line grammar as it goes.
+// → value, validating the line grammar as it goes. Bucket lines may
+// carry an OpenMetrics-style exemplar suffix (` # {round="3"} 42`),
+// which is validated and stripped before the sample value is parsed.
 func parseExposition(t *testing.T, text string) map[string]int64 {
 	t.Helper()
 	out := make(map[string]int64)
 	for _, line := range strings.Split(text, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if i := strings.Index(line, " # "); i >= 0 {
+			ex := line[i+3:]
+			if !strings.HasPrefix(ex, "{") || !strings.Contains(ex, "} ") {
+				t.Fatalf("malformed exemplar in %q", line)
+			}
+			line = line[:i]
 		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp < 0 {
@@ -237,6 +246,8 @@ func TestDisabledInstrumentsZeroAlloc(t *testing.T) {
 		g.Set(7)
 		g.Add(-1)
 		h.Observe(42)
+		h.ObserveEx(42, 3)
+		sink.SetTrace(7)
 		span := sink.Start("round", 1)
 		span.End()
 	})

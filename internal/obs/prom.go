@@ -79,12 +79,30 @@ func writeHistogram(w io.Writer, f *family, inst *instrument) error {
 	bucket := 0
 	for k := linearBits; k <= 63; k++ {
 		upper := uint64(1)<<uint(k) - 1
+		lo := bucket
 		for bucket < numBuckets && uint64(bucketUpper(bucket)) <= upper {
 			cum += counts[bucket]
 			bucket++
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, labelString(f, inst, fmt.Sprintf("le=%q", fmt.Sprint(upper))), cum); err != nil {
+		// OpenMetrics-style exemplar: the newest-round sample among the
+		// fine buckets folded into this boundary, as
+		// `... # {round="3"} value`. Only emitted when a bucket in range
+		// recorded one (ObserveEx), so plain Observe streams render
+		// exactly as before.
+		exemplar := ""
+		var bestER uint64
+		var bestVal int64
+		for b := lo; b < bucket; b++ {
+			if er := inst.hist.exRound[b].Load(); er > bestER {
+				bestER = er
+				bestVal = inst.hist.exVal[b].Load()
+			}
+		}
+		if bestER != 0 {
+			exemplar = fmt.Sprintf(" # {round=\"%d\"} %d", bestER-1, bestVal)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			f.name, labelString(f, inst, fmt.Sprintf("le=%q", fmt.Sprint(upper))), cum, exemplar); err != nil {
 			return err
 		}
 		if cum == count && k > linearBits {

@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"fmt"
+
+	"github.com/gradsec/gradsec/internal/wire"
+)
+
+// Snapshot is a portable point-in-time (or delta) copy of a Registry:
+// family schemas plus per-instrument values, with histograms carried as
+// sparse bucket vectors. Snapshots encode to a compact wire blob that
+// rides the federation protocol's trailing telemetry fields, and merge
+// into any Registry — the same log-bucket layout on both sides makes
+// the fold exact, so per-shard histograms compose associatively up
+// arbitrary aggregation trees.
+type Snapshot struct {
+	Families []SnapFamily
+}
+
+// SnapFamily is one metric family in a snapshot.
+type SnapFamily struct {
+	Name        string
+	Help        string
+	Kind        Kind
+	LabelKeys   []string
+	Instruments []SnapInstrument
+}
+
+// SnapInstrument is one (family, label values) cell. Counter holds the
+// counter value (or delta), Gauge the gauge reading; histograms carry
+// parallel sparse arrays: BucketIdx[i] has BucketN[i] samples, with an
+// optional exemplar (ExRound[i] = round+1, 0 = none; ExVal[i] = value).
+type SnapInstrument struct {
+	LabelVals []string
+	Counter   uint64
+	Gauge     int64
+	BucketIdx []uint32
+	BucketN   []uint64
+	ExRound   []uint64
+	ExVal     []int64
+	Count     uint64
+	Sum       int64
+}
+
+// snapshotVersion is the telemetry wire-format version byte.
+const snapshotVersion = 1
+
+// snapInstrument builds the sparse representation of one instrument.
+func snapInstrument(kind Kind, inst *instrument) SnapInstrument {
+	si := SnapInstrument{LabelVals: inst.labelVals}
+	switch kind {
+	case KindCounter:
+		si.Counter = inst.counter.Value()
+	case KindGauge:
+		si.Gauge = inst.gauge.Value()
+	case KindHistogram:
+		counts, count, sum := inst.hist.snapshot()
+		si.Count, si.Sum = count, sum
+		for b := range counts {
+			er := inst.hist.exRound[b].Load()
+			if counts[b] == 0 && er == 0 {
+				continue
+			}
+			si.BucketIdx = append(si.BucketIdx, uint32(b))
+			si.BucketN = append(si.BucketN, counts[b])
+			si.ExRound = append(si.ExRound, er)
+			si.ExVal = append(si.ExVal, inst.hist.exVal[b].Load())
+		}
+	}
+	return si
+}
+
+// TakeSnapshot copies the registry's current cumulative state. A nil
+// registry yields an empty snapshot.
+func TakeSnapshot(r *Registry) *Snapshot {
+	s := &Snapshot{}
+	for _, f := range r.snapshotFamilies() {
+		sf := SnapFamily{Name: f.name, Help: f.help, Kind: f.kind, LabelKeys: f.labelKeys}
+		for _, inst := range f.sortedInstruments() {
+			sf.Instruments = append(sf.Instruments, snapInstrument(f.kind, inst))
+		}
+		if len(sf.Instruments) > 0 {
+			s.Families = append(s.Families, sf)
+		}
+	}
+	return s
+}
+
+// Encode serialises the snapshot to the telemetry wire format.
+func (s *Snapshot) Encode() []byte {
+	w := wire.GetWriter()
+	s.encodeTo(w)
+	b := w.Detach()
+	wire.PutWriter(w)
+	return b
+}
+
+func (s *Snapshot) encodeTo(w *wire.Writer) {
+	w.Uvarint(snapshotVersion)
+	w.Uvarint(uint64(len(s.Families)))
+	for _, f := range s.Families {
+		w.String(f.Name)
+		w.String(f.Help)
+		w.Uvarint(uint64(f.Kind))
+		w.Uvarint(uint64(len(f.LabelKeys)))
+		for _, k := range f.LabelKeys {
+			w.String(k)
+		}
+		w.Uvarint(uint64(len(f.Instruments)))
+		for _, inst := range f.Instruments {
+			for _, v := range inst.LabelVals {
+				w.String(v)
+			}
+			switch f.Kind {
+			case KindCounter:
+				w.Uvarint(inst.Counter)
+			case KindGauge:
+				w.Uvarint(uint64(inst.Gauge))
+			case KindHistogram:
+				w.Uvarint(inst.Count)
+				w.Uvarint(uint64(inst.Sum))
+				w.Uvarint(uint64(len(inst.BucketIdx)))
+				for i, b := range inst.BucketIdx {
+					w.Uvarint(uint64(b))
+					w.Uvarint(inst.BucketN[i])
+					w.Uvarint(inst.ExRound[i])
+					w.Uvarint(uint64(inst.ExVal[i]))
+				}
+			}
+		}
+	}
+}
+
+// snapListLen reads a list length and bounds it against the remaining
+// payload (each element costs at least one encoded byte), so a hostile
+// count claim cannot force a large allocation or a long loop.
+func snapListLen(r *wire.Reader, what string) int {
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()) {
+		r.Fail(what)
+		return 0
+	}
+	return int(n)
+}
+
+// DecodeSnapshot parses a telemetry blob produced by Snapshot.Encode.
+// Decoding is hostile-input safe: every length claim is checked against
+// the remaining payload before allocation, bucket indices are bounded
+// by the histogram layout, and corrupt input returns an error rather
+// than panicking.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	r := wire.NewReader(data)
+	if v := r.Uvarint(); r.Err() == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("obs: unsupported telemetry version %d", v)
+	}
+	s := &Snapshot{}
+	nf := snapListLen(r, "telemetry family count")
+	for fi := 0; fi < nf && r.Err() == nil; fi++ {
+		f := SnapFamily{Name: r.String(), Help: r.String(), Kind: Kind(r.Uvarint())}
+		if r.Err() == nil && f.Kind > KindHistogram {
+			r.Fail("telemetry family kind")
+		}
+		nk := snapListLen(r, "telemetry label key count")
+		for i := 0; i < nk && r.Err() == nil; i++ {
+			f.LabelKeys = append(f.LabelKeys, r.String())
+		}
+		ni := snapListLen(r, "telemetry instrument count")
+		for i := 0; i < ni && r.Err() == nil; i++ {
+			inst := SnapInstrument{}
+			for k := 0; k < nk && r.Err() == nil; k++ {
+				inst.LabelVals = append(inst.LabelVals, r.String())
+			}
+			switch f.Kind {
+			case KindCounter:
+				inst.Counter = r.Uvarint()
+			case KindGauge:
+				inst.Gauge = int64(r.Uvarint())
+			case KindHistogram:
+				inst.Count = r.Uvarint()
+				inst.Sum = int64(r.Uvarint())
+				nb := snapListLen(r, "telemetry bucket count")
+				if nb > numBuckets {
+					r.Fail("telemetry bucket count")
+				}
+				for b := 0; b < nb && r.Err() == nil; b++ {
+					idx := r.Uvarint()
+					if r.Err() == nil && idx >= numBuckets {
+						r.Fail("telemetry bucket index")
+						break
+					}
+					inst.BucketIdx = append(inst.BucketIdx, uint32(idx))
+					inst.BucketN = append(inst.BucketN, r.Uvarint())
+					inst.ExRound = append(inst.ExRound, r.Uvarint())
+					inst.ExVal = append(inst.ExVal, int64(r.Uvarint()))
+				}
+			}
+			f.Instruments = append(f.Instruments, inst)
+		}
+		s.Families = append(s.Families, f)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("obs: %d trailing bytes after telemetry snapshot", r.Remaining())
+	}
+	return s, nil
+}
+
+// MergeSnapshot folds a snapshot into the registry, extending each
+// family's label schema with the flat "key, value" pairs in extraKV —
+// the tier/shard provenance labels an aggregator stamps on telemetry
+// from below. An extra key already present in a family's schema is
+// skipped for that family (the innermost origin wins), so telemetry
+// that was already labeled at a lower tier passes through unchanged.
+// Counters and histogram buckets are added (snapshot deltas compose
+// associatively up aggregation trees); gauges are set absolutely.
+// Instruments whose label values do not match their family schema are
+// dropped; a local family registered with a conflicting schema degrades
+// to a detached cell, per the registry's usual policy.
+func (r *Registry) MergeSnapshot(s *Snapshot, extraKV ...string) {
+	if r == nil || s == nil {
+		return
+	}
+	ekeys, evals := labelPairs(extraKV)
+	for _, f := range s.Families {
+		keys := f.LabelKeys
+		var addK, addV []string
+		for i, ek := range ekeys {
+			present := false
+			for _, k := range keys {
+				if k == ek {
+					present = true
+					break
+				}
+			}
+			if !present {
+				addK = append(addK, ek)
+				addV = append(addV, evals[i])
+			}
+		}
+		if len(addK) > 0 {
+			keys = append(append(make([]string, 0, len(keys)+len(addK)), keys...), addK...)
+		}
+		for _, inst := range f.Instruments {
+			if len(inst.LabelVals) != len(f.LabelKeys) {
+				continue
+			}
+			vals := inst.LabelVals
+			if len(addV) > 0 {
+				vals = append(append(make([]string, 0, len(vals)+len(addV)), vals...), addV...)
+			}
+			cell := r.getCell(f.Name, f.Help, f.Kind, keys, vals)
+			switch f.Kind {
+			case KindCounter:
+				cell.counter.Add(inst.Counter)
+			case KindGauge:
+				cell.gauge.Set(inst.Gauge)
+			case KindHistogram:
+				cell.hist.mergeRaw(inst.BucketIdx, inst.BucketN, inst.ExRound, inst.ExVal, inst.Count, inst.Sum)
+			}
+		}
+	}
+}
+
+// prevInst is the per-instrument cumulative state a Snapshotter diffs
+// against.
+type prevInst struct {
+	counter uint64
+	gauge   int64
+	counts  [numBuckets]uint64
+	sum     int64
+}
+
+// Snapshotter produces delta-encoded telemetry from a registry: each
+// Delta() call emits only what changed since the previous call, so an
+// upstream aggregator can add successive deltas without double-counting
+// and the per-round wire cost is proportional to activity, not registry
+// size. The zero of everything is "send nothing": a quiet round costs
+// zero bytes.
+type Snapshotter struct {
+	reg  *Registry
+	prev map[string]*prevInst // keyed by family name + labelSep + joined vals
+}
+
+// NewSnapshotter wraps a registry (nil allowed — Delta then returns
+// nil).
+func NewSnapshotter(reg *Registry) *Snapshotter {
+	return &Snapshotter{reg: reg, prev: make(map[string]*prevInst)}
+}
+
+// Delta returns the encoded snapshot of changes since the last call,
+// or nil when nothing changed (or the registry is nil). Counter and
+// histogram values are diffs; gauges are sent absolutely whenever they
+// moved. Exemplars are sent absolutely for changed buckets (they merge
+// by newest round, so resending is idempotent).
+func (sn *Snapshotter) Delta() []byte {
+	if sn == nil || sn.reg == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	for _, f := range sn.reg.snapshotFamilies() {
+		sf := SnapFamily{Name: f.name, Help: f.help, Kind: f.kind, LabelKeys: f.labelKeys}
+		for _, inst := range f.sortedInstruments() {
+			key := f.name + labelSep + joinVals(inst.labelVals)
+			p := sn.prev[key]
+			if p == nil {
+				p = &prevInst{}
+				sn.prev[key] = p
+			}
+			si := SnapInstrument{LabelVals: inst.labelVals}
+			changed := false
+			switch f.kind {
+			case KindCounter:
+				cur := inst.counter.Value()
+				if cur != p.counter {
+					si.Counter = cur - p.counter
+					p.counter = cur
+					changed = true
+				}
+			case KindGauge:
+				cur := inst.gauge.Value()
+				if cur != p.gauge {
+					si.Gauge = cur
+					p.gauge = cur
+					changed = true
+				}
+			case KindHistogram:
+				counts, _, sum := inst.hist.snapshot()
+				var dcount uint64
+				for b := range counts {
+					d := counts[b] - p.counts[b]
+					if d == 0 {
+						continue
+					}
+					dcount += d
+					si.BucketIdx = append(si.BucketIdx, uint32(b))
+					si.BucketN = append(si.BucketN, d)
+					si.ExRound = append(si.ExRound, inst.hist.exRound[b].Load())
+					si.ExVal = append(si.ExVal, inst.hist.exVal[b].Load())
+					p.counts[b] = counts[b]
+				}
+				if dcount != 0 {
+					si.Count = dcount
+					si.Sum = sum - p.sum
+					p.sum = sum
+					changed = true
+				}
+			}
+			if changed {
+				sf.Instruments = append(sf.Instruments, si)
+			}
+		}
+		if len(sf.Instruments) > 0 {
+			s.Families = append(s.Families, sf)
+		}
+	}
+	if len(s.Families) == 0 {
+		return nil
+	}
+	return s.Encode()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gradsec/gradsec/internal/simclock"
@@ -19,10 +20,30 @@ import (
 type TraceSink struct {
 	clock simclock.WallClock
 	epoch time.Time
+	trace atomic.Uint64
 
 	mu  sync.Mutex
 	w   io.Writer
 	err error
+}
+
+// RoundTrace derives the deterministic round-scoped trace ID the root
+// tier mints and every tier below stamps on its spans. It is a pure
+// function of the round number (Fibonacci-hash spread so IDs are
+// visually distinct), never random — flsim's byte-identical-trace
+// property depends on reruns minting identical IDs.
+func RoundTrace(round int) uint64 {
+	return (uint64(int64(round)) + 1) * 0x9E3779B97F4A7C15
+}
+
+// SetTrace sets the trace ID stamped on spans started from now on;
+// 0 clears it (spans then omit the trace field, which keeps existing
+// single-process span streams byte-identical). Nil-safe.
+func (t *TraceSink) SetTrace(id uint64) {
+	if t == nil {
+		return
+	}
+	t.trace.Store(id)
 }
 
 // NewTraceSink creates a sink writing JSONL spans to w, timed on clock
@@ -56,15 +77,18 @@ type Span struct {
 	sink  *TraceSink
 	name  string
 	round int
+	trace uint64
 	start time.Time
 }
 
-// Start opens a span for a named phase of a round. End writes it.
+// Start opens a span for a named phase of a round. End writes it. The
+// sink's current trace ID is captured at start, so a span straddling a
+// trace change keeps the ID of the round it belongs to.
 func (t *TraceSink) Start(name string, round int) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{sink: t, name: name, round: round, start: t.clock.Now()}
+	return &Span{sink: t, name: name, round: round, trace: t.trace.Load(), start: t.clock.Now()}
 }
 
 // End closes the span and writes its JSONL record. Durations and start
@@ -80,8 +104,14 @@ func (s *Span) End() {
 	durUS := now.Sub(s.start).Microseconds()
 	t.mu.Lock()
 	if t.err == nil {
-		_, err := fmt.Fprintf(t.w, "{\"span\":%q,\"round\":%d,\"start_us\":%d,\"dur_us\":%d}\n",
-			s.name, s.round, startUS, durUS)
+		var err error
+		if s.trace != 0 {
+			_, err = fmt.Fprintf(t.w, "{\"span\":%q,\"round\":%d,\"start_us\":%d,\"dur_us\":%d,\"trace\":\"%016x\"}\n",
+				s.name, s.round, startUS, durUS, s.trace)
+		} else {
+			_, err = fmt.Fprintf(t.w, "{\"span\":%q,\"round\":%d,\"start_us\":%d,\"dur_us\":%d}\n",
+				s.name, s.round, startUS, durUS)
+		}
 		if err != nil {
 			t.err = err
 		}

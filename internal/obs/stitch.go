@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SpanSource names one JSONL span stream for stitching — typically one
+// process's -spans file, with Name identifying the tier ("root",
+// "edge-000", "client-17").
+type SpanSource struct {
+	Name string
+	R    io.Reader
+}
+
+// stitchRec is a parsed span line plus its source, the unit the
+// stitcher sorts and re-emits. Unknown JSON fields are ignored so the
+// stitcher tolerates future span schema additions.
+type stitchRec struct {
+	Src     string `json:"src"`
+	Span    string `json:"span"`
+	Round   int    `json:"round"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Trace   string `json:"trace,omitempty"`
+}
+
+// StitchSpans joins per-process JSONL span streams into one causal
+// round timeline: every line gains a "src" field naming its source, and
+// the merged stream is ordered by start time (ties broken by source
+// name, span name, round, then duration — a total deterministic order,
+// so stitching the same inputs always yields byte-identical output).
+// Spans from different rounds interleave naturally; the shared trace ID
+// minted by the root correlates each round's spans across tiers.
+//
+// Start offsets are relative to each sink's own construction epoch.
+// Under flsim every sink shares the scenario's virtual clock epoch, so
+// offsets are directly comparable; for real processes started at
+// different times the trace ID — not the clock — is the correlation
+// key.
+func StitchSpans(w io.Writer, sources ...SpanSource) error {
+	var recs []stitchRec
+	for _, src := range sources {
+		sc := bufio.NewScanner(src.R)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			b := sc.Bytes()
+			if len(b) == 0 {
+				continue
+			}
+			var r stitchRec
+			if err := json.Unmarshal(b, &r); err != nil {
+				return fmt.Errorf("obs: stitch %s line %d: %w", src.Name, line, err)
+			}
+			r.Src = src.Name
+			recs = append(recs, r)
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("obs: stitch %s: %w", src.Name, err)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Span != b.Span {
+			return a.Span < b.Span
+		}
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		return a.DurUS < b.DurUS
+	})
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gradsec/gradsec/internal/simclock"
+)
+
+// testCertFiles writes a throwaway self-signed loopback certificate and
+// key into the test's temp dir.
+func testCertFiles(t *testing.T) (certFile, keyFile string) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "gradsec-admin-test"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+		IPAddresses:  []net.IP{net.ParseIP("127.0.0.1")},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certFile = filepath.Join(dir, "cert.pem")
+	keyFile = filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(certFile, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return certFile, keyFile
+}
+
+func TestStitchSpansDeterministicTimeline(t *testing.T) {
+	// Two tiers on one virtual clock, sharing a minted round trace ID —
+	// the flsim arrangement in miniature.
+	emit := func() (root, edge string) {
+		clk := simclock.NewVirtual(time.Unix(0, 0))
+		var rb, eb bytes.Buffer
+		rs := NewTraceSink(&rb, clk)
+		es := NewTraceSink(&eb, clk)
+		for round := 0; round < 2; round++ {
+			id := RoundTrace(round)
+			rs.SetTrace(id)
+			es.SetTrace(id)
+			rr := rs.Start("hier_round", round)
+			clk.Advance(100 * time.Microsecond)
+			er := es.Start("round", round)
+			clk.Advance(500 * time.Microsecond)
+			er.End()
+			clk.Advance(50 * time.Microsecond)
+			rr.End()
+		}
+		return rb.String(), eb.String()
+	}
+	stitch := func(root, edge string) string {
+		var out bytes.Buffer
+		err := StitchSpans(&out,
+			SpanSource{Name: "root", R: strings.NewReader(root)},
+			SpanSource{Name: "edge-000", R: strings.NewReader(edge)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+
+	r1, e1 := emit()
+	r2, e2 := emit()
+	a, b := stitch(r1, e1), stitch(r2, e2)
+	if a != b {
+		t.Fatalf("stitched timelines differ across reruns:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSuffix(a, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 stitched spans, got %d:\n%s", len(lines), a)
+	}
+	// Causal order: root opens the round, the edge span nests inside it,
+	// and every line names its source and carries the shared trace ID.
+	if !strings.Contains(lines[0], `"src":"root"`) || !strings.Contains(lines[1], `"src":"edge-000"`) {
+		t.Fatalf("timeline order wrong:\n%s", a)
+	}
+	for i, line := range lines {
+		round := 0
+		if i >= 2 {
+			round = 1
+		}
+		want := RoundTrace(round)
+		if !strings.Contains(line, `"trace":`) {
+			t.Fatalf("line %d missing trace ID:\n%s", i, a)
+		}
+		var buf [16]byte
+		hex := "0123456789abcdef"
+		for j := 0; j < 16; j++ {
+			buf[15-j] = hex[(want>>(4*j))&0xF]
+		}
+		if !strings.Contains(line, string(buf[:])) {
+			t.Fatalf("line %d carries wrong trace ID (want %016x):\n%s", i, want, a)
+		}
+	}
+}
+
+func TestStitchSpansRejectsCorruptLine(t *testing.T) {
+	var out bytes.Buffer
+	err := StitchSpans(&out, SpanSource{Name: "x", R: strings.NewReader("{\"span\":1}\n")})
+	if err == nil {
+		t.Fatal("corrupt span line must fail stitching")
+	}
+}
+
+func TestAdminRefusesExposedBind(t *testing.T) {
+	if _, err := ServeAdmin("0.0.0.0:0", nil, nil); err == nil {
+		t.Fatal("wildcard bind without token must be refused")
+	}
+	if _, err := ServeAdminSecure(":0", nil, nil, AdminSecurity{}); err == nil {
+		t.Fatal("empty-host bind without token must be refused")
+	}
+	a, err := ServeAdminSecure("0.0.0.0:0", NewRegistry(), nil, AdminSecurity{Token: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+}
+
+func TestAdminBearerToken(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "ups").Inc()
+	a, err := ServeAdminSecure("127.0.0.1:0", r, nil, AdminSecurity{Token: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	get := func(auth string) int {
+		req, _ := http.NewRequest("GET", "http://"+a.Addr()+"/metrics", nil)
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := get(""); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated request got %d, want 401", code)
+	}
+	if code := get("Bearer wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("wrong token got %d, want 401", code)
+	}
+	if code := get("Bearer s3cret"); code != http.StatusOK {
+		t.Fatalf("valid token got %d, want 200", code)
+	}
+}
+
+func TestAdminTLS(t *testing.T) {
+	cert, key := testCertFiles(t)
+	r := NewRegistry()
+	r.Counter("up_total", "ups").Inc()
+	a, err := ServeAdminSecure("127.0.0.1:0", r, nil,
+		AdminSecurity{Token: "s3cret", CertFile: cert, KeyFile: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	client := &http.Client{Transport: &http.Transport{
+		TLSClientConfig: &tls.Config{InsecureSkipVerify: true},
+	}}
+	req, _ := http.NewRequest("GET", "https://"+a.Addr()+"/metrics", nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "up_total 1") {
+		t.Fatalf("TLS scrape failed: %d %q", resp.StatusCode, body)
+	}
+}

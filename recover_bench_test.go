@@ -23,11 +23,11 @@ import (
 // body can be empty.
 type benchTA struct{ uuid tz.UUID }
 
-func (t *benchTA) UUID() tz.UUID                                  { return t.uuid }
-func (t *benchTA) Version() string                                { return "bench-1" }
-func (t *benchTA) OpenSession(*tz.TAEnv) (any, error)             { return nil, nil }
+func (t *benchTA) UUID() tz.UUID                                   { return t.uuid }
+func (t *benchTA) Version() string                                 { return "bench-1" }
+func (t *benchTA) OpenSession(*tz.TAEnv) (any, error)              { return nil, nil }
 func (t *benchTA) Invoke(*tz.TAEnv, any, uint32, any) (any, error) { return nil, nil }
-func (t *benchTA) CloseSession(*tz.TAEnv, any)                    {}
+func (t *benchTA) CloseSession(*tz.TAEnv, any)                     {}
 
 // writeRecoverJournal synthesises a committed journal: an n-device
 // roster and `committed` closed rounds, each carrying a LeNet-5-sized
