@@ -59,6 +59,7 @@ func main() {
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-operation transport deadline: handshake reads and model-distribution writes (0 = none)")
 	secAgg := flag.Bool("secagg", false, "secure aggregation: clients send pairwise-masked updates; protected layers aggregate inside a simulated server enclave")
 	secAggScale := flag.Int("secagg-scale", secagg.DefaultScaleBits, "fixed-point fractional bits for masked updates")
+	maskDegree := flag.Int("mask-degree", 0, "secagg mask-graph degree: 0 = full pairwise masking, -1 = automatic k-regular degree (log2 cohort, floored at 6), k>0 = mask against k graph neighbours with a Shamir-shared self mask")
 	quarantineRounds := flag.Int("quarantine-rounds", 0, "probation window for failed clients in rounds (0 = permanent exclusion)")
 	minRelease := flag.Int("min-release", 0, "secure-aggregation release floor: rounds folding fewer updates never publish their aggregate (0 = no floor)")
 	adaptiveCodec := flag.Float64("adaptive-codec", 0, "adaptive codec downgrade: open the session at f64 and switch capable clients to q8 once the round update norm falls below this threshold (0 = off; flat mode only)")
@@ -104,7 +105,7 @@ func main() {
 		if aggMethod != fl.AggFedAvg {
 			log.Fatal("-aggregation trimmed-mean/median is a flat-server mode (incompatible with -edges)")
 		}
-		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale, *journalPath, *recoverRun, *adminAddr, *spansPath, adminSec)
+		runRoot(*addr, *edges, *rounds, *minShards, *minRelease, *deadline, *ioTimeout, codec, *secAgg, *secAggScale, *maskDegree, *journalPath, *recoverRun, *adminAddr, *spansPath, adminSec)
 		return
 	}
 	if *async && *secAgg {
@@ -175,7 +176,14 @@ func main() {
 	defer l.Close()
 	mode := "plaintext aggregation"
 	if *secAgg {
-		mode = "secure aggregation (pairwise masking"
+		switch {
+		case *maskDegree == 0:
+			mode = "secure aggregation (full pairwise masking"
+		case *maskDegree < 0:
+			mode = "secure aggregation (k-regular masking, auto degree"
+		default:
+			mode = fmt.Sprintf("secure aggregation (k-regular masking, degree %d", *maskDegree)
+		}
 		if enclave != nil {
 			mode += " + enclave"
 		}
@@ -212,6 +220,7 @@ func main() {
 		IOTimeout:        *ioTimeout,
 		SecAgg:           *secAgg,
 		SecAggScaleBits:  *secAggScale,
+		MaskDegree:       *maskDegree,
 		Enclave:          enclave,
 		QuarantineRounds: *quarantineRounds,
 		MinRelease:       *minRelease,
@@ -334,7 +343,7 @@ func openJournal(path string, resume bool) (*journal.Journal, error) {
 
 // runRoot drives the hierarchical root: N edge aggregators instead of
 // N clients, one partial fold per shard per round.
-func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale int, journalPath string, recoverRun bool, adminAddr, spansPath string, adminSec obs.AdminSecurity) {
+func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadline, ioTimeout time.Duration, codec wire.Codec, secAgg bool, secAggScale, maskDegree int, journalPath string, recoverRun bool, adminAddr, spansPath string, adminSec obs.AdminSecurity) {
 	global := nn.NewLeNet5Mini(rand.New(rand.NewSource(7)), nn.ActReLU)
 	jnl, err := openJournal(journalPath, recoverRun)
 	if err != nil {
@@ -392,6 +401,7 @@ func runRoot(addr string, edges, rounds, minShards, minRelease int, shardDeadlin
 		Codec:           codec,
 		SecAgg:          secAgg,
 		SecAggScaleBits: secAggScale,
+		MaskDegree:      maskDegree,
 		MinRelease:      minRelease,
 		IOTimeout:       ioTimeout,
 		Journal:         jnl,

@@ -112,6 +112,7 @@ import (
 	"github.com/gradsec/gradsec/internal/flsim"
 	"github.com/gradsec/gradsec/internal/nn"
 	"github.com/gradsec/gradsec/internal/obs"
+	"github.com/gradsec/gradsec/internal/secagg"
 	"github.com/gradsec/gradsec/internal/simclock"
 	"github.com/gradsec/gradsec/internal/tensor"
 	"github.com/gradsec/gradsec/internal/tz"
@@ -170,6 +171,15 @@ type (
 	// Tensor is a dense float64 tensor — model parameters and updates.
 	Tensor = tensor.Tensor
 )
+
+// AutoMaskDegree, as a FleetScenario.MaskDegree (or fl.ServerConfig
+// MaskDegree, flserver -mask-degree) value, selects the automatic
+// k-regular mask-graph degree ⌈log₂ cohort⌉ (even-rounded, floored at
+// 6) per round: each
+// client masks against only k graph neighbours instead of the whole
+// cohort, with a Shamir-shared self mask covering the dropout window.
+// 0 keeps the full pairwise graph (the pre-k-regular wire behaviour).
+const AutoMaskDegree = secagg.AutoDegree
 
 // Re-exported observability types: the fleet telemetry registry and
 // its admin HTTP surface (FleetScenario.Metrics / FleetScenario.Spans

@@ -98,6 +98,7 @@ type Client struct {
 	mask   *secagg.ClientSession
 	cohort []secagg.Peer // roster of the round in flight
 	round  int           // round of the roster
+	degree int           // resolved mask-graph degree of the roster (0 = full pairwise)
 
 	// lastTrainErr remembers a reported training failure: the client
 	// stays in the protocol afterwards (the server decides between
@@ -264,6 +265,7 @@ func (c *Client) handleModelDown(m *ModelDown) error {
 		}
 		c.cohort = m.Cohort
 		c.round = m.Round
+		c.degree = m.MaskDegree
 		// The FedAvg weight is applied in the ring before masking; it
 		// must equal the weight the server derives from Examples, so the
 		// clamp is mirrored here.
@@ -271,11 +273,11 @@ func (c *Client) handleModelDown(m *ModelDown) error {
 		if examples > 0 {
 			weight = min(examples, MaxExampleWeight)
 		}
-		levels, err := c.mask.MaskedUpdate(m.Round, m.Cohort, plainUpd, weight)
+		levels, shares, err := c.mask.MaskedUpdate(m.Round, m.Cohort, m.MaskDegree, plainUpd, weight)
 		if err != nil {
 			return fmt.Errorf("fl: masking round %d update: %w", m.Round, err)
 		}
-		up := &MaskedUp{Round: m.Round, Levels: levels, Sealed: sealedUpd, Examples: examples}
+		up := &MaskedUp{Round: m.Round, Levels: levels, Sealed: sealedUpd, Examples: examples, Shares: shares}
 		if err := c.conn.Send(up); err != nil {
 			return fmt.Errorf("fl: sending masked update: %w", err)
 		}
@@ -317,14 +319,27 @@ func (c *Client) telemetryDelta() []byte {
 	return c.snap.Delta()
 }
 
-// handleMaskRecon reveals this client's round seeds with the dropped
-// cohort members so the server can subtract their dangling masks.
+// handleMaskRecon answers the server's reconciliation request. In
+// legacy rounds (degree 0) it reveals this client's round seeds with
+// the dropped cohort members; in k-regular rounds it routes through
+// ClientSession.Reconcile, which enforces the one-role-per-peer
+// invariant (ErrRoleConflict) and unwraps survivor self-seed shares.
 func (c *Client) handleMaskRecon(m *MaskRecon) error {
 	if c.mask == nil {
 		return fmt.Errorf("fl: mask reconciliation outside a secagg session")
 	}
 	if m.Round != c.round || len(c.cohort) == 0 {
 		return fmt.Errorf("fl: mask reconciliation for round %d, last roster is round %d", m.Round, c.round)
+	}
+	if c.degree > 0 {
+		ans, err := c.mask.Reconcile(m.Round, m.Dropped, m.Survivors)
+		if err != nil {
+			return fmt.Errorf("fl: reconciling masks: %w", err)
+		}
+		if err := c.conn.Send(&MaskShares{Round: m.Round, Shares: ans.Pairs, SeedShares: ans.Seeds}); err != nil {
+			return fmt.Errorf("fl: sending mask shares: %w", err)
+		}
+		return nil
 	}
 	shares, err := c.mask.Shares(m.Round, c.cohort, m.Dropped)
 	if err != nil {

@@ -64,6 +64,14 @@ type Challenge struct {
 	// ScaleBits is the fixed-point precision for masked updates
 	// (secagg.DefaultScaleBits when the server leaves it zero).
 	ScaleBits uint8
+	// MaskDegree announces the session's masking topology: 0 is the
+	// legacy full-pairwise mode (also what pre-double-masking peers
+	// assume), secagg.AutoDegree (-1) sizes the k-regular graph per
+	// round from the cohort, and a positive value fixes the degree.
+	// The resolved per-round degree rides ModelDown.MaskDegree.
+	// Trailing field; on the wire 0→0, auto→1, fixed k→k+1, so absent
+	// decodes as legacy.
+	MaskDegree int
 	// AggQuote, when non-empty (detected via AggQuote.DeviceID), attests
 	// the server-side aggregation enclave over
 	// secagg.AggQuoteNonce(Nonce, ServerPub) — binding the enclave's TA
@@ -87,6 +95,33 @@ func (m *Challenge) encode(w *wire.Writer) {
 	w.Blob(m.AggQuote.Measurement[:])
 	w.Blob(m.AggQuote.Nonce)
 	w.Blob(m.AggQuote.MAC)
+	w.Uvarint(encodeMaskDegree(m.MaskDegree))
+}
+
+// encodeMaskDegree / decodeMaskDegree map the MaskDegree config onto an
+// unsigned trailing wire field: 0 (legacy full pairwise) → 0, auto (-1)
+// → 1, fixed degree k → k+1. An absent field therefore reads back as
+// legacy, keeping old peers' wire behaviour byte-for-byte.
+func encodeMaskDegree(d int) uint64 {
+	switch {
+	case d < 0:
+		return 1
+	case d == 0:
+		return 0
+	default:
+		return uint64(d) + 1
+	}
+}
+
+func decodeMaskDegree(v uint64) int {
+	switch v {
+	case 0:
+		return 0
+	case 1:
+		return secagg.AutoDegree
+	default:
+		return int(v) - 1
+	}
 }
 
 func (m *Challenge) decode(r *wire.Reader) {
@@ -103,6 +138,9 @@ func (m *Challenge) decode(r *wire.Reader) {
 		copy(m.AggQuote.Measurement[:], r.Blob())
 		m.AggQuote.Nonce = r.Blob()
 		m.AggQuote.MAC = r.Blob()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.MaskDegree = decodeMaskDegree(r.Uvarint())
 	}
 }
 
@@ -200,6 +238,13 @@ type ModelDown struct {
 	// correlates all tiers of one round. Trailing field: absent (0) on
 	// pre-telemetry peers.
 	Trace uint64
+	// MaskDegree is the round's resolved mask-graph degree: 0 means full
+	// pairwise masking over the cohort (legacy), k > 0 means the client
+	// masks only against its neighbours in the deterministic k-regular
+	// graph derived from (Round, Cohort) and double-masks with a
+	// Shamir-shared self seed. Trailing field: absent (0) keeps the
+	// legacy behaviour.
+	MaskDegree int
 }
 
 // Kind implements Message.
@@ -217,6 +262,7 @@ func (m *ModelDown) encode(w *wire.Writer) {
 	}
 	w.Uvarint(m.Version)
 	w.Uvarint(m.Trace)
+	w.Uvarint(uint64(m.MaskDegree))
 }
 
 func (m *ModelDown) decode(r *wire.Reader) {
@@ -227,14 +273,15 @@ func (m *ModelDown) decode(r *wire.Reader) {
 	if r.Err() != nil || r.Remaining() == 0 {
 		return
 	}
-	m.Cohort = decodeBoundedList(r, func(r *wire.Reader) secagg.Peer {
-		return secagg.Peer{Device: r.String(), Pub: r.Blob()}
-	})
+	m.Cohort = decodePeerList(r)
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Version = r.Uvarint()
 	}
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Trace = r.Uvarint()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.MaskDegree = int(r.Uvarint())
 	}
 }
 
@@ -256,6 +303,45 @@ func decodeBoundedList[T any](r *wire.Reader, elem func(*wire.Reader) T) []T {
 			return nil
 		}
 		out = append(out, e)
+	}
+	return out
+}
+
+// decodePeerList reads the cohort roster into two shared backing
+// slabs — one string carrying every device name, one byte slice
+// carrying every mask pub — instead of two heap objects per peer. The
+// roster rides every ModelDown, so at fleet scale a cohort of n costs
+// n·cohort decoded peers per round and the per-peer garbage was
+// costing the collector more than the decode itself. Bounds mirror
+// decodeBoundedList: the count claim is checked against the remaining
+// payload and decoding stops at the first corrupt element.
+func decodePeerList(r *wire.Reader) []secagg.Peer {
+	n := r.Uvarint()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		return nil
+	}
+	lens := make([][2]int, 0, min(n, 1024))
+	var names, pubs []byte
+	for i := uint64(0); i < n; i++ {
+		name := r.BlobBytes()
+		pub := r.BlobBytes()
+		if r.Err() != nil {
+			return nil
+		}
+		names = append(names, name...)
+		pubs = append(pubs, pub...)
+		lens = append(lens, [2]int{len(name), len(pub)})
+	}
+	shared := string(names)
+	out := make([]secagg.Peer, len(lens))
+	no, po := 0, 0
+	for i, l := range lens {
+		out[i] = secagg.Peer{
+			Device: shared[no : no+l[0]],
+			Pub:    pubs[po : po+l[1] : po+l[1]],
+		}
+		no += l[0]
+		po += l[1]
 	}
 	return out
 }
@@ -373,6 +459,14 @@ type MaskedUp struct {
 	Levels   []*wire.U64Tensor
 	Sealed   []byte
 	Examples uint64
+	// Shares carries the client's wrapped Shamir shares of its
+	// double-masking self seed, one per mask-graph neighbour, in
+	// k-regular rounds (ModelDown.MaskDegree > 0). Each blob is
+	// encrypted and authenticated under the owner→holder pair key; the
+	// server stores them opaquely and forwards the relevant ones inside
+	// MaskRecon.Survivors. Trailing field: absent (nil) in legacy
+	// full-pairwise rounds.
+	Shares []secagg.WrappedShare
 }
 
 // Kind implements Message.
@@ -383,6 +477,11 @@ func (m *MaskedUp) encode(w *wire.Writer) {
 	w.U64TensorList(m.Levels)
 	w.Blob(m.Sealed)
 	w.Uvarint(m.Examples)
+	w.Uvarint(uint64(len(m.Shares)))
+	for _, s := range m.Shares {
+		w.String(s.To)
+		w.Blob(s.Blob)
+	}
 }
 
 func (m *MaskedUp) decode(r *wire.Reader) {
@@ -390,14 +489,35 @@ func (m *MaskedUp) decode(r *wire.Reader) {
 	m.Levels = r.U64TensorList()
 	m.Sealed = r.Blob()
 	m.Examples = r.Uvarint()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Shares = decodeBoundedList(r, func(r *wire.Reader) secagg.WrappedShare {
+			s := secagg.WrappedShare{To: r.String(), Blob: r.Blob()}
+			// A wrapped share has exactly one valid length; anything else
+			// is hostile or corrupt and must fail the frame, not linger
+			// until reconciliation.
+			if r.Err() == nil && len(s.Blob) != secagg.WrappedShareLen {
+				r.Fail("wrapped share size")
+			}
+			return s
+		})
+	}
 }
 
-// MaskRecon asks the round's surviving cohort members to reveal their
-// round seeds with the listed dropped peers, so the server can subtract
-// the unpaired mask residue and close the round.
+// MaskRecon asks a surviving cohort member to reconcile the round's
+// masks. In legacy full-pairwise rounds the frame is broadcast and
+// Dropped lists every straggler: the survivor reveals its pair seeds
+// with them. In k-regular rounds the frame is per-recipient: Dropped
+// lists only the recipient's dropped neighbours, and Survivors carries
+// the wrapped self-seed shares of its folded neighbours for it to
+// unwrap — per peer the server sends one of the two, never both (the
+// client enforces this with ErrRoleConflict).
 type MaskRecon struct {
 	Round   int
 	Dropped []string
+	// Survivors is the k-regular survivor path: each envelope holds a
+	// folded neighbour's wrapped self-seed share addressed to this
+	// recipient. Trailing field: absent (nil) in legacy rounds.
+	Survivors []secagg.SeedEnvelope
 }
 
 // Kind implements Message.
@@ -409,19 +529,41 @@ func (m *MaskRecon) encode(w *wire.Writer) {
 	for _, d := range m.Dropped {
 		w.String(d)
 	}
+	w.Uvarint(uint64(len(m.Survivors)))
+	for _, s := range m.Survivors {
+		w.String(s.Owner)
+		w.Blob(s.Blob)
+	}
 }
 
 func (m *MaskRecon) decode(r *wire.Reader) {
 	m.Round = int(r.Uvarint())
 	m.Dropped = decodeBoundedList(r, func(r *wire.Reader) string { return r.String() })
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Survivors = decodeBoundedList(r, func(r *wire.Reader) secagg.SeedEnvelope {
+			s := secagg.SeedEnvelope{Owner: r.String(), Blob: r.Blob()}
+			if r.Err() == nil && len(s.Blob) != secagg.WrappedShareLen {
+				r.Fail("wrapped share size")
+			}
+			return s
+		})
+	}
 }
 
 // MaskShares answers a MaskRecon: one round-scoped pair seed per
-// dropped peer. Only the named round's masks are derivable from the
-// seeds, so the revelation burns nothing beyond the failed pairs.
+// dropped peer, and — in k-regular rounds — one unwrapped self-seed
+// share per folded neighbour the request carried an envelope for. Only
+// the named round's masks are derivable from the seeds, so the
+// revelation burns nothing beyond the failed pairs.
 type MaskShares struct {
 	Round  int
 	Shares []secagg.PairShare
+	// SeedShares are the unwrapped Shamir shares answering
+	// MaskRecon.Survivors. A corrupt envelope yields no share (the
+	// server needs only the threshold), so len(SeedShares) may be less
+	// than len(Survivors). Trailing field: absent (nil) in legacy
+	// rounds.
+	SeedShares []secagg.SeedShare
 }
 
 // Kind implements Message.
@@ -433,6 +575,12 @@ func (m *MaskShares) encode(w *wire.Writer) {
 	for _, s := range m.Shares {
 		w.String(s.Device)
 		w.Blob(s.Seed[:])
+	}
+	w.Uvarint(uint64(len(m.SeedShares)))
+	for _, s := range m.SeedShares {
+		w.String(s.Owner)
+		w.Uvarint(uint64(s.X))
+		w.Blob(s.Data)
 	}
 }
 
@@ -452,6 +600,27 @@ func (m *MaskShares) decode(r *wire.Reader) {
 		copy(s.Seed[:], seed)
 		return s
 	})
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.SeedShares = decodeBoundedList(r, func(r *wire.Reader) secagg.SeedShare {
+			var s secagg.SeedShare
+			s.Owner = r.String()
+			x := r.Uvarint()
+			s.Data = r.Blob()
+			if r.Err() != nil {
+				return s
+			}
+			// A Shamir share has a fixed body and a nonzero x-coordinate
+			// below the field order; anything else would corrupt the
+			// reconstructed self seed — and thereby the published
+			// aggregate — instead of failing the round. Fail-stop.
+			if x == 0 || x > 255 || len(s.Data) != secagg.SeedShareLen {
+				r.Fail("seed share shape")
+				return s
+			}
+			s.X = uint8(x)
+			return s
+		})
+	}
 }
 
 // ShardDown distributes one round's global model from the hierarchy

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -64,20 +65,33 @@ func TestSecAggSessionMatchesPlaintext(t *testing.T) {
 }
 
 // TestSecAggStragglerReconciliation: a straggler is dropped at the
-// deadline; the survivor reveals the pair's round seed, the unpaired
-// mask is subtracted, and the round closes on exactly the survivor's
-// update. The straggler stays eligible and both answer the next round.
+// deadline and the survivor reveals the pair's round seed, so the
+// round closes on exactly the survivor's update. When the straggler's
+// stale masked update finally arrives in the next round, the revealed
+// seeds would strip its masks — accepting (or even silently ignoring)
+// it leaves a recoverable plaintext update on the server, so it is
+// refused with ErrLateAfterRecon and the device quarantined.
 func TestSecAggStragglerReconciliation(t *testing.T) {
 	clk := simclock.NewVirtual(time.Unix(0, 0))
 	events := make(chan engineEvent, 64)
 	fast := newTestTrainer("fast", false, 2)
 	slow := newGateTrainer("slow", 4, 0)
 	state := newState(0)
+	var mu sync.Mutex
+	var quarantineReason error
+	hooks := eventHooks(events)
+	forward := hooks.ClientQuarantined
+	hooks.ClientQuarantined = func(device string, reason error) {
+		mu.Lock()
+		quarantineReason = reason
+		mu.Unlock()
+		forward(device, reason)
+	}
 	srv := NewServer(state, ServerConfig{
 		Rounds: 2, MinClients: 1, RoundDeadline: time.Second, Clock: clk,
-		SecAgg: true, Hooks: eventHooks(events),
+		SecAgg: true, Hooks: hooks,
 	})
-	serverErr, clients, _, wg := startSession(srv, []Trainer{fast, slow})
+	serverErr, _, clientErrs, wg := startSession(srv, []Trainer{fast, slow})
 
 	waitEvent(t, events, "folded")
 	clk.Advance(time.Second)
@@ -91,25 +105,360 @@ func TestSecAggStragglerReconciliation(t *testing.T) {
 
 	waitEvent(t, events, "started")
 	slow.release(0)
+	q := waitEvent(t, events, "quarantined")
+	if q.device != "slow" {
+		t.Fatalf("quarantined %q, want the late straggler", q.device)
+	}
 	closed = waitEvent(t, events, "closed")
-	if closed.stats.Responded != 2 || closed.stats.Reconciled != 0 {
+	if closed.stats.Responded != 1 || closed.stats.Quarantined != 1 {
 		t.Fatalf("round 1 stats = %+v", closed.stats)
 	}
-	if closed.stats.LateDiscarded != 1 {
-		t.Fatalf("round 1 discarded %d late updates, want 1", closed.stats.LateDiscarded)
+	if closed.stats.LateDiscarded != 0 || closed.stats.Reconciled != 1 {
+		t.Fatalf("round 1 stats = %+v", closed.stats)
 	}
 
 	if err := <-serverErr; err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
-	// Round 0 applied only fast's +2; round 1 applied mean(2,4) = +3.
-	if got := state[0].Data[0]; got != 5 {
-		t.Fatalf("state = %v, want 5", got)
+	mu.Lock()
+	reason := quarantineReason
+	mu.Unlock()
+	if !errors.Is(reason, ErrLateAfterRecon) {
+		t.Fatalf("quarantine reason = %v, want ErrLateAfterRecon", reason)
 	}
-	if clients[1].Rounds != 2 {
-		t.Fatalf("straggler completed %d rounds, want 2", clients[1].Rounds)
+	// Only fast's +2 folded each round — the straggler's stale round-0
+	// update was refused, never folded.
+	if got := state[0].Data[0]; got != 4 {
+		t.Fatalf("state = %v, want 4", got)
 	}
+	if clientErrs[1] == nil {
+		t.Fatal("quarantined straggler must see its session torn down")
+	}
+}
+
+// TestSecAggLateAfterReconProbation: with QuarantineRounds configured
+// the late-after-reconciliation refusal routes through the probation
+// machinery — the device keeps its connection and sits out the window
+// instead of losing the session.
+func TestSecAggLateAfterReconProbation(t *testing.T) {
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	events := make(chan engineEvent, 64)
+	fast := newTestTrainer("fast", false, 2)
+	// Gated on both rounds: round 0 makes it a straggler, round 1 keeps
+	// it silent after probation so the round's accounting stays exact.
+	slow := newGateTrainer("slow", 4, 0, 1)
+	state := newState(0)
+	var mu sync.Mutex
+	var probationReason error
+	hooks := eventHooks(events)
+	forward := hooks.ClientProbationed
+	hooks.ClientProbationed = func(device string, reason error) {
+		mu.Lock()
+		probationReason = reason
+		mu.Unlock()
+		forward(device, reason)
+	}
+	srv := NewServer(state, ServerConfig{
+		Rounds: 2, MinClients: 1, RoundDeadline: time.Second, Clock: clk,
+		SecAgg: true, QuarantineRounds: 2, Hooks: hooks,
+	})
+	serverErr, _, _, wg := startSession(srv, []Trainer{fast, slow})
+
+	waitEvent(t, events, "folded")
+	clk.Advance(time.Second)
+	closed := waitEvent(t, events, "closed")
+	if closed.stats.Responded != 1 || closed.stats.Dropped != 1 || closed.stats.Probation != 0 {
+		t.Fatalf("round 0 stats = %+v", closed.stats)
+	}
+
+	waitEvent(t, events, "started")
+	slow.release(0)
+	p := waitEvent(t, events, "probation")
+	if p.device != "slow" {
+		t.Fatalf("probationed %q, want the late straggler", p.device)
+	}
+	closed = waitEvent(t, events, "closed")
+	if closed.stats.Responded != 1 || closed.stats.Probation != 1 || closed.stats.Quarantined != 0 {
+		t.Fatalf("round 1 stats = %+v", closed.stats)
+	}
+	if closed.stats.LateDiscarded != 0 || closed.stats.Reconciled != 1 {
+		t.Fatalf("round 1 stats = %+v", closed.stats)
+	}
+
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	reason := probationReason
+	mu.Unlock()
+	if !errors.Is(reason, ErrLateAfterRecon) {
+		t.Fatalf("probation reason = %v, want ErrLateAfterRecon", reason)
+	}
+	if got := state[0].Data[0]; got != 4 {
+		t.Fatalf("state = %v, want 4", got)
+	}
+	slow.release(1)
+	wg.Wait()
+}
+
+// TestSecAggLateAfterReconTCP: the late-after-reconciliation refusal
+// must hold on the real stream transport, not just in-memory pipes —
+// TCP buffering delays and reorders nothing the protocol relies on.
+func TestSecAggLateAfterReconTCP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	events := make(chan engineEvent, 64)
+	fast := newTestTrainer("fast", false, 2)
+	slow := newGateTrainer("slow", 4, 0)
+	var wg sync.WaitGroup
+	clientErrs := make([]error, 2)
+	for i, tr := range []Trainer{fast, slow} {
+		wg.Add(1)
+		go func(i int, tr Trainer) {
+			defer wg.Done()
+			conn, err := Dial(l.Addr())
+			if err != nil {
+				clientErrs[i] = err
+				return
+			}
+			defer conn.Close()
+			clientErrs[i] = NewClient(conn, tr).Run()
+		}(i, tr)
+	}
+	conns := make([]Conn, 0, 2)
+	for len(conns) < 2 {
+		c, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+
+	state := newState(0)
+	var mu sync.Mutex
+	var quarantineReason error
+	hooks := eventHooks(events)
+	forward := hooks.ClientQuarantined
+	hooks.ClientQuarantined = func(device string, reason error) {
+		mu.Lock()
+		quarantineReason = reason
+		mu.Unlock()
+		forward(device, reason)
+	}
+	srv := NewServer(state, ServerConfig{
+		Rounds: 2, MinClients: 1, RoundDeadline: time.Second, Clock: clk,
+		SecAgg: true, Hooks: hooks,
+	})
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(conns)
+		serverErr <- err
+	}()
+
+	waitEvent(t, events, "folded")
+	clk.Advance(time.Second)
+	closed := waitEvent(t, events, "closed")
+	if closed.stats.Responded != 1 || closed.stats.Dropped != 1 || closed.stats.Reconciled != 1 {
+		t.Fatalf("round 0 stats = %+v", closed.stats)
+	}
+
+	waitEvent(t, events, "started")
+	slow.release(0)
+	q := waitEvent(t, events, "quarantined")
+	if q.device != "slow" {
+		t.Fatalf("quarantined %q, want the late straggler", q.device)
+	}
+	closed = waitEvent(t, events, "closed")
+	if closed.stats.Responded != 1 || closed.stats.Quarantined != 1 ||
+		closed.stats.LateDiscarded != 0 || closed.stats.Reconciled != 1 {
+		t.Fatalf("round 1 stats = %+v", closed.stats)
+	}
+
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	mu.Lock()
+	reason := quarantineReason
+	mu.Unlock()
+	if !errors.Is(reason, ErrLateAfterRecon) {
+		t.Fatalf("quarantine reason = %v, want ErrLateAfterRecon", reason)
+	}
+	if got := state[0].Data[0]; got != 4 {
+		t.Fatalf("state = %v, want 4", got)
+	}
+}
+
+// TestSecAggKRegularAutoDegreeTCP: auto degree over the real stream
+// transport with a cohort smaller than the degree floor. DegreeFor(3)
+// is 6, so both sides must clamp the announced degree to the complete
+// graph (2 neighbours) identically — a divergence here makes the
+// server expect a share count the clients never produce.
+func TestSecAggKRegularAutoDegreeTCP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	trainers := make([]*testTrainer, 3)
+	for i := range trainers {
+		trainers[i] = newTestTrainer(fmt.Sprintf("pi-%d", i), false, float64(i+1))
+	}
+	var wg sync.WaitGroup
+	clientErrs := make([]error, len(trainers))
+	for i, tr := range trainers {
+		wg.Add(1)
+		go func(i int, tr Trainer) {
+			defer wg.Done()
+			conn, err := Dial(l.Addr())
+			if err != nil {
+				clientErrs[i] = err
+				return
+			}
+			defer conn.Close()
+			clientErrs[i] = NewClient(conn, tr).Run()
+		}(i, tr)
+	}
+	conns := make([]Conn, 0, len(trainers))
+	for len(conns) < len(trainers) {
+		c, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+
+	state := newState(1, 10)
+	srv := NewServer(state, ServerConfig{
+		Rounds: 3, SecAgg: true, MaskDegree: secagg.AutoDegree,
+	})
+	if _, err := srv.Run(conns); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for r, st := range srv.Trace() {
+		if st.Responded != 3 || st.Quarantined != 0 || st.Reconciled != 0 {
+			t.Fatalf("round %d stats = %+v", r, st)
+		}
+	}
+	// avg delta = 2 per round, 3 rounds → +6 on every element.
+	if got := state[0].Data[0]; got != 7 {
+		t.Fatalf("state[0] = %v, want 7", got)
+	}
+}
+
+// TestSecAggKRegularMatchesPlaintext: with a k-regular mask graph (a
+// proper subgraph of the complete cohort graph) and double masking,
+// the full-cohort session still lands bit-identically on the
+// plaintext model — pairwise masks cancel along graph edges and every
+// self mask is removed via the reconstructed Shamir seeds.
+func TestSecAggKRegularMatchesPlaintext(t *testing.T) {
+	build := func() []*testTrainer {
+		trainers := make([]*testTrainer, 8)
+		for i := range trainers {
+			trainers[i] = newTestTrainer(fmt.Sprintf("dev-%d", i), false, float64(i+1))
+		}
+		return trainers
+	}
+
+	plainState := newState(1, 10)
+	plainSrv := NewServer(plainState, ServerConfig{Rounds: 3})
+	if _, err := runSession(t, plainSrv, build()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degree 4 over 8 devices: each member masks against 4 of its 7
+	// possible peers, so cancellation genuinely follows the graph.
+	maskedState := newState(1, 10)
+	maskedSrv := NewServer(maskedState, ServerConfig{Rounds: 3, SecAgg: true, MaskDegree: 4})
+	if _, err := runSession(t, maskedSrv, build()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range plainState {
+		for j := range plainState[i].Data {
+			if plainState[i].Data[j] != maskedState[i].Data[j] {
+				t.Fatalf("tensor %d elem %d: plaintext %v != k-regular masked %v",
+					i, j, plainState[i].Data[j], maskedState[i].Data[j])
+			}
+		}
+	}
+	for r, st := range maskedSrv.Trace() {
+		want := plainSrv.Trace()[r]
+		if st.Responded != want.Responded || st.WeightTotal != want.WeightTotal {
+			t.Fatalf("round %d stats diverged: plaintext %+v, masked %+v", r, want, st)
+		}
+		// A full k-regular fold removes its self masks without counting
+		// them as reconciled dropouts.
+		if st.Reconciled != 0 {
+			t.Fatalf("full cohort must report no reconciled dropouts: %+v", st)
+		}
+	}
+}
+
+// TestSecAggKRegularStragglerDropout: under a k-regular graph a
+// dropped straggler is reconciled from its surviving neighbours alone
+// — pair seeds for its edges, Shamir shares for the survivors' self
+// masks — and the weighted aggregate of the survivors comes out
+// exactly.
+func TestSecAggKRegularStragglerDropout(t *testing.T) {
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	events := make(chan engineEvent, 64)
+	// Five responders with dyadic weighted mean: (1+2+3+4+6·4)/8 = 4.25.
+	deltas := []float64{1, 2, 3, 4, 6}
+	weights := []int{1, 1, 1, 1, 4}
+	trainers := make([]Trainer, 0, 6)
+	for i, d := range deltas {
+		tr := newTestTrainer(fmt.Sprintf("dev-%d", i), false, d)
+		tr.examples = weights[i]
+		trainers = append(trainers, tr)
+	}
+	// Gated on both rounds: drops at each deadline, never reports late.
+	slow := newGateTrainer("slow", 9, 0, 1)
+	trainers = append(trainers, slow)
+
+	state := newState(0)
+	srv := NewServer(state, ServerConfig{
+		Rounds: 2, MinClients: 1, RoundDeadline: time.Second, Clock: clk,
+		SecAgg: true, MaskDegree: 4, Hooks: eventHooks(events),
+	})
+	serverErr, _, _, wg := startSession(srv, trainers)
+
+	for round := 0; round < 2; round++ {
+		for i := 0; i < len(deltas); i++ {
+			waitEvent(t, events, "folded")
+		}
+		clk.Advance(time.Second)
+		closed := waitEvent(t, events, "closed")
+		if closed.stats.Responded != 5 || closed.stats.Dropped != 1 {
+			t.Fatalf("round %d stats = %+v", round, closed.stats)
+		}
+		if closed.stats.Reconciled != 1 {
+			t.Fatalf("round %d reconciled %d, want 1", round, closed.stats.Reconciled)
+		}
+	}
+
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	if got := state[0].Data[0]; got != 8.5 {
+		t.Fatalf("state = %v, want 8.5 (two rounds of the exact 4.25 survivor mean)", got)
+	}
+	slow.release(0)
+	slow.release(1)
+	wg.Wait()
 }
 
 // TestSecAggEnclaveProtectedSession: with a protection plan, sealed

@@ -31,7 +31,43 @@ var (
 	// halves aggregate inside the root's enclave, which a shard partial
 	// cannot carry.
 	ErrPartialProtected = errors.New("fl: hierarchical secure-aggregation partials cannot carry protected tensors")
+	// ErrLateAfterRecon is returned (through the quarantine/probation
+	// machinery) when a device delivers an update for a round whose
+	// masks were already reconciled with that device counted as dropped.
+	// The survivors revealed their pair seeds with it for that round, so
+	// a server holding this update could strip its masks and read it —
+	// the exact hole silent discarding left open. The update is refused
+	// and the device sanctioned (probation under QuarantineRounds,
+	// permanent quarantine otherwise).
+	ErrLateAfterRecon = errors.New("fl: update arrived after its round's masks were reconciled")
 )
+
+// resolveMaskDegree turns the configured MaskDegree into the round's
+// concrete graph degree for a cohort of n: 0 keeps legacy full-pairwise
+// masking, negative (secagg.AutoDegree) sizes the graph from the
+// cohort, positive fixes it.
+func resolveMaskDegree(cfg, n int) int {
+	if cfg < 0 {
+		return secagg.DegreeFor(n)
+	}
+	return cfg
+}
+
+// secAggRoundState bundles one secure-aggregation round's mutable fold
+// state so the arrival handler and the reconciliation phase share one
+// view of it.
+type secAggRoundState struct {
+	degree       int           // resolved mask-graph degree (0 = full pairwise)
+	graph        *secagg.Graph // nil in legacy mode
+	msum         *secagg.MaskedSum
+	hasProtected bool
+	pending      map[*session]bool
+	folded       map[*session]bool
+	// wrapped stores each folded client's wrapped self-seed shares,
+	// owner → holder → blob, opaque to the server until reconciliation
+	// forwards them to their holders.
+	wrapped map[string]map[string][]byte
+}
 
 // runSecAggRound executes one secure-aggregation FL cycle. It mirrors
 // runRound's lifecycle — sample, distribute, fold until the deadline —
@@ -116,8 +152,28 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 	// derive its pairwise masks. It is identical for the whole cohort,
 	// so the no-sealing broadcast stays encode-once per codec.
 	cohort := make([]secagg.Peer, len(sampled))
+	names := make([]string, len(sampled))
 	for i, sess := range sampled {
 		cohort[i] = secagg.Peer{Device: sess.device, Pub: sess.maskPub}
+		names[i] = sess.device
+	}
+
+	// Resolve the round's masking topology. With a degree the server
+	// derives the same deterministic graph every cohort member derives
+	// from (round, roster) — no extra negotiation on the wire, only the
+	// resolved degree riding ModelDown.
+	degree := resolveMaskDegree(s.cfg.MaskDegree, len(sampled))
+	var graph *secagg.Graph
+	if degree > 0 {
+		var err error
+		if graph, err = secagg.NewGraph(round, names, degree); err != nil {
+			s.closeRound(stats, false, nil)
+			return nil, fmt.Errorf("fl: deriving mask graph: %w", err)
+		}
+		if graph.Degree() == 0 {
+			// A one-member cohort has no pairs and needs no self mask.
+			degree, graph = 0, nil
+		}
 	}
 
 	// Distribute: without a protection plan every client receives the
@@ -137,7 +193,7 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 	if !hasProtected {
 		for _, sess := range sampled {
 			if _, ok := shared[sess.codec]; !ok {
-				down := &ModelDown{Round: round, Plain: plain, Plan: planBlob, Cohort: cohort, Trace: s.curTrace}
+				down := &ModelDown{Round: round, Plain: plain, Plan: planBlob, Cohort: cohort, Trace: s.curTrace, MaskDegree: degree}
 				shared[sess.codec] = EncodeMessageCodec(down, sess.codec)
 			}
 		}
@@ -156,7 +212,7 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 			}
 			sealed, err := s.cfg.Enclave.Seal(sess.device, sealedBlob)
 			if err == nil {
-				down := &ModelDown{Round: round, Plain: plain, Sealed: sealed, Plan: planBlob, Cohort: cohort, Trace: s.curTrace}
+				down := &ModelDown{Round: round, Plain: plain, Sealed: sealed, Plan: planBlob, Cohort: cohort, Trace: s.curTrace, MaskDegree: degree}
 				err = sess.conn.Send(down)
 			}
 			sendErrs[i] = err
@@ -176,19 +232,27 @@ func (s *Server) runSecAggRound(round int, sessions []*session, arrivals <-chan 
 
 	msum := secagg.NewMaskedSum(s.state, protectedMap, s.cfg.SecAggScaleBits)
 	s.ob.instrumentMaskedSum(msum)
-	folded := make(map[*session]bool, len(sampled))
+	st := &secAggRoundState{
+		degree:       degree,
+		graph:        graph,
+		msum:         msum,
+		hasProtected: hasProtected,
+		pending:      pending,
+		folded:       make(map[*session]bool, len(sampled)),
+		wrapped:      make(map[string]map[string][]byte),
+	}
 	ptCollect := s.ob.startPhase("collect", round)
 collect:
 	for len(pending) > 0 {
 		select {
 		case a := <-arrivals:
-			s.handleSecAggArrival(round, a, pending, folded, msum, hasProtected, &stats, &reasons)
+			s.handleSecAggArrival(round, a, st, &stats, &reasons)
 		case <-deadlineC:
 			// Drain updates that raced the deadline, then drop the rest.
 			for {
 				select {
 				case a := <-arrivals:
-					s.handleSecAggArrival(round, a, pending, folded, msum, hasProtected, &stats, &reasons)
+					s.handleSecAggArrival(round, a, st, &stats, &reasons)
 				default:
 					break collect
 				}
@@ -196,6 +260,7 @@ collect:
 		}
 	}
 	ptCollect.end()
+	folded := st.folded
 	stats.Dropped = len(pending)
 	stats.Responded = msum.Count()
 	stats.WeightTotal = msum.Weight()
@@ -221,22 +286,41 @@ collect:
 
 	// Every cohort member that did not fold — straggler, quarantined or
 	// unreachable — left its pairwise masks with the survivors dangling;
-	// reconcile before the sum is readable.
+	// reconcile before the sum is readable. In k-regular mode the phase
+	// always runs: every folded update additionally carries a self mask
+	// that only the cohort's Shamir shares can remove.
 	var unfolded []string
+	var unfoldedSess []*session
 	for _, sess := range sampled {
 		if !folded[sess] {
 			unfolded = append(unfolded, sess.device)
+			unfoldedSess = append(unfoldedSess, sess)
 		}
 	}
 	sort.Strings(unfolded)
-	if len(unfolded) > 0 {
+	if graph != nil || len(unfolded) > 0 {
 		ptRecon := s.ob.startPhase("reconcile", round)
-		err := s.reconcileMasks(round, unfolded, folded, msum, arrivals, &stats, &reasons)
+		// From here the survivors reveal seeds for this round with the
+		// unfolded members counted as dropped: any later update from
+		// them for this round is refusable as unmaskable-by-the-server
+		// (ErrLateAfterRecon), never silently discarded.
+		for _, sess := range unfoldedSess {
+			sess.reconDoneRound = round + 1
+		}
+		var err error
+		if graph != nil {
+			err = s.reconcileDouble(round, st, unfolded, arrivals, &stats, &reasons)
+		} else {
+			err = s.reconcileMasks(round, unfolded, folded, msum, arrivals, &stats, &reasons)
+		}
 		ptRecon.end()
 		if err != nil {
 			s.closeRound(stats, false, nil)
 			return nil, err
 		}
+		// Reconciled counts reconciled dropouts in both modes — a full
+		// k-regular fold reports 0 even though its self masks were
+		// removed, keeping round traces comparable with plaintext runs.
 		stats.Reconciled = len(unfolded)
 	}
 
@@ -285,13 +369,13 @@ func protTensors(state []*tensor.Tensor, idx []int) []*tensor.Tensor {
 
 // handleSecAggArrival routes one client message during the fold phase
 // of a secure-aggregation round.
-func (s *Server) handleSecAggArrival(round int, a arrival, pending, folded map[*session]bool, msum *secagg.MaskedSum, hasProtected bool, stats *RoundStats, reasons *[]string) {
+func (s *Server) handleSecAggArrival(round int, a arrival, st *secAggRoundState, stats *RoundStats, reasons *[]string) {
 	sess := a.sess
 	if sess.quarantined {
 		return // residue from an already-closed connection
 	}
 	if a.err != nil {
-		delete(pending, sess)
+		delete(st.pending, sess)
 		s.quarantineAt(sess, round, errors.Is(a.err, ErrDecode), fmt.Errorf("transport: %w", a.err), stats, reasons)
 		return
 	}
@@ -302,11 +386,19 @@ func (s *Server) handleSecAggArrival(round int, a arrival, pending, folded map[*
 		return
 	case *MaskedUp:
 		if m.Round < round {
+			if m.Round < sess.reconDoneRound {
+				// The target round's masks were already reconciled with
+				// this device counted as dropped; the survivors' revealed
+				// seeds would strip this very update.
+				delete(st.pending, sess)
+				s.quarantineAt(sess, round, true, fmt.Errorf("%w: masked update for round %d", ErrLateAfterRecon, m.Round), stats, reasons)
+				return
+			}
 			stats.LateDiscarded++
 			return
 		}
-		if m.Round > round || !pending[sess] {
-			delete(pending, sess)
+		if m.Round > round || !st.pending[sess] {
+			delete(st.pending, sess)
 			s.quarantineAt(sess, round, true, fmt.Errorf("unexpected masked update for round %d during round %d", m.Round, round), stats, reasons)
 			return
 		}
@@ -314,41 +406,62 @@ func (s *Server) handleSecAggArrival(round int, a arrival, pending, folded map[*
 		if m.Examples > 0 {
 			weight = min(m.Examples, MaxExampleWeight)
 		}
-		if err := s.foldMasked(sess, round, m, weight, msum, hasProtected); err != nil {
-			delete(pending, sess)
+		if err := s.foldMasked(sess, round, m, weight, st); err != nil {
+			delete(st.pending, sess)
 			s.quarantineAt(sess, round, true, err, stats, reasons)
 			return
 		}
-		delete(pending, sess)
-		folded[sess] = true
+		delete(st.pending, sess)
+		st.folded[sess] = true
 		s.journalAppend(&journal.Record{Type: journal.RecFold, Round: round, Device: sess.device})
 		if s.cfg.Hooks.UpdateFolded != nil {
 			s.cfg.Hooks.UpdateFolded(round, sess.device)
 		}
+	case *GradUp:
+		// A plaintext update has no business in a secure-aggregation
+		// session; one for an already-reconciled round is additionally
+		// the unmasking hazard and carries the typed error.
+		delete(st.pending, sess)
+		if m.Round < sess.reconDoneRound {
+			s.quarantineAt(sess, round, true, fmt.Errorf("%w: plaintext update for round %d", ErrLateAfterRecon, m.Round), stats, reasons)
+			return
+		}
+		s.quarantineAt(sess, round, true, fmt.Errorf("unexpected %T mid-round", a.msg), stats, reasons)
 	case *ErrorMsg:
-		delete(pending, sess)
+		delete(st.pending, sess)
 		s.quarantineAt(sess, round, true, fmt.Errorf("client error: %s", m.Text), stats, reasons)
 	default:
-		delete(pending, sess)
+		delete(st.pending, sess)
 		s.quarantineAt(sess, round, true, fmt.Errorf("unexpected %T mid-round", a.msg), stats, reasons)
 	}
 }
 
 // foldMasked validates and folds one masked update: levels into the
-// masked sum, the sealed half into the enclave. Validation precedes
-// every mutation so a rejected update leaves both accumulators
-// untouched and consistent with each other.
-func (s *Server) foldMasked(sess *session, round int, m *MaskedUp, weight uint64, msum *secagg.MaskedSum, hasProtected bool) error {
-	if !hasProtected {
+// masked sum, the sealed half into the enclave, the wrapped self-seed
+// shares into the round's escrow. Validation precedes every mutation so
+// a rejected update leaves all accumulators untouched and consistent
+// with each other.
+func (s *Server) foldMasked(sess *session, round int, m *MaskedUp, weight uint64, st *secAggRoundState) error {
+	wrapped, err := validateShares(sess.device, m.Shares, st.graph)
+	if err != nil {
+		return err
+	}
+	if !st.hasProtected {
 		if len(m.Sealed) > 0 {
 			return errors.New("sealed payload in a round without protected tensors")
 		}
-		return msum.Add(m.Levels, weight) // Add validates atomically
+		if err := st.msum.Add(m.Levels, weight); err != nil { // Add validates atomically
+			return err
+		}
+		if wrapped != nil {
+			st.wrapped[sess.device] = wrapped
+		}
+		return nil
 	}
 	// The level check must pass before the enclave folds, or the two
 	// accumulators drift apart on a rejected update. Add's own repeat
 	// of the validation cannot fail after this.
-	if err := msum.Validate(m.Levels); err != nil {
+	if err := st.msum.Validate(m.Levels); err != nil {
 		return err
 	}
 	if len(m.Sealed) == 0 {
@@ -357,7 +470,46 @@ func (s *Server) foldMasked(sess *session, round int, m *MaskedUp, weight uint64
 	if err := s.cfg.Enclave.Fold(sess.device, round, m.Sealed, float64(weight)); err != nil {
 		return err
 	}
-	return msum.Add(m.Levels, weight)
+	if err := st.msum.Add(m.Levels, weight); err != nil {
+		return err
+	}
+	if wrapped != nil {
+		st.wrapped[sess.device] = wrapped
+	}
+	return nil
+}
+
+// validateShares checks a masked update's wrapped self-seed shares
+// against the round's mask graph before anything is folded: exactly one
+// share per graph neighbour, none elsewhere, every blob the single
+// valid length. Legacy rounds (nil graph) must carry none. Returns the
+// shares keyed by holder.
+func validateShares(device string, shares []secagg.WrappedShare, graph *secagg.Graph) (map[string][]byte, error) {
+	if graph == nil {
+		if len(shares) > 0 {
+			return nil, errors.New("self-seed shares in a full-pairwise round")
+		}
+		return nil, nil
+	}
+	neigh := graph.Neighbors(device)
+	if len(shares) != len(neigh) {
+		return nil, fmt.Errorf("masked update carries %d self-seed shares, graph degree is %d", len(shares), len(neigh))
+	}
+	allowed := make(map[string]bool, len(neigh))
+	for _, d := range neigh {
+		allowed[d] = true
+	}
+	out := make(map[string][]byte, len(shares))
+	for _, ws := range shares {
+		if !allowed[ws.To] || out[ws.To] != nil {
+			return nil, fmt.Errorf("self-seed share addressed to %q outside the mask neighbourhood", ws.To)
+		}
+		if len(ws.Blob) != secagg.WrappedShareLen {
+			return nil, fmt.Errorf("self-seed share for %q is %d bytes, want %d", ws.To, len(ws.Blob), secagg.WrappedShareLen)
+		}
+		out[ws.To] = ws.Blob
+	}
+	return out, nil
 }
 
 // reconcileMasks runs the post-deadline reconciliation phase: every
@@ -428,9 +580,16 @@ func (s *Server) reconcileMasks(round int, unfolded []string, folded map[*sessio
 				}
 				delete(need, sess)
 			case *MaskedUp:
-				// A dropped straggler racing the reconciliation phase:
-				// its update can no longer fold (the cohort is being
-				// reconciled without it) and is discarded.
+				// A dropped straggler racing the reconciliation phase: the
+				// survivors are revealing (or already revealed) their pair
+				// seeds with it for this round, so accepting — or even
+				// silently keeping — its update is the unmasking window.
+				// Refuse it with the typed error; duplicates from folded
+				// members remain plain late discards.
+				if m.Round < sess.reconDoneRound {
+					s.quarantineAt(sess, round, true, fmt.Errorf("%w: masked update for round %d", ErrLateAfterRecon, m.Round), stats, reasons)
+					continue
+				}
 				if m.Round <= round {
 					stats.LateDiscarded++
 					continue
@@ -478,6 +637,226 @@ func applyShares(survivor string, shares []secagg.PairShare, droppedSet map[stri
 	}
 	for _, share := range shares {
 		msum.ApplySeedMask(share.Seed, -secagg.PairSign(survivor, share.Device))
+	}
+	return nil
+}
+
+// reconExpect tracks what one folded survivor was asked for during
+// k-regular reconciliation.
+type reconExpect struct {
+	dropped map[string]bool // dropped neighbours whose pair seeds it must reveal
+	owners  map[string]bool // folded neighbours whose self-seed shares it may reveal
+}
+
+// reconcileDouble runs the k-regular double-masking reconciliation.
+// Per folded survivor the server sends one MaskRecon naming, among the
+// survivor's graph neighbours only, (a) the dropped ones — their
+// dangling pair masks must come off via revealed pair seeds — and (b)
+// the folded ones, each with its wrapped self-seed share — their self
+// masks must come off via Shamir reconstruction. Per peer a neighbour
+// is asked for exactly one of the two (the client enforces the same
+// exclusivity with ErrRoleConflict). The phase tolerates survivors
+// vanishing mid-reconciliation as long as (a) they owed no pair seeds
+// and (b) every folded member still reaches its Shamir threshold;
+// otherwise the round fails with ErrSecAggRecon and nothing is
+// published.
+func (s *Server) reconcileDouble(round int, st *secAggRoundState, unfolded []string, arrivals <-chan arrival, stats *RoundStats, reasons *[]string) error {
+	graph := st.graph
+	droppedSet := make(map[string]bool, len(unfolded))
+	for _, d := range unfolded {
+		droppedSet[d] = true
+	}
+
+	need := make(map[*session]*reconExpect, len(st.folded))
+	threshold := graph.Threshold()
+	seedShares := make(map[string][]secagg.Share, len(st.folded))
+	for sess := range st.folded {
+		if sess.quarantined {
+			return fmt.Errorf("%w: survivor %s lost before reconciliation", ErrSecAggRecon, sess.device)
+		}
+		exp := &reconExpect{dropped: make(map[string]bool), owners: make(map[string]bool)}
+		req := &MaskRecon{Round: round}
+		for _, p := range graph.Neighbors(sess.device) {
+			if droppedSet[p] {
+				exp.dropped[p] = true
+				req.Dropped = append(req.Dropped, p)
+				continue
+			}
+			if blob, ok := st.wrapped[p][sess.device]; ok {
+				exp.owners[p] = true
+				req.Survivors = append(req.Survivors, secagg.SeedEnvelope{Owner: p, Blob: blob})
+			}
+		}
+		if len(req.Dropped) == 0 && len(req.Survivors) == 0 {
+			continue // nothing to ask this survivor
+		}
+		if err := sess.conn.Send(req); err != nil {
+			if len(exp.dropped) > 0 {
+				return fmt.Errorf("%w: requesting shares from %s: %v", ErrSecAggRecon, sess.device, err)
+			}
+			s.quarantineAt(sess, round, false, fmt.Errorf("transport: %w", err), stats, reasons)
+			continue // only owed seed shares; the threshold check decides
+		}
+		need[sess] = exp
+	}
+
+	var deadlineC <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		timer := s.cfg.Clock.NewTimer(s.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+	// lose drops a needed survivor: fatal while it still owes pair
+	// seeds (they are held by nobody else), survivable when it only
+	// owed self-seed shares (threshold check at the end decides).
+	lose := func(sess *session, cause error) error {
+		exp := need[sess]
+		delete(need, sess)
+		if exp != nil && len(exp.dropped) > 0 {
+			return fmt.Errorf("%w: survivor %s lost before revealing pair seeds: %v", ErrSecAggRecon, sess.device, cause)
+		}
+		return nil
+	}
+	for len(need) > 0 {
+		select {
+		case a := <-arrivals:
+			sess := a.sess
+			if sess.quarantined {
+				continue
+			}
+			if a.err != nil {
+				err := lose(sess, a.err)
+				s.quarantineAt(sess, round, errors.Is(a.err, ErrDecode), fmt.Errorf("transport: %w", a.err), stats, reasons)
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			switch m := a.msg.(type) {
+			case *CodecSwitch:
+				continue // ack of an adaptive downgrade, handled in the read loop
+			case *MaskShares:
+				exp := need[sess]
+				if m.Round != round || exp == nil {
+					err := lose(sess, errors.New("out-of-protocol shares"))
+					s.quarantineAt(sess, round, true, fmt.Errorf("unexpected mask shares for round %d", m.Round), stats, reasons)
+					if err != nil {
+						return err
+					}
+					continue
+				}
+				if err := s.applyDoubleShares(sess, m, exp, graph, st.msum, seedShares); err != nil {
+					delete(need, sess)
+					s.quarantineAt(sess, round, true, err, stats, reasons)
+					return fmt.Errorf("%w: shares from %s: %v", ErrSecAggRecon, sess.device, err)
+				}
+				delete(need, sess)
+			case *MaskedUp:
+				// A dropped straggler racing the reconciliation: its
+				// neighbours are revealing pair seeds for this round right
+				// now, so its update must be refused with the typed error —
+				// a curious server could unmask it. Folded members' stale
+				// duplicates stay plain late discards.
+				if m.Round < sess.reconDoneRound {
+					s.quarantineAt(sess, round, true, fmt.Errorf("%w: masked update for round %d", ErrLateAfterRecon, m.Round), stats, reasons)
+					continue
+				}
+				if m.Round <= round {
+					stats.LateDiscarded++
+					continue
+				}
+				s.quarantineAt(sess, round, true, fmt.Errorf("masked update for future round %d", m.Round), stats, reasons)
+			case *ErrorMsg:
+				err := lose(sess, fmt.Errorf("client error: %s", m.Text))
+				s.quarantineAt(sess, round, true, fmt.Errorf("client error: %s", m.Text), stats, reasons)
+				if err != nil {
+					return err
+				}
+			default:
+				err := lose(sess, fmt.Errorf("unexpected %T", a.msg))
+				s.quarantineAt(sess, round, true, fmt.Errorf("unexpected %T during reconciliation", a.msg), stats, reasons)
+				if err != nil {
+					return err
+				}
+			}
+		case <-deadlineC:
+			var missing []string
+			mustFail := false
+			for sess, exp := range need {
+				missing = append(missing, sess.device)
+				if len(exp.dropped) > 0 {
+					mustFail = true
+				}
+			}
+			sort.Strings(missing)
+			if mustFail {
+				return fmt.Errorf("%w: timed out waiting for shares from %s", ErrSecAggRecon, strings.Join(missing, ", "))
+			}
+			// Every missing answer only carried self-seed shares; fall
+			// through to the threshold check with what arrived.
+			need = nil
+		}
+		if need == nil {
+			break
+		}
+	}
+
+	// Second half of the double mask: reconstruct every folded member's
+	// self seed from ≥ threshold neighbour shares and subtract its
+	// expansion. Short of threshold the sum stays opaque — fail the
+	// round rather than publish masked data.
+	for sess := range st.folded {
+		owner := sess.device
+		seed, err := secagg.CombineSeed(seedShares[owner], threshold)
+		if err != nil {
+			return fmt.Errorf("%w: reconstructing self seed of %s from %d shares (threshold %d): %v",
+				ErrSecAggRecon, owner, len(seedShares[owner]), threshold, err)
+		}
+		st.msum.ApplySeedMask(seed, -1)
+	}
+	return nil
+}
+
+// applyDoubleShares validates and applies one survivor's MaskShares
+// answer during k-regular reconciliation: pair seeds exactly covering
+// its dropped neighbours are subtracted immediately; self-seed shares —
+// at most one per folded neighbour it was sent an envelope for, with
+// the x-coordinate pinned to the owner's share index for this holder —
+// are banked for reconstruction. A client may return fewer seed shares
+// than envelopes (corrupt blobs are withheld), never more.
+func (s *Server) applyDoubleShares(sess *session, m *MaskShares, exp *reconExpect, graph *secagg.Graph, msum *secagg.MaskedSum, seedShares map[string][]secagg.Share) error {
+	if len(m.Shares) != len(exp.dropped) {
+		return fmt.Errorf("revealed %d pair seeds, want %d", len(m.Shares), len(exp.dropped))
+	}
+	seenPair := make(map[string]bool, len(m.Shares))
+	for _, share := range m.Shares {
+		if !exp.dropped[share.Device] || seenPair[share.Device] {
+			return fmt.Errorf("pair seed for unexpected peer %q", share.Device)
+		}
+		seenPair[share.Device] = true
+	}
+	seenOwner := make(map[string]bool, len(m.SeedShares))
+	for _, ss := range m.SeedShares {
+		if !exp.owners[ss.Owner] || seenOwner[ss.Owner] {
+			return fmt.Errorf("self-seed share for unexpected owner %q", ss.Owner)
+		}
+		seenOwner[ss.Owner] = true
+		// The x-coordinate is not holder-chosen: it is the holder's index
+		// in the owner's neighbour list, fixed by the graph. A swapped or
+		// invented x would poison the Lagrange interpolation with a valid-
+		// looking share — reject it as a protocol fault instead.
+		if want := graph.ShareIndex(ss.Owner, sess.device); int(ss.X) != want {
+			return fmt.Errorf("self-seed share for %q carries x=%d, holder index is %d", ss.Owner, ss.X, want)
+		}
+		if len(ss.Data) != secagg.SeedShareLen {
+			return fmt.Errorf("self-seed share for %q has %d data bytes", ss.Owner, len(ss.Data))
+		}
+	}
+	for _, share := range m.Shares {
+		msum.ApplySeedMask(share.Seed, -secagg.PairSign(sess.device, share.Device))
+	}
+	for _, ss := range m.SeedShares {
+		seedShares[ss.Owner] = append(seedShares[ss.Owner], secagg.Share{X: ss.X, Data: ss.Data})
 	}
 	return nil
 }

@@ -82,6 +82,15 @@ type ServerConfig struct {
 	// SecAggScaleBits is the fixed-point precision for masked updates;
 	// 0 selects secagg.DefaultScaleBits.
 	SecAggScaleBits int
+	// MaskDegree selects the masking topology for SecAgg sessions. 0
+	// (the default) keeps the legacy full-pairwise masking — every
+	// cohort member masks against every other, wire behaviour unchanged.
+	// secagg.AutoDegree (-1) derives a k-regular mask graph per round
+	// with k ≈ ⌈log₂ cohort⌉ plus slack, and a positive value fixes the
+	// degree. With a graph, clients double-mask (pairwise + Shamir-shared
+	// self mask), cutting masking cost from O(cohort²) to O(k·cohort)
+	// and closing the late-update unmasking window (see internal/secagg).
+	MaskDegree int
 	// Enclave, in SecAgg sessions, aggregates sealed protected-layer
 	// updates inside a simulated server enclave: trusted-channel keys
 	// are generated there during selection and sealed blobs are opened
@@ -497,6 +506,13 @@ type session struct {
 	enclaveChannel bool
 	// quarantined permanently excludes the client (connection closed).
 	quarantined bool
+	// reconDoneRound is 1 + the latest round whose pairwise masks were
+	// reconciled with this client counted as dropped (0 = never). An
+	// update for any round below it arrives after the survivors already
+	// revealed their seeds for that round — accepting it would let a
+	// curious server unmask it — so it is refused with ErrLateAfterRecon
+	// instead of being silently discarded.
+	reconDoneRound int
 	// probationUntil, under ServerConfig.QuarantineRounds, is the first
 	// round index the client is eligible for again after a failure.
 	probationUntil int
@@ -956,6 +972,7 @@ func (s *Server) selectOne(conn Conn) *session {
 	if s.cfg.SecAgg {
 		ch.SecAgg = true
 		ch.ScaleBits = uint8(s.cfg.SecAggScaleBits)
+		ch.MaskDegree = s.cfg.MaskDegree
 		if enclaved {
 			// The quote covers nonce ‖ offered channel key, binding the
 			// enclave identity to the key clients will seal against.
@@ -1419,6 +1436,14 @@ func (s *Server) handleArrival(round int, a arrival, pending map[*session]bool, 
 		return
 	case *GradUp:
 		if m.Round < round {
+			if m.Round < sess.reconDoneRound {
+				// The target round's masks were already reconciled with
+				// this device counted as dropped: accepting anything it
+				// trained for that round is the unmasking window.
+				delete(pending, sess)
+				s.quarantineAt(sess, round, true, fmt.Errorf("%w: update for round %d", ErrLateAfterRecon, m.Round), stats, reasons)
+				return
+			}
 			// A straggler's answer to an earlier round: discard, but keep
 			// the client pending — its answer to this round may follow.
 			stats.LateDiscarded++

@@ -105,6 +105,13 @@ type Scenario struct {
 	// updates are dyadic, so the masked aggregate is bit-identical to
 	// the plaintext aggregate of the same scenario.
 	SecAgg bool
+	// MaskDegree selects the SecAgg masking topology, forwarded to
+	// fl.ServerConfig.MaskDegree: 0 = legacy full pairwise,
+	// secagg.AutoDegree = per-round k-regular graph with double
+	// masking, >0 = fixed graph degree. Masks (and the k-regular self
+	// masks) cancel exactly in the ring, so every mode reproduces the
+	// plaintext aggregate bit for bit.
+	MaskDegree int
 	// Protect lists flat tensor indices shielded every round: they
 	// travel sealed through each client's trusted channel. Under SecAgg
 	// an aggregation enclave is created to fold them; without SecAgg
@@ -459,6 +466,7 @@ type simClient struct {
 	mask    *secagg.ClientSession // masking state in secagg sessions
 	cohort  []secagg.Peer         // roster of the round in flight
 	round   int
+	degree  int // resolved mask-graph degree of the roster (0 = full pairwise)
 }
 
 // run speaks the client side of the FL protocol: attest, then answer
@@ -533,6 +541,16 @@ func (c *simClient) run() {
 			if c.mask == nil || m.Round != c.round {
 				return
 			}
+			if c.degree > 0 {
+				ans, err := c.mask.Reconcile(m.Round, m.Dropped, m.Survivors)
+				if err != nil {
+					return
+				}
+				if err := c.conn.Send(&fl.MaskShares{Round: m.Round, Shares: ans.Pairs, SeedShares: ans.Seeds}); err != nil {
+					return
+				}
+				continue
+			}
 			shares, err := c.mask.Shares(m.Round, c.cohort, m.Dropped)
 			if err != nil {
 				return
@@ -604,15 +622,16 @@ func (c *simClient) answerRound(m *fl.ModelDown) error {
 	}
 	c.cohort = m.Cohort
 	c.round = m.Round
+	c.degree = m.MaskDegree
 	weight := uint64(1)
 	if examples > 0 {
 		weight = min(examples, fl.MaxExampleWeight)
 	}
-	levels, err := c.mask.MaskedUpdate(m.Round, m.Cohort, plainUpd, weight)
+	levels, shares, err := c.mask.MaskedUpdate(m.Round, m.Cohort, m.MaskDegree, plainUpd, weight)
 	if err != nil {
 		return err
 	}
-	return c.conn.Send(&fl.MaskedUp{Round: m.Round, Levels: levels, Sealed: sealedUpd, Examples: examples})
+	return c.conn.Send(&fl.MaskedUp{Round: m.Round, Levels: levels, Sealed: sealedUpd, Examples: examples, Shares: shares})
 }
 
 // staticProtect shields a fixed flat-index set every round.
@@ -788,6 +807,7 @@ func runFlat(sc Scenario, profiles []Profile, opt flatOpts) (*Result, error) {
 		RequireTEE:       sc.RequireTEE,
 		Codec:            sc.Codec,
 		SecAgg:           sc.SecAgg,
+		MaskDegree:       sc.MaskDegree,
 		Enclave:          enclave,
 		QuarantineRounds: sc.QuarantineRounds,
 		Aggregation:      aggMethod,

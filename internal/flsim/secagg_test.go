@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"github.com/gradsec/gradsec/internal/secagg"
 )
 
 // assertSameFinal fails unless the two results hold bitwise-identical
@@ -111,6 +113,99 @@ func TestSecAggStragglerDropoutReconciled(t *testing.T) {
 		t.Fatalf("dropout traces differ between runs:\n  %+v\n  %+v", masked.Trace, again.Trace)
 	}
 	assertSameFinal(t, "dropout reruns", masked, again)
+}
+
+// TestSecAggKRegularMatchesPlaintextFullCohort: the k-regular graph
+// plus double masking must preserve the subsystem's acceptance
+// criterion — a full-cohort masked fleet lands bit-identically on the
+// plaintext trace and final model, with the self masks removed via
+// Shamir reconstruction rather than counted as reconciled dropouts.
+func TestSecAggKRegularMatchesPlaintextFullCohort(t *testing.T) {
+	base := Scenario{
+		Clients:          48,
+		Rounds:           5,
+		MinClients:       4,
+		SampleFraction:   0.5,
+		WeightedExamples: true,
+		Seed:             42,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskedSc := base
+	maskedSc.SecAgg = true
+	maskedSc.MaskDegree = secagg.AutoDegree // ⌈log₂ 24⌉+slack = 10 of 23 possible edges
+	masked, err := Run(maskedSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFinal(t, "k-regular full cohort", plain, masked)
+	for r := range plain.Trace {
+		p, m := plain.Trace[r], masked.Trace[r]
+		if m.Reconciled != 0 {
+			t.Fatalf("round %d: full k-regular fold reported %d reconciled dropouts", r, m.Reconciled)
+		}
+		if !reflect.DeepEqual(p, m) {
+			t.Fatalf("round %d trace diverged:\n  plain:  %+v\n  masked: %+v", r, p, m)
+		}
+	}
+	again, err := Run(maskedSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(masked.Trace, again.Trace) {
+		t.Fatalf("k-regular traces differ between runs:\n  %+v\n  %+v", masked.Trace, again.Trace)
+	}
+	assertSameFinal(t, "k-regular reruns", masked, again)
+}
+
+// TestSecAggKRegularStragglerDropoutReconciled: dropping 5 of 20
+// clients per round under a degree-12 graph stays within the
+// worst-case tolerance (threshold 7 ≤ 12−5 surviving neighbours), so
+// two-phase reconciliation — pair seeds for the dropped, Shamir
+// shares for the survivors' self masks — recovers exactly the
+// plaintext aggregate, deterministically across runs.
+func TestSecAggKRegularStragglerDropoutReconciled(t *testing.T) {
+	base := Scenario{
+		Clients:           20,
+		Rounds:            4,
+		Deadline:          time.Second,
+		StragglerFraction: 0.25,
+		Seed:              7,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskedSc := base
+	maskedSc.SecAgg = true
+	maskedSc.MaskDegree = 12
+	masked, err := Run(maskedSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFinal(t, "k-regular straggler dropout", plain, masked)
+	for r, st := range masked.Trace {
+		if st.Sampled != 20 || st.Responded != 15 || st.Dropped != 5 {
+			t.Fatalf("round %d stats = %+v", r, st)
+		}
+		if st.Reconciled != 5 {
+			t.Fatalf("round %d reconciled %d, want 5 (one per dropped client)", r, st.Reconciled)
+		}
+		if plain.Trace[r].UpdateNorm != st.UpdateNorm {
+			t.Fatalf("round %d aggregate norm diverged: plain %v, masked %v",
+				r, plain.Trace[r].UpdateNorm, st.UpdateNorm)
+		}
+	}
+	again, err := Run(maskedSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(masked.Trace, again.Trace) {
+		t.Fatalf("k-regular dropout traces differ between runs:\n  %+v\n  %+v", masked.Trace, again.Trace)
+	}
+	assertSameFinal(t, "k-regular dropout reruns", masked, again)
 }
 
 // TestSecAggEnclaveProtectedTensors: protected tensors ride the sealed

@@ -145,6 +145,7 @@ func (e *Edge) Run(upstream fl.Conn, clients []fl.Conn) error {
 	scfg.SecAgg = ch.SecAgg
 	if ch.SecAgg {
 		scfg.SecAggScaleBits = int(ch.ScaleBits)
+		scfg.MaskDegree = ch.MaskDegree
 	}
 	var n int
 	if e.srv != nil && e.srv.Resumable() {

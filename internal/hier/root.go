@@ -49,6 +49,13 @@ type RootConfig struct {
 	// shard must quantise identically or the ring sums would not
 	// compose. 0 selects secagg.DefaultScaleBits.
 	SecAggScaleBits int
+	// MaskDegree is the fleet-wide masking topology, adopted by every
+	// edge for its shard-scoped rosters: 0 = legacy full pairwise,
+	// secagg.AutoDegree = per-shard-round k-regular graphs with double
+	// masking, >0 = fixed degree. Shard graphs are independent (each
+	// shard's roster seeds its own graph), so the modes compose at the
+	// root exactly like full-pairwise ring sums.
+	MaskDegree int
 	// MinRelease, in secure-aggregation sessions, is the fleet-wide
 	// release floor: a round whose composed partials fold fewer client
 	// updates never publishes its aggregate (secagg.ErrCohortTooSmall).
@@ -471,6 +478,7 @@ func (r *Root) enrolOne(conn fl.Conn) *edgeSess {
 	if r.cfg.SecAgg {
 		ch.SecAgg = true
 		ch.ScaleBits = uint8(r.cfg.SecAggScaleBits)
+		ch.MaskDegree = r.cfg.MaskDegree
 	}
 	if err := conn.Send(ch); err != nil {
 		_ = conn.Close()

@@ -98,13 +98,38 @@ func (m *MaskedSum) Validate(up []*wire.U64Tensor) error {
 
 // Add validates and folds one masked update carrying the given FedAvg
 // weight (the client already multiplied its levels by it in the ring;
-// here it only accumulates the denominator).
+// here it only accumulates the denominator). Add is fail-closed: every
+// shape is re-checked inline against the accumulator before the first
+// element is folded, independently of Validate — so even a caller that
+// skipped Validate (or validated against a stale layout) cannot fold a
+// mismatched update into the ring sum, partially or at all.
 func (m *MaskedSum) Add(up []*wire.U64Tensor, weight uint64) error {
 	if weight == 0 {
 		return errors.New("secagg: zero update weight")
 	}
 	if err := m.Validate(up); err != nil {
 		return err
+	}
+	// Defensive re-check directly against the destination slices: the
+	// whole update must be provably foldable before any element lands,
+	// or a hostile edge whose update passed a skipped/desynced Validate
+	// would corrupt the sum mid-fold.
+	if len(up) != len(m.sum) {
+		return fmt.Errorf("secagg: update has %d tensors, accumulator has %d", len(up), len(m.sum))
+	}
+	for i, t := range up {
+		if t == nil {
+			if m.sum[i] != nil {
+				return fmt.Errorf("secagg: update missing levels for tensor %d", i)
+			}
+			continue
+		}
+		if m.sum[i] == nil {
+			return fmt.Errorf("secagg: levels present at protected position %d", i)
+		}
+		if len(t.Levels) != len(m.sum[i]) {
+			return fmt.Errorf("secagg: levels for tensor %d have %d elements, want %d", i, len(t.Levels), len(m.sum[i]))
+		}
 	}
 	for i, t := range up {
 		if t == nil {

@@ -9,16 +9,23 @@
 //
 //   - Pairwise additive masking for the plaintext (unprotected-layer)
 //     half. Updates are quantised to fixed point and shifted into the
-//     ring ℤ/2⁶⁴; every cohort pair (i,j) derives a shared secret from
-//     the mask keys exchanged during the attestation handshake and adds
-//     ±PRG(secret) to its levels. Summed over the full cohort the masks
+//     ring ℤ/2⁶⁴; masking pairs (i,j) derive a shared secret from the
+//     mask keys exchanged during the attestation handshake and add
+//     ±PRG(secret) to their levels. Summed over the cohort the masks
 //     cancel exactly (ring arithmetic — no floating-point residue), so
 //     the server folds masked updates it cannot read and still recovers
-//     the exact aggregate. When stragglers are dropped mid-round the
-//     survivors reveal their round-scoped pair seeds with the dropped
-//     clients (MaskShares), letting the server subtract precisely the
-//     unpaired mask residue — a deterministic reconciliation protocol,
-//     not a best-effort approximation.
+//     the exact aggregate. In the default k-regular mode (Graph) each
+//     client masks only against its ~log₂ n graph neighbours — O(k·n)
+//     keystream fleet-wide instead of O(n²) — and additionally adds a
+//     self-mask whose seed is Shamir-shared among those neighbours
+//     (double masking, Bonawitz CCS'17 / Bell CCS'20). Reconciliation
+//     then asks each survivor, per neighbour, for either the pairwise
+//     round seed (neighbour dropped) or the neighbour's self-seed share
+//     (neighbour folded) — never both (ErrRoleConflict) — and the
+//     server subtracts exactly the dangling pair masks plus each folded
+//     client's reconstructed self-mask. Deterministic reconciliation,
+//     not a best-effort approximation. degree 0 preserves the legacy
+//     full-pairwise wire behaviour for old cohorts.
 //
 //   - Enclave aggregation for the sealed (protected-layer) half.
 //     Sealed blobs are folded inside a simulated server-side enclave
@@ -44,10 +51,21 @@
 // The server is honest-but-curious: it follows the protocol but reads
 // everything it can. Pair seeds revealed during reconciliation are
 // round-scoped (derived as H(pair secret ‖ round)), so a revealed seed
-// unmasks nothing in any other round. A malicious server that falsely
-// reports a client as dropped can collect its round seeds and unmask a
-// *late* update from that client if one arrives; Bonawitz-style double
-// masking closes that gap and is noted in ROADMAP as follow-up work.
+// unmasks nothing in any other round. In the legacy full-pairwise mode
+// (degree 0) a malicious server that falsely reports a client as
+// dropped can collect its round seeds and unmask a *late* update from
+// that client if one arrives. Double masking (degree > 0) closes that
+// window by construction: a late update additionally carries its
+// self-mask, whose seed only ≥ Threshold neighbours acting in the
+// survivor role can reconstruct — and every honest neighbour refuses
+// to play both roles for one peer (ErrRoleConflict), so the server
+// must choose, per client, between the dropout path and the survivor
+// path. Residual caveat: a survivor that vanishes *during*
+// reconciliation while its dropped neighbours' pair seeds are still
+// unrevealed fails the round (only its own self-seed, not its pair
+// seeds, is recoverable from shares — pair secrets are session-long
+// here, unlike full Bonawitz, and are deliberately never shared). See
+// docs/SECAGG.md.
 package secagg
 
 import (

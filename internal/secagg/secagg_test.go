@@ -86,7 +86,7 @@ func TestMaskedAggregateBitIdentical(t *testing.T) {
 	for i, s := range sessions {
 		upd := dyadicUpdate(i, shapes)
 		w := uint64(1 + i%4)
-		masked, err := s.MaskedUpdate(round, cohort, upd, w)
+		masked, _, err := s.MaskedUpdate(round, cohort, 0, upd, w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +134,7 @@ func TestMaskReconciliationAfterDropout(t *testing.T) {
 	var weights []float64
 	for i, s := range sessions {
 		upd := dyadicUpdate(100+i, shapes)
-		masked, err := s.MaskedUpdate(round, cohort, upd, 1)
+		masked, _, err := s.MaskedUpdate(round, cohort, 0, upd, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,14 +209,14 @@ func TestRoundSeedsAgreeAndScope(t *testing.T) {
 func TestMaskedUpdateValidation(t *testing.T) {
 	sessions, cohort := testCohort(t, 3)
 	upd := dyadicUpdate(1, [][]int{{2}})
-	if _, err := sessions[0].MaskedUpdate(0, cohort[1:], upd, 1); err == nil {
+	if _, _, err := sessions[0].MaskedUpdate(0, cohort[1:], 0, upd, 1); err == nil {
 		t.Fatal("cohort without self must fail")
 	}
 	dup := append(append([]Peer(nil), cohort...), cohort[1])
-	if _, err := sessions[0].MaskedUpdate(0, dup, upd, 1); err == nil {
+	if _, _, err := sessions[0].MaskedUpdate(0, dup, 0, upd, 1); err == nil {
 		t.Fatal("duplicate cohort device must fail")
 	}
-	if _, err := sessions[0].MaskedUpdate(0, cohort, upd, 0); err == nil {
+	if _, _, err := sessions[0].MaskedUpdate(0, cohort, 0, upd, 0); err == nil {
 		t.Fatal("zero weight must fail")
 	}
 	if _, err := sessions[0].Shares(0, cohort, []string{"dev-000"}); err == nil {
@@ -251,6 +251,69 @@ func TestMaskedSumValidation(t *testing.T) {
 	}
 	if err := m.ApplyMask([][]uint64{{1, 2}}, 1); err == nil {
 		t.Fatal("misshapen mask must fail")
+	}
+}
+
+// TestMaskedSumAddFailClosed: Add must refuse a mismatched update in
+// full — even one whose leading tensors are individually foldable —
+// leaving the accumulator byte-identical. The check must hold against
+// the accumulator itself, independent of Validate, so a caller that
+// skipped Validate (or validated against a desynced layout) still
+// cannot corrupt the ring sum partially.
+func TestMaskedSumAddFailClosed(t *testing.T) {
+	ref := []*tensor.Tensor{tensor.New(4), tensor.New(2, 3), tensor.New(5)}
+	lv := func(n int, fill uint64) *wire.U64Tensor {
+		u := &wire.U64Tensor{Shape: []int{n}, Levels: make([]uint64, n)}
+		for i := range u.Levels {
+			u.Levels[i] = fill
+		}
+		return u
+	}
+	cases := []struct {
+		name string
+		up   []*wire.U64Tensor
+	}{
+		{"too few tensors", []*wire.U64Tensor{lv(4, 1), lv(6, 1)}},
+		{"too many tensors", []*wire.U64Tensor{lv(4, 1), lv(6, 1), lv(5, 1), lv(1, 1)}},
+		{"nil at active position", []*wire.U64Tensor{lv(4, 1), nil, lv(5, 1)}},
+		{"levels at protected position", []*wire.U64Tensor{lv(4, 1), lv(6, 1), lv(5, 1)}},
+		{"good prefix, short tail", []*wire.U64Tensor{lv(4, 1), lv(6, 1), lv(3, 1)}},
+		{"good prefix, long tail", []*wire.U64Tensor{lv(4, 1), lv(6, 1), lv(9, 1)}},
+		{"shape/levels mismatch", []*wire.U64Tensor{lv(4, 1), lv(6, 1), {Shape: []int{5}, Levels: make([]uint64, 3)}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			protected := map[int]bool{}
+			if tc.name == "levels at protected position" {
+				protected[2] = true
+			}
+			m := NewMaskedSum(ref, protected, DefaultScaleBits)
+			good := []*wire.U64Tensor{lv(4, 7), lv(6, 7), lv(5, 7)}
+			if protected[2] {
+				good[2] = nil
+			}
+			if err := m.Add(good, 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Add(tc.up, 1); err == nil {
+				t.Fatal("mismatched update must be refused")
+			}
+			// Fail-closed means fully closed: nothing folded, no weight
+			// or count drift — the prior fold is still intact verbatim.
+			if m.Count() != 1 || m.Weight() != 2 {
+				t.Fatalf("accumulator drifted: count=%d weight=%v", m.Count(), m.Weight())
+			}
+			for i, s := range m.Levels() {
+				if s == nil {
+					continue
+				}
+				for j, l := range s.Levels {
+					if l != 7 {
+						t.Fatalf("tensor %d elem %d = %d: rejected update partially folded", i, j, l)
+					}
+				}
+			}
+		})
 	}
 }
 

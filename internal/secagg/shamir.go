@@ -1,0 +1,270 @@
+package secagg
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Shamir sharing over GF(2⁸) for self-mask seeds (double masking).
+// Each byte of the 32-byte seed is the constant term of an independent
+// degree-(t−1) polynomial; a holder's share is the polynomials
+// evaluated at its x-coordinate. Any t shares reconstruct the seed by
+// Lagrange interpolation at x=0; t−1 reveal nothing.
+
+// Sharing errors.
+var (
+	ErrShareParams = errors.New("secagg: invalid sharing parameters")
+	ErrShareCount  = errors.New("secagg: not enough seed shares")
+	ErrShareBlob   = errors.New("secagg: bad wrapped share blob")
+)
+
+// SeedShareLen is the byte length of one share's data: one evaluation
+// per seed byte.
+const SeedShareLen = 32
+
+// Share is one Shamir share of a 32-byte self-mask seed: the holder's
+// x-coordinate (1-based, assigned by Graph.ShareIndex) and the
+// per-byte polynomial evaluations.
+type Share struct {
+	X    uint8
+	Data []byte
+}
+
+// GF(2⁸) log/exp tables over the AES polynomial x⁸+x⁴+x³+x+1,
+// generator 3. exp is doubled so gfMul needs no modular reduction of
+// the log sum.
+var (
+	gfExp [510]uint8
+	gfLog [256]uint8
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = uint8(x)
+		gfLog[x] = uint8(i)
+		// multiply by the generator 3 = x+1: shift-and-add with reduction
+		x = x<<1 ^ x
+		if x&0x100 != 0 {
+			x ^= 0x11b
+		}
+	}
+	for i := 255; i < 510; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b uint8) uint8 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b uint8) uint8 {
+	if b == 0 {
+		panic("secagg: GF(2⁸) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// SplitSeed shares a 32-byte seed among holders at the given 1-based
+// x-coordinates with reconstruction threshold t. The polynomial
+// coefficients are drawn deterministically from a PRG keyed by the
+// seed itself and the context string, so the same (seed, context)
+// always yields the same shares — required for flsim reproducibility —
+// while remaining unpredictable to anyone without the seed.
+func SplitSeed(seed [32]byte, xs []uint8, t int, context string) ([]Share, error) {
+	n := len(xs)
+	if t < 1 || t > n || n > 255 {
+		return nil, fmt.Errorf("%w: t=%d over %d holders", ErrShareParams, t, n)
+	}
+	seen := make(map[uint8]bool, n)
+	for _, x := range xs {
+		if x == 0 || seen[x] {
+			return nil, fmt.Errorf("%w: bad x-coordinate %d", ErrShareParams, x)
+		}
+		seen[x] = true
+	}
+	h := sha256.New()
+	h.Write([]byte("secagg-shamir-coef"))
+	h.Write(seed[:])
+	h.Write([]byte(context))
+	var ck [32]byte
+	copy(ck[:], h.Sum(nil))
+	prg := newPRG(ck)
+
+	// coef[b][j] is the x^(j+1) coefficient of byte b's polynomial; the
+	// constant term is the seed byte itself.
+	coef := make([][]uint8, SeedShareLen)
+	for b := range coef {
+		c := make([]uint8, t-1)
+		for j := range c {
+			c[j] = uint8(prg.uint64())
+		}
+		coef[b] = c
+	}
+	out := make([]Share, n)
+	for i, x := range xs {
+		data := make([]byte, SeedShareLen)
+		for b := 0; b < SeedShareLen; b++ {
+			// Horner, highest coefficient first, constant term last.
+			acc := uint8(0)
+			for j := t - 2; j >= 0; j-- {
+				acc = gfMul(acc, x) ^ coef[b][j]
+			}
+			data[b] = gfMul(acc, x) ^ seed[b]
+		}
+		out[i] = Share{X: x, Data: data}
+	}
+	return out, nil
+}
+
+// CombineSeed reconstructs a seed from ≥ t shares (extra shares are
+// ignored; the first t distinct x-coordinates are used). It fails on
+// duplicate or zero x-coordinates and on short share data — garbage in
+// must fail loudly, never interpolate quietly into a wrong seed.
+func CombineSeed(shares []Share, t int) ([32]byte, error) {
+	var seed [32]byte
+	if t < 1 {
+		return seed, ErrShareParams
+	}
+	use := make([]Share, 0, t)
+	seen := make(map[uint8]bool, t)
+	for _, sh := range shares {
+		if sh.X == 0 || seen[sh.X] || len(sh.Data) != SeedShareLen {
+			return seed, fmt.Errorf("%w: x=%d data=%dB", ErrShareParams, sh.X, len(sh.Data))
+		}
+		seen[sh.X] = true
+		use = append(use, sh)
+		if len(use) == t {
+			break
+		}
+	}
+	if len(use) < t {
+		return seed, fmt.Errorf("%w: %d of %d", ErrShareCount, len(use), t)
+	}
+	for i, si := range use {
+		// Lagrange basis at x=0: Π_{j≠i} x_j / (x_j ⊕ x_i).
+		li := uint8(1)
+		for j, sj := range use {
+			if j == i {
+				continue
+			}
+			li = gfMul(li, gfDiv(sj.X, sj.X^si.X))
+		}
+		for b := 0; b < SeedShareLen; b++ {
+			seed[b] ^= gfMul(li, si.Data[b])
+		}
+	}
+	return seed, nil
+}
+
+// Wrapped-share transport. A client Shamir-shares its self-mask seed
+// and sends each share to the server wrapped (encrypted + MAC'd) for
+// one neighbour, riding the MaskedUp upload. During reconciliation the
+// server forwards the blob to the holder, which unwraps it and — only
+// in the survivor role — reveals the inner share. The wrap key is
+// derived from the pair secret, the round, and the share owner's name:
+// including the owner separates the two directions of a pair (each
+// wraps shares for the other in the same round), so the AES-CTR
+// keystream is never reused.
+
+const (
+	wrappedPlainLen = 1 + SeedShareLen // x-coordinate ‖ share data
+	wrapMACLen      = 16
+	// WrappedShareLen is the exact on-wire size of a wrapped share
+	// blob; the server rejects any other length before storing it.
+	WrappedShareLen = wrappedPlainLen + wrapMACLen
+)
+
+// WrappedShare is one wrapped self-mask seed share riding a MaskedUp:
+// addressed to the neighbour that can unwrap it.
+type WrappedShare struct {
+	To   string
+	Blob []byte
+}
+
+// SeedEnvelope is a server→survivor forward during reconciliation: the
+// share owner's name and the blob that owner wrapped for the
+// recipient.
+type SeedEnvelope struct {
+	Owner string
+	Blob  []byte
+}
+
+// SeedShare is a survivor→server revelation: one unwrapped Shamir
+// share of the named owner's self-mask seed.
+type SeedShare struct {
+	Owner string
+	X     uint8
+	Data  []byte
+}
+
+// shareWrapKey derives the direction-scoped wrapping key for
+// transporting owner's seed shares in one round.
+func shareWrapKey(pair [32]byte, round int, owner string) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("secagg-share-wrap"))
+	h.Write(pair[:])
+	var rb [8]byte
+	binary.BigEndian.PutUint64(rb[:], uint64(round))
+	h.Write(rb[:])
+	h.Write([]byte(owner))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func wrapMAC(key [32]byte, ct []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("secagg-share-mac"))
+	h.Write(key[:])
+	h.Write(ct)
+	return h.Sum(nil)[:wrapMACLen]
+}
+
+// wrapShare encrypts-then-MACs one share under the direction key.
+func wrapShare(key [32]byte, sh Share) []byte {
+	pt := make([]byte, wrappedPlainLen)
+	pt[0] = sh.X
+	copy(pt[1:], sh.Data)
+	ct := make([]byte, wrappedPlainLen, WrappedShareLen)
+	streamXOR(key, pt, ct)
+	return append(ct, wrapMAC(key, ct)...)
+}
+
+// unwrapShare verifies and decrypts a wrapped share blob. Tampered or
+// truncated blobs fail loudly (ErrShareBlob) — a quietly-wrong share
+// would corrupt the reconstructed seed and so the published aggregate.
+func unwrapShare(key [32]byte, blob []byte) (Share, error) {
+	if len(blob) != WrappedShareLen {
+		return Share{}, fmt.Errorf("%w: %d bytes", ErrShareBlob, len(blob))
+	}
+	ct, mac := blob[:wrappedPlainLen], blob[wrappedPlainLen:]
+	if subtle.ConstantTimeCompare(mac, wrapMAC(key, ct)) != 1 {
+		return Share{}, fmt.Errorf("%w: MAC mismatch", ErrShareBlob)
+	}
+	pt := make([]byte, wrappedPlainLen)
+	streamXOR(key, ct, pt)
+	sh := Share{X: pt[0], Data: pt[1:]}
+	if sh.X == 0 {
+		return Share{}, fmt.Errorf("%w: zero x-coordinate", ErrShareBlob)
+	}
+	return sh, nil
+}
+
+// streamXOR applies the AES-256-CTR keystream for key over src into
+// dst (same primitive as the mask expansion).
+func streamXOR(key [32]byte, src, dst []byte) {
+	p := newPRG(key)
+	for i := range src {
+		dst[i] = src[i] ^ byte(p.uint64())
+	}
+}

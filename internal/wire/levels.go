@@ -37,7 +37,7 @@ func (w *Writer) U64Tensor(t *U64Tensor) {
 	}
 	dst := w.grow(8 * len(t.Levels))
 	for i, v := range t.Levels {
-		binary.LittleEndian.PutUint64(dst[8*i:], v)
+		binary.LittleEndian.PutUint64(dst[8*i:8*i+8], v)
 	}
 }
 
@@ -64,7 +64,7 @@ func (r *Reader) U64Tensor() *U64Tensor {
 	levels := make([]uint64, size)
 	src := r.buf[r.off : r.off+need]
 	for i := range levels {
-		levels[i] = binary.LittleEndian.Uint64(src[8*i:])
+		levels[i] = binary.LittleEndian.Uint64(src[8*i : 8*i+8])
 	}
 	r.off += need
 	return &U64Tensor{Shape: shape, Levels: levels}

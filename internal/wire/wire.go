@@ -308,6 +308,25 @@ func (r *Reader) Blob() []byte {
 // String reads a length-prefixed string.
 func (r *Reader) String() string { return string(r.Blob()) }
 
+// BlobBytes reads a length-prefixed byte slice as a direct view into
+// the frame buffer — no copy, no per-blob allocation. The view dies
+// with the frame, so only decoders that copy or transform the bytes
+// before the frame is released may use it; anything that retains the
+// result wants Blob.
+func (r *Reader) BlobBytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("blob length")
+		return nil
+	}
+	out := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return out
+}
+
 // Float64 reads one IEEE-754 value.
 func (r *Reader) Float64() float64 {
 	if r.err != nil {
